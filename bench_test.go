@@ -1,0 +1,127 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation section (one benchmark per artefact), plus ablations.
+// Each iteration executes the full experiment on the two-socket
+// machine with downsized (Quick) workloads; headline metrics are
+// attached to the benchmark output via ReportMetric so the paper-shape
+// numbers appear alongside the timings. The full-size variants run via
+// cmd/numabench.
+package numaperf_test
+
+import (
+	"testing"
+
+	"numaperf/internal/experiments"
+	"numaperf/internal/topology"
+)
+
+// benchExperiment runs one experiment per iteration and reports the
+// named metrics.
+func benchExperiment(b *testing.B, id string, metrics ...string) {
+	b.Helper()
+	cfg := experiments.Config{Machine: topology.TwoSocket(), Quick: true, Seed: 1}
+	b.ReportAllocs()
+	var last *experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Run(id, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rep
+	}
+	for _, m := range metrics {
+		if v, ok := last.Metrics[m]; ok {
+			b.ReportMetric(v, m)
+		}
+	}
+}
+
+// BenchmarkTable1Machine regenerates Table I (machine specification).
+func BenchmarkTable1Machine(b *testing.B) {
+	benchExperiment(b, "table1", "cores", "sockets")
+}
+
+// BenchmarkFig7SegmentedRegression regenerates the Fig. 7 method demo.
+func BenchmarkFig7SegmentedRegression(b *testing.B) {
+	benchExperiment(b, "fig7", "pivot_sample")
+}
+
+// BenchmarkFig8CacheMissCompare regenerates the Fig. 8 EvSel
+// comparison of Listings 1 and 2.
+func BenchmarkFig8CacheMissCompare(b *testing.B) {
+	benchExperiment(b, "fig8", "l1_miss_rel", "pf_requests_rel", "fb_full_b")
+}
+
+// BenchmarkFig9ParallelSortSweep regenerates the Fig. 9 correlation
+// study.
+func BenchmarkFig9ParallelSortSweep(b *testing.B) {
+	benchExperiment(b, "fig9", "lock_R", "spec_R")
+}
+
+// BenchmarkFig10aSIFTHistogram regenerates the Fig. 10a Memhist
+// histogram of the NUMA-optimised SIFT.
+func BenchmarkFig10aSIFTHistogram(b *testing.B) {
+	benchExperiment(b, "fig10a", "cache_mass", "remote_mass")
+}
+
+// BenchmarkFig10bRemoteHistogram regenerates the Fig. 10b cost
+// histogram of the induced remote accesses.
+func BenchmarkFig10bRemoteHistogram(b *testing.B) {
+	benchExperiment(b, "fig10b", "remote_cost", "local_cost")
+}
+
+// BenchmarkFig11PhaseSplit regenerates the Fig. 11 Phasenprüfer split.
+func BenchmarkFig11PhaseSplit(b *testing.B) {
+	benchExperiment(b, "fig11", "pivot_error_frac")
+}
+
+// BenchmarkTwoStepStrategy regenerates the two-step-vs-baselines study
+// of Section III.
+func BenchmarkTwoStepStrategy(b *testing.B) {
+	benchExperiment(b, "twostep", "twostep_error", "best_baseline_error")
+}
+
+// BenchmarkAblationBatchingVsCycling regenerates ablation A1
+// (register batching vs perf-style multiplexing).
+func BenchmarkAblationBatchingVsCycling(b *testing.B) {
+	benchExperiment(b, "ablation-batching", "batched_error", "multiplexed_error")
+}
+
+// BenchmarkAblationThresholdCycling regenerates ablation A2 (Memhist
+// threshold-cycling error and negative bins).
+func BenchmarkAblationThresholdCycling(b *testing.B) {
+	benchExperiment(b, "ablation-cycling", "fine_error", "coarse_error")
+}
+
+// BenchmarkAblationKPhase regenerates ablation A3 (k-phase detection).
+func BenchmarkAblationKPhase(b *testing.B) {
+	benchExperiment(b, "ablation-kphase", "sse_improvement")
+}
+
+// BenchmarkAblationGammaFit regenerates ablation A4 (gamma vs normal
+// counter populations).
+func BenchmarkAblationGammaFit(b *testing.B) {
+	benchExperiment(b, "ablation-gamma", "ks_gamma", "ks_normal")
+}
+
+// BenchmarkTransferStrategy regenerates the cross-machine transfer
+// study (Fig. 4b portability).
+func BenchmarkTransferStrategy(b *testing.B) {
+	cfg := experiments.Config{Quick: true, Seed: 1} // 2s → DL580
+	b.ReportAllocs()
+	var last *experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Run("transfer", cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rep
+	}
+	b.ReportMetric(last.Metrics["transferred_error"], "transferred_error")
+	b.ReportMetric(last.Metrics["untransferred_error"], "untransferred_error")
+}
+
+// BenchmarkTopologySensitivity regenerates the remote-cost-vs-topology
+// study.
+func BenchmarkTopologySensitivity(b *testing.B) {
+	benchExperiment(b, "topology", "2s_ratio", "8s_ratio")
+}

@@ -1,0 +1,252 @@
+// Command evsel is the CLI counterpart of the paper's EvSel tool: it
+// lists all hardware counters of the (simulated) platform, measures a
+// workload across all of them via register batching, compares two
+// workloads per event with Welch's t-test, and sweeps a parameter to
+// find counter correlations.
+//
+// Usage:
+//
+//	evsel -list                                   # event database
+//	evsel -json > events.json                     # export the database
+//	evsel -workload cachemiss-a                   # measure everything
+//	evsel -workload cachemiss-a -compare cachemiss-b
+//	evsel -workload parallelsort -sweep 1,2,4,8,12,18
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"numaperf/internal/counters"
+	"numaperf/internal/evsel"
+	"numaperf/internal/exec"
+	"numaperf/internal/metrics"
+	"numaperf/internal/perf"
+	"numaperf/internal/profile"
+	"numaperf/internal/topology"
+	"numaperf/internal/workloads"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list all events with descriptions")
+		jsonOut  = flag.Bool("json", false, "write the event database as JSON to stdout")
+		workload = flag.String("workload", "", "workload to measure (see -workloads)")
+		compare  = flag.String("compare", "", "second workload for a run comparison")
+		sweepArg = flag.String("sweep", "", "comma-separated thread counts for a parameter sweep")
+		machine  = flag.String("machine", "dl580", "machine: dl580, 2s, 8s, uma")
+		threads  = flag.Int("threads", 1, "thread count")
+		reps     = flag.Int("reps", 3, "repetitions per register batch")
+		modeArg  = flag.String("mode", "batched", "batched, multiplexed or unlimited")
+		events   = flag.String("events", "", "comma-separated event names (default: all)")
+		wlList   = flag.Bool("workloads", false, "list available workloads")
+		seed     = flag.Int64("seed", 1, "noise seed")
+		minR     = flag.Float64("min-r", 0.5, "minimum |R| for sweep output")
+		regions  = flag.Bool("regions", false, "print the per-code-region event attribution")
+		derived  = flag.Bool("metrics", false, "print derived metrics (IPC, MPKI, bandwidths, ...)")
+		saveTo   = flag.String("save", "", "save the measurement as JSON to this file")
+		loadA    = flag.String("load-a", "", "load measurement A from a JSON file (with -load-b)")
+		loadB    = flag.String("load-b", "", "load measurement B from a JSON file")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, d := range counters.All() {
+			pebs := ""
+			if d.PEBS {
+				pebs = " [PEBS]"
+			}
+			fmt.Printf("%-45s %02X/%02X %-7s%s\n  %s\n", d.Name, d.Code, d.Umask, d.Domain, pebs, d.Description)
+		}
+		return
+	case *jsonOut:
+		if err := counters.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	case *wlList:
+		for _, n := range workloads.Names() {
+			fmt.Println(n)
+		}
+		return
+	case *loadA != "" && *loadB != "":
+		ma, err := evsel.LoadMeasurementFile(*loadA)
+		if err != nil {
+			fatal(err)
+		}
+		mb, err := evsel.LoadMeasurementFile(*loadB)
+		if err != nil {
+			fatal(err)
+		}
+		cmp, err := evsel.Compare(ma, mb)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("comparing %s (A) with %s (B)\n\n", *loadA, *loadB)
+		fmt.Print(cmp.SortByImpact().Where(evsel.NonZero()).Render())
+		return
+	case *workload == "":
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	mach, ok := topology.ByName(*machine)
+	if !ok {
+		fatalf("unknown machine %q (have %v)", *machine, topology.MachineNames())
+	}
+	wl, ok := workloads.ByName(*workload)
+	if !ok {
+		fatalf("unknown workload %q (have %v)", *workload, workloads.Names())
+	}
+	mode, err := parseMode(*modeArg)
+	if err != nil {
+		fatal(err)
+	}
+	ids, err := parseEvents(*events)
+	if err != nil {
+		fatal(err)
+	}
+	mkEngine := func(threadCount int) *exec.Engine {
+		e, err := exec.NewEngine(exec.Config{Machine: mach, Threads: threadCount, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		return e
+	}
+
+	switch {
+	case *sweepArg != "":
+		var params []float64
+		for _, s := range strings.Split(*sweepArg, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fatalf("bad sweep value %q: %v", s, err)
+			}
+			params = append(params, float64(v))
+		}
+		sweep, err := evsel.RunSweep("threads", params,
+			func(p float64) (*exec.Engine, func(*exec.Thread), error) {
+				return mkEngine(int(p)), wl.Body(), nil
+			}, ids, *reps, mode)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(sweep.Render(*minR))
+
+	case *compare != "":
+		wlB, ok := workloads.ByName(*compare)
+		if !ok {
+			fatalf("unknown workload %q", *compare)
+		}
+		cmp, err := evsel.CompareWorkloads(mkEngine(*threads), wl.Body(),
+			mkEngine(*threads), wlB.Body(), ids, *reps, mode)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("comparing %s (A) with %s (B)\n\n", wl.Name(), wlB.Name())
+		fmt.Print(cmp.SortByImpact().Where(evsel.NonZero()).Render())
+
+	default:
+		if *derived {
+			res, err := mkEngine(*threads).Run(wl.Body())
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%s\n", wl.Name())
+			fmt.Print(metrics.Render(metrics.Compute(res.Total, mach, res.Seconds)))
+			return
+		}
+		if *regions {
+			res, err := mkEngine(*threads).Run(wl.Body())
+			if err != nil {
+				fatal(err)
+			}
+			out, err := profile.Render(res, 8)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%s\n%s", wl.Name(), out)
+			return
+		}
+		m, err := perf.Measure(mkEngine(*threads), wl.Body(), ids, *reps, mode)
+		if err != nil {
+			fatal(err)
+		}
+		if *saveTo != "" {
+			if err := evsel.SaveMeasurementFile(*saveTo, m); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("saved measurement to %s\n", *saveTo)
+		}
+		fmt.Printf("%s: %d runs, %d register batches (%s)\n\n", wl.Name(), m.Runs, m.Batches, m.Mode)
+		fmt.Printf("%-45s %15s %12s\n", "EVENT", "MEAN", "CV")
+		for _, id := range m.Events() {
+			samples := m.Samples[id]
+			mean := m.Mean(id)
+			if mean == 0 {
+				continue
+			}
+			cv := coefficientOfVariation(samples, mean)
+			fmt.Printf("%-45s %15.5g %11.2f%%\n", counters.Def(id).Name, mean, 100*cv)
+		}
+	}
+}
+
+func coefficientOfVariation(samples []float64, mean float64) float64 {
+	if len(samples) < 2 || mean == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range samples {
+		d := v - mean
+		s += d * d
+	}
+	return math.Sqrt(s/float64(len(samples)-1)) / mean
+}
+
+func parseMode(s string) (perf.Mode, error) {
+	switch s {
+	case "batched":
+		return perf.Batched, nil
+	case "multiplexed":
+		return perf.Multiplexed, nil
+	case "unlimited":
+		return perf.Unlimited, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", s)
+	}
+}
+
+func parseEvents(csv string) ([]counters.EventID, error) {
+	if csv == "" {
+		out := make([]counters.EventID, counters.NumEvents)
+		for i := range out {
+			out[i] = counters.EventID(i)
+		}
+		return out, nil
+	}
+	var out []counters.EventID
+	for _, name := range strings.Split(csv, ",") {
+		id, ok := counters.Lookup(strings.TrimSpace(name))
+		if !ok {
+			return nil, fmt.Errorf("unknown event %q", name)
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "evsel: %v\n", err)
+	os.Exit(1)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "evsel: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,35 @@
+// Command memhist-probe is the headless measurement probe of the
+// paper's Fig. 6 architecture: server platforms without a rich
+// graphical interface run this probe next to the testee; the memhist
+// front end connects over TCP, submits a measurement request, and
+// receives the histogram.
+//
+// Usage:
+//
+//	memhist-probe -listen :9844
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"numaperf/internal/memhist"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9844", "TCP address to listen on")
+	flag.Parse()
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memhist-probe: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("memhist-probe: listening on %s\n", l.Addr())
+	if err := memhist.ServeProbe(l); err != nil {
+		fmt.Fprintf(os.Stderr, "memhist-probe: %v\n", err)
+		os.Exit(1)
+	}
+}

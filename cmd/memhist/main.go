@@ -1,0 +1,150 @@
+// Command memhist is the CLI counterpart of the paper's Memhist tool:
+// it measures the latency-cost distribution of memory loads with the
+// (simulated) PEBS load-latency facility, either locally or through a
+// remote headless probe (see cmd/memhist-probe), and renders the
+// histogram with peak annotations.
+//
+// Usage:
+//
+//	memhist -workload mlc-local
+//	memhist -workload mlc-remote -mode costs
+//	memhist -workload sift -threads 8 -machine dl580
+//	memhist -workload mlc-remote -remote host:9844
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"numaperf/internal/exec"
+	"numaperf/internal/memhist"
+	"numaperf/internal/topology"
+	"numaperf/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "workload to profile")
+		machine  = flag.String("machine", "dl580", "machine: dl580, 2s, 8s, uma")
+		threads  = flag.Int("threads", 1, "thread count")
+		modeArg  = flag.String("mode", "occurrences", "occurrences or costs")
+		exact    = flag.Bool("exact", false, "full-information sampling instead of threshold cycling")
+		remote   = flag.String("remote", "", "fetch from a probe at host:port instead of measuring locally")
+		boundCSV = flag.String("bounds", "", "comma-separated latency thresholds in cycles")
+		slice    = flag.Uint64("slice", 0, "threshold-cycling slice in cycles (0 = 100 Hz)")
+		reps     = flag.Int("reps", 1, "cycled runs to average")
+		width    = flag.Int("width", 60, "histogram bar width")
+		seed     = flag.Int64("seed", 1, "noise seed")
+		wlList   = flag.Bool("workloads", false, "list available workloads")
+	)
+	flag.Parse()
+
+	if *wlList {
+		for _, n := range workloads.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *workload == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	mode := memhist.Occurrences
+	switch *modeArg {
+	case "occurrences":
+	case "costs":
+		mode = memhist.Costs
+	default:
+		fatalf("unknown mode %q", *modeArg)
+	}
+	bounds, err := parseBounds(*boundCSV)
+	if err != nil {
+		fatal(err)
+	}
+
+	mach, ok := topology.ByName(*machine)
+	if !ok {
+		fatalf("unknown machine %q (have %v)", *machine, topology.MachineNames())
+	}
+
+	var h *memhist.Histogram
+	if *remote != "" {
+		h, err = memhist.FetchRemote(*remote, memhist.ProbeRequest{
+			Workload:    *workload,
+			Machine:     *machine,
+			Threads:     *threads,
+			Bounds:      bounds,
+			SliceCycles: *slice,
+			Reps:        *reps,
+			Exact:       *exact,
+			Seed:        *seed,
+		}, 5*time.Minute)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		wl, ok := workloads.ByName(*workload)
+		if !ok {
+			fatalf("unknown workload %q (have %v)", *workload, workloads.Names())
+		}
+		e, err := exec.NewEngine(exec.Config{Machine: mach, Threads: *threads, Seed: *seed, Chunk: 256})
+		if err != nil {
+			fatal(err)
+		}
+		if *exact {
+			h, err = memhist.Exact(e, wl.Body(), bounds, 1)
+		} else {
+			h, err = memhist.Collect(e, wl.Body(), memhist.Options{
+				Bounds:      bounds,
+				SliceCycles: *slice,
+				Reps:        *reps,
+			})
+		}
+		if err != nil {
+			fatal(err)
+		}
+		h.Source = wl.Name()
+	}
+
+	fmt.Print(h.Render(mode, *width))
+	fmt.Println("\npeaks:")
+	for _, p := range h.Annotate(mach) {
+		hi := fmt.Sprint(p.Hi)
+		if p.Hi == 0 {
+			hi = "∞"
+		}
+		fmt.Printf("  [%d, %s) cycles: %-14s (%.4g events)\n", p.Lo, hi, p.Label, p.Count)
+	}
+	if n := h.NegativeArtifacts(); n > 0 {
+		fmt.Printf("\n%d interval(s) with negative estimates — threshold-cycling artefact, see paper §IV-B\n", n)
+	}
+}
+
+func parseBounds(csv string) ([]uint64, error) {
+	if csv == "" {
+		return nil, nil
+	}
+	var out []uint64
+	for _, s := range strings.Split(csv, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad bound %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "memhist: %v\n", err)
+	os.Exit(1)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "memhist: "+format+"\n", args...)
+	os.Exit(1)
+}

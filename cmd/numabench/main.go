@@ -1,0 +1,58 @@
+// Command numabench regenerates the paper's tables and figures on the
+// simulated machines. Every artefact of the evaluation section has an
+// experiment ID; -exp all runs the full set.
+//
+// Usage:
+//
+//	numabench -exp fig8                 # one experiment on the DL580
+//	numabench -exp all -quick           # fast pass over everything
+//	numabench -exp fig9 -machine 2s     # different machine
+//	numabench -list                     # show available experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"numaperf/internal/experiments"
+	"numaperf/internal/topology"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment ID or 'all'")
+		machine = flag.String("machine", "dl580", "machine: dl580, 2s, 8s, uma")
+		quick   = flag.Bool("quick", false, "downsized workloads for a fast pass")
+		seed    = flag.Int64("seed", 42, "measurement noise seed")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			title, _ := experiments.Title(id)
+			fmt.Printf("%-20s %s\n", id, title)
+		}
+		return
+	}
+	mach, ok := topology.ByName(*machine)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "numabench: unknown machine %q (have %v)\n", *machine, topology.MachineNames())
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Machine: mach, Quick: *quick, Seed: *seed}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		rep, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "numabench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.String())
+	}
+}

@@ -1,0 +1,69 @@
+// Command phasenpruefer is the CLI counterpart of the paper's
+// Phasenprüfer tool: it runs a workload with time-sliced counter
+// recording, splits the run into execution phases from the memory
+// footprint via segmented regression, and prints the counters
+// attributed to each phase.
+//
+// Usage:
+//
+//	phasenpruefer -workload phasedapp
+//	phasenpruefer -workload bspapp -k 6      # superstep extension
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"numaperf/internal/exec"
+	"numaperf/internal/phase"
+	"numaperf/internal/topology"
+	"numaperf/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "workload to analyse")
+		machine  = flag.String("machine", "dl580", "machine: dl580, 2s, 8s, uma")
+		threads  = flag.Int("threads", 2, "thread count")
+		k        = flag.Int("k", 2, "number of phases to detect (0 = automatic via BIC)")
+		slice    = flag.Uint64("slice", 0, "sampling interval in cycles (0 = auto)")
+		seed     = flag.Int64("seed", 1, "noise seed")
+		wlList   = flag.Bool("workloads", false, "list available workloads")
+	)
+	flag.Parse()
+
+	if *wlList {
+		for _, n := range workloads.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *workload == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	mach, ok := topology.ByName(*machine)
+	if !ok {
+		fatalf("unknown machine %q (have %v)", *machine, topology.MachineNames())
+	}
+	wl, ok := workloads.ByName(*workload)
+	if !ok {
+		fatalf("unknown workload %q (have %v)", *workload, workloads.Names())
+	}
+	e, err := exec.NewEngine(exec.Config{Machine: mach, Threads: *threads, Seed: *seed})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	rep, err := phase.Analyze(e, wl.Body(), *k, *slice)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("%s on %s (%d threads)\n\n", wl.Name(), mach.Name, *threads)
+	fmt.Print(rep.Render())
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "phasenpruefer: "+format+"\n", args...)
+	os.Exit(1)
+}

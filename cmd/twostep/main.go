@@ -1,0 +1,149 @@
+// Command twostep runs the paper's two-step performance assessment
+// strategy end to end: measure a workload family at small sizes,
+// select indicators, fit code→indicator extrapolation models and the
+// indicator→cost model, then predict the cost of a larger target size
+// and compare against the measured truth and the monolithic baselines.
+// With -transfer the cost model is re-calibrated on a second machine.
+//
+// Usage:
+//
+//	twostep -family triad -train 65536,98304,131072,196608 -target 1048576
+//	twostep -family chase -train 4096,8192,16384 -target 65536 -transfer 2s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"numaperf/internal/core"
+	"numaperf/internal/exec"
+	"numaperf/internal/models"
+	"numaperf/internal/topology"
+	"numaperf/internal/workloads"
+)
+
+// families maps a family name to a parameterised workload constructor.
+var families = map[string]func(param float64) workloads.Workload{
+	"triad": func(p float64) workloads.Workload { return workloads.Triad{Elements: int(p)} },
+	"chase": func(p float64) workloads.Workload {
+		return workloads.PointerChase{Lines: uint64(p), Hops: int(4 * p)}
+	},
+	"sort": func(p float64) workloads.Workload { return workloads.ParallelSort{Elements: int(p)} },
+}
+
+func main() {
+	var (
+		family   = flag.String("family", "triad", "workload family: triad, chase, sort")
+		trainCSV = flag.String("train", "65536,98304,131072,196608,262144", "training sizes")
+		target   = flag.Float64("target", 1048576, "size to predict")
+		reps     = flag.Int("reps", 2, "runs per training size")
+		machine  = flag.String("machine", "dl580", "machine: dl580, 2s, 8s, uma")
+		transfer = flag.String("transfer", "", "re-calibrate the cost model on this machine")
+		maxInd   = flag.Int("indicators", 4, "maximum indicator count")
+		threads  = flag.Int("threads", 1, "thread count")
+		seed     = flag.Int64("seed", 1, "noise seed")
+	)
+	flag.Parse()
+
+	mk, ok := families[*family]
+	if !ok {
+		fatalf("unknown family %q", *family)
+	}
+	mach, ok := topology.ByName(*machine)
+	if !ok {
+		fatalf("unknown machine %q (have %v)", *machine, topology.MachineNames())
+	}
+	var trainSizes []float64
+	for _, s := range strings.Split(*trainCSV, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			fatalf("bad training size %q: %v", s, err)
+		}
+		trainSizes = append(trainSizes, v)
+	}
+
+	collector := func(m *topology.Machine) func(p float64) (*exec.Engine, func(*exec.Thread), error) {
+		return func(p float64) (*exec.Engine, func(*exec.Thread), error) {
+			e, err := exec.NewEngine(exec.Config{Machine: m, Threads: *threads, Seed: *seed})
+			if err != nil {
+				return nil, nil, err
+			}
+			return e, mk(p).Body(), nil
+		}
+	}
+
+	fmt.Printf("training %s on %s at sizes %v (%d reps)\n", *family, mach.Name, trainSizes, *reps)
+	train, err := core.CollectTraining(trainSizes, *reps, collector(mach))
+	if err != nil {
+		fatalf("training: %v", err)
+	}
+	st, err := core.Build(train, "size", *maxInd)
+	if err != nil {
+		fatalf("building strategy: %v", err)
+	}
+	fmt.Printf("\n%s\n", st.String())
+
+	evalMach := mach
+	if *transfer != "" {
+		tm, ok := topology.ByName(*transfer)
+		if !ok {
+			fatalf("unknown transfer machine %q", *transfer)
+		}
+		fmt.Printf("re-calibrating the cost model on %s\n", tm.Name)
+		calib, err := core.CollectTraining(trainSizes, *reps, collector(tm))
+		if err != nil {
+			fatalf("calibration: %v", err)
+		}
+		st, err = st.Transfer(calib)
+		if err != nil {
+			fatalf("transfer: %v", err)
+		}
+		evalMach = tm
+	}
+
+	truth, err := core.CollectTraining([]float64{*target}, *reps, collector(evalMach))
+	if err != nil {
+		fatalf("measuring target: %v", err)
+	}
+	var actual float64
+	for _, p := range truth {
+		actual += p.Cycles
+	}
+	actual /= float64(len(truth))
+
+	pred := st.PredictCycles(*target)
+	fmt.Printf("\npredicting size %.0f on %s:\n", *target, evalMach.Name)
+	fmt.Printf("%-14s %14.4g cycles  error %6.1f%%\n", "two-step", pred, 100*relErr(pred, actual))
+	fmt.Printf("%-14s %14.4g cycles  (measured, %d runs)\n", "actual", actual, len(truth))
+
+	char := models.Characterize(resultOf(truth))
+	fmt.Println("\nmonolithic baselines (no counter access):")
+	for _, b := range models.All() {
+		p := b.PredictCycles(char, evalMach)
+		fmt.Printf("%-14s %14.4g cycles  error %6.1f%%\n", b.Name(), p, 100*relErr(p, actual))
+	}
+}
+
+// resultOf reconstructs a minimal result view for Characterize from a
+// training point (counters plus machine-independent fields).
+func resultOf(pts []core.TrainingPoint) *exec.Result {
+	p := pts[0]
+	return &exec.Result{Raw: p.Counts, Cycles: uint64(p.Cycles), Threads: 1,
+		PerCore: nil, Uncore: nil}
+}
+
+func relErr(pred, actual float64) float64 {
+	if actual == 0 {
+		return 0
+	}
+	return math.Abs(pred-actual) / actual
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "twostep: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,45 @@
+// Phase detection: reproduce the Fig. 11 Phasenprüfer analysis — a
+// start-up-like workload is split into its ramp-up and computation
+// phases by segmented regression over the memory footprint, and the
+// hardware counters are attributed to each phase. The second part runs
+// the paper's proposed extension: k-phase detection of BSP supersteps.
+//
+//	go run ./examples/phase-detection
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"numaperf"
+)
+
+func main() {
+	s, err := numaperf.NewSession(
+		numaperf.WithMachineName("dl580"),
+		numaperf.WithThreads(4),
+		numaperf.WithSeed(11),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fig. 11: two-phase split of a browser-startup-like application.
+	fmt.Println("=== two-phase split (ramp-up vs computation) ===")
+	rep, err := s.Phases(numaperf.PhasedApp(32, 512<<10, 5), 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.Render())
+
+	// Extension (§IV-C): a BSP-like program with three supersteps has
+	// six phases (allocate, compute, allocate, compute, ...).
+	fmt.Println("\n=== k-phase extension on BSP supersteps ===")
+	rep6, err := s.Phases(numaperf.BSPApp(3, 1<<20, 4), 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep6.Render())
+	fmt.Printf("\n6-phase SSE: %.4g (two-phase fit would lump the staircase)\n",
+		rep6.Split.TotalSSE)
+}

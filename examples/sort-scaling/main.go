@@ -1,0 +1,60 @@
+// Sort scaling: reproduce the Fig. 9 correlation study — sweep the
+// thread count of the parallel sort (Listing 3) and let EvSel regress
+// every counter against it. The paper's two highlighted correlations
+// fall out: L1D cache-lock cycles rise with the thread count
+// (R > 0.95) and retired speculative taken jumps fall (strongly
+// negative R).
+//
+//	go run ./examples/sort-scaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"numaperf"
+)
+
+func main() {
+	s, err := numaperf.NewSession(
+		numaperf.WithMachineName("dl580"),
+		numaperf.WithSeed(9),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var events []numaperf.EventID
+	for _, name := range []string{
+		"LOCK_CYCLES.CACHE_LOCK_DURATION",
+		"BR_INST_EXEC.TAKEN_SPECULATIVE",
+		"MEM_UOPS_RETIRED.LOCK_LOADS",
+		"DTLB_LOAD_MISSES.MISS_CAUSES_A_WALK",
+		"MACHINE_CLEARS.MEMORY_ORDERING",
+		"INST_RETIRED.ANY",
+	} {
+		id, ok := numaperf.LookupEvent(name)
+		if !ok {
+			log.Fatalf("unknown event %s", name)
+		}
+		events = append(events, id)
+	}
+
+	sweep, err := s.SweepThreads(func(threads int) numaperf.Workload {
+		return numaperf.ParallelSort(1 << 16)
+	}, []int{1, 2, 4, 6, 8, 12, 16, 18}, events, 2, numaperf.Batched)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(sweep.Render(0.5))
+	fmt.Println()
+	for _, c := range sweep.TopCorrelations(0.9) {
+		dir := "rises"
+		if c.R < 0 {
+			dir = "falls"
+		}
+		fmt.Printf("%s %s with the thread count: %s (R = %+.3f)\n",
+			c.Name, dir, c.Best.Equation(), c.R)
+	}
+}

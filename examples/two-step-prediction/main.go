@@ -1,0 +1,59 @@
+// Two-step prediction: the paper's Section III strategy end to end.
+// Hardware counters of small triad workloads are measured and
+// extrapolated over the input size (code→indicator), a linear model
+// maps indicators to cycles (indicator→cost), and the composed
+// predictor is evaluated against the actual cost of a 4× larger run —
+// and against the monolithic cost models of Section II, which see only
+// the abstract workload description.
+//
+//	go run ./examples/two-step-prediction
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"numaperf"
+)
+
+func main() {
+	s, err := numaperf.NewSession(
+		numaperf.WithMachineName("dl580"),
+		numaperf.WithSeed(5),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	family := func(p float64) numaperf.Workload { return numaperf.Triad(int(p)) }
+	trainSizes := []float64{65536, 98304, 131072, 196608, 262144}
+	const target = 1 << 20
+
+	st, err := s.TrainTwoStep(family, trainSizes, 2, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(st.String())
+
+	// Ground truth at the target size.
+	res, err := s.Run(numaperf.Triad(target))
+	if err != nil {
+		log.Fatal(err)
+	}
+	actual := float64(res.Cycles)
+	pred := st.PredictCycles(target)
+	fmt.Printf("\npredicting %d elements:\n", target)
+	fmt.Printf("%-14s %14.4g cycles (error %5.1f%%)\n", "two-step",
+		pred, 100*math.Abs(pred-actual)/actual)
+	fmt.Printf("%-14s %14.4g cycles (measured)\n", "actual", actual)
+
+	// The monolithic baselines for comparison.
+	char := numaperf.Characterize(res)
+	fmt.Println("\nmonolithic single-step models (no counter access):")
+	for _, b := range numaperf.Baselines() {
+		p := b.PredictCycles(char, s.Machine())
+		fmt.Printf("%-14s %14.4g cycles (error %5.1f%%)\n", b.Name(),
+			p, 100*math.Abs(p-actual)/actual)
+	}
+}

@@ -1,0 +1,3 @@
+module numaperf
+
+go 1.22

@@ -1,0 +1,331 @@
+// Package core implements the paper's primary contribution: the
+// two-step performance assessment strategy of Section III. Instead of
+// a monolithic code-to-cost model, performance deduction is split into
+//
+//  1. a code-to-indicator analysis — hardware counters are measured for
+//     small workloads and extrapolated over an input parameter with the
+//     regression machinery ("programmers would start by measuring small
+//     yet typical workloads ... and extrapolate performance
+//     indicators"), and
+//  2. an indicator-to-cost analysis — a simple linear model from the
+//     selected counters to cycles, trained by least squares.
+//
+// Indicator selection follows the paper's guidance: counters that do
+// not change ("candidates for removal") are dropped, the count is
+// capped to limit the multiple-comparisons risk, and redundant
+// (collinear) indicators are pruned. Because the indicator models
+// belong to the program and the cost model belongs to the machine,
+// Transfer re-learns only the cost side on a new machine, which is the
+// strategy's portability claim.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"numaperf/internal/counters"
+	"numaperf/internal/exec"
+	"numaperf/internal/linalg"
+	"numaperf/internal/stats"
+)
+
+// TrainingPoint is one observed program run: the workload parameter,
+// the counter vector and the measured cost in cycles.
+type TrainingPoint struct {
+	Param  float64
+	Counts counters.Counts
+	Cycles float64
+}
+
+// CollectTraining runs the workload at each parameter value reps times
+// and records one training point per run. mk builds the engine and
+// body for a parameter value.
+func CollectTraining(params []float64, reps int,
+	mk func(param float64) (*exec.Engine, func(*exec.Thread), error)) ([]TrainingPoint, error) {
+	if len(params) == 0 || reps <= 0 {
+		return nil, errors.New("core: empty training request")
+	}
+	var out []TrainingPoint
+	for _, p := range params {
+		e, body, err := mk(p)
+		if err != nil {
+			return nil, fmt.Errorf("core: engine for param %g: %w", p, err)
+		}
+		for r := 0; r < reps; r++ {
+			res, err := e.Run(body)
+			if err != nil {
+				return nil, fmt.Errorf("core: run at param %g: %w", p, err)
+			}
+			out = append(out, TrainingPoint{
+				Param:  p,
+				Counts: res.Total,
+				Cycles: float64(res.Cycles),
+			})
+		}
+	}
+	return out, nil
+}
+
+// SelectIndicators chooses up to max events as performance indicators:
+// non-constant counters, ranked by the absolute Pearson correlation of
+// the counter with the cost, with near-collinear duplicates pruned.
+func SelectIndicators(points []TrainingPoint, max int) []counters.EventID {
+	if len(points) < 3 || max <= 0 {
+		return nil
+	}
+	cycles := make([]float64, len(points))
+	for i, p := range points {
+		cycles[i] = p.Cycles
+	}
+	type cand struct {
+		id     counters.EventID
+		absR   float64
+		values []float64
+	}
+	var cands []cand
+	for id := counters.EventID(0); id < counters.NumEvents; id++ {
+		vals := make([]float64, len(points))
+		for i, p := range points {
+			vals[i] = float64(p.Counts.Get(id))
+		}
+		if stats.Variance(vals) == 0 {
+			continue // constant: "considered for removal"
+		}
+		r := stats.PearsonR(vals, cycles)
+		if math.IsNaN(r) {
+			continue
+		}
+		cands = append(cands, cand{id: id, absR: math.Abs(r), values: vals})
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].absR > cands[j].absR })
+
+	var selected []cand
+	for _, c := range cands {
+		if len(selected) >= max {
+			break
+		}
+		redundant := false
+		for _, s := range selected {
+			if r := stats.PearsonR(c.values, s.values); !math.IsNaN(r) && math.Abs(r) > 0.999 {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			selected = append(selected, c)
+		}
+	}
+	out := make([]counters.EventID, len(selected))
+	for i, s := range selected {
+		out[i] = s.id
+	}
+	return out
+}
+
+// CostModel is the indicator-to-cost step: cycles ≈ Σ βᵢ·counterᵢ + β₀,
+// trained with (mildly ridge-regularised) least squares on scaled
+// counters.
+type CostModel struct {
+	Events []counters.EventID
+	// Beta holds one weight per event plus the intercept (last).
+	Beta []float64
+	// Scale normalises each counter before applying Beta.
+	Scale []float64
+	// R2 is the training coefficient of determination.
+	R2 float64
+}
+
+// TrainCostModel fits the linear indicator-to-cost map.
+func TrainCostModel(points []TrainingPoint, events []counters.EventID) (*CostModel, error) {
+	if len(events) == 0 {
+		return nil, errors.New("core: no indicator events")
+	}
+	if len(points) < len(events)+1 {
+		return nil, fmt.Errorf("core: %d training points for %d indicators", len(points), len(events))
+	}
+	n, k := len(points), len(events)
+	scale := make([]float64, k)
+	for j, id := range events {
+		for _, p := range points {
+			if v := float64(p.Counts.Get(id)); v > scale[j] {
+				scale[j] = v
+			}
+		}
+		if scale[j] == 0 {
+			scale[j] = 1
+		}
+	}
+	design := linalg.New(n, k+1)
+	y := make([]float64, n)
+	for i, p := range points {
+		for j, id := range events {
+			design.Set(i, j, float64(p.Counts.Get(id))/scale[j])
+		}
+		design.Set(i, k, 1)
+		y[i] = p.Cycles
+	}
+	// Ridge-regularised normal equations: (XᵀX + λI)β = Xᵀy. The tiny λ
+	// keeps correlated counter columns solvable.
+	xt := design.Transpose()
+	xtx, err := xt.Mul(design)
+	if err != nil {
+		return nil, err
+	}
+	trace := 0.0
+	for i := 0; i < xtx.Rows(); i++ {
+		trace += xtx.At(i, i)
+	}
+	lambda := 1e-8 * trace / float64(xtx.Rows())
+	if lambda <= 0 {
+		lambda = 1e-12
+	}
+	for i := 0; i < xtx.Rows(); i++ {
+		xtx.Set(i, i, xtx.At(i, i)+lambda)
+	}
+	xty, err := xt.MulVec(y)
+	if err != nil {
+		return nil, err
+	}
+	beta, err := linalg.SolveCholesky(xtx, xty)
+	if err != nil {
+		return nil, fmt.Errorf("core: cost model solve: %w", err)
+	}
+	cm := &CostModel{Events: events, Beta: beta, Scale: scale}
+	// Training R².
+	my := stats.Mean(y)
+	var ssRes, ssTot float64
+	for i, p := range points {
+		pred := cm.Predict(p.Counts)
+		d := y[i] - pred
+		ssRes += d * d
+		t := y[i] - my
+		ssTot += t * t
+	}
+	if ssTot > 0 {
+		cm.R2 = 1 - ssRes/ssTot
+	} else {
+		cm.R2 = 1
+	}
+	return cm, nil
+}
+
+// Predict maps a counter vector to predicted cycles.
+func (cm *CostModel) Predict(c counters.Counts) float64 {
+	s := cm.Beta[len(cm.Beta)-1]
+	for j, id := range cm.Events {
+		s += cm.Beta[j] * float64(c.Get(id)) / cm.Scale[j]
+	}
+	return s
+}
+
+// predictFromValues maps extrapolated (float) indicator values to
+// cycles.
+func (cm *CostModel) predictFromValues(vals []float64) float64 {
+	s := cm.Beta[len(cm.Beta)-1]
+	for j := range cm.Events {
+		s += cm.Beta[j] * vals[j] / cm.Scale[j]
+	}
+	return s
+}
+
+// IndicatorModel extrapolates one counter over the workload parameter
+// (the code-to-indicator step).
+type IndicatorModel struct {
+	Event counters.EventID
+	Fit   stats.Regression
+}
+
+// Strategy is a trained two-step predictor.
+type Strategy struct {
+	Indicators []IndicatorModel
+	Cost       *CostModel
+	// ParamName documents the extrapolation axis.
+	ParamName string
+}
+
+// Build trains the full two-step strategy from training points:
+// indicator selection, per-indicator extrapolation models, and the
+// cost model.
+func Build(points []TrainingPoint, paramName string, maxIndicators int) (*Strategy, error) {
+	events := SelectIndicators(points, maxIndicators)
+	if len(events) == 0 {
+		return nil, errors.New("core: no usable indicators found")
+	}
+	// Keep the design solvable.
+	if len(points) <= len(events)+1 {
+		events = events[:len(points)/2]
+		if len(events) == 0 {
+			return nil, errors.New("core: too few training points")
+		}
+	}
+	cost, err := TrainCostModel(points, events)
+	if err != nil {
+		return nil, err
+	}
+	st := &Strategy{Cost: cost, ParamName: paramName}
+	for _, id := range events {
+		var xs, ys []float64
+		for _, p := range points {
+			xs = append(xs, p.Param)
+			ys = append(ys, float64(p.Counts.Get(id)))
+		}
+		fit, err := stats.BestFit(xs, ys)
+		if err != nil {
+			return nil, fmt.Errorf("core: extrapolation model for %s: %w", counters.Def(id).Name, err)
+		}
+		st.Indicators = append(st.Indicators, IndicatorModel{Event: id, Fit: fit})
+	}
+	return st, nil
+}
+
+// PredictIndicators extrapolates every selected counter to the given
+// parameter value.
+func (s *Strategy) PredictIndicators(param float64) []float64 {
+	out := make([]float64, len(s.Indicators))
+	for i, im := range s.Indicators {
+		v := im.Fit.Predict(param)
+		if v < 0 {
+			v = 0
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// PredictCycles runs both steps: extrapolate the indicators to param,
+// then apply the cost model.
+func (s *Strategy) PredictCycles(param float64) float64 {
+	return s.Cost.predictFromValues(s.PredictIndicators(param))
+}
+
+// PredictFromCounts applies only the indicator-to-cost step to a
+// measured counter vector (the "transfer" use where indicators were
+// measured rather than extrapolated).
+func (s *Strategy) PredictFromCounts(c counters.Counts) float64 {
+	return s.Cost.Predict(c)
+}
+
+// Transfer keeps the program-specific indicator models and re-learns
+// the machine-specific cost model from calibration points measured on
+// the target system — the cross-machine portability of Fig. 4b.
+func (s *Strategy) Transfer(calibration []TrainingPoint) (*Strategy, error) {
+	cost, err := TrainCostModel(calibration, s.Cost.Events)
+	if err != nil {
+		return nil, fmt.Errorf("core: transfer: %w", err)
+	}
+	return &Strategy{Indicators: s.Indicators, Cost: cost, ParamName: s.ParamName}, nil
+}
+
+// String summarises the trained strategy.
+func (s *Strategy) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "two-step strategy over %q (cost R²=%.4f)\n", s.ParamName, s.Cost.R2)
+	for i, im := range s.Indicators {
+		fmt.Fprintf(&sb, "  %-45s %s (R²=%.3f) weight %.4g\n",
+			counters.Def(im.Event).Name, im.Fit.Equation(), im.Fit.R2, s.Cost.Beta[i])
+	}
+	return sb.String()
+}

@@ -1,0 +1,178 @@
+package counters
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryConsistency(t *testing.T) {
+	all := All()
+	if len(all) != int(NumEvents) {
+		t.Fatalf("All() has %d defs, want %d", len(all), NumEvents)
+	}
+	seen := map[string]bool{}
+	for i, d := range all {
+		if d.ID != EventID(i) {
+			t.Errorf("def %d has ID %d", i, d.ID)
+		}
+		if d.Name == "" || d.Description == "" {
+			t.Errorf("event %d lacks name or description", i)
+		}
+		if seen[d.Name] {
+			t.Errorf("duplicate name %s", d.Name)
+		}
+		seen[d.Name] = true
+		if d.DomainName != d.Domain.String() {
+			t.Errorf("%s: domain name %q vs %q", d.Name, d.DomainName, d.Domain)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	id, ok := Lookup("MEM_LOAD_UOPS_RETIRED.L1_HIT")
+	if !ok || id != L1Hit {
+		t.Errorf("Lookup L1_HIT = %d, %v", id, ok)
+	}
+	if _, ok := Lookup("NO_SUCH_EVENT"); ok {
+		t.Error("unknown event must not resolve")
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	if len(names) != int(NumEvents) {
+		t.Fatalf("%d names", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %q >= %q", names[i-1], names[i])
+		}
+	}
+}
+
+func TestByDomain(t *testing.T) {
+	fixed := ByDomain(DomainFixed)
+	if len(fixed) != 3 {
+		t.Errorf("fixed events = %d, want 3", len(fixed))
+	}
+	uncore := ByDomain(DomainUncore)
+	if len(uncore) == 0 {
+		t.Error("no uncore events")
+	}
+	core := ByDomain(DomainCore)
+	sw := ByDomain(DomainSoftware)
+	if len(sw) != 3 {
+		t.Errorf("software events = %d, want 3", len(sw))
+	}
+	if len(fixed)+len(uncore)+len(core)+len(sw) != int(NumEvents) {
+		t.Error("domains do not partition the event set")
+	}
+	if Domain(99).String() != "unknown" {
+		t.Error("unknown domain string")
+	}
+}
+
+func TestPEBSEvents(t *testing.T) {
+	if !Def(LoadLatencyAbove).PEBS {
+		t.Error("load latency event must be PEBS-capable")
+	}
+	if Def(StallsTotal).PEBS {
+		t.Error("stall cycles must not be PEBS")
+	}
+}
+
+func TestCountsBasics(t *testing.T) {
+	c := NewCounts()
+	if len(c) != int(NumEvents) {
+		t.Fatalf("len = %d", len(c))
+	}
+	c[L1Hit] = 100
+	c[InstRetired] = 400
+	c[CPUCycles] = 200
+	if c.Get(L1Hit) != 100 {
+		t.Error("Get")
+	}
+	if v, ok := c.GetName("MEM_LOAD_UOPS_RETIRED.L1_HIT"); !ok || v != 100 {
+		t.Errorf("GetName = %d, %v", v, ok)
+	}
+	if _, ok := c.GetName("BOGUS"); ok {
+		t.Error("GetName bogus")
+	}
+	if c.IPC() != 2 {
+		t.Errorf("IPC = %g, want 2", c.IPC())
+	}
+	if c.Ratio(L1Hit, L3Miss) != 0 {
+		t.Error("Ratio with zero denominator must be 0")
+	}
+}
+
+func TestCountsAddClone(t *testing.T) {
+	a := NewCounts()
+	a[L1Hit] = 5
+	b := a.Clone()
+	b[L1Hit] = 7
+	if a[L1Hit] != 5 {
+		t.Error("Clone aliases")
+	}
+	a.Add(b)
+	if a[L1Hit] != 12 {
+		t.Errorf("Add: %d", a[L1Hit])
+	}
+}
+
+func TestCountsNonZeroAndString(t *testing.T) {
+	c := NewCounts()
+	c[L1Hit] = 3
+	c[L3Miss] = 9
+	nz := c.NonZero()
+	if len(nz) != 2 {
+		t.Fatalf("NonZero = %v", nz)
+	}
+	s := c.String()
+	// Largest first.
+	if strings.Index(s, "L3_MISS") > strings.Index(s, "L1_HIT") {
+		t.Errorf("String not sorted by value:\n%s", s)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != int(NumEvents) {
+		t.Fatalf("round trip produced %d events", len(ids))
+	}
+	for i, id := range ids {
+		if id != EventID(i) {
+			t.Fatalf("id %d at position %d", id, i)
+		}
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Error("garbage must fail")
+	}
+	if _, err := ReadJSON(strings.NewReader(`[{"name":"NO_SUCH_EVENT"}]`)); err == nil {
+		t.Error("unknown event must fail")
+	}
+}
+
+func TestReadJSONSubset(t *testing.T) {
+	// A platform file listing only a subset resolves to exactly those
+	// events, in file order.
+	in := `[{"name":"MEM_LOAD_UOPS_RETIRED.L3_HIT"},{"name":"INST_RETIRED.ANY"}]`
+	ids, err := ReadJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != L3Hit || ids[1] != InstRetired {
+		t.Errorf("ids = %v", ids)
+	}
+}

@@ -1,0 +1,83 @@
+package counters
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counts is a dense vector of event totals indexed by EventID. The
+// zero-filled value from NewCounts is ready to use.
+type Counts []uint64
+
+// NewCounts returns a zeroed counter vector sized for every event.
+func NewCounts() Counts { return make(Counts, NumEvents) }
+
+// Get returns the value of one event.
+func (c Counts) Get(id EventID) uint64 { return c[id] }
+
+// GetName returns the value of the event with the given name.
+func (c Counts) GetName(name string) (uint64, bool) {
+	id, ok := Lookup(name)
+	if !ok {
+		return 0, false
+	}
+	return c[id], true
+}
+
+// Add accumulates other into c.
+func (c Counts) Add(other Counts) {
+	for i, v := range other {
+		c[i] += v
+	}
+}
+
+// Clone returns a copy of c.
+func (c Counts) Clone() Counts {
+	out := make(Counts, len(c))
+	copy(out, c)
+	return out
+}
+
+// NonZero returns the IDs of all events with a non-zero total, sorted
+// by ID. EvSel greys out all-zero counters; this is the complement.
+func (c Counts) NonZero() []EventID {
+	var out []EventID
+	for i, v := range c {
+		if v != 0 {
+			out = append(out, EventID(i))
+		}
+	}
+	return out
+}
+
+// Ratio returns c[num]/c[den] or 0 when the denominator is zero.
+func (c Counts) Ratio(num, den EventID) float64 {
+	if c[den] == 0 {
+		return 0
+	}
+	return float64(c[num]) / float64(c[den])
+}
+
+// String renders the non-zero counters, largest first, one per line.
+func (c Counts) String() string {
+	type kv struct {
+		id EventID
+		v  uint64
+	}
+	var rows []kv
+	for i, v := range c {
+		if v != 0 {
+			rows = append(rows, kv{EventID(i), v})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].v > rows[j].v })
+	var sb strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-45s %d\n", Def(r.id).Name, r.v)
+	}
+	return sb.String()
+}
+
+// IPC returns instructions per cycle.
+func (c Counts) IPC() float64 { return c.Ratio(InstRetired, CPUCycles) }

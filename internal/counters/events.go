@@ -1,0 +1,145 @@
+// Package counters defines the hardware event vocabulary of the
+// simulated machine: a Haswell-flavoured database of core, uncore and
+// fixed-function events, the counter-value containers the simulator
+// fills, and JSON import/export mirroring the paper's EvSel, which
+// "reads the event codes available on the platform from a JSON file
+// that provides descriptions for the events".
+package counters
+
+// EventID is the dense index of one hardware event. The simulator
+// accumulates into a flat slice indexed by EventID, which keeps the
+// per-access hot path free of map lookups.
+type EventID uint16
+
+// The event set. Names follow Intel SDM mnemonics so that readers of
+// the paper's figures recognise them.
+const (
+	// Fixed-function counters.
+	InstRetired EventID = iota // INST_RETIRED.ANY
+	CPUCycles                  // CPU_CLK_UNHALTED.THREAD
+	RefCycles                  // CPU_CLK_UNHALTED.REF_TSC
+
+	// Retired memory instruction mix.
+	AllLoads  // MEM_UOPS_RETIRED.ALL_LOADS
+	AllStores // MEM_UOPS_RETIRED.ALL_STORES
+	LockLoads // MEM_UOPS_RETIRED.LOCK_LOADS
+
+	// Load source breakdown.
+	L1Hit       // MEM_LOAD_UOPS_RETIRED.L1_HIT
+	L1Miss      // MEM_LOAD_UOPS_RETIRED.L1_MISS
+	L2Hit       // MEM_LOAD_UOPS_RETIRED.L2_HIT
+	L2Miss      // MEM_LOAD_UOPS_RETIRED.L2_MISS
+	L3Hit       // MEM_LOAD_UOPS_RETIRED.L3_HIT
+	L3Miss      // MEM_LOAD_UOPS_RETIRED.L3_MISS
+	HitLFB      // MEM_LOAD_UOPS_RETIRED.HIT_LFB
+	LocalDRAM   // MEM_LOAD_UOPS_L3_MISS_RETIRED.LOCAL_DRAM
+	RemoteDRAM  // MEM_LOAD_UOPS_L3_MISS_RETIRED.REMOTE_DRAM
+	LoadHitPre  // LOAD_HIT_PRE.HW_PF — load hit an in-flight prefetch
+	L1DReplace  // L1D.REPLACEMENT
+	L1DPendMiss // L1D_PEND_MISS.PENDING
+
+	// L2 activity, demand and prefetch.
+	L2DemandHit  // L2_RQSTS.DEMAND_DATA_RD_HIT
+	L2DemandMiss // L2_RQSTS.DEMAND_DATA_RD_MISS
+	L2PFRequests // L2_RQSTS.ALL_PF — prefetch requests arriving at L2
+	L2PFHit      // L2_RQSTS.PF_HIT
+	L2PFMiss     // L2_RQSTS.PF_MISS
+	L2LinesIn    // L2_LINES_IN.ALL
+
+	// L3 (longest-latency cache) activity.
+	L3Reference // LONGEST_LAT_CACHE.REFERENCE
+	L3MissRef   // LONGEST_LAT_CACHE.MISS
+
+	// Fill buffers and offcore queues.
+	FBFull          // L1D_PEND_MISS.FB_FULL — fill-buffer rejections
+	OffcoreDemandRd // OFFCORE_REQUESTS.DEMAND_DATA_RD
+	OffcoreAllRd    // OFFCORE_REQUESTS.ALL_DATA_RD
+	SQFull          // OFFCORE_REQUESTS_BUFFER.SQ_FULL
+
+	// Branches.
+	BranchRetired   // BR_INST_RETIRED.ALL_BRANCHES
+	BranchMiss      // BR_MISP_RETIRED.ALL_BRANCHES
+	SpecTakenJumps  // BR_INST_EXEC.TAKEN_SPECULATIVE — Fig. 9's counter
+	MachineClearsMO // MACHINE_CLEARS.MEMORY_ORDERING
+
+	// Translation.
+	DTLBLoadMissSTLBHit // DTLB_LOAD_MISSES.STLB_HIT
+	DTLBLoadMissWalk    // DTLB_LOAD_MISSES.MISS_CAUSES_A_WALK
+	DTLBWalkDuration    // DTLB_LOAD_MISSES.WALK_DURATION (cycles)
+	DTLBStoreMissWalk   // DTLB_STORE_MISSES.MISS_CAUSES_A_WALK
+	PageWalkerLoads     // PAGE_WALKER_LOADS.DTLB_MEMORY
+
+	// Pipeline stalls and locks.
+	StallsTotal    // CYCLE_ACTIVITY.STALLS_TOTAL
+	StallsLDM      // CYCLE_ACTIVITY.STALLS_LDM_PENDING
+	StallsL2       // CYCLE_ACTIVITY.STALLS_L2_PENDING
+	CacheLockCycle // LOCK_CYCLES.CACHE_LOCK_DURATION — Fig. 9's L1D locks
+	UopsRetired    // UOPS_RETIRED.ALL
+	ICacheMisses   // ICACHE.MISSES
+
+	// PEBS load-latency facility (threshold-sampled).
+	LoadLatencyAbove // MEM_TRANS_RETIRED.LOAD_LATENCY (precise)
+
+	// Software events (kernel-side, like perf's software counters).
+	SWPageFaults   // SW_PAGE_FAULTS — first touches populating pages
+	SWAllocCalls   // SW_ALLOC_CALLS — anonymous mmap/brk allocations
+	SWBarrierWaits // SW_BARRIER_WAITS — futex-style barrier waits
+
+	// Uncore, accounted per socket.
+	UncLLCLookup    // UNC_CBO_CACHE_LOOKUP.ANY
+	UncQPITx        // UNC_QPI_TXL_FLITS.ALL
+	UncQPIRx        // UNC_QPI_RXL_FLITS.ALL
+	UncIMCRead      // UNC_IMC_READS
+	UncIMCWrite     // UNC_IMC_WRITES
+	UncIMCRemoteRd  // UNC_IMC_REMOTE_READS — reads serving remote sockets
+	UncPkgEnergy    // UNC_PCU_ENERGY_PKG (µJ) — the paper's wattage indicator
+	UncTLBLockWalks // UNC_TLB_LOCK_WALKS — uncore-induced TLB walks locking L1D
+
+	// NumEvents is the size of a Counts vector.
+	NumEvents
+)
+
+// Domain classifies where an event is counted.
+type Domain uint8
+
+const (
+	// DomainFixed events are always collected by fixed-function
+	// counters and never occupy a programmable register.
+	DomainFixed Domain = iota
+	// DomainCore events occupy one of the programmable per-core
+	// registers.
+	DomainCore
+	// DomainUncore events are counted per socket in the uncore.
+	DomainUncore
+	// DomainSoftware events are kernel-side counts; like fixed
+	// counters they never occupy a PMU register.
+	DomainSoftware
+)
+
+// String names the domain.
+func (d Domain) String() string {
+	switch d {
+	case DomainFixed:
+		return "fixed"
+	case DomainCore:
+		return "core"
+	case DomainUncore:
+		return "uncore"
+	case DomainSoftware:
+		return "software"
+	default:
+		return "unknown"
+	}
+}
+
+// EventDef describes one event in the platform database.
+type EventDef struct {
+	ID          EventID `json:"-"`
+	Name        string  `json:"name"`
+	Code        uint16  `json:"code"`
+	Umask       uint16  `json:"umask"`
+	Domain      Domain  `json:"-"`
+	DomainName  string  `json:"domain"`
+	PEBS        bool    `json:"pebs,omitempty"`
+	Description string  `json:"description"`
+}

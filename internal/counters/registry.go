@@ -1,0 +1,166 @@
+package counters
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// defs is the built-in Haswell-flavoured event database. Codes/umasks
+// follow the Intel SDM where an obvious counterpart exists; purely
+// simulated events use the 0xE0 code space.
+var defs = []EventDef{
+	{ID: InstRetired, Name: "INST_RETIRED.ANY", Code: 0xC0, Umask: 0x00, Domain: DomainFixed, Description: "Instructions retired (fixed counter)"},
+	{ID: CPUCycles, Name: "CPU_CLK_UNHALTED.THREAD", Code: 0x3C, Umask: 0x00, Domain: DomainFixed, Description: "Core cycles while not halted (fixed counter)"},
+	{ID: RefCycles, Name: "CPU_CLK_UNHALTED.REF_TSC", Code: 0x00, Umask: 0x03, Domain: DomainFixed, Description: "Reference cycles at TSC rate (fixed counter)"},
+
+	{ID: AllLoads, Name: "MEM_UOPS_RETIRED.ALL_LOADS", Code: 0xD0, Umask: 0x81, Domain: DomainCore, PEBS: true, Description: "All retired load uops"},
+	{ID: AllStores, Name: "MEM_UOPS_RETIRED.ALL_STORES", Code: 0xD0, Umask: 0x82, Domain: DomainCore, PEBS: true, Description: "All retired store uops"},
+	{ID: LockLoads, Name: "MEM_UOPS_RETIRED.LOCK_LOADS", Code: 0xD0, Umask: 0x21, Domain: DomainCore, Description: "Retired load uops with locked access (atomics)"},
+
+	{ID: L1Hit, Name: "MEM_LOAD_UOPS_RETIRED.L1_HIT", Code: 0xD1, Umask: 0x01, Domain: DomainCore, PEBS: true, Description: "Retired load uops with L1 data cache hits as data source"},
+	{ID: L1Miss, Name: "MEM_LOAD_UOPS_RETIRED.L1_MISS", Code: 0xD1, Umask: 0x08, Domain: DomainCore, Description: "Retired load uops that missed the L1 data cache"},
+	{ID: L2Hit, Name: "MEM_LOAD_UOPS_RETIRED.L2_HIT", Code: 0xD1, Umask: 0x02, Domain: DomainCore, PEBS: true, Description: "Retired load uops with L2 hits as data source"},
+	{ID: L2Miss, Name: "MEM_LOAD_UOPS_RETIRED.L2_MISS", Code: 0xD1, Umask: 0x10, Domain: DomainCore, Description: "Retired load uops that missed the L2 cache"},
+	{ID: L3Hit, Name: "MEM_LOAD_UOPS_RETIRED.L3_HIT", Code: 0xD1, Umask: 0x04, Domain: DomainCore, PEBS: true, Description: "Retired load uops with L3 hits as data source"},
+	{ID: L3Miss, Name: "MEM_LOAD_UOPS_RETIRED.L3_MISS", Code: 0xD1, Umask: 0x20, Domain: DomainCore, Description: "Retired load uops that missed the L3 cache"},
+	{ID: HitLFB, Name: "MEM_LOAD_UOPS_RETIRED.HIT_LFB", Code: 0xD1, Umask: 0x40, Domain: DomainCore, Description: "Retired load uops satisfied by an in-flight line fill buffer"},
+	{ID: LocalDRAM, Name: "MEM_LOAD_UOPS_L3_MISS_RETIRED.LOCAL_DRAM", Code: 0xD3, Umask: 0x01, Domain: DomainCore, PEBS: true, Description: "L3-missing loads served from DRAM attached to the local socket"},
+	{ID: RemoteDRAM, Name: "MEM_LOAD_UOPS_L3_MISS_RETIRED.REMOTE_DRAM", Code: 0xD3, Umask: 0x04, Domain: DomainCore, PEBS: true, Description: "L3-missing loads served from DRAM attached to a remote socket"},
+	{ID: LoadHitPre, Name: "LOAD_HIT_PRE.HW_PF", Code: 0x4C, Umask: 0x02, Domain: DomainCore, Description: "Loads that hit a line being prefetched by the hardware prefetcher"},
+	{ID: L1DReplace, Name: "L1D.REPLACEMENT", Code: 0x51, Umask: 0x01, Domain: DomainCore, Description: "L1 data cache lines replaced"},
+	{ID: L1DPendMiss, Name: "L1D_PEND_MISS.PENDING", Code: 0x48, Umask: 0x01, Domain: DomainCore, Description: "Cycles weighted by number of outstanding L1D misses"},
+
+	{ID: L2DemandHit, Name: "L2_RQSTS.DEMAND_DATA_RD_HIT", Code: 0x24, Umask: 0x41, Domain: DomainCore, Description: "Demand data reads that hit the L2"},
+	{ID: L2DemandMiss, Name: "L2_RQSTS.DEMAND_DATA_RD_MISS", Code: 0x24, Umask: 0x21, Domain: DomainCore, Description: "Demand data reads that missed the L2"},
+	{ID: L2PFRequests, Name: "L2_RQSTS.ALL_PF", Code: 0x24, Umask: 0xF8, Domain: DomainCore, Description: "Hardware prefetch requests arriving at the L2"},
+	{ID: L2PFHit, Name: "L2_RQSTS.PF_HIT", Code: 0x24, Umask: 0xD8, Domain: DomainCore, Description: "Prefetch requests that hit the L2"},
+	{ID: L2PFMiss, Name: "L2_RQSTS.PF_MISS", Code: 0x24, Umask: 0x38, Domain: DomainCore, Description: "Prefetch requests that missed the L2 and were sent to L3"},
+	{ID: L2LinesIn, Name: "L2_LINES_IN.ALL", Code: 0xF1, Umask: 0x07, Domain: DomainCore, Description: "Cache lines filled into the L2 from any source"},
+
+	{ID: L3Reference, Name: "LONGEST_LAT_CACHE.REFERENCE", Code: 0x2E, Umask: 0x4F, Domain: DomainCore, Description: "Accesses reaching the last-level cache"},
+	{ID: L3MissRef, Name: "LONGEST_LAT_CACHE.MISS", Code: 0x2E, Umask: 0x41, Domain: DomainCore, Description: "Last-level cache references that missed"},
+
+	{ID: FBFull, Name: "L1D_PEND_MISS.FB_FULL", Code: 0x48, Umask: 0x02, Domain: DomainCore, Description: "Demand requests rejected because all line fill buffers were occupied"},
+	{ID: OffcoreDemandRd, Name: "OFFCORE_REQUESTS.DEMAND_DATA_RD", Code: 0xB0, Umask: 0x01, Domain: DomainCore, Description: "Demand data read requests sent offcore"},
+	{ID: OffcoreAllRd, Name: "OFFCORE_REQUESTS.ALL_DATA_RD", Code: 0xB0, Umask: 0x08, Domain: DomainCore, Description: "All data read requests (demand and prefetch) sent offcore"},
+	{ID: SQFull, Name: "OFFCORE_REQUESTS_BUFFER.SQ_FULL", Code: 0xB2, Umask: 0x01, Domain: DomainCore, Description: "Cycles the offcore super queue was full"},
+
+	{ID: BranchRetired, Name: "BR_INST_RETIRED.ALL_BRANCHES", Code: 0xC4, Umask: 0x00, Domain: DomainCore, PEBS: true, Description: "Branch instructions retired"},
+	{ID: BranchMiss, Name: "BR_MISP_RETIRED.ALL_BRANCHES", Code: 0xC5, Umask: 0x00, Domain: DomainCore, PEBS: true, Description: "Mispredicted branch instructions retired"},
+	{ID: SpecTakenJumps, Name: "BR_INST_EXEC.TAKEN_SPECULATIVE", Code: 0x88, Umask: 0x81, Domain: DomainCore, Description: "Taken speculative and retired jumps executed"},
+	{ID: MachineClearsMO, Name: "MACHINE_CLEARS.MEMORY_ORDERING", Code: 0xC3, Umask: 0x02, Domain: DomainCore, Description: "Machine clears due to memory ordering conflicts"},
+
+	{ID: DTLBLoadMissSTLBHit, Name: "DTLB_LOAD_MISSES.STLB_HIT", Code: 0x5F, Umask: 0x04, Domain: DomainCore, Description: "Load DTLB misses that hit the second-level TLB"},
+	{ID: DTLBLoadMissWalk, Name: "DTLB_LOAD_MISSES.MISS_CAUSES_A_WALK", Code: 0x08, Umask: 0x01, Domain: DomainCore, Description: "Load DTLB misses causing a page walk"},
+	{ID: DTLBWalkDuration, Name: "DTLB_LOAD_MISSES.WALK_DURATION", Code: 0x08, Umask: 0x10, Domain: DomainCore, Description: "Cycles spent in page walks caused by load DTLB misses"},
+	{ID: DTLBStoreMissWalk, Name: "DTLB_STORE_MISSES.MISS_CAUSES_A_WALK", Code: 0x49, Umask: 0x01, Domain: DomainCore, Description: "Store DTLB misses causing a page walk"},
+	{ID: PageWalkerLoads, Name: "PAGE_WALKER_LOADS.DTLB_MEMORY", Code: 0xBC, Umask: 0x18, Domain: DomainCore, Description: "Page walker loads served from memory"},
+
+	{ID: StallsTotal, Name: "CYCLE_ACTIVITY.STALLS_TOTAL", Code: 0xA3, Umask: 0x04, Domain: DomainCore, Description: "Cycles with no uops executed (execution stalls)"},
+	{ID: StallsLDM, Name: "CYCLE_ACTIVITY.STALLS_LDM_PENDING", Code: 0xA3, Umask: 0x06, Domain: DomainCore, Description: "Execution stall cycles with outstanding demand loads"},
+	{ID: StallsL2, Name: "CYCLE_ACTIVITY.STALLS_L2_PENDING", Code: 0xA3, Umask: 0x05, Domain: DomainCore, Description: "Execution stall cycles with outstanding L2 misses"},
+	{ID: CacheLockCycle, Name: "LOCK_CYCLES.CACHE_LOCK_DURATION", Code: 0x63, Umask: 0x02, Domain: DomainCore, Description: "Cycles the L1 data cache was locked (atomics, uncore TLB walks)"},
+	{ID: UopsRetired, Name: "UOPS_RETIRED.ALL", Code: 0xC2, Umask: 0x01, Domain: DomainCore, PEBS: true, Description: "All retired micro-operations"},
+	{ID: ICacheMisses, Name: "ICACHE.MISSES", Code: 0x80, Umask: 0x02, Domain: DomainCore, Description: "Instruction cache misses"},
+
+	{ID: LoadLatencyAbove, Name: "MEM_TRANS_RETIRED.LOAD_LATENCY", Code: 0xCD, Umask: 0x01, Domain: DomainCore, PEBS: true, Description: "Randomly sampled loads whose use latency exceeds the programmed threshold (PEBS load latency facility)"},
+
+	{ID: SWPageFaults, Name: "SW_PAGE_FAULTS", Code: 0xF0, Umask: 0x01, Domain: DomainSoftware, Description: "Minor page faults: first touches that populate anonymous pages"},
+	{ID: SWAllocCalls, Name: "SW_ALLOC_CALLS", Code: 0xF0, Umask: 0x02, Domain: DomainSoftware, Description: "Anonymous memory allocations (mmap/brk equivalents)"},
+	{ID: SWBarrierWaits, Name: "SW_BARRIER_WAITS", Code: 0xF0, Umask: 0x04, Domain: DomainSoftware, Description: "Barrier waits entered (futex-style synchronisation)"},
+	{ID: UncLLCLookup, Name: "UNC_CBO_CACHE_LOOKUP.ANY", Code: 0x34, Umask: 0x11, Domain: DomainUncore, Description: "LLC lookups in the caching agent (per socket)"},
+	{ID: UncQPITx, Name: "UNC_QPI_TXL_FLITS.ALL", Code: 0x00, Umask: 0x01, Domain: DomainUncore, Description: "QPI flits transmitted (per socket)"},
+	{ID: UncQPIRx, Name: "UNC_QPI_RXL_FLITS.ALL", Code: 0x01, Umask: 0x01, Domain: DomainUncore, Description: "QPI flits received (per socket)"},
+	{ID: UncIMCRead, Name: "UNC_IMC_READS", Code: 0x04, Umask: 0x03, Domain: DomainUncore, Description: "Memory controller read CAS commands (per socket)"},
+	{ID: UncIMCWrite, Name: "UNC_IMC_WRITES", Code: 0x04, Umask: 0x0C, Domain: DomainUncore, Description: "Memory controller write CAS commands (per socket)"},
+	{ID: UncIMCRemoteRd, Name: "UNC_IMC_REMOTE_READS", Code: 0xE0, Umask: 0x01, Domain: DomainUncore, Description: "Memory controller reads that served a remote socket's request"},
+	{ID: UncPkgEnergy, Name: "UNC_PCU_ENERGY_PKG", Code: 0xE1, Umask: 0x01, Domain: DomainUncore, Description: "Package energy in microjoules (RAPL-like, the paper's wattage indicator)"},
+	{ID: UncTLBLockWalks, Name: "UNC_TLB_LOCK_WALKS", Code: 0xE2, Umask: 0x01, Domain: DomainUncore, Description: "Uncore-managed TLB page walks that locked an L1D cache"},
+}
+
+var byName map[string]EventID
+
+func init() {
+	if len(defs) != int(NumEvents) {
+		panic(fmt.Sprintf("counters: %d defs for %d events", len(defs), NumEvents))
+	}
+	byName = make(map[string]EventID, len(defs))
+	for i, d := range defs {
+		if d.ID != EventID(i) {
+			panic(fmt.Sprintf("counters: def %d out of order (%s)", i, d.Name))
+		}
+		if _, dup := byName[d.Name]; dup {
+			panic("counters: duplicate event name " + d.Name)
+		}
+		byName[d.Name] = d.ID
+		defs[i].DomainName = d.Domain.String()
+	}
+}
+
+// Lookup resolves an event name to its ID.
+func Lookup(name string) (EventID, bool) {
+	id, ok := byName[name]
+	return id, ok
+}
+
+// Def returns the definition of an event.
+func Def(id EventID) EventDef { return defs[id] }
+
+// All returns the full event database, ordered by ID.
+func All() []EventDef {
+	out := make([]EventDef, len(defs))
+	copy(out, defs)
+	return out
+}
+
+// Names returns all event names sorted alphabetically, as EvSel's
+// event list presents them.
+func Names() []string {
+	out := make([]string, 0, len(defs))
+	for _, d := range defs {
+		out = append(out, d.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByDomain returns the IDs of all events in the given domain.
+func ByDomain(dom Domain) []EventID {
+	var out []EventID
+	for _, d := range defs {
+		if d.Domain == dom {
+			out = append(out, d.ID)
+		}
+	}
+	return out
+}
+
+// WriteJSON serialises the event database in the JSON shape EvSel
+// consumes (an array of event descriptors).
+func WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(defs)
+}
+
+// ReadJSON parses an event database and resolves every entry against
+// the built-in registry, returning the IDs in file order. Unknown
+// events are reported, mirroring EvSel's behaviour of only offering
+// counters the platform actually exposes.
+func ReadJSON(r io.Reader) ([]EventID, error) {
+	var in []EventDef
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("counters: parsing event JSON: %w", err)
+	}
+	out := make([]EventID, 0, len(in))
+	for _, d := range in {
+		id, ok := Lookup(d.Name)
+		if !ok {
+			return nil, fmt.Errorf("counters: unknown event %q in JSON database", d.Name)
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}

@@ -1,0 +1,148 @@
+package evsel
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"numaperf/internal/counters"
+	"numaperf/internal/perf"
+	"numaperf/internal/stats"
+)
+
+// MultiRow is the per-event outcome of comparing k ≥ 2 configurations
+// at once with a one-way ANOVA — the generalisation of EvSel's
+// pairwise t-test when "more than one measurement" means a whole series
+// of program configurations.
+type MultiRow struct {
+	Event counters.EventID
+	Name  string
+	// Means holds the group means in input order.
+	Means []float64
+	// Test is the one-way ANOVA across the groups.
+	Test stats.ANOVAResult
+	// Zero marks events that fired in no configuration.
+	Zero bool
+	// Significant applies the Bonferroni-corrected level.
+	Significant bool
+}
+
+// Spread returns max(mean)−min(mean), a quick effect-size cue.
+func (r MultiRow) Spread() float64 {
+	if len(r.Means) == 0 {
+		return 0
+	}
+	min, max := r.Means[0], r.Means[0]
+	for _, m := range r.Means[1:] {
+		if m < min {
+			min = m
+		}
+		if m > max {
+			max = m
+		}
+	}
+	return max - min
+}
+
+// MultiComparison is a full k-way comparison across events.
+type MultiComparison struct {
+	Labels      []string
+	Rows        []MultiRow
+	Alpha       float64
+	Comparisons int
+}
+
+// CompareMany tests, per event, whether the k measurements share a
+// common mean (one-way ANOVA, Bonferroni-corrected across the non-zero
+// events). All measurements must cover the same event set.
+func CompareMany(labels []string, ms ...*perf.Measurement) (*MultiComparison, error) {
+	if len(ms) < 2 {
+		return nil, errors.New("evsel: CompareMany needs ≥2 measurements")
+	}
+	if len(labels) != len(ms) {
+		return nil, fmt.Errorf("evsel: %d labels for %d measurements", len(labels), len(ms))
+	}
+	for i, m := range ms {
+		if m == nil {
+			return nil, fmt.Errorf("evsel: measurement %d is nil", i)
+		}
+	}
+	events := ms[0].Events()
+	if len(events) == 0 {
+		return nil, errors.New("evsel: first measurement has no events")
+	}
+	// Count testable hypotheses for the correction.
+	hypotheses := 0
+	for _, id := range events {
+		any := false
+		for _, m := range ms {
+			if stats.Mean(m.Samples[id]) != 0 {
+				any = true
+				break
+			}
+		}
+		if any {
+			hypotheses++
+		}
+	}
+	alpha := stats.BonferroniAlpha(DefaultAlpha, hypotheses)
+	out := &MultiComparison{Labels: labels, Alpha: alpha, Comparisons: hypotheses}
+	for _, id := range events {
+		row := MultiRow{Event: id, Name: counters.Def(id).Name}
+		groups := make([][]float64, len(ms))
+		zero := true
+		for i, m := range ms {
+			groups[i] = m.Samples[id]
+			mean := stats.Mean(groups[i])
+			row.Means = append(row.Means, mean)
+			if mean != 0 {
+				zero = false
+			}
+		}
+		row.Zero = zero
+		if !zero {
+			if res, err := stats.OneWayANOVA(groups...); err == nil {
+				row.Test = res
+				row.Significant = res.Significant(alpha)
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// SortByF orders rows by the F statistic, largest first.
+func (mc *MultiComparison) SortByF() *MultiComparison {
+	sort.SliceStable(mc.Rows, func(i, j int) bool {
+		return mc.Rows[i].Test.F > mc.Rows[j].Test.F
+	})
+	return mc
+}
+
+// Render prints the k-way comparison table.
+func (mc *MultiComparison) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-45s", "EVENT")
+	for _, l := range mc.Labels {
+		fmt.Fprintf(&sb, " %14s", l)
+	}
+	fmt.Fprintf(&sb, " %10s %9s\n", "F", "CONF")
+	for _, r := range mc.Rows {
+		if r.Zero {
+			continue
+		}
+		fmt.Fprintf(&sb, "%-45s", r.Name)
+		for _, m := range r.Means {
+			fmt.Fprintf(&sb, " %14.5g", m)
+		}
+		marker := " "
+		if r.Significant {
+			marker = "≠"
+		}
+		fmt.Fprintf(&sb, " %10.3g %8.2f%% %s\n", r.Test.F, 100*r.Test.Confidence, marker)
+	}
+	fmt.Fprintf(&sb, "\n%d configurations, %d hypotheses, per-event α = %.2g (Bonferroni)\n",
+		len(mc.Labels), mc.Comparisons, mc.Alpha)
+	return sb.String()
+}

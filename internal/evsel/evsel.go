@@ -1,0 +1,219 @@
+// Package evsel is the core of the paper's EvSel tool: it measures the
+// whole plenitude of available hardware counters over repeated program
+// runs (register batching, no event cycling), compares two program
+// versions or configurations per event with Welch's t-test, and
+// correlates input parameters with every counter through linear,
+// quadratic and exponential regressions, reporting confidence values
+// (t-test significance and coefficients of determination) for both.
+package evsel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"numaperf/internal/counters"
+	"numaperf/internal/exec"
+	"numaperf/internal/perf"
+	"numaperf/internal/stats"
+)
+
+// DefaultAlpha is the family-wise significance level before Bonferroni
+// correction.
+const DefaultAlpha = 0.05
+
+// Row is the comparison result for one event — one line of EvSel's
+// comparison pane.
+type Row struct {
+	Event counters.EventID
+	Name  string
+	// A and B summarise the two sample sets.
+	A, B stats.Summary
+	// Test is the Welch t-test between the sample sets; zero-valued
+	// when either side lacks samples.
+	Test stats.TTestResult
+	// Zero marks events that never fired in either configuration
+	// (EvSel greys these out).
+	Zero bool
+	// Significant applies the Bonferroni-corrected level.
+	Significant bool
+}
+
+// Icon returns the visual cue EvSel shows next to a counter.
+func (r Row) Icon() string {
+	switch {
+	case r.Zero:
+		return " " // greyed out
+	case r.Significant && r.Test.Relative > 0:
+		return "▲"
+	case r.Significant && r.Test.Relative < 0:
+		return "▼"
+	case r.Significant:
+		return "≠"
+	default:
+		return "·"
+	}
+}
+
+// Comparison is a full two-run comparison across events.
+type Comparison struct {
+	Rows []Row
+	// Alpha is the Bonferroni-corrected per-event significance level.
+	Alpha float64
+	// Comparisons is the number of simultaneous hypotheses (non-zero
+	// events), the m of the Bonferroni correction.
+	Comparisons int
+	// RunsA and RunsB count program executions consumed per side.
+	RunsA, RunsB int
+}
+
+// Compare performs the per-event Welch t-tests between two measurements
+// taken with the same event set. The significance level is Bonferroni
+// corrected for the number of non-zero events, addressing the multiple
+// comparisons problem the paper warns about.
+func Compare(a, b *perf.Measurement) (*Comparison, error) {
+	if a == nil || b == nil {
+		return nil, errors.New("evsel: nil measurement")
+	}
+	events := a.Events()
+	if len(events) == 0 {
+		return nil, errors.New("evsel: measurement A has no events")
+	}
+	// Count testable hypotheses first for the correction.
+	m := 0
+	for _, id := range events {
+		if stats.Mean(a.Samples[id]) != 0 || stats.Mean(b.Samples[id]) != 0 {
+			m++
+		}
+	}
+	alpha := stats.BonferroniAlpha(DefaultAlpha, m)
+	cmp := &Comparison{Alpha: alpha, Comparisons: m, RunsA: a.Runs, RunsB: b.Runs}
+	for _, id := range events {
+		sa, sb := a.Samples[id], b.Samples[id]
+		row := Row{
+			Event: id,
+			Name:  counters.Def(id).Name,
+			A:     stats.Summarize(sa),
+			B:     stats.Summarize(sb),
+		}
+		row.Zero = row.A.Mean == 0 && row.B.Mean == 0
+		if !row.Zero && len(sa) >= 2 && len(sb) >= 2 {
+			// Welch's method handles differing population sizes.
+			test, err := stats.WelchTTest(sa, sb)
+			if err == nil {
+				row.Test = test
+				row.Significant = test.Significant(alpha)
+			}
+		}
+		cmp.Rows = append(cmp.Rows, row)
+	}
+	return cmp, nil
+}
+
+// CompareWorkloads measures two bodies on the given engines and
+// compares them. Engines may differ (thread count, policy, machine) —
+// that difference is exactly what is being measured.
+func CompareWorkloads(ea *exec.Engine, bodyA func(*exec.Thread), eb *exec.Engine, bodyB func(*exec.Thread),
+	events []counters.EventID, reps int, mode perf.Mode) (*Comparison, error) {
+	ma, err := perf.Measure(ea, bodyA, events, reps, mode)
+	if err != nil {
+		return nil, fmt.Errorf("evsel: measuring A: %w", err)
+	}
+	mb, err := perf.Measure(eb, bodyB, events, reps, mode)
+	if err != nil {
+		return nil, fmt.Errorf("evsel: measuring B: %w", err)
+	}
+	return Compare(ma, mb)
+}
+
+// Filter selects rows, the Go equivalent of EvSel's chain of lazily
+// evaluated filtering functors.
+type Filter func(Row) bool
+
+// NonZero keeps rows where at least one side fired.
+func NonZero() Filter { return func(r Row) bool { return !r.Zero } }
+
+// SignificantOnly keeps rows whose difference passed the corrected
+// test.
+func SignificantOnly() Filter { return func(r Row) bool { return r.Significant } }
+
+// MinRelativeChange keeps rows with |relative change| ≥ x.
+func MinRelativeChange(x float64) Filter {
+	return func(r Row) bool { return math.Abs(r.Test.Relative) >= x }
+}
+
+// InDomain keeps rows of one counter domain.
+func InDomain(d counters.Domain) Filter {
+	return func(r Row) bool { return counters.Def(r.Event).Domain == d }
+}
+
+// NameContains keeps rows whose event name contains the substring.
+func NameContains(sub string) Filter {
+	return func(r Row) bool { return strings.Contains(r.Name, sub) }
+}
+
+// Where returns a new Comparison containing only rows passing all
+// filters.
+func (c *Comparison) Where(filters ...Filter) *Comparison {
+	out := &Comparison{Alpha: c.Alpha, Comparisons: c.Comparisons, RunsA: c.RunsA, RunsB: c.RunsB}
+	for _, r := range c.Rows {
+		keep := true
+		for _, f := range filters {
+			if !f(r) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	return out
+}
+
+// SortByImpact orders rows by |relative change|, largest first, with
+// infinite changes (0 → x) leading.
+func (c *Comparison) SortByImpact() *Comparison {
+	sort.SliceStable(c.Rows, func(i, j int) bool {
+		ri := math.Abs(c.Rows[i].Test.Relative)
+		rj := math.Abs(c.Rows[j].Test.Relative)
+		if math.IsInf(ri, 0) != math.IsInf(rj, 0) {
+			return math.IsInf(ri, 0)
+		}
+		return ri > rj
+	})
+	return c
+}
+
+// Row returns the row for an event, if present.
+func (c *Comparison) Row(id counters.EventID) (Row, bool) {
+	for _, r := range c.Rows {
+		if r.Event == id {
+			return r, true
+		}
+	}
+	return Row{}, false
+}
+
+// Render produces the textual comparison pane: event, means, change,
+// confidence, significance icon.
+func (c *Comparison) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-45s %15s %15s %10s %9s  \n", "EVENT", "MEAN A", "MEAN B", "CHANGE", "CONF")
+	for _, r := range c.Rows {
+		change := fmt.Sprintf("%+.1f%%", 100*r.Test.Relative)
+		if math.IsInf(r.Test.Relative, 0) {
+			change = "new"
+		}
+		if r.Zero {
+			change = "-"
+		}
+		fmt.Fprintf(&sb, "%-45s %15.5g %15.5g %10s %8.2f%% %s\n",
+			r.Name, r.A.Mean, r.B.Mean, change, 100*r.Test.Confidence, r.Icon())
+	}
+	fmt.Fprintf(&sb, "\n%d runs vs %d runs; %d hypotheses, per-event α = %.2g (Bonferroni)\n",
+		c.RunsA, c.RunsB, c.Comparisons, c.Alpha)
+	return sb.String()
+}

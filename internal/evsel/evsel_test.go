@@ -1,0 +1,425 @@
+package evsel
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"numaperf/internal/counters"
+	"numaperf/internal/exec"
+	"numaperf/internal/perf"
+	"numaperf/internal/topology"
+	"numaperf/internal/workloads"
+)
+
+func engine(t *testing.T, threads int) *exec.Engine {
+	t.Helper()
+	e, err := exec.NewEngine(exec.Config{
+		Machine: topology.TwoSocket(),
+		Threads: threads,
+		Seed:    11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// fig8Events is the counter set the paper's Fig. 8 discusses.
+var fig8Events = []counters.EventID{
+	counters.InstRetired, counters.CPUCycles,
+	counters.L1Miss, counters.L2Miss, counters.L3Miss,
+	counters.L2PFRequests, counters.L3Reference,
+	counters.FBFull, counters.BranchMiss, counters.StallsTotal,
+}
+
+func TestCompareCacheMissVariants(t *testing.T) {
+	ea, eb := engine(t, 1), engine(t, 1)
+	cmp, err := CompareWorkloads(ea, workloads.CacheMissA(512).Body(),
+		eb, workloads.CacheMissB(512).Body(), fig8Events, 3, perf.Unlimited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := func(id counters.EventID) Row {
+		r, ok := cmp.Row(id)
+		if !ok {
+			t.Fatalf("missing row for %s", counters.Def(id).Name)
+		}
+		return r
+	}
+
+	// The Fig. 8 signature: large significant increases in cache
+	// misses, large significant drop in prefetch requests, huge rise in
+	// fill-buffer rejects, tiny change in instructions.
+	l1 := row(counters.L1Miss)
+	if !l1.Significant || l1.Test.Relative < 2 {
+		t.Errorf("L1 misses: %+v, want significant large increase", l1.Test)
+	}
+	pf := row(counters.L2PFRequests)
+	if !pf.Significant || pf.Test.Relative > -0.5 {
+		t.Errorf("prefetch requests: rel=%+.2f, want ≤ −50%%", pf.Test.Relative)
+	}
+	fb := row(counters.FBFull)
+	if fb.B.Mean < 100*(fb.A.Mean+1) {
+		t.Errorf("fill buffer rejects: A=%g B=%g, want B ≫ A", fb.A.Mean, fb.B.Mean)
+	}
+	instr := row(counters.InstRetired)
+	if instr.Test.Relative < -0.05 || instr.Test.Relative > 0.05 {
+		t.Errorf("instructions changed by %+.1f%%, want ≈ 0", 100*instr.Test.Relative)
+	}
+	// Confidences of the big movers exceed 99.9% as in the paper.
+	if l1.Test.Confidence < 0.999 {
+		t.Errorf("L1 miss confidence %.4f, want > 0.999", l1.Test.Confidence)
+	}
+	// Bonferroni correction is in force.
+	if cmp.Alpha >= DefaultAlpha {
+		t.Errorf("alpha %g not corrected for %d comparisons", cmp.Alpha, cmp.Comparisons)
+	}
+}
+
+func TestCompareIdenticalConfigurations(t *testing.T) {
+	ea, eb := engine(t, 1), engine(t, 1)
+	body := workloads.Triad{Elements: 1 << 12}.Body()
+	cmp, err := CompareWorkloads(ea, body, eb, body, fig8Events, 4, perf.Unlimited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical configurations: nothing should be significant.
+	sig := cmp.Where(SignificantOnly())
+	if len(sig.Rows) > 1 {
+		t.Errorf("%d events significant between identical configs", len(sig.Rows))
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	if _, err := Compare(nil, nil); err == nil {
+		t.Error("nil measurements must fail")
+	}
+	m := &perf.Measurement{Samples: map[counters.EventID][]float64{}}
+	if _, err := Compare(m, m); err == nil {
+		t.Error("empty measurement must fail")
+	}
+	ea := engine(t, 1)
+	bad := func(t *exec.Thread) { panic("x") }
+	if _, err := CompareWorkloads(ea, bad, ea, bad, fig8Events, 1, perf.Unlimited); err == nil {
+		t.Error("workload failure must propagate")
+	}
+	good := workloads.Triad{Elements: 1 << 10}.Body()
+	if _, err := CompareWorkloads(ea, good, ea, bad, fig8Events, 1, perf.Unlimited); err == nil {
+		t.Error("workload B failure must propagate")
+	}
+}
+
+func TestFiltersAndSorting(t *testing.T) {
+	ea, eb := engine(t, 1), engine(t, 1)
+	cmp, err := CompareWorkloads(ea, workloads.CacheMissA(256).Body(),
+		eb, workloads.CacheMissB(256).Body(), fig8Events, 2, perf.Unlimited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nz := cmp.Where(NonZero())
+	if len(nz.Rows) == 0 || len(nz.Rows) > len(cmp.Rows) {
+		t.Errorf("NonZero kept %d of %d", len(nz.Rows), len(cmp.Rows))
+	}
+	named := cmp.Where(NameContains("L1"))
+	for _, r := range named.Rows {
+		if !strings.Contains(r.Name, "L1") {
+			t.Errorf("NameContains leaked %s", r.Name)
+		}
+	}
+	dom := cmp.Where(InDomain(counters.DomainFixed))
+	for _, r := range dom.Rows {
+		if counters.Def(r.Event).Domain != counters.DomainFixed {
+			t.Errorf("InDomain leaked %s", r.Name)
+		}
+	}
+	big := cmp.Where(MinRelativeChange(0.5))
+	for _, r := range big.Rows {
+		if r.Test.Relative < 0.5 && r.Test.Relative > -0.5 {
+			t.Errorf("MinRelativeChange leaked %s (%+.2f)", r.Name, r.Test.Relative)
+		}
+	}
+	sorted := cmp.SortByImpact()
+	for i := 1; i < len(sorted.Rows); i++ {
+		a := sorted.Rows[i-1].Test.Relative
+		b := sorted.Rows[i].Test.Relative
+		if abs(a) < abs(b) && !isInf(b) {
+			t.Errorf("rows %d/%d out of order: %g then %g", i-1, i, a, b)
+		}
+	}
+	if _, ok := cmp.Row(counters.EventID(999)); ok {
+		t.Error("bogus event row lookup")
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func isInf(x float64) bool { return x > 1e300 || x < -1e300 }
+
+func TestRenderOutput(t *testing.T) {
+	ea, eb := engine(t, 1), engine(t, 1)
+	body := workloads.Triad{Elements: 1 << 10}.Body()
+	cmp, err := CompareWorkloads(ea, body, eb, body, fig8Events, 2, perf.Unlimited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := cmp.Render()
+	for _, want := range []string{"EVENT", "MEAN A", "CONF", "Bonferroni"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q", want)
+		}
+	}
+	// Icons cover the cases.
+	r := Row{Zero: true}
+	if r.Icon() != " " {
+		t.Error("zero icon")
+	}
+	r = Row{Significant: true}
+	r.Test.Relative = 1
+	if r.Icon() != "▲" {
+		t.Error("up icon")
+	}
+	r.Test.Relative = -1
+	if r.Icon() != "▼" {
+		t.Error("down icon")
+	}
+	r.Test.Relative = 0
+	if r.Icon() != "≠" {
+		t.Error("neq icon")
+	}
+	if (Row{}).Icon() != "·" {
+		t.Error("insignificant icon")
+	}
+}
+
+func TestSweepParallelSortCorrelations(t *testing.T) {
+	// The Fig. 9 experiment in miniature: vary the thread count of the
+	// parallel sort, correlate counters.
+	sortWL := workloads.ParallelSort{Elements: 1 << 13}
+	events := []counters.EventID{
+		counters.CacheLockCycle, counters.SpecTakenJumps,
+		counters.InstRetired, counters.LockLoads,
+	}
+	sweep, err := RunSweep("threads", []float64{1, 2, 4, 6, 8},
+		func(p float64) (*exec.Engine, func(*exec.Thread), error) {
+			e, err := exec.NewEngine(exec.Config{
+				Machine: topology.TwoSocket(),
+				Threads: int(p),
+				Seed:    5,
+			})
+			return e, sortWL.Body(), err
+		}, events, 2, perf.Unlimited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locks, ok := sweep.CorrelationFor(counters.CacheLockCycle)
+	if !ok {
+		t.Fatal("no correlation for cache locks")
+	}
+	if locks.R < 0.95 {
+		t.Errorf("L1D lock correlation R = %.3f, want > 0.95 (paper Fig. 9)", locks.R)
+	}
+	spec, ok := sweep.CorrelationFor(counters.SpecTakenJumps)
+	if !ok {
+		t.Fatal("no correlation for speculative jumps")
+	}
+	if spec.R > -0.9 {
+		t.Errorf("speculative jumps R = %.3f, want strongly negative (paper: R > 0.99 negative)", spec.R)
+	}
+	// Rendering includes regression formulas.
+	out := sweep.Render(0.5)
+	if !strings.Contains(out, "threads") || !strings.Contains(out, "y =") {
+		t.Errorf("sweep render:\n%s", out)
+	}
+	// Top correlations respect the cutoff.
+	for _, c := range sweep.TopCorrelations(0.9) {
+		if abs(c.R) < 0.9 {
+			t.Errorf("TopCorrelations leaked %s with R=%.2f", c.Name, c.R)
+		}
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	mk := func(p float64) (*exec.Engine, func(*exec.Thread), error) {
+		e, err := exec.NewEngine(exec.Config{Machine: topology.TwoSocket(), Threads: 1})
+		return e, workloads.Triad{Elements: 256}.Body(), err
+	}
+	events := []counters.EventID{counters.AllLoads}
+	if _, err := RunSweep("p", []float64{1, 2}, mk, events, 1, perf.Unlimited); err == nil {
+		t.Error("short sweep must fail")
+	}
+	bad := func(p float64) (*exec.Engine, func(*exec.Thread), error) {
+		e, err := exec.NewEngine(exec.Config{Machine: topology.TwoSocket(), Threads: 1})
+		return e, func(t *exec.Thread) { panic("x") }, err
+	}
+	if _, err := RunSweep("p", []float64{1, 2, 3}, bad, events, 1, perf.Unlimited); err == nil {
+		t.Error("failing workload must propagate")
+	}
+}
+
+func TestSweepSkipsConstantIndicators(t *testing.T) {
+	// An event that never fires (RemoteDRAM on a single-node run with
+	// no noise) must be dropped from correlation output.
+	tri := workloads.Triad{Elements: 1 << 10}
+	sweep, err := RunSweep("n", []float64{1, 2, 3},
+		func(p float64) (*exec.Engine, func(*exec.Thread), error) {
+			e, err := exec.NewEngine(exec.Config{
+				Machine: topology.UMA(), Threads: 1, Noise: -1,
+			})
+			return e, tri.Body(), err
+		}, []counters.EventID{counters.RemoteDRAM, counters.AllLoads}, 1, perf.Unlimited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range sweep.Correlate() {
+		if c.Event == counters.RemoteDRAM {
+			t.Error("constant zero indicator must be skipped")
+		}
+	}
+}
+
+func TestMeasurementPersistence(t *testing.T) {
+	e := engine(t, 1)
+	m, err := perf.Measure(e, workloads.Triad{Elements: 2048}.Body(), fig8Events, 2, perf.Batched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveMeasurement(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadMeasurement(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Runs != m.Runs || loaded.Batches != m.Batches || loaded.Mode != m.Mode {
+		t.Errorf("metadata lost: %+v vs %+v", loaded, m)
+	}
+	for id, want := range m.Samples {
+		got := loaded.Samples[id]
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d samples vs %d", counters.Def(id).Name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s sample %d: %g vs %g", counters.Def(id).Name, i, got[i], want[i])
+			}
+		}
+	}
+	// A saved measurement can be compared against a fresh one.
+	cmp, err := Compare(loaded, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig := cmp.Where(SignificantOnly()); len(sig.Rows) != 0 {
+		t.Errorf("identical measurements show %d significant rows", len(sig.Rows))
+	}
+	// Error paths.
+	if _, err := LoadMeasurement(strings.NewReader("garbage")); err == nil {
+		t.Error("garbage must fail")
+	}
+	if _, err := LoadMeasurement(strings.NewReader(`{"events":{"NOPE":[1]}}`)); err == nil {
+		t.Error("unknown event must fail")
+	}
+	if _, err := LoadMeasurement(strings.NewReader(`{"mode":"weird"}`)); err == nil {
+		t.Error("unknown mode must fail")
+	}
+}
+
+func TestMeasurementFileRoundTrip(t *testing.T) {
+	e := engine(t, 1)
+	m, err := perf.Measure(e, workloads.Triad{Elements: 1024}.Body(),
+		[]counters.EventID{counters.AllLoads}, 1, perf.Unlimited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/m.json"
+	if err := SaveMeasurementFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadMeasurementFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Mean(counters.AllLoads) != m.Mean(counters.AllLoads) {
+		t.Error("file round trip lost data")
+	}
+	if _, err := LoadMeasurementFile(path + ".missing"); err == nil {
+		t.Error("missing file must fail")
+	}
+	if err := SaveMeasurementFile("/nonexistent-dir/x.json", m); err == nil {
+		t.Error("unwritable path must fail")
+	}
+}
+
+func TestCompareManyDetectsScaling(t *testing.T) {
+	// Three thread counts of the parallel sort: the lock counter must
+	// differ across configurations (significant ANOVA) while the
+	// instruction count stays put.
+	sortWL := workloads.ParallelSort{Elements: 1 << 13}
+	events := []counters.EventID{counters.CacheLockCycle, counters.InstRetired}
+	var ms []*perf.Measurement
+	var labels []string
+	for _, threads := range []int{1, 4, 8} {
+		e, err := exec.NewEngine(exec.Config{Machine: topology.TwoSocket(), Threads: threads, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := perf.Measure(e, sortWL.Body(), events, 3, perf.Unlimited)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms = append(ms, m)
+		labels = append(labels, "T="+string(rune('0'+threads)))
+	}
+	mc, err := CompareMany(labels, ms...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lockRow, instrRow MultiRow
+	for _, r := range mc.Rows {
+		switch r.Event {
+		case counters.CacheLockCycle:
+			lockRow = r
+		case counters.InstRetired:
+			instrRow = r
+		}
+	}
+	if !lockRow.Significant {
+		t.Errorf("lock cycles across thread counts not significant: %v", lockRow.Test)
+	}
+	if lockRow.Spread() <= 0 {
+		t.Error("spread must be positive")
+	}
+	if instrRow.Significant {
+		t.Errorf("instruction count flagged significant: %v", instrRow.Test)
+	}
+	out := mc.SortByF().Render()
+	if !strings.Contains(out, "F") || !strings.Contains(out, "Bonferroni") {
+		t.Errorf("render:\n%s", out)
+	}
+	if mc.Rows[0].Event != counters.CacheLockCycle {
+		t.Error("SortByF must put the scaling counter first")
+	}
+}
+
+func TestCompareManyErrors(t *testing.T) {
+	if _, err := CompareMany(nil); err == nil {
+		t.Error("no measurements must fail")
+	}
+	m := &perf.Measurement{Samples: map[counters.EventID][]float64{}}
+	if _, err := CompareMany([]string{"a"}, m, m); err == nil {
+		t.Error("label mismatch must fail")
+	}
+	if _, err := CompareMany([]string{"a", "b"}, m, nil); err == nil {
+		t.Error("nil measurement must fail")
+	}
+	if _, err := CompareMany([]string{"a", "b"}, m, m); err == nil {
+		t.Error("empty measurement must fail")
+	}
+}

@@ -1,0 +1,93 @@
+package evsel
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"numaperf/internal/counters"
+	"numaperf/internal/perf"
+)
+
+// savedMeasurement is the on-disk JSON form of a measurement. Events
+// are keyed by name so files survive event-database reordering.
+type savedMeasurement struct {
+	Events  map[string][]float64 `json:"events"`
+	Runs    int                  `json:"runs"`
+	Batches int                  `json:"batches"`
+	Mode    string               `json:"mode"`
+}
+
+// SaveMeasurement serialises a measurement as JSON. EvSel compares
+// "any user-chosen program runs"; persisting measurements is what makes
+// comparing today's run against last week's possible.
+func SaveMeasurement(w io.Writer, m *perf.Measurement) error {
+	out := savedMeasurement{
+		Events:  make(map[string][]float64, len(m.Samples)),
+		Runs:    m.Runs,
+		Batches: m.Batches,
+		Mode:    m.Mode.String(),
+	}
+	for id, samples := range m.Samples {
+		out.Events[counters.Def(id).Name] = samples
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&out)
+}
+
+// LoadMeasurement reads a measurement saved by SaveMeasurement.
+// Unknown event names fail loudly rather than being dropped silently.
+func LoadMeasurement(r io.Reader) (*perf.Measurement, error) {
+	var in savedMeasurement
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("evsel: parsing measurement: %w", err)
+	}
+	m := &perf.Measurement{
+		Samples: make(map[counters.EventID][]float64, len(in.Events)),
+		Runs:    in.Runs,
+		Batches: in.Batches,
+	}
+	switch in.Mode {
+	case "batched", "":
+		m.Mode = perf.Batched
+	case "multiplexed":
+		m.Mode = perf.Multiplexed
+	case "unlimited":
+		m.Mode = perf.Unlimited
+	default:
+		return nil, fmt.Errorf("evsel: unknown measurement mode %q", in.Mode)
+	}
+	for name, samples := range in.Events {
+		id, ok := counters.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("evsel: unknown event %q in saved measurement", name)
+		}
+		m.Samples[id] = samples
+	}
+	return m, nil
+}
+
+// SaveMeasurementFile writes a measurement to a file path.
+func SaveMeasurementFile(path string, m *perf.Measurement) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := SaveMeasurement(f, m); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadMeasurementFile reads a measurement from a file path.
+func LoadMeasurementFile(path string) (*perf.Measurement, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadMeasurement(f)
+}

@@ -1,0 +1,138 @@
+package evsel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"numaperf/internal/counters"
+	"numaperf/internal/exec"
+	"numaperf/internal/perf"
+	"numaperf/internal/stats"
+)
+
+// SweepPoint is one parameter setting with its measurement.
+type SweepPoint struct {
+	Param float64
+	M     *perf.Measurement
+}
+
+// Sweep is a series of measurements across an input-parameter range —
+// the data EvSel regresses to "determine functional dependencies
+// between the input parameters and each measured indicator".
+type Sweep struct {
+	// ParamName labels the varied parameter (e.g. "threads").
+	ParamName string
+	Points    []SweepPoint
+}
+
+// RunSweep builds the engines and measurements for each parameter
+// value. mk must return the engine and body for one parameter setting.
+func RunSweep(paramName string, params []float64,
+	mk func(param float64) (*exec.Engine, func(*exec.Thread), error),
+	events []counters.EventID, reps int, mode perf.Mode) (*Sweep, error) {
+	if len(params) < 3 {
+		return nil, errors.New("evsel: a sweep needs at least 3 parameter values")
+	}
+	s := &Sweep{ParamName: paramName}
+	for _, p := range params {
+		e, body, err := mk(p)
+		if err != nil {
+			return nil, fmt.Errorf("evsel: building engine for %s=%g: %w", paramName, p, err)
+		}
+		m, err := perf.Measure(e, body, events, reps, mode)
+		if err != nil {
+			return nil, fmt.Errorf("evsel: measuring %s=%g: %w", paramName, p, err)
+		}
+		s.Points = append(s.Points, SweepPoint{Param: p, M: m})
+	}
+	return s, nil
+}
+
+// Correlation relates one event to the swept parameter.
+type Correlation struct {
+	Event counters.EventID
+	Name  string
+	// Best is the highest-R² regression among the fitted forms.
+	Best stats.Regression
+	// All contains every applicable fitted form.
+	All []stats.Regression
+	// R is the signed correlation-style coefficient of the best fit.
+	R float64
+}
+
+// Correlate fits linear, quadratic and exponential (and power)
+// regressions of every measured event against the parameter, using all
+// samples of all points, and returns the per-event results sorted by
+// |R| descending.
+func (s *Sweep) Correlate() []Correlation {
+	if len(s.Points) == 0 {
+		return nil
+	}
+	var out []Correlation
+	for _, id := range s.Points[0].M.Events() {
+		var xs, ys []float64
+		for _, pt := range s.Points {
+			for _, v := range pt.M.Samples[id] {
+				xs = append(xs, pt.Param)
+				ys = append(ys, v)
+			}
+		}
+		// Constant indicators carry no information about the parameter;
+		// the paper suggests considering them for removal.
+		if stats.Variance(ys) == 0 {
+			continue
+		}
+		best, err := stats.BestFit(xs, ys)
+		if err != nil {
+			continue
+		}
+		out = append(out, Correlation{
+			Event: id,
+			Name:  counters.Def(id).Name,
+			Best:  best,
+			All:   stats.FitAll(xs, ys),
+			R:     best.R(),
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return math.Abs(out[i].R) > math.Abs(out[j].R)
+	})
+	return out
+}
+
+// CorrelationFor returns the correlation of one event.
+func (s *Sweep) CorrelationFor(id counters.EventID) (Correlation, bool) {
+	for _, c := range s.Correlate() {
+		if c.Event == id {
+			return c, true
+		}
+	}
+	return Correlation{}, false
+}
+
+// TopCorrelations keeps correlations with |R| ≥ minAbsR.
+func (s *Sweep) TopCorrelations(minAbsR float64) []Correlation {
+	var out []Correlation
+	for _, c := range s.Correlate() {
+		if math.Abs(c.R) >= minAbsR {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Render prints the correlation table in the style of the paper's
+// Fig. 9: event, regression type, fitted function, R².
+func (s *Sweep) Render(minAbsR float64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "correlations against %s (|R| ≥ %.2f)\n", s.ParamName, minAbsR)
+	fmt.Fprintf(&sb, "%-45s %-11s %-34s %8s %8s\n", "EVENT", "TYPE", "FUNCTION", "R²", "R")
+	for _, c := range s.TopCorrelations(minAbsR) {
+		fmt.Fprintf(&sb, "%-45s %-11s %-34s %8.4f %+8.4f\n",
+			c.Name, c.Best.Kind.String(), c.Best.Equation(), c.Best.R2, c.R)
+	}
+	return sb.String()
+}

@@ -1,0 +1,287 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+
+	"numaperf/internal/counters"
+	"numaperf/internal/memsim"
+	"numaperf/internal/oslite"
+	"numaperf/internal/topology"
+)
+
+// Mapping selects how threads are pinned to cores.
+type Mapping int
+
+const (
+	// Compact fills one socket before using the next (threads 0..17 on
+	// socket 0 of the DL580, and so on).
+	Compact Mapping = iota
+	// Scatter distributes threads round-robin across sockets.
+	Scatter
+)
+
+// String names the mapping.
+func (m Mapping) String() string {
+	if m == Scatter {
+		return "scatter"
+	}
+	return "compact"
+}
+
+// Config parameterises an Engine.
+type Config struct {
+	Machine  *topology.Machine
+	Threads  int
+	Policy   oslite.Policy
+	BindNode int     // used with oslite.Bind
+	Mapping  Mapping // thread pinning
+	Seed     int64   // measurement-noise seed; runs derive sub-seeds
+	Noise    float64 // relative counter noise σ; default 0.004, negative disables
+	Chunk    int     // ops per scheduling quantum; default 4096
+}
+
+type threadState int
+
+const (
+	running threadState = iota
+	atBarrier
+	done
+)
+
+type threadInfo struct {
+	t     *Thread
+	state threadState
+}
+
+// Engine executes workload bodies on a simulated machine.
+type Engine struct {
+	cfg         Config
+	sim         *memsim.Sim
+	proc        *oslite.Process
+	chunkSize   int
+	barrierAddr uint64
+	runs        int64
+	hook        func()
+
+	// Per-run region attribution (see regions.go).
+	regions      *regionTable
+	regionStates []*regionState
+	regionAggs   []*RegionProfile
+}
+
+// NewEngine validates the configuration and builds the simulator.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Machine == nil {
+		return nil, errors.New("exec: no machine configured")
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.Threads > cfg.Machine.Cores() {
+		return nil, fmt.Errorf("exec: %d threads exceed %d cores", cfg.Threads, cfg.Machine.Cores())
+	}
+	if cfg.Chunk <= 0 {
+		cfg.Chunk = 4096
+	}
+	if cfg.Noise == 0 {
+		// Calibrated to the run-to-run variation of large counters on a
+		// quiesced machine (a few tenths of a percent).
+		cfg.Noise = 0.004
+	}
+	sim, err := memsim.New(cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg, sim: sim, chunkSize: cfg.Chunk}, nil
+}
+
+// Sim exposes the underlying simulator (the perf layer reads counters
+// and cycle clocks through it).
+func (e *Engine) Sim() *memsim.Sim { return e.sim }
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Proc returns the process of the current (or last) run.
+func (e *Engine) Proc() *oslite.Process { return e.proc }
+
+// SetPostChunkHook installs a callback invoked after every simulated
+// chunk; the perf layer uses it for time-sliced sampling. Pass nil to
+// clear.
+func (e *Engine) SetPostChunkHook(h func()) { e.hook = h }
+
+// coreOf maps a thread index to a core per the configured mapping.
+func (e *Engine) coreOf(tid int) int {
+	m := e.cfg.Machine
+	if e.cfg.Mapping == Scatter {
+		sock := tid % m.Sockets
+		idx := tid / m.Sockets
+		return m.CoreOfNode(sock, idx)
+	}
+	return tid
+}
+
+// Run executes body once on every thread and returns the measured
+// counters. Run can be called repeatedly; each run starts from cold
+// caches and a fresh address space and uses a distinct noise sub-seed,
+// which is what makes repeated runs statistically meaningful for
+// EvSel's t-tests.
+func (e *Engine) Run(body func(t *Thread)) (res *Result, err error) {
+	e.runs++
+	e.sim.Reset()
+	e.proc, err = oslite.NewProcess(e.cfg.Machine, e.cfg.Policy, e.cfg.BindNode)
+	if err != nil {
+		return nil, err
+	}
+	syncBuf, err := e.proc.Alloc(128, 0)
+	if err != nil {
+		return nil, err
+	}
+	e.barrierAddr = syncBuf.Base
+	e.regions = newRegionTable()
+	e.regionAggs = nil
+	e.regionStates = make([]*regionState, e.cfg.Threads)
+	for i := range e.regionStates {
+		e.regionStates[i] = &regionState{snap: counters.NewCounts()}
+	}
+
+	threads := make([]*threadInfo, e.cfg.Threads)
+	for i := range threads {
+		core := e.coreOf(i)
+		t := &Thread{
+			id:      i,
+			core:    core,
+			node:    e.cfg.Machine.NodeOfCore(core),
+			threads: e.cfg.Threads,
+			e:       e,
+			ops:     make([]Op, 0, e.chunkSize),
+			ch:      make(chan chunk),
+			reply:   make(chan ctlReply),
+		}
+		threads[i] = &threadInfo{t: t}
+		go func(t *Thread) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.ch <- chunk{ctl: ctlPanic, err: fmt.Errorf("thread %d: %v", t.id, r)}
+					return
+				}
+				t.ch <- chunk{ops: t.ops, ctl: ctlDone}
+			}()
+			body(t)
+		}(t)
+	}
+
+	var runErr error
+	live := len(threads)
+	for live > 0 {
+		for _, ti := range threads {
+			if ti.state != running {
+				continue
+			}
+			c := <-ti.t.ch
+			e.simulate(ti.t, c.ops)
+			switch c.ctl {
+			case ctlNone:
+				// plain chunk, thread keeps producing
+			case ctlAlloc:
+				buf, aerr := e.proc.Alloc(c.size, e.sim.Cycles(ti.t.core))
+				e.sim.AddEvent(ti.t.core, counters.SWAllocCalls, 1)
+				ti.t.reply <- ctlReply{buf: buf, err: aerr}
+			case ctlFree:
+				e.proc.Free(c.buf, e.sim.Cycles(ti.t.core))
+				ti.t.reply <- ctlReply{}
+			case ctlMove:
+				ti.t.reply <- ctlReply{err: e.proc.MovePages(c.buf, c.node)}
+			case ctlBarrier:
+				e.sim.AddEvent(ti.t.core, counters.SWBarrierWaits, 1)
+				ti.state = atBarrier
+			case ctlDone:
+				ti.state = done
+				live--
+			case ctlPanic:
+				if runErr == nil {
+					runErr = c.err
+				}
+				ti.state = done
+				live--
+			}
+			e.releaseBarrierIfReady(threads)
+		}
+	}
+
+	if runErr != nil {
+		return nil, runErr
+	}
+	regions := e.collectRegions(threads)
+	e.sim.Finalize()
+	res = e.collect()
+	res.Regions = regions
+	return res, nil
+}
+
+// releaseBarrierIfReady resumes all barrier-parked threads once no
+// thread is still running, synchronising their clocks to the slowest
+// participant (BSP superstep end).
+func (e *Engine) releaseBarrierIfReady(threads []*threadInfo) {
+	waiting := 0
+	for _, ti := range threads {
+		switch ti.state {
+		case running:
+			return
+		case atBarrier:
+			waiting++
+		}
+	}
+	if waiting == 0 {
+		return
+	}
+	var max uint64
+	for _, ti := range threads {
+		if ti.state == atBarrier {
+			if c := e.sim.Cycles(ti.t.core); c > max {
+				max = c
+			}
+		}
+	}
+	for _, ti := range threads {
+		if ti.state == atBarrier {
+			e.sim.AdvanceTo(ti.t.core, max)
+			ti.state = running
+			ti.t.reply <- ctlReply{}
+		}
+	}
+}
+
+// simulate replays one chunk of operations on the thread's core.
+func (e *Engine) simulate(t *Thread, ops []Op) {
+	node := t.node
+	home := func(addr uint64) int {
+		h, fault := e.proc.HomeNodeFault(addr, node)
+		if fault {
+			e.sim.AddEvent(t.core, counters.SWPageFaults, 1)
+		}
+		return h
+	}
+	for _, op := range ops {
+		switch op.Kind {
+		case OpLoad:
+			e.sim.Load(t.core, op.Arg, home(op.Arg), false)
+		case OpLoadDep:
+			e.sim.Load(t.core, op.Arg, home(op.Arg), true)
+		case OpStore:
+			e.sim.Store(t.core, op.Arg, home(op.Arg))
+		case OpAtomic:
+			e.sim.Atomic(t.core, op.Arg, home(op.Arg))
+		case OpInstr:
+			e.sim.Instr(t.core, op.Arg)
+		case OpBranch:
+			e.sim.Branch(t.core, uint16(op.Arg>>1), op.Arg&1 != 0)
+		case OpRegionBegin, OpRegionEnd:
+			e.handleRegionOp(t, op)
+		}
+	}
+	if e.hook != nil && len(ops) > 0 {
+		e.hook()
+	}
+}

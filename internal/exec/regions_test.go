@@ -1,0 +1,164 @@
+package exec
+
+import (
+	"testing"
+
+	"numaperf/internal/counters"
+	"numaperf/internal/topology"
+)
+
+func TestRegionSpansChunkBoundaries(t *testing.T) {
+	// A region far larger than one chunk must still receive all its
+	// events (the engine flushes at region transitions, not chunk
+	// boundaries).
+	e, err := NewEngine(Config{Machine: topology.TwoSocket(), Threads: 1, Chunk: 128, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10_000
+	res, err := e.Run(func(t *Thread) {
+		buf := t.Alloc(n * 64)
+		t.Begin("big")
+		for i := uint64(0); i < n; i++ {
+			t.Load(buf.Addr(i * 64))
+		}
+		t.End()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := res.Regions["big"]
+	if big == nil {
+		t.Fatal("region missing")
+	}
+	if got := big.Counts.Get(counters.AllLoads); got != n {
+		t.Errorf("region loads = %d, want %d", got, n)
+	}
+}
+
+func TestRegionsPerThread(t *testing.T) {
+	// Different threads in different regions at the same time.
+	e, err := NewEngine(Config{Machine: topology.TwoSocket(), Threads: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(func(t *Thread) {
+		buf := t.Alloc(1 << 12)
+		if t.ID() == 0 {
+			t.Begin("alpha")
+		} else {
+			t.Begin("beta")
+		}
+		for i := 0; i < 100*(t.ID()+1); i++ {
+			t.Load(buf.Addr(0))
+		}
+		t.End()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := res.Regions["alpha"], res.Regions["beta"]
+	if a == nil || b == nil {
+		t.Fatalf("regions = %v", res.Regions)
+	}
+	if a.Counts.Get(counters.AllLoads) != 100 || b.Counts.Get(counters.AllLoads) != 200 {
+		t.Errorf("alpha=%d beta=%d", a.Counts.Get(counters.AllLoads), b.Counts.Get(counters.AllLoads))
+	}
+}
+
+func TestUnbalancedEndIsHarmless(t *testing.T) {
+	e, err := NewEngine(Config{Machine: topology.TwoSocket(), Threads: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(func(t *Thread) {
+		t.End() // stray End with empty stack
+		t.Begin("r")
+		t.Instr(100)
+		// Missing End: the tail flush must attribute to "r".
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regions["r"].Counts.Get(counters.InstRetired) != 100 {
+		t.Errorf("open region lost its events: %v", res.Regions)
+	}
+}
+
+func TestRegionCyclesSumToThreadCycles(t *testing.T) {
+	e, err := NewEngine(Config{Machine: topology.TwoSocket(), Threads: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(func(t *Thread) {
+		buf := t.Alloc(1 << 16)
+		t.Begin("one")
+		for off := uint64(0); off < buf.Size; off += 64 {
+			t.Load(buf.Addr(off))
+		}
+		t.End()
+		t.Begin("two")
+		t.Instr(5000)
+		t.End()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum uint64
+	for _, rp := range res.Regions {
+		sum += rp.Cycles
+	}
+	if sum != res.Cycles {
+		t.Errorf("region cycles %d != run cycles %d", sum, res.Cycles)
+	}
+}
+
+func TestEarlyExitThreadDoesNotBlockBarrier(t *testing.T) {
+	// Thread 1 returns without reaching the barrier; the others must
+	// still be released when it finishes (regression guard for the
+	// release-when-no-runner rule).
+	e, err := NewEngine(Config{Machine: topology.TwoSocket(), Threads: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(func(t *Thread) {
+		if t.ID() == 1 {
+			t.Instr(10)
+			return
+		}
+		t.Instr(100)
+		t.Barrier()
+		t.Instr(100)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Raw.Get(counters.SWBarrierWaits) != 2 {
+		t.Errorf("barrier waits = %d, want 2", res.Raw.Get(counters.SWBarrierWaits))
+	}
+}
+
+func TestEngineReuseAcrossDifferentBodies(t *testing.T) {
+	e, err := NewEngine(Config{Machine: topology.TwoSocket(), Threads: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := e.Run(func(t *Thread) {
+		t.Begin("x")
+		t.Instr(10)
+		t.End()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.Run(func(t *Thread) { t.Instr(10) }) // no regions
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Regions == nil {
+		t.Error("first run lost its regions")
+	}
+	if r2.Regions != nil {
+		t.Errorf("second run inherited regions: %v", r2.Regions)
+	}
+}

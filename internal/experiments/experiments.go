@@ -1,0 +1,197 @@
+// Package experiments regenerates every quantitative artefact of the
+// paper's evaluation (Section V): Table I, Figures 7-11, the two-step
+// strategy study, and the ablations DESIGN.md lists. Each experiment
+// returns a Report containing a rendered text table plus the key
+// metrics, so both the numabench command and the benchmark suite can
+// assert the paper's qualitative shapes.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"numaperf/internal/oslite"
+	"numaperf/internal/phase"
+	"numaperf/internal/topology"
+)
+
+// Config parameterises an experiment run.
+type Config struct {
+	// Machine to simulate; nil selects the paper's DL580 Gen9.
+	Machine *topology.Machine
+	// Quick shrinks workloads for fast runs (tests, smoke checks); the
+	// full sizes reproduce the paper's setup.
+	Quick bool
+	// Seed for measurement noise.
+	Seed int64
+}
+
+func (c Config) machine() *topology.Machine {
+	if c.Machine == nil {
+		return topology.DL580Gen9()
+	}
+	return c.Machine
+}
+
+// pick returns quick or full depending on the config.
+func pick[T any](c Config, quick, full T) T {
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// Report is the outcome of one experiment.
+type Report struct {
+	// ID is the experiment identifier ("fig8", "table1", ...).
+	ID string
+	// Title describes the paper artefact.
+	Title string
+	// Text is the rendered report.
+	Text string
+	// Metrics holds the key numbers by name for assertions and
+	// EXPERIMENTS.md.
+	Metrics map[string]float64
+}
+
+func newReport(id, title string) *Report {
+	return &Report{ID: id, Title: title, Metrics: map[string]float64{}}
+}
+
+func (r *Report) printf(format string, args ...any) {
+	r.Text += fmt.Sprintf(format, args...)
+}
+
+// String renders the report with a header.
+func (r *Report) String() string {
+	line := strings.Repeat("=", len(r.Title))
+	var keys []string
+	for k := range r.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var metrics strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&metrics, "  %-40s %.6g\n", k, r.Metrics[k])
+	}
+	return fmt.Sprintf("%s [%s]\n%s\n%s\nkey metrics:\n%s", r.Title, r.ID, line, r.Text, metrics.String())
+}
+
+// runner executes one experiment.
+type runner struct {
+	id    string
+	title string
+	fn    func(Config) (*Report, error)
+}
+
+var registry = []runner{
+	{"table1", "Table I — test system specification", Table1},
+	{"fig7", "Fig. 7 — segmented-regression phase detection method", Fig7},
+	{"fig8", "Fig. 8 — EvSel comparison of the cache-miss micro-benchmark", Fig8},
+	{"fig9", "Fig. 9 — EvSel correlations for the parallel-sort micro-benchmark", Fig9},
+	{"fig10a", "Fig. 10a — Memhist, NUMA-SIFT, event occurrences", Fig10a},
+	{"fig10b", "Fig. 10b — Memhist, mlc remote latencies, event costs", Fig10b},
+	{"fig11", "Fig. 11 — Phasenprüfer phase split of a start-up workload", Fig11},
+	{"twostep", "Two-step strategy vs monolithic cost models (Sec. III)", TwoStep},
+	{"transfer", "Cross-machine transfer of the two-step strategy (Fig. 4b)", Transfer},
+	{"topology", "Remote access cost across NUMA topologies", Topology},
+	{"ablation-batching", "Ablation A1 — register batching vs event multiplexing", AblationBatching},
+	{"ablation-cycling", "Ablation A2 — Memhist threshold-cycling error", AblationCycling},
+	{"ablation-kphase", "Ablation A3 — k-phase detection on BSP supersteps", AblationKPhase},
+	{"ablation-gamma", "Ablation A4 — gamma vs normal counter populations", AblationGamma},
+}
+
+// IDs lists the experiment identifiers in presentation order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, r := range registry {
+		out[i] = r.id
+	}
+	return out
+}
+
+// Title returns the title of an experiment.
+func Title(id string) (string, bool) {
+	for _, r := range registry {
+		if r.id == id {
+			return r.title, true
+		}
+	}
+	return "", false
+}
+
+// Run executes one experiment by ID.
+func Run(id string, cfg Config) (*Report, error) {
+	for _, r := range registry {
+		if r.id == id {
+			rep, err := r.fn(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("experiment %s: %w", id, err)
+			}
+			return rep, nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+}
+
+// Table1 renders the simulated counterpart of the paper's Table I.
+func Table1(cfg Config) (*Report, error) {
+	m := cfg.machine()
+	rep := newReport("table1", "Table I — test system specification")
+	rep.printf("%s", m.SpecTable())
+	rep.Metrics["sockets"] = float64(m.Sockets)
+	rep.Metrics["cores"] = float64(m.Cores())
+	rep.Metrics["ghz"] = float64(m.FreqHz) / 1e9
+	rep.Metrics["mem_gib_per_node"] = float64(m.MemPerNode >> 30)
+	fully := 0.0
+	if m.FullyInterconnected() {
+		fully = 1
+	}
+	rep.Metrics["fully_interconnected"] = fully
+	return rep, nil
+}
+
+// Fig7 demonstrates the segmented-regression method on synthetic
+// footprints: raw data, a bad pivot, and the optimal pivot (the three
+// panels of the paper's Fig. 7).
+func Fig7(cfg Config) (*Report, error) {
+	rep := newReport("fig7", "Fig. 7 — segmented-regression phase detection method")
+	// Synthetic ramp-up + compute footprint.
+	var samples []oslite.FootprintSample
+	for i := 0; i < 60; i++ {
+		y := uint64(1000 + 500*i)
+		if i >= 30 {
+			y = 1000 + 500*30 + uint64(7*(i-30))
+		}
+		samples = append(samples, oslite.FootprintSample{Cycle: uint64(i * 100), Bytes: y})
+	}
+	sp, err := phase.DetectTwoPhases(samples)
+	if err != nil {
+		return nil, err
+	}
+	rep.printf("(a) raw data: %d samples, footprint %d → %d bytes\n",
+		len(samples), samples[0].Bytes, samples[len(samples)-1].Bytes)
+	// A deliberately bad pivot for contrast.
+	bad, err := phase.DetectPhases(samples[:20], 2)
+	if err != nil {
+		return nil, err
+	}
+	rep.printf("(b) pivot_i at sample 10 of a truncated window: SSE %.4g\n", bad.TotalSSE)
+	rep.printf("(c) pivot_opt at sample %d (cycle %d): combined SSE %.4g\n",
+		sp.Segments[0].End, sp.Segments[0].EndCycle, sp.TotalSSE)
+	rep.printf("    phase 1 slope %.3g B/cycle, phase 2 slope %.3g B/cycle\n",
+		sp.Segments[0].Slope, sp.Segments[1].Slope)
+	rep.Metrics["pivot_sample"] = float64(sp.Segments[0].End)
+	rep.Metrics["pivot_true"] = 30
+	rep.Metrics["sse"] = sp.TotalSSE
+	rep.Metrics["slope_ratio"] = sp.Segments[0].Slope / maxf(sp.Segments[1].Slope, 1e-9)
+	return rep, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"numaperf/internal/topology"
+)
+
+// quickCfg runs every experiment on the small machine with downsized
+// workloads.
+func quickCfg() Config {
+	return Config{Machine: topology.TwoSocket(), Quick: true, Seed: 31}
+}
+
+func TestRegistryAndDispatch(t *testing.T) {
+	if len(IDs()) != 14 {
+		t.Errorf("registry has %d experiments", len(IDs()))
+	}
+	if _, err := Run("bogus", quickCfg()); err == nil {
+		t.Error("unknown experiment must fail")
+	}
+	if _, ok := Title("fig8"); !ok {
+		t.Error("Title lookup")
+	}
+	if _, ok := Title("bogus"); ok {
+		t.Error("bogus title")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rep, err := Run("table1", Config{}) // defaults to the DL580
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics["sockets"] != 4 || rep.Metrics["cores"] != 72 {
+		t.Errorf("Table I metrics: %+v", rep.Metrics)
+	}
+	if rep.Metrics["fully_interconnected"] != 1 {
+		t.Error("DL580 must be fully interconnected")
+	}
+	if !strings.Contains(rep.String(), "DL580") {
+		t.Error("report text")
+	}
+}
+
+func TestFig7(t *testing.T) {
+	rep, err := Run("fig7", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pivot := rep.Metrics["pivot_sample"]
+	if pivot < 27 || pivot > 33 {
+		t.Errorf("pivot at %g, want ≈ 30", pivot)
+	}
+	if rep.Metrics["slope_ratio"] < 10 {
+		t.Errorf("slope ratio %g, want ramp ≫ compute", rep.Metrics["slope_ratio"])
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	rep, err := Run("fig8", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	// Direction and magnitude of the paper's headline deltas.
+	if m["l1_miss_rel"] < 2 {
+		t.Errorf("L1 miss delta %+.2f, want strongly positive (paper +1000%%)", m["l1_miss_rel"])
+	}
+	if m["pf_requests_rel"] > -0.5 {
+		t.Errorf("prefetch delta %+.2f, want ≤ −50%% (paper −90%%)", m["pf_requests_rel"])
+	}
+	if m["fb_full_b"] < 100*(m["fb_full_a"]+1) {
+		t.Errorf("FB_FULL %g → %g, want ≫ (paper 26 → 3M)", m["fb_full_a"], m["fb_full_b"])
+	}
+	if m["instr_rel"] < -0.05 || m["instr_rel"] > 0.05 {
+		t.Errorf("instructions %+.3f, want ≈ 0 (paper 1.9%%)", m["instr_rel"])
+	}
+	if m["l1_confidence"] < 0.999 {
+		t.Errorf("confidence %.4f, want > 99.9%%", m["l1_confidence"])
+	}
+	if m["cycles_rel"] <= 0 || m["stalls_rel"] <= 0 {
+		t.Error("variant B must cost more cycles, explained by stalls")
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	rep, err := Run("fig9", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics["lock_R"] < 0.95 {
+		t.Errorf("lock correlation R=%.3f, want > 0.95", rep.Metrics["lock_R"])
+	}
+	if rep.Metrics["spec_R"] > -0.9 {
+		t.Errorf("speculative-jump correlation R=%.3f, want strongly negative", rep.Metrics["spec_R"])
+	}
+}
+
+func TestFig10aShape(t *testing.T) {
+	rep, err := Run("fig10a", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics["total"] == 0 {
+		t.Fatal("empty histogram")
+	}
+	if rep.Metrics["cache_mass"] == 0 {
+		t.Error("SIFT must show cache-latency mass")
+	}
+	// NUMA-optimised: remote mass negligible vs local.
+	if rep.Metrics["remote_mass"] > 0.1*(rep.Metrics["local_mass"]+1) {
+		t.Errorf("remote mass %g vs local %g, want remote ≈ 0",
+			rep.Metrics["remote_mass"], rep.Metrics["local_mass"])
+	}
+}
+
+func TestFig10bShape(t *testing.T) {
+	rep, err := Run("fig10b", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics["remote_cost"] <= rep.Metrics["local_cost"] {
+		t.Errorf("remote cost %g must dominate local %g in the induced-remote case",
+			rep.Metrics["remote_cost"], rep.Metrics["local_cost"])
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	rep, err := Run("fig11", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics["ramp_slope"] <= 0 {
+		t.Error("ramp-up slope must be positive")
+	}
+	if rep.Metrics["compute_slope"] > rep.Metrics["ramp_slope"]/4 {
+		t.Error("computation slope must be much flatter")
+	}
+	if rep.Metrics["pivot_error_frac"] > 0.15 {
+		t.Errorf("pivot error %.1f%% of run", 100*rep.Metrics["pivot_error_frac"])
+	}
+}
+
+func TestTwoStepBeatsBaselines(t *testing.T) {
+	rep, err := Run("twostep", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := rep.Metrics["twostep_error"]
+	best := rep.Metrics["best_baseline_error"]
+	if ts > 0.4 {
+		t.Errorf("two-step error %.1f%%, want reasonable", 100*ts)
+	}
+	if ts >= best {
+		t.Errorf("two-step error %.3f not below best baseline %.3f", ts, best)
+	}
+}
+
+func TestAblationBatchingWins(t *testing.T) {
+	rep, err := Run("ablation-batching", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, m := rep.Metrics["batched_error"], rep.Metrics["multiplexed_error"]
+	if b >= m {
+		t.Errorf("batched error %.3f not below multiplexed %.3f (the paper's §IV-A claim)", b, m)
+	}
+	if rep.Metrics["batched_runs"] <= rep.Metrics["multiplexed_runs"] {
+		t.Error("batching must consume more runs — that is its cost")
+	}
+}
+
+func TestAblationCycling(t *testing.T) {
+	rep, err := Run("ablation-cycling", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics["fine_error"] >= rep.Metrics["coarse_error"] {
+		t.Errorf("fine cycling error %.3f not below coarse %.3f",
+			rep.Metrics["fine_error"], rep.Metrics["coarse_error"])
+	}
+}
+
+func TestAblationKPhase(t *testing.T) {
+	rep, err := Run("ablation-kphase", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics["sse_improvement"] < 0.5 {
+		t.Errorf("k-phase SSE improvement %.2f, want large", rep.Metrics["sse_improvement"])
+	}
+}
+
+func TestAblationGamma(t *testing.T) {
+	rep, err := Run("ablation-gamma", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics["ks_gamma"] <= 0 || rep.Metrics["ks_normal"] <= 0 {
+		t.Error("KS distances must be positive")
+	}
+	// Both models must be sane fits (KS < 0.5); which wins depends on
+	// the sample.
+	if rep.Metrics["ks_gamma"] > 0.5 || rep.Metrics["ks_normal"] > 0.5 {
+		t.Errorf("degenerate fits: gamma %.3f normal %.3f",
+			rep.Metrics["ks_gamma"], rep.Metrics["ks_normal"])
+	}
+}
+
+func TestTransferExperiment(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Machine = nil // defaults: 2s source → DL580 target
+	rep, err := Run("transfer", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics["transferred_error"] > 0.4 {
+		t.Errorf("transferred error %.1f%%, want reasonable", 100*rep.Metrics["transferred_error"])
+	}
+	if rep.Metrics["transferred_error"] >= rep.Metrics["untransferred_error"] {
+		t.Errorf("recalibration must beat the untransferred model: %.3f vs %.3f",
+			rep.Metrics["transferred_error"], rep.Metrics["untransferred_error"])
+	}
+	if rep.Metrics["indicators"] == 0 {
+		t.Error("transfer must keep indicator models")
+	}
+}
+
+func TestTopologyExperiment(t *testing.T) {
+	rep, err := Run("topology", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2s := rep.Metrics["2s_ratio"]
+	r8s := rep.Metrics["8s_ratio"]
+	if r2s <= 1.05 {
+		t.Errorf("2s remote/local ratio %.2f, want > 1", r2s)
+	}
+	if r8s <= r2s {
+		t.Errorf("2-hop topology ratio %.2f must exceed 1-hop %.2f", r8s, r2s)
+	}
+}

@@ -1,0 +1,184 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewFromRows(t *testing.T) {
+	m, err := NewFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatalf("NewFromRows: %v", err)
+	}
+	if m.Rows() != 3 || m.Cols() != 2 {
+		t.Fatalf("shape = %d×%d, want 3×2", m.Rows(), m.Cols())
+	}
+	if m.At(2, 1) != 6 {
+		t.Errorf("At(2,1) = %g, want 6", m.At(2, 1))
+	}
+}
+
+func TestNewFromRowsRagged(t *testing.T) {
+	if _, err := NewFromRows([][]float64{{1, 2}, {3}}); !errors.Is(err, ErrShape) {
+		t.Fatalf("ragged rows: err = %v, want ErrShape", err)
+	}
+	if _, err := NewFromRows(nil); !errors.Is(err, ErrShape) {
+		t.Fatalf("nil rows: err = %v, want ErrShape", err)
+	}
+}
+
+func TestRowColClone(t *testing.T) {
+	m, _ := NewFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	r := m.Row(1)
+	if r[0] != 4 || r[2] != 6 {
+		t.Errorf("Row(1) = %v", r)
+	}
+	c := m.Col(2)
+	if c[0] != 3 || c[1] != 6 {
+		t.Errorf("Col(2) = %v", c)
+	}
+	cl := m.Clone()
+	cl.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone aliases the original data")
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	m, _ := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	p, err := m.Mul(Identity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(m, 0) {
+		t.Errorf("M·I != M:\n%v", p)
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a, _ := NewFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	b, _ := NewFromRows([][]float64{{7, 8}, {9, 10}, {11, 12}})
+	p, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := NewFromRows([][]float64{{58, 64}, {139, 154}})
+	if !p.Equal(want, 1e-12) {
+		t.Errorf("product =\n%v want\n%v", p, want)
+	}
+}
+
+func TestMulShapeError(t *testing.T) {
+	a := New(2, 3)
+	b := New(2, 3)
+	if _, err := a.Mul(b); !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a, _ := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := NewFromRows([][]float64{{5, 6}, {7, 8}})
+	s, err := a.Add(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.At(1, 1) != 12 {
+		t.Errorf("Add: got %g", s.At(1, 1))
+	}
+	d, err := b.Sub(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.At(0, 0) != 4 {
+		t.Errorf("Sub: got %g", d.At(0, 0))
+	}
+	sc := a.Scale(2)
+	if sc.At(1, 0) != 6 {
+		t.Errorf("Scale: got %g", sc.At(1, 0))
+	}
+	if _, err := a.Add(New(3, 3)); !errors.Is(err, ErrShape) {
+		t.Errorf("Add shape err = %v", err)
+	}
+	if _, err := a.Sub(New(3, 3)); !errors.Is(err, ErrShape) {
+		t.Errorf("Sub shape err = %v", err)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 1 + rng.Intn(6)
+		c := 1 + rng.Intn(6)
+		m := randomMatrix(rng, r, c)
+		return m.Transpose().Transpose().Equal(m, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// (A·B)ᵀ = Bᵀ·Aᵀ, a structural property of the multiply/transpose pair.
+func TestMulTransposeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, k, m := 1+rng.Intn(5), 1+rng.Intn(5), 1+rng.Intn(5)
+		a := randomMatrix(rng, n, k)
+		b := randomMatrix(rng, k, m)
+		ab, err := a.Mul(b)
+		if err != nil {
+			return false
+		}
+		btat, err := b.Transpose().Mul(a.Transpose())
+		if err != nil {
+			return false
+		}
+		return ab.Transpose().Equal(btat, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	y, err := a.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 3 || y[1] != 7 {
+		t.Errorf("MulVec = %v, want [3 7]", y)
+	}
+	if _, err := a.MulVec([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestDotNorm(t *testing.T) {
+	if d := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); d != 32 {
+		t.Errorf("Dot = %g, want 32", d)
+	}
+	if n := Norm2([]float64{3, 4}); math.Abs(n-5) > 1e-12 {
+		t.Errorf("Norm2 = %g, want 5", n)
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	m, _ := NewFromRows([][]float64{{1, -7}, {3, 4}})
+	if v := m.MaxAbs(); v != 7 {
+		t.Errorf("MaxAbs = %g, want 7", v)
+	}
+}
+
+func randomMatrix(rng *rand.Rand, r, c int) *Matrix {
+	m := New(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return m
+}

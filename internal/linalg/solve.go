@@ -1,0 +1,239 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cholesky computes the lower-triangular factor L with A = L·Lᵀ for a
+// symmetric positive-definite matrix A. It returns ErrSingular when A
+// is not positive definite (within floating-point tolerance).
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("%w: Cholesky of %d×%d", ErrShape, a.rows, a.cols)
+	}
+	n := a.rows
+	l := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, fmt.Errorf("%w: non-positive pivot %g at %d", ErrSingular, sum, i)
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// SolveCholesky solves A·x = b for symmetric positive-definite A.
+func SolveCholesky(a *Matrix, b []float64) ([]float64, error) {
+	if a.rows != len(b) {
+		return nil, fmt.Errorf("%w: solve %d×%d with rhs(%d)", ErrShape, a.rows, a.cols, len(b))
+	}
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.rows
+	// Forward substitution: L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Back substitution: Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x, nil
+}
+
+// QR computes a Householder QR decomposition of a (rows ≥ cols),
+// returning Q (rows×rows, orthogonal) and R (rows×cols, upper
+// triangular).
+func QR(a *Matrix) (q, r *Matrix, err error) {
+	if a.rows < a.cols {
+		return nil, nil, fmt.Errorf("%w: QR needs rows ≥ cols, got %d×%d", ErrShape, a.rows, a.cols)
+	}
+	m, n := a.rows, a.cols
+	r = a.Clone()
+	q = Identity(m)
+	v := make([]float64, m)
+	for k := 0; k < n; k++ {
+		// Build the Householder vector for column k.
+		norm := 0.0
+		for i := k; i < m; i++ {
+			norm += r.At(i, k) * r.At(i, k)
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			continue
+		}
+		alpha := -norm
+		if r.At(k, k) < 0 {
+			alpha = norm
+		}
+		vnorm2 := 0.0
+		for i := k; i < m; i++ {
+			v[i] = r.At(i, k)
+			if i == k {
+				v[i] -= alpha
+			}
+			vnorm2 += v[i] * v[i]
+		}
+		if vnorm2 == 0 {
+			continue
+		}
+		// Apply H = I − 2vvᵀ/vᵀv to R (columns k..n-1).
+		for j := k; j < n; j++ {
+			dot := 0.0
+			for i := k; i < m; i++ {
+				dot += v[i] * r.At(i, j)
+			}
+			f := 2 * dot / vnorm2
+			for i := k; i < m; i++ {
+				r.Set(i, j, r.At(i, j)-f*v[i])
+			}
+		}
+		// Accumulate Q = Q·H.
+		for i := 0; i < m; i++ {
+			dot := 0.0
+			for j := k; j < m; j++ {
+				dot += q.At(i, j) * v[j]
+			}
+			f := 2 * dot / vnorm2
+			for j := k; j < m; j++ {
+				q.Set(i, j, q.At(i, j)-f*v[j])
+			}
+		}
+	}
+	return q, r, nil
+}
+
+// SolveLeastSquares solves the overdetermined system X·β ≈ y in the
+// least-squares sense using a Householder QR decomposition, which is
+// numerically more robust than the normal equations used in the
+// paper's deduction (βᵂ = (XᵀX)⁻¹Xᵀy) while producing the same result.
+func SolveLeastSquares(x *Matrix, y []float64) ([]float64, error) {
+	if x.rows != len(y) {
+		return nil, fmt.Errorf("%w: X is %d×%d but y has %d entries", ErrShape, x.rows, x.cols, len(y))
+	}
+	if x.rows < x.cols {
+		return nil, fmt.Errorf("%w: underdetermined system %d×%d", ErrShape, x.rows, x.cols)
+	}
+	q, r, err := QR(x)
+	if err != nil {
+		return nil, err
+	}
+	n := x.cols
+	// qty = Qᵀ·y, only the first n entries are needed.
+	qty := make([]float64, n)
+	for j := 0; j < n; j++ {
+		s := 0.0
+		for i := 0; i < x.rows; i++ {
+			s += q.At(i, j) * y[i]
+		}
+		qty[j] = s
+	}
+	// Back substitution with the top n×n block of R.
+	beta := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := qty[i]
+		for k := i + 1; k < n; k++ {
+			s -= r.At(i, k) * beta[k]
+		}
+		d := r.At(i, i)
+		if math.Abs(d) < 1e-12*(1+math.Abs(s)) {
+			return nil, fmt.Errorf("%w: rank-deficient design matrix (pivot %g)", ErrSingular, d)
+		}
+		beta[i] = s / d
+	}
+	return beta, nil
+}
+
+// SolveNormalEquations solves X·β ≈ y via βᵂ = (XᵀX)⁻¹Xᵀy, mirroring the
+// exact deduction printed in the paper (Section IV-C). It is kept as an
+// alternative to SolveLeastSquares so the two can be cross-checked.
+func SolveNormalEquations(x *Matrix, y []float64) ([]float64, error) {
+	xt := x.Transpose()
+	xtx, err := xt.Mul(x)
+	if err != nil {
+		return nil, err
+	}
+	xty, err := xt.MulVec(y)
+	if err != nil {
+		return nil, err
+	}
+	return SolveCholesky(xtx, xty)
+}
+
+// Inverse returns a⁻¹ computed by Gauss-Jordan elimination with
+// partial pivoting.
+func Inverse(a *Matrix) (*Matrix, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("%w: inverse of %d×%d", ErrShape, a.rows, a.cols)
+	}
+	n := a.rows
+	work := a.Clone()
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(work.At(col, col))
+		for i := col + 1; i < n; i++ {
+			if v := math.Abs(work.At(i, col)); v > best {
+				best, pivot = v, i
+			}
+		}
+		if best < 1e-14 {
+			return nil, fmt.Errorf("%w: pivot %g in column %d", ErrSingular, best, col)
+		}
+		if pivot != col {
+			swapRows(work, pivot, col)
+			swapRows(inv, pivot, col)
+		}
+		p := work.At(col, col)
+		for j := 0; j < n; j++ {
+			work.Set(col, j, work.At(col, j)/p)
+			inv.Set(col, j, inv.At(col, j)/p)
+		}
+		for i := 0; i < n; i++ {
+			if i == col {
+				continue
+			}
+			f := work.At(i, col)
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				work.Set(i, j, work.At(i, j)-f*work.At(col, j))
+				inv.Set(i, j, inv.At(i, j)-f*inv.At(col, j))
+			}
+		}
+	}
+	return inv, nil
+}
+
+func swapRows(m *Matrix, i, j int) {
+	ri := m.data[i*m.cols : (i+1)*m.cols]
+	rj := m.data[j*m.cols : (j+1)*m.cols]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}

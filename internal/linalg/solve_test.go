@@ -1,0 +1,203 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCholeskyKnown(t *testing.T) {
+	a, _ := NewFromRows([][]float64{{4, 2}, {2, 3}})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llt, err := l.Mul(l.Transpose())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !llt.Equal(a, 1e-12) {
+		t.Errorf("L·Lᵀ =\n%v want\n%v", llt, a)
+	}
+}
+
+func TestCholeskyNotSPD(t *testing.T) {
+	a, _ := NewFromRows([][]float64{{1, 2}, {2, 1}}) // indefinite
+	if _, err := Cholesky(a); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+	if _, err := Cholesky(New(2, 3)); !errors.Is(err, ErrShape) {
+		t.Fatalf("non-square err = %v, want ErrShape", err)
+	}
+}
+
+func TestSolveCholesky(t *testing.T) {
+	a, _ := NewFromRows([][]float64{{4, 1}, {1, 3}})
+	x, err := SolveCholesky(a, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ax, _ := a.MulVec(x)
+	if math.Abs(ax[0]-1) > 1e-12 || math.Abs(ax[1]-2) > 1e-12 {
+		t.Errorf("A·x = %v, want [1 2]", ax)
+	}
+}
+
+func TestQRReconstruction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(6)
+		n := 1 + rng.Intn(m)
+		a := randomMatrix(rng, m, n)
+		q, r, err := QR(a)
+		if err != nil {
+			return false
+		}
+		qr, err := q.Mul(r)
+		if err != nil {
+			return false
+		}
+		if !qr.Equal(a, 1e-9) {
+			return false
+		}
+		// Q must be orthogonal: QᵀQ = I.
+		qtq, err := q.Transpose().Mul(q)
+		if err != nil {
+			return false
+		}
+		return qtq.Equal(Identity(m), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQRUpperTriangular(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomMatrix(rng, 6, 4)
+	_, r, err := QR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < r.Rows(); i++ {
+		for j := 0; j < i && j < r.Cols(); j++ {
+			if math.Abs(r.At(i, j)) > 1e-10 {
+				t.Errorf("R(%d,%d) = %g, want 0", i, j, r.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSolveLeastSquaresExact(t *testing.T) {
+	// Perfectly linear data must be recovered exactly: y = 2x + 1.
+	x, _ := NewFromRows([][]float64{{0, 1}, {1, 1}, {2, 1}, {3, 1}})
+	y := []float64{1, 3, 5, 7}
+	beta, err := SolveLeastSquares(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(beta[0]-2) > 1e-10 || math.Abs(beta[1]-1) > 1e-10 {
+		t.Errorf("β = %v, want [2 1]", beta)
+	}
+}
+
+func TestSolveLeastSquaresMatchesNormalEquations(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 5 + rng.Intn(10)
+		n := 1 + rng.Intn(3)
+		x := randomMatrix(rng, m, n)
+		// Add an intercept column to keep the design well conditioned.
+		design := New(m, n+1)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				design.Set(i, j, x.At(i, j))
+			}
+			design.Set(i, n, 1)
+		}
+		y := make([]float64, m)
+		for i := range y {
+			y[i] = rng.NormFloat64()
+		}
+		qr, err1 := SolveLeastSquares(design, y)
+		ne, err2 := SolveNormalEquations(design, y)
+		if err1 != nil || err2 != nil {
+			// Rank deficiency is possible for degenerate random draws;
+			// both paths must then agree that the system is bad.
+			return (err1 != nil) == (err2 != nil)
+		}
+		for i := range qr {
+			if math.Abs(qr[i]-ne[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveLeastSquaresErrors(t *testing.T) {
+	x := New(2, 3)
+	if _, err := SolveLeastSquares(x, []float64{1, 2}); !errors.Is(err, ErrShape) {
+		t.Errorf("underdetermined err = %v, want ErrShape", err)
+	}
+	x2 := New(3, 2)
+	if _, err := SolveLeastSquares(x2, []float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("rhs mismatch err = %v, want ErrShape", err)
+	}
+	// Rank-deficient: duplicate columns.
+	dup, _ := NewFromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	if _, err := SolveLeastSquares(dup, []float64{1, 2, 3}); !errors.Is(err, ErrSingular) {
+		t.Errorf("rank-deficient err = %v, want ErrSingular", err)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	a, _ := NewFromRows([][]float64{{4, 7}, {2, 6}})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, _ := a.Mul(inv)
+	if !prod.Equal(Identity(2), 1e-12) {
+		t.Errorf("A·A⁻¹ =\n%v", prod)
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	a, _ := NewFromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Inverse(a); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+	if _, err := Inverse(New(2, 3)); !errors.Is(err, ErrShape) {
+		t.Fatalf("non-square err = %v, want ErrShape", err)
+	}
+}
+
+func TestInverseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		// Diagonally dominant matrices are safely invertible.
+		a := randomMatrix(rng, n, n)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)+1)
+		}
+		inv, err := Inverse(a)
+		if err != nil {
+			return false
+		}
+		prod, err := a.Mul(inv)
+		if err != nil {
+			return false
+		}
+		return prod.Equal(Identity(n), 1e-8)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,313 @@
+package memhist
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"numaperf/internal/exec"
+	"numaperf/internal/topology"
+	"numaperf/internal/workloads"
+)
+
+func engine(t *testing.T) *exec.Engine {
+	t.Helper()
+	e, err := exec.NewEngine(exec.Config{
+		Machine: topology.TwoSocket(),
+		Threads: 1,
+		Seed:    21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestExactHistogramLocalChase(t *testing.T) {
+	e := engine(t)
+	// A DRAM-resident local chase: the mass must sit near the local
+	// memory latency (LLC + DRAM ≈ 270 cycles), not at remote.
+	body := workloads.MLC{BufferBytes: 8 << 20, Chases: 8000}.Body()
+	h, err := Exact(e, body, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Exact {
+		t.Error("Exact must mark itself")
+	}
+	m := e.Config().Machine
+	localLat := m.LLC().LatencyCycles + m.MemLatency
+	// Find the heaviest interval ≥ 64 cycles (beyond caches).
+	heavy, heavyVal := -1, 0.0
+	for i := range h.Counts {
+		lo, _ := h.Interval(i)
+		if lo >= 64 && h.Counts[i] > heavyVal {
+			heavy, heavyVal = i, h.Counts[i]
+		}
+	}
+	if heavy < 0 {
+		t.Fatal("no memory-latency mass found")
+	}
+	lo, hi := h.Interval(heavy)
+	if localLat < lo || (hi != 0 && localLat >= hi) {
+		t.Errorf("heaviest DRAM interval [%d,%d) does not contain local latency %d", lo, hi, localLat)
+	}
+}
+
+func TestExactHistogramRemoteShiftsRight(t *testing.T) {
+	e := engine(t)
+	local, err := Exact(e, workloads.MLC{BufferBytes: 4 << 20, Chases: 6000}.Body(), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := Exact(e, workloads.MLC{BufferBytes: 4 << 20, Chases: 6000, Remote: true}.Body(), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare the count-weighted mean latencies of the DRAM region.
+	meanLat := func(h *Histogram) float64 {
+		var sum, n float64
+		for i := range h.Counts {
+			lo, _ := h.Interval(i)
+			if lo >= 64 && h.Counts[i] > 0 {
+				sum += h.Cost(i)
+				n += h.Counts[i]
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / n
+	}
+	ml, mr := meanLat(local), meanLat(remote)
+	if mr <= ml*1.2 {
+		t.Errorf("remote mean latency %.0f not clearly above local %.0f", mr, ml)
+	}
+}
+
+func TestCollectApproximatesExact(t *testing.T) {
+	e := engine(t)
+	wl := workloads.MLC{BufferBytes: 2 << 20, Chases: 30_000}
+	exact, err := Exact(e, wl.Body(), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycled, err := Collect(e, wl.Body(), Options{SliceCycles: 100_000, Reps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total mass within a factor of two (threshold cycling is noisy but
+	// not wildly off).
+	et, ct := exact.Total(), cycled.Total()
+	if ct < et/2 || ct > et*2 {
+		t.Errorf("cycled total %.0f vs exact %.0f", ct, et)
+	}
+	// The dominant DRAM interval must agree.
+	argmax := func(h *Histogram) int {
+		best, bi := 0.0, -1
+		for i := range h.Counts {
+			lo, _ := h.Interval(i)
+			if lo >= 64 && h.Counts[i] > best {
+				best, bi = h.Counts[i], i
+			}
+		}
+		return bi
+	}
+	if ei, ci := argmax(exact), argmax(cycled); ei != ci && abs(ei-ci) > 1 {
+		t.Errorf("dominant interval differs: exact %d vs cycled %d", ei, ci)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestCollectProducesNegativeArtifacts(t *testing.T) {
+	e := engine(t)
+	// A strongly non-stationary workload — a cache-resident chase
+	// followed by a DRAM-resident one — with coarse cycling:
+	// neighbouring thresholds observe different program phases, so some
+	// interval estimates go negative, the error the paper calls
+	// unavoidable.
+	small := workloads.MLC{BufferBytes: 128 << 10, Chases: 40_000}.Body()
+	big := workloads.MLC{BufferBytes: 8 << 20, Chases: 20_000}.Body()
+	body := func(t *exec.Thread) {
+		small(t)
+		big(t)
+	}
+	neg := 0
+	for try := 0; try < 4; try++ {
+		h, err := Collect(e, body, Options{SliceCycles: 400_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		neg += h.NegativeArtifacts()
+	}
+	if neg == 0 {
+		t.Error("expected at least one negative interval estimate across runs")
+	}
+}
+
+func TestHistogramAccessors(t *testing.T) {
+	h := newHistogram([]uint64{2, 8, 32})
+	h.Counts = []float64{10, 20, -5}
+	if h.Intervals() != 3 {
+		t.Error("Intervals")
+	}
+	lo, hi := h.Interval(0)
+	if lo != 2 || hi != 8 {
+		t.Errorf("Interval(0) = %d,%d", lo, hi)
+	}
+	if _, hi = h.Interval(2); hi != 0 {
+		t.Error("tail interval must be unbounded")
+	}
+	if h.representative(0) != 5 || h.representative(2) != 32 {
+		t.Error("representative latencies")
+	}
+	if h.Cost(1) != 20*20 {
+		t.Errorf("Cost = %g", h.Cost(1))
+	}
+	if h.Value(1, Occurrences) != 20 || h.Value(1, Costs) != 400 {
+		t.Error("Value")
+	}
+	if h.NegativeArtifacts() != 1 {
+		t.Error("NegativeArtifacts")
+	}
+	if h.Total() != 30 {
+		t.Errorf("Total = %g", h.Total())
+	}
+	if !h.Uncertain[0] || h.Uncertain[1] {
+		t.Error("uncertainty marking")
+	}
+	if Occurrences.String() != "occurrences" || Costs.String() != "costs" {
+		t.Error("mode names")
+	}
+}
+
+func TestCollectErrors(t *testing.T) {
+	e := engine(t)
+	body := workloads.Triad{Elements: 256}.Body()
+	if _, err := Collect(e, body, Options{Bounds: []uint64{5}}); err == nil {
+		t.Error("single bound must fail")
+	}
+	if _, err := Exact(e, body, []uint64{5}, 1); err == nil {
+		t.Error("single bound must fail for Exact")
+	}
+	bad := func(t *exec.Thread) { panic("x") }
+	if _, err := Collect(e, bad, Options{}); err == nil {
+		t.Error("workload failure must propagate")
+	}
+	if _, err := Exact(e, bad, nil, 1); err == nil {
+		t.Error("workload failure must propagate for Exact")
+	}
+}
+
+func TestAnnotatePeaks(t *testing.T) {
+	m := topology.TwoSocket()
+	h := newHistogram([]uint64{4, 8, 16, 32, 64, 128, 256, 320, 448, 1024})
+	// Construct peaks at L2 (12), local memory (~272) and remote
+	// (~514).
+	h.Counts = []float64{0, 1000, 0, 0, 0, 0, 800, 0, 600, 0}
+	peaks := h.Annotate(m)
+	if len(peaks) != 3 {
+		t.Fatalf("found %d peaks, want 3: %+v", len(peaks), peaks)
+	}
+	if peaks[0].Label != "L2" {
+		t.Errorf("peak 0 labelled %q, want L2", peaks[0].Label)
+	}
+	if peaks[1].Label != "local memory" {
+		t.Errorf("peak 1 labelled %q, want local memory", peaks[1].Label)
+	}
+	if peaks[2].Label != "remote memory" {
+		t.Errorf("peak 2 labelled %q, want remote memory", peaks[2].Label)
+	}
+}
+
+func TestRender(t *testing.T) {
+	h := newHistogram([]uint64{2, 8, 32, 64})
+	h.Counts = []float64{5, 10000, -3, 40}
+	h.Source = "test"
+	out := h.Render(Occurrences, 40)
+	for _, want := range []string{"latency histogram", "uncertain sampling", "negative estimate", "truncated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+	// Cost mode renders too and uses default width.
+	if !strings.Contains(h.Render(Costs, 0), "costs") {
+		t.Error("cost render")
+	}
+}
+
+func TestRemoteProbeRoundTrip(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = ServeProbe(l) }()
+	defer l.Close()
+
+	h, err := FetchRemote(l.Addr().String(), ProbeRequest{
+		Workload: "mlc-local",
+		Machine:  "2s",
+		Exact:    true,
+		Bounds:   []uint64{4, 64, 256, 512},
+	}, 2*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() == 0 {
+		t.Error("remote histogram empty")
+	}
+	if !strings.Contains(h.Source, "mlc") {
+		t.Errorf("source = %q", h.Source)
+	}
+
+	// Error paths: unknown workload and unknown machine.
+	if _, err := FetchRemote(l.Addr().String(), ProbeRequest{Workload: "nope"}, time.Minute); err == nil {
+		t.Error("unknown workload must fail")
+	}
+	if _, err := FetchRemote(l.Addr().String(), ProbeRequest{Workload: "triad", Machine: "nope"}, time.Minute); err == nil {
+		t.Error("unknown machine must fail")
+	}
+}
+
+func TestHandleRequestDefaults(t *testing.T) {
+	h, err := HandleRequest(ProbeRequest{Workload: "pointer-chase", Machine: "uma", Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() == 0 {
+		t.Error("empty histogram")
+	}
+	if _, err := HandleRequest(ProbeRequest{Workload: "triad", Threads: -1, Machine: "uma", Exact: true}); err != nil {
+		t.Errorf("negative threads must default to 1: %v", err)
+	}
+}
+
+func TestFetchRemoteConnectionError(t *testing.T) {
+	if _, err := FetchRemote("127.0.0.1:1", ProbeRequest{Workload: "triad"}, time.Second); err == nil {
+		t.Error("unreachable probe must fail")
+	}
+}
+
+func TestAnnotateOnUMA(t *testing.T) {
+	// A single-socket machine has no remote level; peaks near DRAM must
+	// be labelled local memory.
+	m := topology.UMA()
+	h := newHistogram([]uint64{4, 64, 256, 320, 1024})
+	h.Counts = []float64{0, 0, 900, 0, 0}
+	peaks := h.Annotate(m)
+	if len(peaks) != 1 || peaks[0].Label != "local memory" {
+		t.Errorf("UMA peaks = %+v", peaks)
+	}
+	for _, p := range peaks {
+		if p.Label == "remote memory" {
+			t.Error("UMA must not label anything remote")
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package memhist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"numaperf/internal/exec"
+	"numaperf/internal/topology"
+	"numaperf/internal/workloads"
+)
+
+// This file implements the remote–local architecture of the paper's
+// Fig. 6: server platforms do not always offer a rich graphical
+// interface, so a headless probe runs next to the testee and transfers
+// the measured data via TCP to the front-end application.
+
+// ProbeRequest asks the probe to measure one workload.
+type ProbeRequest struct {
+	// Workload is a registered workload name (workloads.Names()).
+	Workload string `json:"workload"`
+	// Machine is a predefined machine name (topology.MachineNames());
+	// default "dl580".
+	Machine string `json:"machine,omitempty"`
+	// Threads for the engine; default 1.
+	Threads int `json:"threads,omitempty"`
+	// Bounds for the histogram; DefaultBounds when empty.
+	Bounds []uint64 `json:"bounds,omitempty"`
+	// SliceCycles for threshold cycling; 0 selects the 100 Hz default.
+	SliceCycles uint64 `json:"slice_cycles,omitempty"`
+	// Reps averages multiple cycled runs.
+	Reps int `json:"reps,omitempty"`
+	// Exact requests the ground-truth histogram instead of cycling.
+	Exact bool `json:"exact,omitempty"`
+	// Seed for the engine's noise model.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// ProbeResponse carries the histogram or an error back to the GUI.
+type ProbeResponse struct {
+	Histogram *Histogram `json:"histogram,omitempty"`
+	Error     string     `json:"error,omitempty"`
+}
+
+// HandleRequest executes one probe request locally.
+func HandleRequest(req ProbeRequest) (*Histogram, error) {
+	w, ok := workloads.ByName(req.Workload)
+	if !ok {
+		return nil, fmt.Errorf("memhist: unknown workload %q (have %v)", req.Workload, workloads.Names())
+	}
+	machName := req.Machine
+	if machName == "" {
+		machName = "dl580"
+	}
+	mach, ok := topology.ByName(machName)
+	if !ok {
+		return nil, fmt.Errorf("memhist: unknown machine %q", machName)
+	}
+	threads := req.Threads
+	if threads <= 0 {
+		threads = 1
+	}
+	e, err := exec.NewEngine(exec.Config{Machine: mach, Threads: threads, Seed: req.Seed})
+	if err != nil {
+		return nil, err
+	}
+	var h *Histogram
+	if req.Exact {
+		h, err = Exact(e, w.Body(), req.Bounds, 1)
+	} else {
+		h, err = Collect(e, w.Body(), Options{
+			Bounds:      req.Bounds,
+			SliceCycles: req.SliceCycles,
+			Reps:        req.Reps,
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	h.Source = w.Name()
+	return h, nil
+}
+
+// ServeProbe accepts probe connections until the listener closes. Each
+// connection carries one JSON request and receives one JSON response —
+// the Measure(...) RPC of Fig. 6.
+func ServeProbe(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		serveConn(conn)
+	}
+}
+
+func serveConn(conn net.Conn) {
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Minute))
+	var req ProbeRequest
+	var resp ProbeResponse
+	if err := json.NewDecoder(conn).Decode(&req); err != nil {
+		resp.Error = fmt.Sprintf("decoding request: %v", err)
+	} else if h, err := HandleRequest(req); err != nil {
+		resp.Error = err.Error()
+	} else {
+		resp.Histogram = h
+	}
+	_ = json.NewEncoder(conn).Encode(&resp)
+}
+
+// FetchRemote connects to a probe, submits the request and returns the
+// measured histogram — the front-end side of Fig. 6.
+func FetchRemote(addr string, req ProbeRequest, timeout time.Duration) (*Histogram, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Minute
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("memhist: connecting to probe %s: %w", addr, err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	if err := json.NewEncoder(conn).Encode(&req); err != nil {
+		return nil, fmt.Errorf("memhist: sending request: %w", err)
+	}
+	var resp ProbeResponse
+	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("memhist: reading response: %w", err)
+	}
+	if resp.Error != "" {
+		return nil, fmt.Errorf("memhist: probe error: %s", resp.Error)
+	}
+	if resp.Histogram == nil {
+		return nil, errors.New("memhist: empty probe response")
+	}
+	return resp.Histogram, nil
+}

@@ -1,0 +1,94 @@
+package memsim
+
+import (
+	"testing"
+
+	"numaperf/internal/topology"
+)
+
+// Micro-benchmarks of the simulator hot paths: cost per simulated
+// access for the canonical patterns. These bound how large a workload
+// the experiment harness can afford.
+
+func newBenchSim(b *testing.B) *Sim {
+	b.Helper()
+	s, err := New(topology.TwoSocket())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkLoadL1Hit measures the hit fast path.
+func BenchmarkLoadL1Hit(b *testing.B) {
+	s := newBenchSim(b)
+	s.Load(0, 0, 0, false) // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Load(0, 64, 0, false)
+	}
+}
+
+// BenchmarkLoadSequential measures a streaming scan (prefetcher
+// engaged, mixed hit levels).
+func BenchmarkLoadSequential(b *testing.B) {
+	s := newBenchSim(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Load(0, uint64(i)*4, 0, false)
+	}
+}
+
+// BenchmarkLoadPageStrided measures the worst case: every access
+// misses all caches and walks the TLB.
+func BenchmarkLoadPageStrided(b *testing.B) {
+	s := newBenchSim(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Load(0, uint64(i%65536)*4096, 0, false)
+	}
+}
+
+// BenchmarkLoadRemote measures remote-DRAM accounting.
+func BenchmarkLoadRemote(b *testing.B) {
+	s := newBenchSim(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Load(0, uint64(i%65536)*4096, 1, false)
+	}
+}
+
+// BenchmarkStore measures the store path.
+func BenchmarkStore(b *testing.B) {
+	s := newBenchSim(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Store(0, uint64(i)*4, 0)
+	}
+}
+
+// BenchmarkBranch measures the predictor path.
+func BenchmarkBranch(b *testing.B) {
+	s := newBenchSim(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Branch(0, uint16(i%64), i%3 == 0)
+	}
+}
+
+// BenchmarkReset measures per-run reset cost (reused engines pay this
+// once per run).
+func BenchmarkReset(b *testing.B) {
+	s := newBenchSim(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+	}
+}

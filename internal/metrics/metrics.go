@@ -1,0 +1,176 @@
+// Package metrics derives the higher-level performance indicators
+// analysts actually read from raw hardware counters — IPC, per-kilo-
+// instruction miss rates, NUMA locality, bandwidths, stall and lock
+// shares, power. It is the indicator-to-insight half of the paper's
+// step two: counters relate to costs much more directly once combined
+// into ratios, and the same formulas apply to whole runs, per-region
+// attributions and per-phase aggregates alike.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"numaperf/internal/counters"
+	"numaperf/internal/topology"
+)
+
+// Metric computes one derived value from a counter vector.
+type Metric struct {
+	// Name is the short identifier (e.g. "ipc").
+	Name string
+	// Unit is the display unit ("", "%", "GB/s", "W", "/1k instr").
+	Unit string
+	// Description explains the derivation.
+	Description string
+	// Compute returns the value; ok is false when the inputs are
+	// missing (e.g. zero instructions).
+	Compute func(c counters.Counts, m *topology.Machine, seconds float64) (v float64, ok bool)
+}
+
+func ratio(num, den float64) (float64, bool) {
+	if den == 0 {
+		return 0, false
+	}
+	return num / den, true
+}
+
+func g(c counters.Counts, id counters.EventID) float64 { return float64(c.Get(id)) }
+
+// perKiloInstr builds a misses-per-kilo-instruction metric.
+func perKiloInstr(name, desc string, id counters.EventID) Metric {
+	return Metric{
+		Name: name, Unit: "/1k instr", Description: desc,
+		Compute: func(c counters.Counts, m *topology.Machine, s float64) (float64, bool) {
+			v, ok := ratio(g(c, id)*1000, g(c, counters.InstRetired))
+			return v, ok
+		},
+	}
+}
+
+// All returns the derived-metric catalogue.
+func All() []Metric {
+	return []Metric{
+		{
+			Name: "ipc", Unit: "", Description: "Instructions retired per core cycle",
+			Compute: func(c counters.Counts, m *topology.Machine, s float64) (float64, bool) {
+				return ratio(g(c, counters.InstRetired), g(c, counters.CPUCycles))
+			},
+		},
+		perKiloInstr("l1-mpki", "L1D load misses per 1000 instructions", counters.L1Miss),
+		perKiloInstr("l2-mpki", "L2 load misses per 1000 instructions", counters.L2Miss),
+		perKiloInstr("l3-mpki", "L3 load misses per 1000 instructions", counters.L3Miss),
+		perKiloInstr("tlb-walks", "DTLB page walks per 1000 instructions", counters.DTLBLoadMissWalk),
+		{
+			Name: "branch-miss", Unit: "%", Description: "Mispredicted share of retired branches",
+			Compute: func(c counters.Counts, m *topology.Machine, s float64) (float64, bool) {
+				v, ok := ratio(g(c, counters.BranchMiss)*100, g(c, counters.BranchRetired))
+				return v, ok
+			},
+		},
+		{
+			Name: "local-dram", Unit: "%", Description: "Share of DRAM loads served from the local node",
+			Compute: func(c counters.Counts, m *topology.Machine, s float64) (float64, bool) {
+				local, remote := g(c, counters.LocalDRAM), g(c, counters.RemoteDRAM)
+				v, ok := ratio(local*100, local+remote)
+				return v, ok
+			},
+		},
+		{
+			Name: "stall-share", Unit: "%", Description: "Execution stall share of all cycles",
+			Compute: func(c counters.Counts, m *topology.Machine, s float64) (float64, bool) {
+				v, ok := ratio(g(c, counters.StallsTotal)*100, g(c, counters.CPUCycles))
+				return v, ok
+			},
+		},
+		{
+			Name: "lock-share", Unit: "%", Description: "L1D-locked share of all cycles",
+			Compute: func(c counters.Counts, m *topology.Machine, s float64) (float64, bool) {
+				v, ok := ratio(g(c, counters.CacheLockCycle)*100, g(c, counters.CPUCycles))
+				return v, ok
+			},
+		},
+		{
+			Name: "pf-coverage", Unit: "%", Description: "Demand loads that hit a prefetched line, per L1 miss",
+			Compute: func(c counters.Counts, m *topology.Machine, s float64) (float64, bool) {
+				v, ok := ratio(g(c, counters.LoadHitPre)*100, g(c, counters.L1Miss))
+				return v, ok
+			},
+		},
+		{
+			Name: "dram-bw", Unit: "GB/s", Description: "Memory-controller bandwidth (64 B per CAS)",
+			Compute: func(c counters.Counts, m *topology.Machine, s float64) (float64, bool) {
+				if s <= 0 {
+					return 0, false
+				}
+				bytes := (g(c, counters.UncIMCRead) + g(c, counters.UncIMCWrite)) * float64(m.LineBytes())
+				return bytes / s / 1e9, true
+			},
+		},
+		{
+			Name: "qpi-bw", Unit: "GB/s", Description: "Interconnect bandwidth (32 B per flit burst)",
+			Compute: func(c counters.Counts, m *topology.Machine, s float64) (float64, bool) {
+				if s <= 0 {
+					return 0, false
+				}
+				return g(c, counters.UncQPITx) * 32 / s / 1e9, true
+			},
+		},
+		{
+			Name: "power", Unit: "W", Description: "Package power from the RAPL-like energy counter",
+			Compute: func(c counters.Counts, m *topology.Machine, s float64) (float64, bool) {
+				if s <= 0 {
+					return 0, false
+				}
+				return g(c, counters.UncPkgEnergy) / 1e6 / s, true
+			},
+		},
+	}
+}
+
+// Value is one computed metric.
+type Value struct {
+	Name  string
+	Unit  string
+	V     float64
+	OK    bool
+	Descr string
+}
+
+// Compute evaluates the whole catalogue against a counter vector.
+func Compute(c counters.Counts, m *topology.Machine, seconds float64) []Value {
+	var out []Value
+	for _, mt := range All() {
+		v, ok := mt.Compute(c, m, seconds)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			ok = false
+		}
+		out = append(out, Value{Name: mt.Name, Unit: mt.Unit, V: v, OK: ok, Descr: mt.Description})
+	}
+	return out
+}
+
+// ByName returns one metric value from a computed set.
+func ByName(vals []Value, name string) (Value, bool) {
+	for _, v := range vals {
+		if v.Name == name {
+			return v, true
+		}
+	}
+	return Value{}, false
+}
+
+// Render formats the metric values as a table, omitting unavailable
+// ones.
+func Render(vals []Value) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %12s %-10s %s\n", "METRIC", "VALUE", "UNIT", "DERIVATION")
+	for _, v := range vals {
+		if !v.OK {
+			continue
+		}
+		fmt.Fprintf(&sb, "%-12s %12.4g %-10s %s\n", v.Name, v.V, v.Unit, v.Descr)
+	}
+	return sb.String()
+}

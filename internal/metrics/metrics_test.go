@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"numaperf/internal/exec"
+	"numaperf/internal/topology"
+	"numaperf/internal/workloads"
+)
+
+func runWL(t *testing.T, w workloads.Workload, threads int) *exec.Result {
+	t.Helper()
+	e, err := exec.NewEngine(exec.Config{Machine: topology.TwoSocket(), Threads: threads, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(w.Body())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func values(t *testing.T, res *exec.Result) []Value {
+	t.Helper()
+	return Compute(res.Raw, res.Machine, res.Seconds)
+}
+
+func get(t *testing.T, vals []Value, name string) Value {
+	t.Helper()
+	v, ok := ByName(vals, name)
+	if !ok {
+		t.Fatalf("metric %q missing", name)
+	}
+	return v
+}
+
+func TestCatalogueSanity(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range All() {
+		if m.Name == "" || m.Description == "" || m.Compute == nil {
+			t.Errorf("malformed metric %+v", m.Name)
+		}
+		if seen[m.Name] {
+			t.Errorf("duplicate metric %s", m.Name)
+		}
+		seen[m.Name] = true
+	}
+}
+
+func TestMetricsOnStreamingWorkload(t *testing.T) {
+	res := runWL(t, workloads.Triad{Elements: 1 << 16}, 1)
+	vals := values(t, res)
+
+	ipc := get(t, vals, "ipc")
+	if !ipc.OK || ipc.V <= 0 || ipc.V > 4 {
+		t.Errorf("ipc = %+v", ipc)
+	}
+	l1 := get(t, vals, "l1-mpki")
+	if !l1.OK || l1.V <= 0 {
+		t.Errorf("l1-mpki = %+v", l1)
+	}
+	bw := get(t, vals, "dram-bw")
+	if !bw.OK || bw.V <= 0 || bw.V > 200 {
+		t.Errorf("dram-bw = %+v GB/s", bw)
+	}
+	pw := get(t, vals, "power")
+	if !pw.OK || pw.V <= 0 || pw.V > 1000 {
+		t.Errorf("power = %+v W", pw)
+	}
+	local := get(t, vals, "local-dram")
+	if !local.OK || local.V < 99 {
+		t.Errorf("local-dram = %+v %%, want ≈ 100", local)
+	}
+}
+
+func TestCacheHostileShowsInMetrics(t *testing.T) {
+	a := values(t, runWL(t, workloads.CacheMissA(512), 1))
+	b := values(t, runWL(t, workloads.CacheMissB(512), 1))
+	if get(t, b, "l1-mpki").V < 5*get(t, a, "l1-mpki").V {
+		t.Error("hostile traversal must show far higher L1 MPKI")
+	}
+	if get(t, b, "ipc").V >= get(t, a, "ipc").V {
+		t.Error("hostile traversal must show lower IPC")
+	}
+	if get(t, b, "stall-share").V <= get(t, a, "stall-share").V {
+		t.Error("hostile traversal must stall more")
+	}
+	if get(t, b, "pf-coverage").V >= get(t, a, "pf-coverage").V {
+		t.Error("prefetch coverage must collapse for the strided case")
+	}
+}
+
+func TestRemoteChaseLocality(t *testing.T) {
+	res := runWL(t, workloads.MLC{BufferBytes: 1 << 20, Chases: 10_000, Remote: true}, 1)
+	vals := values(t, res)
+	local := get(t, vals, "local-dram")
+	if !local.OK || local.V > 50 {
+		t.Errorf("local-dram = %.1f%%, want low for the remote chase", local.V)
+	}
+	qpi := get(t, vals, "qpi-bw")
+	if !qpi.OK || qpi.V <= 0 {
+		t.Errorf("qpi-bw = %+v", qpi)
+	}
+}
+
+func TestUnavailableMetrics(t *testing.T) {
+	res := runWL(t, workloads.Triad{Elements: 1024}, 1)
+	// Zero seconds makes the rate metrics unavailable.
+	vals := Compute(res.Raw, res.Machine, 0)
+	for _, name := range []string{"dram-bw", "qpi-bw", "power"} {
+		if v := get(t, vals, name); v.OK {
+			t.Errorf("%s must be unavailable without a duration", name)
+		}
+	}
+	// An all-zero counter vector leaves ratio metrics unavailable.
+	empty := Compute(make([]uint64, len(res.Raw)), res.Machine, 1)
+	if v := get(t, empty, "ipc"); v.OK {
+		t.Error("ipc on empty counters must be unavailable")
+	}
+}
+
+func TestRenderSkipsUnavailable(t *testing.T) {
+	res := runWL(t, workloads.Triad{Elements: 1024}, 1)
+	out := Render(Compute(res.Raw, res.Machine, res.Seconds))
+	if !strings.Contains(out, "ipc") || !strings.Contains(out, "METRIC") {
+		t.Errorf("Render:\n%s", out)
+	}
+	zero := Render(Compute(res.Raw, res.Machine, 0))
+	if strings.Contains(zero, "dram-bw") {
+		t.Error("unavailable metric rendered")
+	}
+}

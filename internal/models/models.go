@@ -1,0 +1,259 @@
+// Package models implements executable versions of the classic
+// monolithic (single-step, code-to-cost) models of parallel
+// computation surveyed in the paper's Section II: PRAM (shared-bus
+// era), BSP and LogP (cluster era), Memory LogP (hierarchical-memory
+// era) and κNUMA (NUMA era). They serve as the comparison baselines
+// for the two-step strategy: each predicts execution cycles directly
+// from a workload characterisation and machine parameters, without
+// access to measured hardware indicators.
+package models
+
+import (
+	"math"
+
+	"numaperf/internal/counters"
+	"numaperf/internal/exec"
+	"numaperf/internal/topology"
+)
+
+// Characterization is the abstract workload description monolithic
+// models consume. It is what a programmer could state about a program
+// without running it (operation counts and structure) — unlike
+// hardware-counter indicators, it carries no information about actual
+// cache behaviour.
+type Characterization struct {
+	// Ops is the number of unit-cost operations (instructions).
+	Ops float64
+	// MemAccesses is the number of memory operations.
+	MemAccesses float64
+	// LocalFraction is the share of memory accesses to node-local
+	// memory (1.0 for UMA or perfectly placed data).
+	LocalFraction float64
+	// Messages counts cross-node data transfers (cache lines).
+	Messages float64
+	// Supersteps is the number of bulk-synchronous rounds (barrier
+	// intervals).
+	Supersteps float64
+	// Threads is the degree of parallelism.
+	Threads int
+	// Imbalance is max-thread work divided by mean work (≥ 1).
+	Imbalance float64
+}
+
+// Characterize derives the abstract description from a simulated run.
+// Only structural counters are used (instruction counts, access
+// counts, barrier counts) — nothing that would reveal the memory
+// hierarchy behaviour, keeping the baselines honest.
+func Characterize(res *exec.Result) Characterization {
+	c := Characterization{
+		Ops:           float64(res.Raw.Get(counters.InstRetired)),
+		MemAccesses:   float64(res.Raw.Get(counters.AllLoads) + res.Raw.Get(counters.AllStores)),
+		LocalFraction: 1,
+		Threads:       res.Threads,
+		Imbalance:     1,
+	}
+	local := float64(res.Raw.Get(counters.LocalDRAM))
+	remote := float64(res.Raw.Get(counters.RemoteDRAM))
+	if local+remote > 0 {
+		c.LocalFraction = local / (local + remote)
+	}
+	// Each QPI data transfer moves one line in two flit bursts.
+	c.Messages = float64(res.Raw.Get(counters.UncQPITx)) / 2
+	if res.Threads > 0 {
+		c.Supersteps = float64(res.Raw.Get(counters.LockLoads)) / float64(res.Threads)
+	}
+	if c.Supersteps < 1 {
+		c.Supersteps = 1
+	}
+	// Imbalance from per-core instruction spread.
+	var maxI, sumI float64
+	var active int
+	for _, pc := range res.PerCore {
+		v := float64(pc.Get(counters.InstRetired))
+		if v > 0 {
+			active++
+			sumI += v
+			if v > maxI {
+				maxI = v
+			}
+		}
+	}
+	if active > 0 && sumI > 0 {
+		c.Imbalance = maxI * float64(active) / sumI
+	}
+	return c
+}
+
+// Model predicts execution cycles from the characterisation and the
+// machine description.
+type Model interface {
+	Name() string
+	PredictCycles(c Characterization, m *topology.Machine) float64
+}
+
+// PRAM is the shared-bus era baseline: P processors execute unit-cost
+// operations on common memory in lockstep; memory is free.
+type PRAM struct{}
+
+// Name identifies the model.
+func (PRAM) Name() string { return "PRAM" }
+
+// PredictCycles returns ops divided by the processor count (CPI 0.5 to
+// match the machine's superscalar width).
+func (PRAM) PredictCycles(c Characterization, m *topology.Machine) float64 {
+	p := float64(max(c.Threads, 1))
+	return (c.Ops / 2) / p * c.Imbalance
+}
+
+// BSP is Valiant's bulk synchronous parallel model: supersteps of
+// computation, h-relation communication priced at g per word, and a
+// barrier cost l.
+type BSP struct {
+	// G is the per-message gap (cycles per transferred line); default
+	// from DRAM latency.
+	G float64
+	// L is the barrier latency in cycles; default 2000.
+	L float64
+}
+
+// Name identifies the model.
+func (BSP) Name() string { return "BSP" }
+
+// PredictCycles sums per-superstep costs: w_max + g·h + l.
+func (b BSP) PredictCycles(c Characterization, m *topology.Machine) float64 {
+	g := b.G
+	if g == 0 {
+		g = float64(m.MemLatency)
+	}
+	l := b.L
+	if l == 0 {
+		l = 2000
+	}
+	p := float64(max(c.Threads, 1))
+	wMax := (c.Ops / 2) / p * c.Imbalance
+	h := c.Messages / math.Max(c.Supersteps, 1) / p
+	return wMax + c.Supersteps*(g*h+l)
+}
+
+// LogP is the asynchronous cluster model with latency L, overhead o,
+// gap g and processor count P.
+type LogP struct {
+	// L is the message latency in cycles; defaults to the remote DRAM
+	// latency.
+	L float64
+	// O is the per-message processor overhead; default 40 cycles.
+	O float64
+}
+
+// Name identifies the model.
+func (LogP) Name() string { return "LogP" }
+
+// PredictCycles charges computation plus per-message costs.
+func (lp LogP) PredictCycles(c Characterization, m *topology.Machine) float64 {
+	l := lp.L
+	if l == 0 {
+		if m.Sockets > 1 {
+			l = float64(m.MemLatencyCycles(0, 1))
+		} else {
+			l = float64(m.MemLatency)
+		}
+	}
+	o := lp.O
+	if o == 0 {
+		o = 40
+	}
+	p := float64(max(c.Threads, 1))
+	comp := (c.Ops / 2) / p * c.Imbalance
+	return comp + (c.Messages/p)*(l+2*o)
+}
+
+// MemoryLogP extends LogP with a hierarchical memory term: every
+// memory access is priced with a textbook hit-ratio assumption,
+// because a monolithic model cannot observe the program's actual cache
+// behaviour — which is precisely the weakness the two-step strategy
+// addresses.
+type MemoryLogP struct {
+	LogP
+	// L1Ratio and L2Ratio are assumed hit ratios; defaults 0.90/0.08.
+	L1Ratio, L2Ratio float64
+}
+
+// Name identifies the model.
+func (MemoryLogP) Name() string { return "MemoryLogP" }
+
+// PredictCycles adds the assumed-locality memory cost to LogP.
+func (ml MemoryLogP) PredictCycles(c Characterization, m *topology.Machine) float64 {
+	l1r := ml.L1Ratio
+	if l1r == 0 {
+		l1r = 0.90
+	}
+	l2r := ml.L2Ratio
+	if l2r == 0 {
+		l2r = 0.08
+	}
+	l1, _ := m.Cache(1)
+	l2, _ := m.Cache(2)
+	llc := m.LLC()
+	rest := 1 - l1r - l2r
+	llcr := rest * 0.75
+	memr := rest * 0.25
+	perAccess := l1r*float64(l1.LatencyCycles) + l2r*float64(l2.LatencyCycles) +
+		llcr*float64(llc.LatencyCycles) + memr*float64(m.MemLatency)
+	p := float64(max(c.Threads, 1))
+	// Memory-level parallelism hides most of the cost on a superscalar
+	// core; charge a quarter.
+	memCost := c.MemAccesses / p * perAccess / 4
+	return ml.LogP.PredictCycles(c, m) + memCost
+}
+
+// KappaNUMA is Schmollinger and Kaufmann's κNUMA: nested BSP behaviour
+// with cheap inner-node communication and expensive inter-node
+// communication priced by the machine's distance matrix.
+type KappaNUMA struct {
+	BSP
+}
+
+// Name identifies the model.
+func (KappaNUMA) Name() string { return "κNUMA" }
+
+// PredictCycles prices local and remote communication separately.
+func (k KappaNUMA) PredictCycles(c Characterization, m *topology.Machine) float64 {
+	l := k.L
+	if l == 0 {
+		l = 2000
+	}
+	p := float64(max(c.Threads, 1))
+	wMax := (c.Ops / 2) / p * c.Imbalance
+	// Inner-node traffic at local latency, inter-node at the mean
+	// remote latency from the distance matrix.
+	remoteLat := float64(m.MemLatency)
+	if m.Sockets > 1 {
+		var sum float64
+		var cnt int
+		for i := 0; i < m.Sockets; i++ {
+			for j := 0; j < m.Sockets; j++ {
+				if i != j {
+					sum += float64(m.MemLatencyCycles(i, j))
+					cnt++
+				}
+			}
+		}
+		remoteLat = sum / float64(cnt)
+	}
+	comm := c.Messages / p * remoteLat
+	innerBarrier := c.Supersteps * l
+	outerBarrier := c.Supersteps * l * m.MaxHops()
+	return wMax + comm + innerBarrier + outerBarrier
+}
+
+// All returns every baseline with default parameters.
+func All() []Model {
+	return []Model{PRAM{}, BSP{}, LogP{}, MemoryLogP{}, KappaNUMA{}}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,166 @@
+package models
+
+import (
+	"math"
+	"testing"
+
+	"numaperf/internal/exec"
+	"numaperf/internal/topology"
+	"numaperf/internal/workloads"
+)
+
+func runWL(t *testing.T, w workloads.Workload, threads int, mach *topology.Machine) *exec.Result {
+	t.Helper()
+	e, err := exec.NewEngine(exec.Config{Machine: mach, Threads: threads, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(w.Body())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCharacterize(t *testing.T) {
+	res := runWL(t, workloads.ParallelSort{Elements: 1 << 13}, 4, topology.TwoSocket())
+	c := Characterize(res)
+	if c.Ops == 0 || c.MemAccesses == 0 {
+		t.Fatalf("empty characterisation: %+v", c)
+	}
+	if c.Threads != 4 {
+		t.Errorf("threads = %d", c.Threads)
+	}
+	if c.Supersteps < 2 {
+		t.Errorf("supersteps = %g, want several (barrier rounds)", c.Supersteps)
+	}
+	if c.LocalFraction <= 0 || c.LocalFraction > 1 {
+		t.Errorf("local fraction = %g", c.LocalFraction)
+	}
+	if c.Imbalance < 1 {
+		t.Errorf("imbalance = %g, want ≥ 1", c.Imbalance)
+	}
+}
+
+func TestAllModelsPredictPositive(t *testing.T) {
+	res := runWL(t, workloads.Triad{Elements: 1 << 14}, 2, topology.TwoSocket())
+	c := Characterize(res)
+	m := topology.TwoSocket()
+	for _, model := range All() {
+		pred := model.PredictCycles(c, m)
+		if pred <= 0 || math.IsNaN(pred) || math.IsInf(pred, 0) {
+			t.Errorf("%s predicted %g", model.Name(), pred)
+		}
+		if model.Name() == "" {
+			t.Error("unnamed model")
+		}
+	}
+}
+
+func TestPRAMIgnoresMemory(t *testing.T) {
+	m := topology.TwoSocket()
+	c := Characterization{Ops: 1e6, Threads: 4, Imbalance: 1}
+	cheap := (PRAM{}).PredictCycles(c, m)
+	c.MemAccesses = 1e9 // PRAM cannot see this
+	expensive := (PRAM{}).PredictCycles(c, m)
+	if cheap != expensive {
+		t.Error("PRAM must be blind to memory accesses")
+	}
+	// Perfect speedup in P.
+	c2 := c
+	c2.Threads = 8
+	if (PRAM{}).PredictCycles(c2, m) >= (PRAM{}).PredictCycles(c, m) {
+		t.Error("PRAM must scale with threads")
+	}
+}
+
+func TestBSPChargesBarriers(t *testing.T) {
+	m := topology.TwoSocket()
+	base := Characterization{Ops: 1e6, Threads: 4, Imbalance: 1, Supersteps: 1}
+	many := base
+	many.Supersteps = 100
+	if (BSP{}).PredictCycles(many, m) <= (BSP{}).PredictCycles(base, m) {
+		t.Error("more supersteps must cost more under BSP")
+	}
+}
+
+func TestLogPChargesMessages(t *testing.T) {
+	m := topology.TwoSocket()
+	base := Characterization{Ops: 1e6, Threads: 4, Imbalance: 1}
+	chatty := base
+	chatty.Messages = 1e5
+	if (LogP{}).PredictCycles(chatty, m) <= (LogP{}).PredictCycles(base, m) {
+		t.Error("messages must cost under LogP")
+	}
+	// On UMA there is no remote latency; the default L falls back to
+	// local DRAM latency and still prices messages.
+	if (LogP{}).PredictCycles(chatty, topology.UMA()) <= (LogP{}).PredictCycles(base, topology.UMA()) {
+		t.Error("LogP on UMA")
+	}
+}
+
+func TestMemoryLogPChargesAccesses(t *testing.T) {
+	m := topology.TwoSocket()
+	base := Characterization{Ops: 1e6, Threads: 1, Imbalance: 1}
+	heavy := base
+	heavy.MemAccesses = 1e6
+	if (MemoryLogP{}).PredictCycles(heavy, m) <= (MemoryLogP{}).PredictCycles(base, m) {
+		t.Error("memory accesses must cost under Memory LogP")
+	}
+	// But it cannot distinguish cache-friendly from hostile patterns
+	// with equal access counts — the monolithic-model weakness.
+	if (MemoryLogP{}).PredictCycles(heavy, m) != (MemoryLogP{}).PredictCycles(heavy, m) {
+		t.Error("deterministic")
+	}
+}
+
+func TestKappaNUMAPricesTopology(t *testing.T) {
+	c := Characterization{Ops: 1e6, Threads: 4, Imbalance: 1, Supersteps: 10, Messages: 1e4}
+	flat := (KappaNUMA{}).PredictCycles(c, topology.TwoSocket())
+	deep := (KappaNUMA{}).PredictCycles(c, topology.EightSocketGlueless())
+	if deep <= flat {
+		t.Errorf("deeper topology must cost more: %g vs %g", deep, flat)
+	}
+}
+
+// The headline comparison: monolithic models cannot tell the
+// cache-friendly and cache-hostile traversals apart (same ops, same
+// access counts), while the actual costs differ hugely. This is the
+// motivating failure the two-step strategy fixes.
+func TestMonolithicModelsMissCacheBehaviour(t *testing.T) {
+	mach := topology.TwoSocket()
+	a := runWL(t, workloads.CacheMissA(512), 1, mach)
+	b := runWL(t, workloads.CacheMissB(512), 1, mach)
+	ca, cb := Characterize(a), Characterize(b)
+
+	actualRatio := float64(b.Cycles) / float64(a.Cycles)
+	if actualRatio < 1.4 {
+		t.Fatalf("precondition: B/A cycle ratio %.2f", actualRatio)
+	}
+	for _, model := range All() {
+		pa := model.PredictCycles(ca, mach)
+		pb := model.PredictCycles(cb, mach)
+		predictedRatio := pb / pa
+		// Characterisations are nearly identical, so each monolithic
+		// model predicts nearly identical costs — missing the real
+		// ratio by a wide margin.
+		if predictedRatio > actualRatio*0.8 {
+			t.Errorf("%s predicted ratio %.2f suspiciously close to actual %.2f — baseline too informed",
+				model.Name(), predictedRatio, actualRatio)
+		}
+	}
+}
+
+func TestModelsOnSingleSocket(t *testing.T) {
+	// Degenerate UMA machine: every model must still predict something
+	// positive and finite.
+	uma := topology.UMA()
+	c := Characterization{Ops: 1e6, MemAccesses: 1e5, Threads: 4,
+		Imbalance: 1, Supersteps: 2, Messages: 100, LocalFraction: 1}
+	for _, m := range All() {
+		p := m.PredictCycles(c, uma)
+		if p <= 0 || math.IsInf(p, 0) || math.IsNaN(p) {
+			t.Errorf("%s on UMA predicted %g", m.Name(), p)
+		}
+	}
+}

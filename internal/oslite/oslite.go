@@ -1,0 +1,242 @@
+// Package oslite is the minimal operating-system substrate under the
+// simulator: per-process virtual address spaces, NUMA page placement
+// policies (first-touch, interleave, bind — the policies numactl
+// exposes), and the procfs-equivalent memory-footprint accounting that
+// Phasenprüfer uses for phase detection ("the memory footprint,
+// obtained through procfs, is used to determine the phases").
+package oslite
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"numaperf/internal/topology"
+)
+
+// ErrOutOfMemory is returned when an allocation exceeds the machine's
+// total DRAM.
+var ErrOutOfMemory = errors.New("oslite: out of memory")
+
+// Policy selects how pages are assigned to NUMA nodes.
+type Policy int
+
+const (
+	// FirstTouch homes each page on the node of the core that first
+	// touches it (the Linux default).
+	FirstTouch Policy = iota
+	// Interleave distributes pages round-robin across all nodes.
+	Interleave
+	// Bind homes every page on one fixed node.
+	Bind
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case FirstTouch:
+		return "first-touch"
+	case Interleave:
+		return "interleave"
+	case Bind:
+		return "bind"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Buffer is a contiguous virtual allocation.
+type Buffer struct {
+	Base uint64
+	Size uint64
+}
+
+// Addr returns the virtual address at byte offset off; off must be
+// inside the buffer.
+func (b Buffer) Addr(off uint64) uint64 {
+	if off >= b.Size {
+		panic(fmt.Sprintf("oslite: offset %d outside buffer of %d bytes", off, b.Size))
+	}
+	return b.Base + off
+}
+
+// End returns the first address past the buffer.
+func (b Buffer) End() uint64 { return b.Base + b.Size }
+
+// FootprintSample is one point of the reserved-memory time series.
+type FootprintSample struct {
+	Cycle uint64
+	Bytes uint64
+}
+
+// Process is one simulated process: an address space with NUMA-aware
+// page placement and footprint history.
+type Process struct {
+	mach      *topology.Machine
+	pageShift uint
+	pageBytes uint64
+	pages     map[uint64]int16 // vpage → home node
+	policy    Policy
+	bindNode  int
+	ileave    int
+	brk       uint64
+	resident  uint64
+	limit     uint64
+	history   []FootprintSample
+	perNode   []uint64 // touched bytes per node
+}
+
+// NewProcess creates a process on the machine with the given placement
+// policy. bindNode is only used with Bind.
+func NewProcess(m *topology.Machine, policy Policy, bindNode int) (*Process, error) {
+	if policy == Bind && (bindNode < 0 || bindNode >= m.Sockets) {
+		return nil, fmt.Errorf("oslite: bind node %d out of range (%d sockets)", bindNode, m.Sockets)
+	}
+	p := &Process{
+		mach:      m,
+		pageBytes: uint64(m.PageBytes),
+		pages:     make(map[uint64]int16),
+		policy:    policy,
+		bindNode:  bindNode,
+		brk:       uint64(m.PageBytes), // keep page 0 unmapped
+		limit:     m.MemPerNode * uint64(m.Sockets),
+		perNode:   make([]uint64, m.Sockets),
+	}
+	for p.pageBytes>>p.pageShift > 1 {
+		p.pageShift++
+	}
+	p.history = append(p.history, FootprintSample{Cycle: 0, Bytes: 0})
+	return p, nil
+}
+
+// Policy returns the process placement policy.
+func (p *Process) Policy() Policy { return p.policy }
+
+// Alloc reserves size bytes (rounded up to whole pages) and records the
+// new footprint at the given cycle timestamp. Placement happens lazily
+// on first touch, exactly like anonymous mmap.
+func (p *Process) Alloc(size uint64, cycle uint64) (Buffer, error) {
+	if size == 0 {
+		return Buffer{}, errors.New("oslite: zero-size allocation")
+	}
+	pages := (size + p.pageBytes - 1) / p.pageBytes
+	bytes := pages * p.pageBytes
+	if p.resident+bytes > p.limit {
+		return Buffer{}, fmt.Errorf("%w: %d + %d exceeds %d", ErrOutOfMemory, p.resident, bytes, p.limit)
+	}
+	buf := Buffer{Base: p.brk, Size: size}
+	p.brk += bytes + p.pageBytes // guard page between allocations
+	p.resident += bytes
+	p.history = append(p.history, FootprintSample{Cycle: cycle, Bytes: p.resident})
+	return buf, nil
+}
+
+// Free releases the pages of a buffer and records the shrunk footprint.
+func (p *Process) Free(buf Buffer, cycle uint64) {
+	pages := (buf.Size + p.pageBytes - 1) / p.pageBytes
+	first := buf.Base >> p.pageShift
+	for i := uint64(0); i < pages; i++ {
+		if node, ok := p.pages[first+i]; ok {
+			p.perNode[node] -= p.pageBytes
+			delete(p.pages, first+i)
+		}
+	}
+	p.resident -= pages * p.pageBytes
+	p.history = append(p.history, FootprintSample{Cycle: cycle, Bytes: p.resident})
+}
+
+// HomeNode resolves the NUMA home of the page backing vaddr, placing
+// the page according to the policy if this is the first touch.
+// touchingNode is the node of the accessing core (first-touch input).
+func (p *Process) HomeNode(vaddr uint64, touchingNode int) int {
+	node, _ := p.HomeNodeFault(vaddr, touchingNode)
+	return node
+}
+
+// HomeNodeFault is HomeNode plus a flag reporting whether the access
+// faulted the page in (a minor page fault, counted as a software
+// event).
+func (p *Process) HomeNodeFault(vaddr uint64, touchingNode int) (int, bool) {
+	vpage := vaddr >> p.pageShift
+	if node, ok := p.pages[vpage]; ok {
+		return int(node), false
+	}
+	var node int
+	switch p.policy {
+	case Interleave:
+		node = p.ileave
+		p.ileave = (p.ileave + 1) % p.mach.Sockets
+	case Bind:
+		node = p.bindNode
+	default: // FirstTouch
+		node = touchingNode
+	}
+	p.pages[vpage] = int16(node)
+	p.perNode[node] += p.pageBytes
+	return node, true
+}
+
+// MovePages rebinds all already-touched pages of a buffer to the given
+// node, the equivalent of move_pages(2) used by NUMA-aware programs
+// such as the paper's SIFT implementation.
+func (p *Process) MovePages(buf Buffer, node int) error {
+	if node < 0 || node >= p.mach.Sockets {
+		return fmt.Errorf("oslite: node %d out of range", node)
+	}
+	pages := (buf.Size + p.pageBytes - 1) / p.pageBytes
+	first := buf.Base >> p.pageShift
+	for i := uint64(0); i < pages; i++ {
+		if old, ok := p.pages[first+i]; ok {
+			p.perNode[old] -= p.pageBytes
+		}
+		p.pages[first+i] = int16(node)
+		p.perNode[node] += p.pageBytes
+	}
+	return nil
+}
+
+// ResidentBytes returns the current reserved memory.
+func (p *Process) ResidentBytes() uint64 { return p.resident }
+
+// NodeBytes returns the touched bytes homed on each node, the
+// numastat-style view used to detect imbalanced placement.
+func (p *Process) NodeBytes() []uint64 {
+	out := make([]uint64, len(p.perNode))
+	copy(out, p.perNode)
+	return out
+}
+
+// History returns the raw footprint change events.
+func (p *Process) History() []FootprintSample {
+	out := make([]FootprintSample, len(p.history))
+	copy(out, p.history)
+	return out
+}
+
+// FootprintAt returns the reserved memory at the given cycle.
+func (p *Process) FootprintAt(cycle uint64) uint64 {
+	i := sort.Search(len(p.history), func(i int) bool {
+		return p.history[i].Cycle > cycle
+	})
+	if i == 0 {
+		return 0
+	}
+	return p.history[i-1].Bytes
+}
+
+// Series samples the footprint at a fixed cycle interval from 0 to
+// endCycle inclusive, producing the uniformly sampled curve a procfs
+// poller at a fixed frequency would record.
+func (p *Process) Series(endCycle, interval uint64) []FootprintSample {
+	if interval == 0 {
+		interval = 1
+	}
+	var out []FootprintSample
+	for c := uint64(0); ; c += interval {
+		out = append(out, FootprintSample{Cycle: c, Bytes: p.FootprintAt(c)})
+		if c >= endCycle {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,249 @@
+package oslite
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"numaperf/internal/topology"
+)
+
+func newProc(t *testing.T, pol Policy, bind int) *Process {
+	t.Helper()
+	p, err := NewProcess(topology.DL580Gen9(), pol, bind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAllocBasics(t *testing.T) {
+	p := newProc(t, FirstTouch, 0)
+	buf, err := p.Alloc(10000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Size != 10000 {
+		t.Errorf("size = %d", buf.Size)
+	}
+	if buf.Base == 0 {
+		t.Error("page 0 must stay unmapped")
+	}
+	// Rounded to 3 pages.
+	if p.ResidentBytes() != 3*4096 {
+		t.Errorf("resident = %d, want %d", p.ResidentBytes(), 3*4096)
+	}
+	if buf.Addr(0) != buf.Base || buf.Addr(9999) != buf.Base+9999 {
+		t.Error("Addr arithmetic")
+	}
+	if buf.End() != buf.Base+10000 {
+		t.Error("End")
+	}
+}
+
+func TestAllocGuardsAndErrors(t *testing.T) {
+	p := newProc(t, FirstTouch, 0)
+	a, _ := p.Alloc(4096, 0)
+	b, _ := p.Alloc(4096, 0)
+	if b.Base <= a.End() {
+		t.Error("allocations must be separated by a guard page")
+	}
+	if _, err := p.Alloc(0, 0); err == nil {
+		t.Error("zero-size alloc must fail")
+	}
+	if _, err := p.Alloc(1<<60, 0); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("oversize alloc: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Addr must panic")
+		}
+	}()
+	a.Addr(4096)
+}
+
+func TestFirstTouchPolicy(t *testing.T) {
+	p := newProc(t, FirstTouch, 0)
+	buf, _ := p.Alloc(8192, 0)
+	if n := p.HomeNode(buf.Addr(0), 2); n != 2 {
+		t.Errorf("first touch by node 2 homed on %d", n)
+	}
+	// Second touch by another node must not move the page.
+	if n := p.HomeNode(buf.Addr(0), 3); n != 2 {
+		t.Errorf("second touch moved page to %d", n)
+	}
+	// Different page, different toucher.
+	if n := p.HomeNode(buf.Addr(4096), 1); n != 1 {
+		t.Errorf("page 2 homed on %d", n)
+	}
+	nb := p.NodeBytes()
+	if nb[1] != 4096 || nb[2] != 4096 {
+		t.Errorf("NodeBytes = %v", nb)
+	}
+}
+
+func TestInterleavePolicy(t *testing.T) {
+	p := newProc(t, Interleave, 0)
+	buf, _ := p.Alloc(4*4096, 0)
+	seen := make(map[int]bool)
+	for i := uint64(0); i < 4; i++ {
+		seen[p.HomeNode(buf.Addr(i*4096), 0)] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("interleave touched %d nodes, want 4", len(seen))
+	}
+}
+
+func TestBindPolicy(t *testing.T) {
+	p := newProc(t, Bind, 3)
+	buf, _ := p.Alloc(8192, 0)
+	for i := uint64(0); i < 2; i++ {
+		if n := p.HomeNode(buf.Addr(i*4096), 0); n != 3 {
+			t.Errorf("bound page on node %d", n)
+		}
+	}
+	if _, err := NewProcess(topology.DL580Gen9(), Bind, 99); err == nil {
+		t.Error("bind to invalid node must fail")
+	}
+}
+
+func TestMovePages(t *testing.T) {
+	p := newProc(t, FirstTouch, 0)
+	buf, _ := p.Alloc(3*4096, 0)
+	for i := uint64(0); i < 3; i++ {
+		p.HomeNode(buf.Addr(i*4096), 0)
+	}
+	if err := p.MovePages(buf, 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 3; i++ {
+		if n := p.HomeNode(buf.Addr(i*4096), 0); n != 2 {
+			t.Errorf("page %d on node %d after move", i, n)
+		}
+	}
+	nb := p.NodeBytes()
+	if nb[0] != 0 || nb[2] != 3*4096 {
+		t.Errorf("NodeBytes = %v", nb)
+	}
+	if err := p.MovePages(buf, -1); err == nil {
+		t.Error("invalid target node must fail")
+	}
+}
+
+func TestFootprintHistory(t *testing.T) {
+	p := newProc(t, FirstTouch, 0)
+	p.Alloc(4096, 100)
+	p.Alloc(2*4096, 200)
+	b3, _ := p.Alloc(4096, 300)
+	p.Free(b3, 400)
+
+	if got := p.FootprintAt(0); got != 0 {
+		t.Errorf("footprint(0) = %d", got)
+	}
+	if got := p.FootprintAt(150); got != 4096 {
+		t.Errorf("footprint(150) = %d", got)
+	}
+	if got := p.FootprintAt(250); got != 3*4096 {
+		t.Errorf("footprint(250) = %d", got)
+	}
+	if got := p.FootprintAt(350); got != 4*4096 {
+		t.Errorf("footprint(350) = %d", got)
+	}
+	if got := p.FootprintAt(1000); got != 3*4096 {
+		t.Errorf("footprint after free = %d", got)
+	}
+
+	series := p.Series(400, 100)
+	if len(series) != 5 {
+		t.Fatalf("series has %d samples", len(series))
+	}
+	if series[4].Bytes != 3*4096 {
+		t.Errorf("last sample = %d", series[4].Bytes)
+	}
+	// Monotone cycle axis.
+	for i := 1; i < len(series); i++ {
+		if series[i].Cycle <= series[i-1].Cycle {
+			t.Error("series cycles must increase")
+		}
+	}
+}
+
+func TestFreeUntouchedPages(t *testing.T) {
+	p := newProc(t, FirstTouch, 0)
+	buf, _ := p.Alloc(2*4096, 0)
+	p.HomeNode(buf.Addr(0), 1) // touch only the first page
+	p.Free(buf, 10)
+	if p.ResidentBytes() != 0 {
+		t.Errorf("resident = %d after free", p.ResidentBytes())
+	}
+	if nb := p.NodeBytes(); nb[1] != 0 {
+		t.Errorf("NodeBytes after free = %v", nb)
+	}
+}
+
+func TestSeriesZeroInterval(t *testing.T) {
+	p := newProc(t, FirstTouch, 0)
+	s := p.Series(3, 0) // interval clamped to 1
+	if len(s) != 4 {
+		t.Errorf("series = %d samples, want 4", len(s))
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	for _, pol := range []Policy{FirstTouch, Interleave, Bind} {
+		if s := pol.String(); s == "" || strings.HasPrefix(s, "Policy") {
+			t.Errorf("policy %d has no name", int(pol))
+		}
+	}
+	if Policy(42).String() != "Policy(42)" {
+		t.Error("unknown policy string")
+	}
+}
+
+func TestHistoryIsCopy(t *testing.T) {
+	p := newProc(t, FirstTouch, 0)
+	p.Alloc(4096, 5)
+	h := p.History()
+	h[0].Bytes = 999999
+	if p.History()[0].Bytes == 999999 {
+		t.Error("History must return a copy")
+	}
+}
+
+// Property: NodeBytes always sums to the number of touched pages times
+// the page size, across arbitrary touch/move/free sequences.
+func TestNodeBytesConservation(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := newProc(t, Interleave, 0)
+		buf, err := p.Alloc(64*4096, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		touched := map[uint64]bool{}
+		for i := 0; i < 200; i++ {
+			switch rng.Intn(3) {
+			case 0, 1:
+				page := uint64(rng.Intn(64))
+				p.HomeNode(buf.Addr(page*4096), rng.Intn(4))
+				touched[page] = true
+			case 2:
+				if err := p.MovePages(buf, rng.Intn(4)); err != nil {
+					t.Fatal(err)
+				}
+				// MovePages touches every page of the buffer.
+				for pg := uint64(0); pg < 64; pg++ {
+					touched[pg] = true
+				}
+			}
+		}
+		var sum uint64
+		for _, b := range p.NodeBytes() {
+			sum += b
+		}
+		if want := uint64(len(touched)) * 4096; sum != want {
+			t.Fatalf("seed %d: NodeBytes sum %d, want %d", seed, sum, want)
+		}
+	}
+}

@@ -1,0 +1,306 @@
+// Package perf is the measurement layer on top of the simulator,
+// playing the role Linux perf plays for the paper's tools. It models
+// the constraint that makes EvSel's design interesting — only a few
+// programmable PMU registers exist per core — and offers the two ways
+// around it: register batching across repeated runs (EvSel's choice)
+// and time multiplexing within one run (what perf does by default, and
+// what the paper argues against when many counters are wanted). It
+// also implements the PEBS-style load-latency threshold sampling that
+// Memhist consumes and the time-sliced counter series Phasenprüfer
+// attributes to phases.
+package perf
+
+import (
+	"errors"
+	"fmt"
+
+	"numaperf/internal/counters"
+	"numaperf/internal/exec"
+)
+
+// Mode selects how events beyond the register budget are measured.
+type Mode int
+
+const (
+	// Batched programs one register batch per run and repeats the
+	// program until all batches are measured ("EvSel avoids event
+	// cycling by measuring batches of registers sequentially").
+	Batched Mode = iota
+	// Multiplexed rotates event groups on the registers during a
+	// single run and scales each group's counts by its duty cycle,
+	// which adds extrapolation error on non-stationary workloads.
+	Multiplexed
+	// Unlimited ignores the register budget (not possible on real
+	// hardware; useful for tests and for ground-truth comparisons).
+	Unlimited
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Batched:
+		return "batched"
+	case Multiplexed:
+		return "multiplexed"
+	case Unlimited:
+		return "unlimited"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// uncoreRegisters is the per-socket uncore PMU budget.
+const uncoreRegisters = 4
+
+// MuxQuantumCycles is the multiplexing rotation interval (~0.1 ms at
+// 2.4 GHz), chosen so even short runs rotate through all groups.
+const MuxQuantumCycles = 250_000
+
+// Measurement holds per-event samples collected over repeated runs.
+type Measurement struct {
+	// Samples maps each requested event to one value per repetition.
+	Samples map[counters.EventID][]float64
+	// Runs is the number of program executions consumed.
+	Runs int
+	// Batches is the number of register batches per repetition.
+	Batches int
+	// Mode records how the measurement was taken.
+	Mode Mode
+}
+
+// Mean returns the sample mean for an event.
+func (m *Measurement) Mean(id counters.EventID) float64 {
+	s := m.Samples[id]
+	if len(s) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	return sum / float64(len(s))
+}
+
+// Events returns the measured event IDs in ascending order.
+func (m *Measurement) Events() []counters.EventID {
+	out := make([]counters.EventID, 0, len(m.Samples))
+	for id := counters.EventID(0); id < counters.NumEvents; id++ {
+		if _, ok := m.Samples[id]; ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// splitByDomain partitions the requested events by PMU domain.
+func splitByDomain(events []counters.EventID) (fixed, core, uncore []counters.EventID) {
+	for _, id := range events {
+		switch counters.Def(id).Domain {
+		case counters.DomainFixed, counters.DomainSoftware:
+			// Neither fixed nor software events occupy a programmable
+			// register; they are readable in every run.
+			fixed = append(fixed, id)
+		case counters.DomainUncore:
+			uncore = append(uncore, id)
+		default:
+			core = append(core, id)
+		}
+	}
+	return fixed, core, uncore
+}
+
+func batchesOf(ids []counters.EventID, size int) [][]counters.EventID {
+	if len(ids) == 0 {
+		return nil
+	}
+	var out [][]counters.EventID
+	for start := 0; start < len(ids); start += size {
+		end := start + size
+		if end > len(ids) {
+			end = len(ids)
+		}
+		out = append(out, ids[start:end])
+	}
+	return out
+}
+
+// Measure runs the body under the engine repeatedly and collects `reps`
+// samples for every requested event, honouring the machine's PMU
+// register budget according to the mode.
+func Measure(e *exec.Engine, body func(*exec.Thread), events []counters.EventID, reps int, mode Mode) (*Measurement, error) {
+	if reps <= 0 {
+		return nil, errors.New("perf: need at least one repetition")
+	}
+	if len(events) == 0 {
+		return nil, errors.New("perf: no events requested")
+	}
+	switch mode {
+	case Batched:
+		return measureBatched(e, body, events, reps)
+	case Multiplexed:
+		return measureMultiplexed(e, body, events, reps)
+	case Unlimited:
+		return measureUnlimited(e, body, events, reps)
+	default:
+		return nil, fmt.Errorf("perf: unknown mode %v", mode)
+	}
+}
+
+// MeasureAll measures the entire event database, EvSel style.
+func MeasureAll(e *exec.Engine, body func(*exec.Thread), reps int, mode Mode) (*Measurement, error) {
+	all := make([]counters.EventID, counters.NumEvents)
+	for i := range all {
+		all[i] = counters.EventID(i)
+	}
+	return Measure(e, body, all, reps, mode)
+}
+
+func measureUnlimited(e *exec.Engine, body func(*exec.Thread), events []counters.EventID, reps int) (*Measurement, error) {
+	m := &Measurement{Samples: make(map[counters.EventID][]float64, len(events)), Mode: Unlimited, Batches: 1}
+	for r := 0; r < reps; r++ {
+		res, err := e.Run(body)
+		if err != nil {
+			return nil, err
+		}
+		m.Runs++
+		for _, id := range events {
+			m.Samples[id] = append(m.Samples[id], float64(res.Total.Get(id)))
+		}
+	}
+	return m, nil
+}
+
+func measureBatched(e *exec.Engine, body func(*exec.Thread), events []counters.EventID, reps int) (*Measurement, error) {
+	fixed, core, uncore := splitByDomain(events)
+	k := e.Config().Machine.PMU.ProgrammableCounters
+	coreBatches := batchesOf(core, k)
+	uncoreBatches := batchesOf(uncore, uncoreRegisters)
+	nBatches := len(coreBatches)
+	if len(uncoreBatches) > nBatches {
+		nBatches = len(uncoreBatches)
+	}
+	if nBatches == 0 {
+		nBatches = 1
+	}
+	m := &Measurement{Samples: make(map[counters.EventID][]float64, len(events)), Mode: Batched, Batches: nBatches}
+	for r := 0; r < reps; r++ {
+		for b := 0; b < nBatches; b++ {
+			res, err := e.Run(body)
+			if err != nil {
+				return nil, err
+			}
+			m.Runs++
+			visible := fixed
+			if b < len(coreBatches) {
+				visible = append(append([]counters.EventID{}, visible...), coreBatches[b]...)
+			}
+			if b < len(uncoreBatches) {
+				visible = append(append([]counters.EventID{}, visible...), uncoreBatches[b]...)
+			}
+			for _, id := range visible {
+				m.Samples[id] = append(m.Samples[id], float64(res.Total.Get(id)))
+			}
+		}
+	}
+	// Fixed counters were sampled once per run; keep only one sample
+	// per repetition so every event ends up with exactly `reps`
+	// samples.
+	for _, id := range fixed {
+		s := m.Samples[id]
+		kept := make([]float64, 0, reps)
+		for i := 0; i < len(s); i += nBatches {
+			kept = append(kept, s[i])
+		}
+		m.Samples[id] = kept
+	}
+	return m, nil
+}
+
+// measureMultiplexed rotates event groups during each run using the
+// engine's post-chunk hook, attributing counter deltas to the group
+// active in each quantum and scaling by the duty cycle at the end —
+// perf's default behaviour when events exceed registers.
+func measureMultiplexed(e *exec.Engine, body func(*exec.Thread), events []counters.EventID, reps int) (*Measurement, error) {
+	fixed, core, uncore := splitByDomain(events)
+	k := e.Config().Machine.PMU.ProgrammableCounters
+	groups := batchesOf(core, k)
+	// Uncore groups rotate alongside the core groups.
+	ugroups := batchesOf(uncore, uncoreRegisters)
+	nGroups := len(groups)
+	if len(ugroups) > nGroups {
+		nGroups = len(ugroups)
+	}
+	if nGroups == 0 {
+		nGroups = 1
+	}
+	m := &Measurement{Samples: make(map[counters.EventID][]float64, len(events)), Mode: Multiplexed, Batches: nGroups}
+
+	for r := 0; r < reps; r++ {
+		acc := make([]float64, counters.NumEvents) // per-event accumulated counts while visible
+		quanta := make([]uint64, nGroups)          // quanta observed per group
+		last := counters.NewCounts()               // counter snapshot at last rotation
+		var lastCycle uint64                       // cycle at last rotation
+		group := 0                                 // active group
+		sim := e.Sim()
+
+		rotate := func() {
+			now := sim.TotalCounts()
+			cyc := sim.MaxCycles()
+			if cyc <= lastCycle {
+				return
+			}
+			attr := func(ids []counters.EventID) {
+				for _, id := range ids {
+					acc[id] += float64(now.Get(id) - last.Get(id))
+				}
+			}
+			if group < len(groups) {
+				attr(groups[group])
+			}
+			if group < len(ugroups) {
+				attr(ugroups[group])
+			}
+			quanta[group]++
+			last = now
+			lastCycle = cyc
+			group = (group + 1) % nGroups
+		}
+		e.SetPostChunkHook(func() {
+			if sim.MaxCycles()-lastCycle >= MuxQuantumCycles {
+				rotate()
+			}
+		})
+		res, err := e.Run(body)
+		e.SetPostChunkHook(nil)
+		if err != nil {
+			return nil, err
+		}
+		rotate() // close the final quantum
+		m.Runs++
+
+		var totalQuanta uint64
+		for _, q := range quanta {
+			totalQuanta += q
+		}
+		for gi := 0; gi < nGroups; gi++ {
+			scale := 1.0
+			if quanta[gi] > 0 {
+				scale = float64(totalQuanta) / float64(quanta[gi])
+			}
+			if gi < len(groups) {
+				for _, id := range groups[gi] {
+					m.Samples[id] = append(m.Samples[id], acc[id]*scale)
+				}
+			}
+			if gi < len(ugroups) {
+				for _, id := range ugroups[gi] {
+					m.Samples[id] = append(m.Samples[id], acc[id]*scale)
+				}
+			}
+		}
+		for _, id := range fixed {
+			m.Samples[id] = append(m.Samples[id], float64(res.Total.Get(id)))
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,171 @@
+package perf
+
+import (
+	"errors"
+
+	"numaperf/internal/counters"
+	"numaperf/internal/exec"
+)
+
+// LatencyRecord is one PEBS-style sample of a retired load.
+type LatencyRecord struct {
+	Core    int
+	Addr    uint64
+	Latency uint64
+}
+
+// CaptureLatencies runs the body once and records every period-th
+// retired load with its use latency — the idealised, full-information
+// view of the PEBS load-latency facility. Real hardware cannot deliver
+// this for period 1 at full speed; Memhist therefore uses
+// CountAboveThresholds instead, and this function serves as the ground
+// truth the tool's histogram is validated against.
+func CaptureLatencies(e *exec.Engine, body func(*exec.Thread), period uint64) ([]LatencyRecord, *exec.Result, error) {
+	if period == 0 {
+		period = 1
+	}
+	var records []LatencyRecord
+	var n uint64
+	sim := e.Sim()
+	sim.SetLoadObserver(func(core int, addr uint64, lat uint64) {
+		n++
+		if n%period == 0 {
+			records = append(records, LatencyRecord{Core: core, Addr: addr, Latency: lat})
+		}
+	})
+	res, err := e.Run(body)
+	sim.SetLoadObserver(nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return records, res, nil
+}
+
+// ThresholdCounts is the outcome of one time-cycled threshold sweep.
+type ThresholdCounts struct {
+	// Thresholds are the programmed latency thresholds, ascending.
+	Thresholds []uint64
+	// Estimated[k] is the scaled estimate of how many loads had use
+	// latency ≥ Thresholds[k] during the whole run.
+	Estimated []float64
+	// Observed[k] is the raw count collected while threshold k was
+	// active (before duty-cycle scaling).
+	Observed []uint64
+	// ActiveCycles[k] is how long threshold k was programmed.
+	ActiveCycles []uint64
+	// TotalCycles is the run duration.
+	TotalCycles uint64
+}
+
+// CountAboveThresholds measures, in a single run, how many retired
+// loads exceed each latency threshold. Only one PEBS load-latency
+// event can be programmed at a time, so the thresholds are time-cycled:
+// every sliceCycles the active threshold rotates (Memhist cycles with a
+// frequency of 100 Hz, i.e. 10 ms slices). Each threshold's raw count
+// is scaled by the inverse of its duty cycle. Because different
+// thresholds observe different time windows of a non-stationary
+// program, interval subtraction downstream can produce the negative
+// event occurrences the paper describes as an unavoidable error.
+func CountAboveThresholds(e *exec.Engine, body func(*exec.Thread), thresholds []uint64, sliceCycles uint64) (*ThresholdCounts, error) {
+	if len(thresholds) == 0 {
+		return nil, errors.New("perf: no thresholds")
+	}
+	for i := 1; i < len(thresholds); i++ {
+		if thresholds[i] <= thresholds[i-1] {
+			return nil, errors.New("perf: thresholds must be strictly ascending")
+		}
+	}
+	if sliceCycles == 0 {
+		return nil, errors.New("perf: zero slice length")
+	}
+	tc := &ThresholdCounts{
+		Thresholds:   thresholds,
+		Estimated:    make([]float64, len(thresholds)),
+		Observed:     make([]uint64, len(thresholds)),
+		ActiveCycles: make([]uint64, len(thresholds)),
+	}
+	sim := e.Sim()
+	active := 0
+	var lastRotate uint64
+	rotate := func() {
+		now := sim.MaxCycles()
+		tc.ActiveCycles[active] += now - lastRotate
+		lastRotate = now
+		active = (active + 1) % len(thresholds)
+	}
+	sim.SetLoadObserver(func(core int, addr uint64, lat uint64) {
+		if lat >= thresholds[active] {
+			tc.Observed[active]++
+		}
+	})
+	e.SetPostChunkHook(func() {
+		if sim.MaxCycles()-lastRotate >= sliceCycles {
+			rotate()
+		}
+	})
+	_, err := e.Run(body)
+	sim.SetLoadObserver(nil)
+	e.SetPostChunkHook(nil)
+	if err != nil {
+		return nil, err
+	}
+	// Close the final slice.
+	now := sim.MaxCycles()
+	tc.ActiveCycles[active] += now - lastRotate
+	tc.TotalCycles = now
+	for k := range thresholds {
+		if tc.ActiveCycles[k] == 0 {
+			continue // threshold never scheduled: estimate stays 0
+		}
+		tc.Estimated[k] = float64(tc.Observed[k]) * float64(tc.TotalCycles) / float64(tc.ActiveCycles[k])
+	}
+	return tc, nil
+}
+
+// Slice is one time slice of a counter recording.
+type Slice struct {
+	// EndCycle is the cycle at which the slice closed.
+	EndCycle uint64
+	// Deltas are the counter increments within the slice.
+	Deltas counters.Counts
+}
+
+// TimeSeries runs the body once, snapshotting all counters every
+// sliceCycles. Phasenprüfer attributes these slices to the execution
+// phases found in the footprint curve.
+func TimeSeries(e *exec.Engine, body func(*exec.Thread), sliceCycles uint64) ([]Slice, *exec.Result, error) {
+	if sliceCycles == 0 {
+		return nil, nil, errors.New("perf: zero slice length")
+	}
+	sim := e.Sim()
+	var slices []Slice
+	last := counters.NewCounts()
+	var lastCycle uint64
+	snap := func() {
+		now := sim.MaxCycles()
+		if now <= lastCycle {
+			return
+		}
+		cur := sim.TotalCounts()
+		delta := cur.Clone()
+		for i := range delta {
+			delta[i] -= last[i]
+		}
+		slices = append(slices, Slice{EndCycle: now, Deltas: delta})
+		last = cur
+		lastCycle = now
+	}
+	e.SetPostChunkHook(func() {
+		if sim.MaxCycles()-lastCycle >= sliceCycles {
+			snap()
+		}
+	})
+	res, err := e.Run(body)
+	e.SetPostChunkHook(nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	sim.Finalize() // idempotent; ensures cycle counters are in the tail slice
+	snap()
+	return slices, res, nil
+}

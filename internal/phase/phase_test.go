@@ -1,0 +1,364 @@
+package phase
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"numaperf/internal/counters"
+	"numaperf/internal/exec"
+	"numaperf/internal/oslite"
+	"numaperf/internal/perf"
+	"numaperf/internal/topology"
+	"numaperf/internal/workloads"
+)
+
+// syntheticSeries builds a footprint with the given slopes and segment
+// length, plus deterministic noise.
+func syntheticSeries(slopes []float64, perSegment int, noise float64, seed int64) []oslite.FootprintSample {
+	rng := rand.New(rand.NewSource(seed))
+	var out []oslite.FootprintSample
+	y := 1000.0
+	c := uint64(0)
+	for _, sl := range slopes {
+		for i := 0; i < perSegment; i++ {
+			val := y + noise*rng.NormFloat64()
+			if val < 0 {
+				val = 0
+			}
+			out = append(out, oslite.FootprintSample{Cycle: c, Bytes: uint64(val)})
+			y += sl * 100
+			c += 100
+		}
+	}
+	return out
+}
+
+func TestDetectTwoPhasesFindsPivot(t *testing.T) {
+	// Ramp-up (steep slope) then computation (flat), the Fig. 7 case.
+	samples := syntheticSeries([]float64{50, 0}, 50, 200, 1)
+	sp, err := DetectTwoPhases(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Segments) != 2 {
+		t.Fatalf("%d segments", len(sp.Segments))
+	}
+	pivot := sp.Segments[0].End
+	if pivot < 45 || pivot > 55 {
+		t.Errorf("pivot at sample %d, want ≈ 50", pivot)
+	}
+	if sp.Segments[0].Slope <= sp.Segments[1].Slope {
+		t.Error("ramp-up slope must exceed computation slope")
+	}
+	if math.Abs(sp.Segments[1].Slope) > 0.2 {
+		t.Errorf("computation slope = %g, want ≈ 0", sp.Segments[1].Slope)
+	}
+	if len(sp.Boundaries()) != 1 {
+		t.Error("one boundary expected")
+	}
+}
+
+func TestDetectTwoPhasesErrors(t *testing.T) {
+	if _, err := DetectTwoPhases(syntheticSeries([]float64{1}, 3, 0, 1)); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDetectPhasesMatchesTwoPhase(t *testing.T) {
+	samples := syntheticSeries([]float64{40, 2}, 40, 150, 3)
+	two, err := DetectTwoPhases(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := DetectPhases(samples, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.Segments[0].End != k2.Segments[0].End {
+		t.Errorf("pivot mismatch: %d vs %d", two.Segments[0].End, k2.Segments[0].End)
+	}
+	if math.Abs(two.TotalSSE-k2.TotalSSE) > 1e-6*(1+two.TotalSSE) {
+		t.Errorf("SSE mismatch: %g vs %g", two.TotalSSE, k2.TotalSSE)
+	}
+}
+
+func TestDetectKPhasesStaircase(t *testing.T) {
+	// A BSP staircase: alloc, compute, alloc, compute (4 phases).
+	samples := syntheticSeries([]float64{60, 0, 60, 0}, 30, 100, 5)
+	sp, err := DetectPhases(samples, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Segments) != 4 {
+		t.Fatalf("%d segments", len(sp.Segments))
+	}
+	// Boundaries near 30, 60, 90.
+	for i, want := range []int{30, 60, 90} {
+		got := sp.Segments[i].End
+		if got < want-6 || got > want+6 {
+			t.Errorf("boundary %d at %d, want ≈ %d", i, got, want)
+		}
+	}
+	// Slopes alternate steep/flat.
+	for i, seg := range sp.Segments {
+		if i%2 == 0 && seg.Slope < 0.2 {
+			t.Errorf("segment %d slope %g, want steep", i, seg.Slope)
+		}
+		if i%2 == 1 && math.Abs(seg.Slope) > 0.2 {
+			t.Errorf("segment %d slope %g, want flat", i, seg.Slope)
+		}
+	}
+}
+
+func TestDetectPhasesEdgeCases(t *testing.T) {
+	samples := syntheticSeries([]float64{10}, 10, 0, 1)
+	if _, err := DetectPhases(samples, 0); err == nil {
+		t.Error("k=0 must fail")
+	}
+	if _, err := DetectPhases(samples, 6); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("infeasible k: %v", err)
+	}
+	one, err := DetectPhases(samples, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one.Segments) != 1 || one.Segments[0].Samples() != 10 {
+		t.Errorf("k=1: %+v", one.Segments)
+	}
+}
+
+// Property: more segments never increase the total SSE.
+func TestDPMonotoneSSE(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		slopes := []float64{rng.Float64() * 50, rng.Float64() * 5, rng.Float64() * 50}
+		samples := syntheticSeries(slopes, 15, 100*rng.Float64(), seed)
+		s2, err2 := DetectPhases(samples, 2)
+		s3, err3 := DetectPhases(samples, 3)
+		if err2 != nil || err3 != nil {
+			return false
+		}
+		return s3.TotalSSE <= s2.TotalSSE+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the exhaustive two-phase pivot is optimal — no other pivot
+// has lower SSE.
+func TestTwoPhaseOptimality(t *testing.T) {
+	f := func(seed int64) bool {
+		samples := syntheticSeries([]float64{30, 1}, 20, 300, seed)
+		sp, err := DetectTwoPhases(samples)
+		if err != nil {
+			return false
+		}
+		p := newPrefixSums(samples)
+		n := len(samples)
+		for pivot := minSegment; pivot <= n-minSegment; pivot++ {
+			_, _, a := p.fit(0, pivot)
+			_, _, b := p.fit(pivot, n)
+			if a+b < sp.TotalSSE-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefixSumsMatchDirectFit(t *testing.T) {
+	samples := syntheticSeries([]float64{25}, 30, 500, 9)
+	p := newPrefixSums(samples)
+	slope, intercept, sse := p.fit(0, len(samples))
+	// Direct least squares for comparison.
+	var sx, sy, sxx, sxy float64
+	n := float64(len(samples))
+	for _, s := range samples {
+		x, y := float64(s.Cycle), float64(s.Bytes)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	dslope := (sxy - sx*sy/n) / (sxx - sx*sx/n)
+	dintercept := (sy - dslope*sx) / n
+	if math.Abs(slope-dslope) > 1e-9*(1+math.Abs(dslope)) {
+		t.Errorf("slope %g vs direct %g", slope, dslope)
+	}
+	if math.Abs(intercept-dintercept) > 1e-6*(1+math.Abs(dintercept)) {
+		t.Errorf("intercept %g vs direct %g", intercept, dintercept)
+	}
+	var dsse float64
+	for _, s := range samples {
+		r := float64(s.Bytes) - (dslope*float64(s.Cycle) + dintercept)
+		dsse += r * r
+	}
+	if math.Abs(sse-dsse) > 1e-3*(1+dsse) {
+		t.Errorf("sse %g vs direct %g", sse, dsse)
+	}
+}
+
+func TestFitDegenerateXRange(t *testing.T) {
+	samples := []oslite.FootprintSample{{Cycle: 5, Bytes: 10}, {Cycle: 5, Bytes: 20}}
+	p := newPrefixSums(samples)
+	slope, intercept, _ := p.fit(0, 2)
+	if slope != 0 || intercept != 15 {
+		t.Errorf("degenerate fit: slope=%g intercept=%g", slope, intercept)
+	}
+}
+
+func TestSampleHistory(t *testing.T) {
+	hist := []oslite.FootprintSample{
+		{Cycle: 0, Bytes: 0},
+		{Cycle: 100, Bytes: 1000},
+		{Cycle: 250, Bytes: 3000},
+	}
+	s := SampleHistory(hist, 400, 100)
+	if len(s) != 5 {
+		t.Fatalf("%d samples", len(s))
+	}
+	wants := []uint64{0, 1000, 1000, 3000, 3000}
+	for i, w := range wants {
+		if s[i].Bytes != w {
+			t.Errorf("sample %d = %d, want %d", i, s[i].Bytes, w)
+		}
+	}
+	// Zero interval is clamped.
+	if got := SampleHistory(hist, 2, 0); len(got) != 3 {
+		t.Errorf("clamped interval: %d samples", len(got))
+	}
+}
+
+func TestAttribute(t *testing.T) {
+	mk := func(end uint64, loads uint64) perf.Slice {
+		d := counters.NewCounts()
+		d[counters.AllLoads] = loads
+		return perf.Slice{EndCycle: end, Deltas: d}
+	}
+	slices := []perf.Slice{mk(100, 1), mk(200, 2), mk(300, 4), mk(400, 8)}
+	phases := Attribute(slices, []uint64{250})
+	if len(phases) != 2 {
+		t.Fatalf("%d phases", len(phases))
+	}
+	if phases[0].Get(counters.AllLoads) != 3 {
+		t.Errorf("phase 0 loads = %d, want 3", phases[0].Get(counters.AllLoads))
+	}
+	if phases[1].Get(counters.AllLoads) != 12 {
+		t.Errorf("phase 1 loads = %d, want 12", phases[1].Get(counters.AllLoads))
+	}
+}
+
+func TestAnalyzePhasedApp(t *testing.T) {
+	e, err := exec.NewEngine(exec.Config{
+		Machine: topology.TwoSocket(),
+		Threads: 2,
+		Seed:    13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := workloads.PhasedApp{RampChunks: 24, ChunkBytes: 128 << 10, ComputePasses: 4}
+	rep, err := Analyze(e, wl.Body(), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Split.Segments) != 2 {
+		t.Fatalf("%d phases", len(rep.Split.Segments))
+	}
+	ramp, comp := rep.Split.Segments[0], rep.Split.Segments[1]
+	if ramp.Slope <= 0 {
+		t.Errorf("ramp-up slope %g, want positive", ramp.Slope)
+	}
+	if comp.Slope > ramp.Slope/4 {
+		t.Errorf("computation slope %g vs ramp %g, want much flatter", comp.Slope, ramp.Slope)
+	}
+	// The ramp-up phase is store/alloc heavy; computation is load
+	// heavy.
+	rampStores := rep.PhaseCounts[0].Get(counters.AllStores)
+	compLoads := rep.PhaseCounts[1].Get(counters.AllLoads)
+	if rampStores == 0 || compLoads == 0 {
+		t.Fatalf("phase counters empty: stores=%d loads=%d", rampStores, compLoads)
+	}
+	if rep.PhaseCounts[0].Get(counters.AllStores) < rep.PhaseCounts[1].Get(counters.AllStores) {
+		t.Error("stores must concentrate in the ramp-up phase")
+	}
+	if rep.PhaseCounts[1].Get(counters.AllLoads) < rep.PhaseCounts[0].Get(counters.AllLoads) {
+		t.Error("loads must concentrate in the computation phase")
+	}
+	out := rep.Render()
+	for _, want := range []string{"phase 1", "ramp-up", "phase 2", "slope"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+	if len(rep.TopEvents(0, 3)) > 3 {
+		t.Error("TopEvents cap")
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	e, err := exec.NewEngine(exec.Config{Machine: topology.TwoSocket(), Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := workloads.Triad{Elements: 1024}.Body()
+	if _, err := Analyze(e, body, -1, 0); err == nil {
+		t.Error("k<0 must fail")
+	}
+	bad := func(t *exec.Thread) { panic("x") }
+	if _, err := Analyze(e, bad, 2, 0); err == nil {
+		t.Error("workload failure must propagate")
+	}
+}
+
+func TestDetectAutoPhases(t *testing.T) {
+	// A 4-phase staircase with noise: BIC should land on (or near) 4.
+	samples := syntheticSeries([]float64{60, 0, 60, 0}, 30, 120, 11)
+	sp, err := DetectAutoPhases(samples, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sp.Segments); got != 4 {
+		t.Errorf("auto-k chose %d phases, want 4", got)
+	}
+	// A single-slope series must not be oversegmented.
+	flat := syntheticSeries([]float64{20}, 60, 120, 12)
+	sp1, err := DetectAutoPhases(flat, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sp1.Segments); got > 2 {
+		t.Errorf("auto-k oversegmented a single phase into %d", got)
+	}
+	if _, err := DetectAutoPhases(samples, 0); err == nil {
+		t.Error("maxK=0 must fail")
+	}
+	if _, err := DetectAutoPhases(samples[:2], 4); err == nil {
+		t.Error("tiny series must fail")
+	}
+}
+
+func TestAnalyzeAutoK(t *testing.T) {
+	e, err := exec.NewEngine(exec.Config{Machine: topology.TwoSocket(), Threads: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := workloads.BSPApp{Supersteps: 3, StepBytes: 512 << 10, Passes: 4}
+	rep, err := Analyze(e, wl.Body(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three supersteps alternate alloc/compute: auto-k must find
+	// several phases, more than the plain two-phase split.
+	if got := len(rep.Split.Segments); got < 3 {
+		t.Errorf("auto-k found %d phases for a 3-superstep program", got)
+	}
+}

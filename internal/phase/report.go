@@ -1,0 +1,118 @@
+package phase
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"numaperf/internal/counters"
+	"numaperf/internal/exec"
+	"numaperf/internal/perf"
+)
+
+// Report is a complete Phasenprüfer analysis: the phase split of the
+// footprint curve and the counter totals attributed to each phase.
+type Report struct {
+	Split *Split
+	// PhaseCounts[i] aggregates the counter deltas of all time slices
+	// falling into phase i.
+	PhaseCounts []counters.Counts
+	// Result is the underlying run.
+	Result *exec.Result
+	// SampleInterval is the footprint sampling interval in cycles.
+	SampleInterval uint64
+}
+
+// Attribute assigns time-sliced counter deltas to phases by each
+// slice's end cycle, mirroring how Phasenprüfer "records and analyzes
+// performance counters for the two phases separately".
+func Attribute(slices []perf.Slice, boundaries []uint64) []counters.Counts {
+	out := make([]counters.Counts, len(boundaries)+1)
+	for i := range out {
+		out[i] = counters.NewCounts()
+	}
+	for _, s := range slices {
+		p := 0
+		for p < len(boundaries) && s.EndCycle > boundaries[p] {
+			p++
+		}
+		out[p].Add(s.Deltas)
+	}
+	return out
+}
+
+// Analyze runs the body once with time-sliced counter recording, splits
+// the run into k phases from the footprint, and attributes the slices.
+// k = 0 selects the phase count automatically by BIC (up to 8 phases).
+// sliceCycles controls both the counter recording and the footprint
+// sampling resolution; 0 chooses ~200 samples across the run.
+func Analyze(e *exec.Engine, body func(*exec.Thread), k int, sliceCycles uint64) (*Report, error) {
+	if k < 0 {
+		return nil, errors.New("phase: k must be ≥ 0")
+	}
+	probe := sliceCycles
+	if probe == 0 {
+		probe = 50_000 // provisional; refined below from the run length
+	}
+	slices, res, err := perf.TimeSeries(e, body, probe)
+	if err != nil {
+		return nil, err
+	}
+	interval := sliceCycles
+	if interval == 0 {
+		interval = res.Cycles / 200
+		if interval == 0 {
+			interval = 1
+		}
+	}
+	samples := SampleHistory(res.Footprint, res.Cycles, interval)
+	var split *Split
+	if k == 0 {
+		split, err = DetectAutoPhases(samples, 8)
+	} else {
+		split, err = DetectPhases(samples, k)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Split:          split,
+		PhaseCounts:    Attribute(slices, split.Boundaries()),
+		Result:         res,
+		SampleInterval: interval,
+	}, nil
+}
+
+// TopEvents returns the n largest counters of phase i, by value.
+func (r *Report) TopEvents(i, n int) []counters.EventID {
+	ids := r.PhaseCounts[i].NonZero()
+	sort.Slice(ids, func(a, b int) bool {
+		return r.PhaseCounts[i].Get(ids[a]) > r.PhaseCounts[i].Get(ids[b])
+	})
+	if len(ids) > n {
+		ids = ids[:n]
+	}
+	return ids
+}
+
+// Render prints the split and a per-phase counter digest.
+func (r *Report) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "detected %d phases over %d cycles (SSE %.4g)\n",
+		len(r.Split.Segments), r.Result.Cycles, r.Split.TotalSSE)
+	for i, seg := range r.Split.Segments {
+		kind := "computation"
+		if seg.Slope > 1e-6 {
+			kind = "ramp-up (allocating)"
+		} else if seg.Slope < -1e-6 {
+			kind = "release (freeing)"
+		}
+		fmt.Fprintf(&sb, "\nphase %d [%d..%d cycles] %s — footprint slope %.3g B/cycle\n",
+			i+1, seg.StartCycle, seg.EndCycle, kind, seg.Slope)
+		for _, id := range r.TopEvents(i, 6) {
+			fmt.Fprintf(&sb, "  %-45s %d\n", counters.Def(id).Name, r.PhaseCounts[i].Get(id))
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,162 @@
+// Package profile renders and compares per-code-region counter
+// attributions — the "mapping from events to lines of code" the
+// paper's outlook names as important to developers searching for
+// performance bottlenecks. Workloads mark regions with Thread.Begin
+// and Thread.End; the engine attributes every counter increment to the
+// innermost open region, and this package turns the attribution into
+// reports.
+package profile
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"numaperf/internal/counters"
+	"numaperf/internal/exec"
+	"numaperf/internal/stats"
+)
+
+// ErrNoRegions is returned when a result carries no region data.
+var ErrNoRegions = errors.New("profile: run declared no regions")
+
+// Row is one region of a rendered profile.
+type Row struct {
+	Name string
+	// CycleShare is the region's fraction of all attributed cycles.
+	CycleShare float64
+	Profile    *exec.RegionProfile
+}
+
+// Rows orders the regions of a result by cycles, largest first.
+func Rows(res *exec.Result) ([]Row, error) {
+	if len(res.Regions) == 0 {
+		return nil, ErrNoRegions
+	}
+	var total uint64
+	for _, rp := range res.Regions {
+		total += rp.Cycles
+	}
+	var rows []Row
+	for name, rp := range res.Regions {
+		share := 0.0
+		if total > 0 {
+			share = float64(rp.Cycles) / float64(total)
+		}
+		rows = append(rows, Row{Name: name, CycleShare: share, Profile: rp})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Profile.Cycles > rows[j].Profile.Cycles })
+	return rows, nil
+}
+
+// Hotspot returns the region with the most attributed cycles.
+func Hotspot(res *exec.Result) (Row, error) {
+	rows, err := Rows(res)
+	if err != nil {
+		return Row{}, err
+	}
+	return rows[0], nil
+}
+
+// Render prints the profile: one block per region with its cycle share
+// and the top events, in the style of a perf report grouped by symbol.
+func Render(res *exec.Result, topEvents int) (string, error) {
+	rows, err := Rows(res)
+	if err != nil {
+		return "", err
+	}
+	if topEvents <= 0 {
+		topEvents = 5
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "region profile (%d regions)\n", len(rows))
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "\n%-20s %6.1f%% of cycles (%d)\n", r.Name, 100*r.CycleShare, r.Profile.Cycles)
+		ids := r.Profile.Counts.NonZero()
+		sort.Slice(ids, func(a, b int) bool {
+			return r.Profile.Counts.Get(ids[a]) > r.Profile.Counts.Get(ids[b])
+		})
+		if len(ids) > topEvents {
+			ids = ids[:topEvents]
+		}
+		for _, id := range ids {
+			fmt.Fprintf(&sb, "  %-45s %d\n", counters.Def(id).Name, r.Profile.Counts.Get(id))
+		}
+	}
+	return sb.String(), nil
+}
+
+// DeltaRow is the per-region comparison of one event between two runs.
+type DeltaRow struct {
+	Region   string
+	Event    counters.EventID
+	A, B     float64
+	Relative float64
+}
+
+// Compare contrasts the regions of two runs event by event, surfacing
+// where a regression or optimisation effect lives in the code. Rows
+// are ordered by |relative change|, largest first; regions present in
+// only one run compare against zero.
+func Compare(a, b *exec.Result, events []counters.EventID, minRel float64) ([]DeltaRow, error) {
+	if len(a.Regions) == 0 || len(b.Regions) == 0 {
+		return nil, ErrNoRegions
+	}
+	names := map[string]bool{}
+	for n := range a.Regions {
+		names[n] = true
+	}
+	for n := range b.Regions {
+		names[n] = true
+	}
+	var out []DeltaRow
+	for name := range names {
+		var ca, cb counters.Counts
+		if rp := a.Regions[name]; rp != nil {
+			ca = rp.Counts
+		} else {
+			ca = counters.NewCounts()
+		}
+		if rp := b.Regions[name]; rp != nil {
+			cb = rp.Counts
+		} else {
+			cb = counters.NewCounts()
+		}
+		for _, id := range events {
+			va, vb := float64(ca.Get(id)), float64(cb.Get(id))
+			if va == 0 && vb == 0 {
+				continue
+			}
+			rel := stats.RelativeChange(va, vb)
+			if math.Abs(rel) < minRel {
+				continue
+			}
+			out = append(out, DeltaRow{Region: name, Event: id, A: va, B: vb, Relative: rel})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ri, rj := math.Abs(out[i].Relative), math.Abs(out[j].Relative)
+		if math.IsInf(ri, 0) != math.IsInf(rj, 0) {
+			return math.IsInf(ri, 0)
+		}
+		return ri > rj
+	})
+	return out, nil
+}
+
+// RenderCompare formats a region comparison.
+func RenderCompare(rows []DeltaRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s %-45s %14s %14s %10s\n", "REGION", "EVENT", "A", "B", "CHANGE")
+	for _, r := range rows {
+		change := fmt.Sprintf("%+.1f%%", 100*r.Relative)
+		if math.IsInf(r.Relative, 0) {
+			change = "new"
+		}
+		fmt.Fprintf(&sb, "%-16s %-45s %14.5g %14.5g %10s\n",
+			r.Region, counters.Def(r.Event).Name, r.A, r.B, change)
+	}
+	return sb.String()
+}

@@ -1,0 +1,201 @@
+package profile
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"numaperf/internal/counters"
+	"numaperf/internal/exec"
+	"numaperf/internal/topology"
+	"numaperf/internal/workloads"
+)
+
+func run(t *testing.T, w workloads.Workload, threads int) *exec.Result {
+	t.Helper()
+	e, err := exec.NewEngine(exec.Config{Machine: topology.TwoSocket(), Threads: threads, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(w.Body())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRegionsAttributeCacheMiss(t *testing.T) {
+	res := run(t, workloads.CacheMissB(256), 1)
+	if len(res.Regions) == 0 {
+		t.Fatal("no regions recorded")
+	}
+	fill, ok := res.Regions["fill"]
+	if !ok {
+		t.Fatal("missing fill region")
+	}
+	trav, ok := res.Regions["traverse"]
+	if !ok {
+		t.Fatal("missing traverse region")
+	}
+	// The fill is store-only; the traversal is load-only.
+	if fill.Counts.Get(counters.AllStores) == 0 || fill.Counts.Get(counters.AllLoads) != 0 {
+		t.Errorf("fill: stores=%d loads=%d", fill.Counts.Get(counters.AllStores), fill.Counts.Get(counters.AllLoads))
+	}
+	if trav.Counts.Get(counters.AllLoads) == 0 || trav.Counts.Get(counters.AllStores) != 0 {
+		t.Errorf("traverse: loads=%d stores=%d", trav.Counts.Get(counters.AllLoads), trav.Counts.Get(counters.AllStores))
+	}
+	// Region totals must cover the run totals for attributed events.
+	var loads uint64
+	for _, rp := range res.Regions {
+		loads += rp.Counts.Get(counters.AllLoads)
+	}
+	if loads != res.Raw.Get(counters.AllLoads) {
+		t.Errorf("region loads %d != run total %d", loads, res.Raw.Get(counters.AllLoads))
+	}
+	// Cycles are attributed too.
+	if fill.Cycles == 0 || trav.Cycles == 0 {
+		t.Error("region cycles missing")
+	}
+}
+
+func TestNoRegionsIsNil(t *testing.T) {
+	res := run(t, workloads.Triad{Elements: 1024}, 1)
+	if res.Regions != nil {
+		t.Errorf("unannotated workload produced regions: %v", res.Regions)
+	}
+	if _, err := Rows(res); !errors.Is(err, ErrNoRegions) {
+		t.Errorf("Rows err = %v", err)
+	}
+	if _, err := Render(res, 3); !errors.Is(err, ErrNoRegions) {
+		t.Errorf("Render err = %v", err)
+	}
+	if _, err := Hotspot(res); !errors.Is(err, ErrNoRegions) {
+		t.Errorf("Hotspot err = %v", err)
+	}
+}
+
+func TestHotspotIsChaseForMLC(t *testing.T) {
+	res := run(t, workloads.MLC{BufferBytes: 1 << 20, Chases: 20_000}, 1)
+	hot, err := Hotspot(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.Name != "chase" {
+		t.Errorf("hotspot = %q, want chase", hot.Name)
+	}
+	if hot.CycleShare < 0.5 {
+		t.Errorf("chase share = %.2f, want dominant", hot.CycleShare)
+	}
+}
+
+func TestRenderProfile(t *testing.T) {
+	res := run(t, workloads.CacheMissA(128), 1)
+	out, err := Render(res, 0) // default top events
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"region profile", "fill", "traverse", "% of cycles"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareLocalisesTheRegression(t *testing.T) {
+	a := run(t, workloads.CacheMissA(256), 1)
+	b := run(t, workloads.CacheMissB(256), 1)
+	events := []counters.EventID{counters.L1Miss, counters.AllStores}
+	rows, err := Compare(a, b, events, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no delta rows")
+	}
+	// The L1-miss blow-up must be attributed to the traversal, not the
+	// fill (which is identical in both variants).
+	top := rows[0]
+	if top.Region != "traverse" || top.Event != counters.L1Miss {
+		t.Errorf("top delta = %s/%s, want traverse/L1_MISS",
+			top.Region, counters.Def(top.Event).Name)
+	}
+	for _, r := range rows {
+		if r.Region == "fill" && r.Event == counters.AllStores {
+			t.Errorf("identical fill stores reported as changed: %+v", r)
+		}
+	}
+	out := RenderCompare(rows)
+	if !strings.Contains(out, "REGION") || !strings.Contains(out, "traverse") {
+		t.Errorf("RenderCompare:\n%s", out)
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	a := run(t, workloads.Triad{Elements: 1024}, 1)
+	b := run(t, workloads.CacheMissA(64), 1)
+	if _, err := Compare(a, b, nil, 0); !errors.Is(err, ErrNoRegions) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestNestedRegions(t *testing.T) {
+	e, err := exec.NewEngine(exec.Config{Machine: topology.TwoSocket(), Threads: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(func(t *exec.Thread) {
+		buf := t.Alloc(1 << 16)
+		t.Begin("outer")
+		t.Instr(1000)
+		t.Begin("inner")
+		for off := uint64(0); off < buf.Size; off += 64 {
+			t.Load(buf.Addr(off))
+		}
+		t.End()
+		t.Instr(1000)
+		t.End()
+		t.Instr(500) // unannotated tail
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := res.Regions["inner"]
+	outer := res.Regions["outer"]
+	other := res.Regions[exec.OtherRegion]
+	if inner == nil || outer == nil || other == nil {
+		t.Fatalf("regions = %v", res.Regions)
+	}
+	// Loads belong to the innermost region only.
+	if inner.Counts.Get(counters.AllLoads) != 1<<10 {
+		t.Errorf("inner loads = %d, want %d", inner.Counts.Get(counters.AllLoads), 1<<10)
+	}
+	if outer.Counts.Get(counters.AllLoads) != 0 {
+		t.Errorf("outer loads = %d, want 0", outer.Counts.Get(counters.AllLoads))
+	}
+	// Instructions split between outer (2000) and the tail (other).
+	if got := outer.Counts.Get(counters.InstRetired); got != 2000 {
+		t.Errorf("outer instructions = %d, want 2000", got)
+	}
+	if got := other.Counts.Get(counters.InstRetired); got != 500 {
+		t.Errorf("other instructions = %d, want 500", got)
+	}
+}
+
+func TestRegionsSurviveMultipleRuns(t *testing.T) {
+	e, err := exec.NewEngine(exec.Config{Machine: topology.TwoSocket(), Threads: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := workloads.CacheMissA(64).Body()
+	r1, err := e.Run(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.Run(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Regions["fill"].Counts.Get(counters.AllStores) != r2.Regions["fill"].Counts.Get(counters.AllStores) {
+		t.Error("region attribution must be deterministic across runs")
+	}
+}

@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// ANOVAResult is the outcome of a one-way analysis of variance across
+// k groups of measurements. The paper's statistics discussion cites
+// the comparison of ANOVA F and Welch tests [38]; EvSel's pairwise
+// t-tests generalise to this when more than two program configurations
+// are compared at once.
+type ANOVAResult struct {
+	F          float64 // the F statistic
+	DFBetween  float64 // k − 1
+	DFWithin   float64 // N − k
+	P          float64 // P(F ≥ f) under H0
+	Confidence float64 // 1 − P
+	GrandMean  float64
+}
+
+// Significant reports whether the group means differ at level alpha.
+func (r ANOVAResult) Significant(alpha float64) bool {
+	return !math.IsNaN(r.P) && r.P < alpha
+}
+
+// String renders the result.
+func (r ANOVAResult) String() string {
+	return fmt.Sprintf("F(%g,%g)=%.3f p=%.4g conf=%.2f%%",
+		r.DFBetween, r.DFWithin, r.F, r.P, 100*r.Confidence)
+}
+
+// FCDF returns P(F ≤ f) for the F-distribution with d1 and d2 degrees
+// of freedom, via the regularised incomplete beta function.
+func FCDF(f, d1, d2 float64) float64 {
+	if f <= 0 || d1 <= 0 || d2 <= 0 {
+		return 0
+	}
+	x := d1 * f / (d1*f + d2)
+	return RegularizedIncompleteBeta(d1/2, d2/2, x)
+}
+
+// OneWayANOVA tests whether k sample groups share a common mean. Each
+// group needs at least one observation and at least two groups must be
+// supplied; the residual degrees of freedom must be positive.
+func OneWayANOVA(groups ...[]float64) (ANOVAResult, error) {
+	k := len(groups)
+	if k < 2 {
+		return ANOVAResult{}, fmt.Errorf("%w: ANOVA needs ≥2 groups, got %d", ErrInsufficientData, k)
+	}
+	n := 0
+	var grand float64
+	for i, g := range groups {
+		if len(g) == 0 {
+			return ANOVAResult{}, fmt.Errorf("%w: group %d is empty", ErrInsufficientData, i)
+		}
+		n += len(g)
+		for _, v := range g {
+			grand += v
+		}
+	}
+	if n-k < 1 {
+		return ANOVAResult{}, fmt.Errorf("%w: %d observations for %d groups", ErrInsufficientData, n, k)
+	}
+	grand /= float64(n)
+
+	var ssBetween, ssWithin float64
+	for _, g := range groups {
+		m := Mean(g)
+		d := m - grand
+		ssBetween += float64(len(g)) * d * d
+		for _, v := range g {
+			e := v - m
+			ssWithin += e * e
+		}
+	}
+	res := ANOVAResult{
+		DFBetween: float64(k - 1),
+		DFWithin:  float64(n - k),
+		GrandMean: grand,
+	}
+	msBetween := ssBetween / res.DFBetween
+	msWithin := ssWithin / res.DFWithin
+	if msWithin == 0 {
+		if msBetween == 0 {
+			res.F, res.P, res.Confidence = 0, 1, 0
+		} else {
+			res.F = math.Inf(1)
+			res.P, res.Confidence = 0, 1
+		}
+		return res, nil
+	}
+	res.F = msBetween / msWithin
+	res.P = 1 - FCDF(res.F, res.DFBetween, res.DFWithin)
+	res.Confidence = 1 - res.P
+	return res, nil
+}

@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFCDF(t *testing.T) {
+	// F(1, d2) = T²(d2): P(F ≤ t²) = P(|T| ≤ t).
+	tcrit := 2.228 // t_{0.975,10}
+	got := FCDF(tcrit*tcrit, 1, 10)
+	if math.Abs(got-0.95) > 3e-3 {
+		t.Errorf("FCDF(t², 1, 10) = %g, want ≈ 0.95", got)
+	}
+	// Critical value F_{0.95}(2, 12) ≈ 3.885.
+	if got := FCDF(3.885, 2, 12); math.Abs(got-0.95) > 3e-3 {
+		t.Errorf("FCDF(3.885, 2, 12) = %g", got)
+	}
+	if FCDF(-1, 2, 2) != 0 || FCDF(1, 0, 2) != 0 {
+		t.Error("degenerate inputs must be 0")
+	}
+}
+
+func TestOneWayANOVADistinctMeans(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	mk := func(mean float64, n int) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = mean + rng.NormFloat64()
+		}
+		return out
+	}
+	res, err := OneWayANOVA(mk(10, 12), mk(14, 12), mk(18, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DFBetween != 2 || res.DFWithin != 33 {
+		t.Errorf("df = %g, %g", res.DFBetween, res.DFWithin)
+	}
+	if !res.Significant(0.001) {
+		t.Errorf("clearly distinct groups: %v", res)
+	}
+	if res.GrandMean < 13 || res.GrandMean > 15 {
+		t.Errorf("grand mean = %g", res.GrandMean)
+	}
+	if res.String() == "" {
+		t.Error("String")
+	}
+}
+
+func TestOneWayANOVASameMeans(t *testing.T) {
+	significant := 0
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func(n int) []float64 {
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = 50 + 3*rng.NormFloat64()
+			}
+			return out
+		}
+		res, err := OneWayANOVA(mk(10), mk(10), mk(10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Significant(0.01) {
+			significant++
+		}
+	}
+	if significant > 2 {
+		t.Errorf("%d/20 same-mean ANOVAs significant at 1%%", significant)
+	}
+}
+
+func TestOneWayANOVAEdgeCases(t *testing.T) {
+	if _, err := OneWayANOVA([]float64{1, 2}); !errors.Is(err, ErrInsufficientData) {
+		t.Errorf("single group: %v", err)
+	}
+	if _, err := OneWayANOVA([]float64{1}, nil); !errors.Is(err, ErrInsufficientData) {
+		t.Errorf("empty group: %v", err)
+	}
+	if _, err := OneWayANOVA([]float64{1}, []float64{2}); !errors.Is(err, ErrInsufficientData) {
+		t.Errorf("no residual df: %v", err)
+	}
+	// Identical constant groups: no evidence.
+	same, err := OneWayANOVA([]float64{5, 5}, []float64{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.P != 1 || same.F != 0 {
+		t.Errorf("identical constants: %+v", same)
+	}
+	// Different constant groups: certain difference.
+	diff, err := OneWayANOVA([]float64{5, 5}, []float64{7, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.P != 0 || !math.IsInf(diff.F, 1) {
+		t.Errorf("distinct constants: %+v", diff)
+	}
+}
+
+// Property: for two groups, ANOVA F equals the square of the pooled
+// t statistic.
+func TestANOVAMatchesPooledTTest(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := make([]float64, 15)
+	b := make([]float64, 15)
+	for i := range a {
+		a[i] = 10 + rng.NormFloat64()
+		b[i] = 11 + rng.NormFloat64()
+	}
+	f, err := OneWayANOVA(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt, err := PooledTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.F-tt.T*tt.T) > 1e-8*(1+f.F) {
+		t.Errorf("F = %g vs t² = %g", f.F, tt.T*tt.T)
+	}
+	if math.Abs(f.P-tt.P) > 1e-6 {
+		t.Errorf("p mismatch: %g vs %g", f.P, tt.P)
+	}
+}

@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %g, want 5", m)
+	}
+	// Population variance is 4; Bessel-corrected sample variance is
+	// 32/7.
+	want := 32.0 / 7.0
+	if v := Variance(xs); math.Abs(v-want) > 1e-12 {
+		t.Errorf("Variance = %g, want %g", v, want)
+	}
+	if s := StdDev(xs); math.Abs(s-math.Sqrt(want)) > 1e-12 {
+		t.Errorf("StdDev = %g", s)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("empty/singleton inputs must yield 0")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("odd Median = %g, want 2", m)
+	}
+	if m := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Errorf("even Median = %g, want 2.5", m)
+	}
+	if Median(nil) != 0 {
+		t.Error("empty Median must be 0")
+	}
+	// Median must not mutate its input.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 {
+		t.Error("Median mutated its input")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 50}, {50, 30}, {25, 20}, {-5, 10}, {105, 50},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty Percentile must be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = %g,%g", min, max)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("Summary.String empty")
+	}
+	if cv := s.CoefficientOfVariation(); cv <= 0 {
+		t.Errorf("CoV = %g", cv)
+	}
+	if (Summary{}).CoefficientOfVariation() != 0 {
+		t.Error("CoV of zero-mean summary must be 0")
+	}
+}
+
+func TestRelativeChange(t *testing.T) {
+	if r := RelativeChange(100, 150); r != 0.5 {
+		t.Errorf("RelativeChange = %g, want 0.5", r)
+	}
+	if r := RelativeChange(0, 0); r != 0 {
+		t.Errorf("0→0 = %g, want 0", r)
+	}
+	if r := RelativeChange(0, 5); !math.IsInf(r, 1) {
+		t.Errorf("0→5 = %g, want +Inf", r)
+	}
+	if r := RelativeChange(0, -5); !math.IsInf(r, -1) {
+		t.Errorf("0→-5 = %g, want -Inf", r)
+	}
+}
+
+// Property: variance is translation invariant and scales quadratically.
+func TestVarianceProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		xs := make([]float64, n)
+		shifted := make([]float64, n)
+		scaled := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+			shifted[i] = xs[i] + 42
+			scaled[i] = xs[i] * 3
+		}
+		v := Variance(xs)
+		if math.Abs(Variance(shifted)-v) > 1e-8*(1+v) {
+			return false
+		}
+		return math.Abs(Variance(scaled)-9*v) <= 1e-8*(1+9*v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: min ≤ median ≤ max and min ≤ mean ≤ max.
+func TestSummaryOrderingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Median && s.Median <= s.Max && s.Min <= s.Mean && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

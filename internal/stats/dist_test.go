@@ -1,0 +1,187 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStudentTCDFSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		df := 1 + rng.Float64()*50
+		x := rng.NormFloat64() * 3
+		lo := StudentTCDF(x, df)
+		hi := StudentTCDF(-x, df)
+		return math.Abs(lo+hi-1) < 1e-10
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStudentTCDFKnownValues(t *testing.T) {
+	// Reference values from standard t tables.
+	cases := []struct {
+		t, df, want float64
+	}{
+		{0, 10, 0.5},
+		{1.812, 10, 0.95},  // t_{0.95,10}
+		{2.228, 10, 0.975}, // t_{0.975,10}
+		{1.960, 1e6, 0.975},
+		{-1.812, 10, 0.05},
+	}
+	for _, c := range cases {
+		got := StudentTCDF(c.t, c.df)
+		if math.Abs(got-c.want) > 2e-3 {
+			t.Errorf("StudentTCDF(%g, %g) = %g, want %g", c.t, c.df, got, c.want)
+		}
+	}
+	if !math.IsNaN(StudentTCDF(1, 0)) {
+		t.Error("df=0 must be NaN")
+	}
+}
+
+func TestStudentTTwoTailedP(t *testing.T) {
+	// |t| = 2.228 with df=10 is the 5% two-tailed critical value.
+	p := StudentTTwoTailedP(2.228, 10)
+	if math.Abs(p-0.05) > 2e-3 {
+		t.Errorf("p = %g, want ≈ 0.05", p)
+	}
+	if p0 := StudentTTwoTailedP(0, 10); math.Abs(p0-1) > 1e-12 {
+		t.Errorf("p(t=0) = %g, want 1", p0)
+	}
+	if !math.IsNaN(StudentTTwoTailedP(1, -1)) {
+		t.Error("df<0 must be NaN")
+	}
+}
+
+func TestRegularizedIncompleteBetaBounds(t *testing.T) {
+	if RegularizedIncompleteBeta(2, 3, 0) != 0 {
+		t.Error("I_0 must be 0")
+	}
+	if RegularizedIncompleteBeta(2, 3, 1) != 1 {
+		t.Error("I_1 must be 1")
+	}
+	// I_x(1,1) = x (uniform distribution).
+	for _, x := range []float64{0.1, 0.25, 0.5, 0.9} {
+		if got := RegularizedIncompleteBeta(1, 1, x); math.Abs(got-x) > 1e-10 {
+			t.Errorf("I_%g(1,1) = %g", x, got)
+		}
+	}
+}
+
+func TestRegularizedIncompleteBetaMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := 0.5 + rng.Float64()*5
+		b := 0.5 + rng.Float64()*5
+		x1 := rng.Float64()
+		x2 := rng.Float64()
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		return RegularizedIncompleteBeta(a, b, x1) <= RegularizedIncompleteBeta(a, b, x2)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.6449, 0.95},
+		{-1.6449, 0.05},
+		{1.96, 0.975},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.x); math.Abs(got-c.want) > 1e-4 {
+			t.Errorf("NormalCDF(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestRegularizedLowerGamma(t *testing.T) {
+	// P(1, x) = 1 − e^−x.
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+		want := 1 - math.Exp(-x)
+		if got := RegularizedLowerGamma(1, x); math.Abs(got-want) > 1e-10 {
+			t.Errorf("P(1,%g) = %g, want %g", x, got, want)
+		}
+	}
+	if RegularizedLowerGamma(2, 0) != 0 {
+		t.Error("P(a, 0) must be 0")
+	}
+	if RegularizedLowerGamma(0, 1) != 0 {
+		t.Error("P(0, x) must be 0 by convention")
+	}
+	// Large x: P(a, x) → 1.
+	if got := RegularizedLowerGamma(3, 100); math.Abs(got-1) > 1e-10 {
+		t.Errorf("P(3,100) = %g, want 1", got)
+	}
+}
+
+func TestGammaDistMoments(t *testing.T) {
+	g := GammaDist{Shape: 4, Scale: 2, Shift: 10}
+	if g.Mean() != 18 {
+		t.Errorf("Mean = %g, want 18", g.Mean())
+	}
+	if g.Variance() != 16 {
+		t.Errorf("Variance = %g, want 16", g.Variance())
+	}
+	if g.CDF(10) != 0 {
+		t.Error("CDF at shift must be 0")
+	}
+	if g.CDF(9) != 0 {
+		t.Error("CDF below shift must be 0")
+	}
+	// CDF at the mean of a gamma with shape 4 is around 0.57.
+	c := g.CDF(g.Mean())
+	if c < 0.5 || c > 0.65 {
+		t.Errorf("CDF(mean) = %g, want ≈ 0.57", c)
+	}
+}
+
+func TestFitGammaRecoversMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	// Sample from shifted gamma via sum of exponentials (integer shape).
+	const (
+		shape = 3.0
+		scale = 5.0
+		shift = 100.0
+		n     = 4000
+	)
+	xs := make([]float64, n)
+	for i := range xs {
+		s := 0.0
+		for k := 0; k < int(shape); k++ {
+			s += -math.Log(1-rng.Float64()) * scale
+		}
+		xs[i] = shift + s
+	}
+	g, err := FitGamma(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g.Mean()-Mean(xs)) > 0.5 {
+		t.Errorf("fitted mean %g vs sample mean %g", g.Mean(), Mean(xs))
+	}
+	if g.Shift > shift+2*scale || g.Shift < shift-5*scale {
+		t.Errorf("fitted shift %g far from true %g", g.Shift, shift)
+	}
+	rel := math.Abs(g.Variance()-Variance(xs)) / Variance(xs)
+	if rel > 0.05 {
+		t.Errorf("fitted variance off by %.1f%%", rel*100)
+	}
+}
+
+func TestFitGammaErrors(t *testing.T) {
+	if _, err := FitGamma([]float64{1, 2}); err == nil {
+		t.Error("want error for tiny sample")
+	}
+	if _, err := FitGamma([]float64{5, 5, 5}); err == nil {
+		t.Error("want error for constant sample (zero variance)")
+	}
+}

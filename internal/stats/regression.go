@@ -1,0 +1,325 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"numaperf/internal/linalg"
+)
+
+// RegressionKind identifies the functional form of a fitted model.
+// EvSel creates linear, quadratic and exponential regressions to find
+// interdependencies between input parameters and event counters; the
+// power form is added because counter-vs-size relations of O(n log n)
+// algorithms are captured far better by y = a·x^b.
+type RegressionKind int
+
+const (
+	LinearRegression RegressionKind = iota
+	QuadraticRegression
+	ExponentialRegression
+	PowerRegression
+	LogarithmicRegression
+)
+
+// String returns the human-readable name of the regression kind.
+func (k RegressionKind) String() string {
+	switch k {
+	case LinearRegression:
+		return "linear"
+	case QuadraticRegression:
+		return "quadratic"
+	case ExponentialRegression:
+		return "exponential"
+	case PowerRegression:
+		return "power"
+	case LogarithmicRegression:
+		return "logarithmic"
+	default:
+		return fmt.Sprintf("RegressionKind(%d)", int(k))
+	}
+}
+
+// Regression is a fitted model y ≈ f(x) together with its quality
+// measures.
+type Regression struct {
+	Kind   RegressionKind
+	Coeffs []float64 // interpretation depends on Kind; see Predict
+	R2     float64   // coefficient of determination
+	RMSE   float64   // root mean squared residual
+	N      int
+}
+
+// Predict evaluates the fitted model at x.
+func (r Regression) Predict(x float64) float64 {
+	c := r.Coeffs
+	switch r.Kind {
+	case LinearRegression: // y = c0·x + c1
+		return c[0]*x + c[1]
+	case QuadraticRegression: // y = c0·x² + c1·x + c2
+		return c[0]*x*x + c[1]*x + c[2]
+	case ExponentialRegression: // y = c0·e^(c1·x)
+		return c[0] * math.Exp(c[1]*x)
+	case PowerRegression: // y = c0·x^c1
+		return c[0] * math.Pow(x, c[1])
+	case LogarithmicRegression: // y = c0·ln(x) + c1
+		return c[0]*math.Log(x) + c[1]
+	default:
+		return math.NaN()
+	}
+}
+
+// R returns the correlation-style coefficient: sign(slope)·√R². EvSel's
+// UI reports R values such as "R > 0.95" or negative correlations.
+func (r Regression) R() float64 {
+	root := math.Sqrt(math.Max(r.R2, 0))
+	if len(r.Coeffs) > 0 {
+		slope := r.Coeffs[0]
+		if r.Kind == ExponentialRegression || r.Kind == PowerRegression {
+			slope = r.Coeffs[1]
+		}
+		if slope < 0 {
+			return -root
+		}
+	}
+	return root
+}
+
+// Equation renders the model as a printable formula, matching the
+// EvSel screenshot where "the regression functions themselves are
+// shown along with their coefficients of determination".
+func (r Regression) Equation() string {
+	c := r.Coeffs
+	switch r.Kind {
+	case LinearRegression:
+		return fmt.Sprintf("y = %.4g·x %+.4g", c[0], c[1])
+	case QuadraticRegression:
+		return fmt.Sprintf("y = %.4g·x² %+.4g·x %+.4g", c[0], c[1], c[2])
+	case ExponentialRegression:
+		return fmt.Sprintf("y = %.4g·e^(%.4g·x)", c[0], c[1])
+	case PowerRegression:
+		return fmt.Sprintf("y = %.4g·x^%.4g", c[0], c[1])
+	case LogarithmicRegression:
+		return fmt.Sprintf("y = %.4g·ln(x) %+.4g", c[0], c[1])
+	default:
+		return "y = ?"
+	}
+}
+
+// String summarises the fit.
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s (R²=%.4f, n=%d)", r.Kind, r.Equation(), r.R2, r.N)
+}
+
+func checkXY(xs, ys []float64, minN int) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("stats: x/y length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < minN {
+		return fmt.Errorf("%w: need ≥%d points, got %d", ErrInsufficientData, minN, len(xs))
+	}
+	return nil
+}
+
+// rSquared computes 1 − SSres/SStot for predictions of the model.
+func rSquared(r Regression, xs, ys []float64) (r2, rmse float64) {
+	my := Mean(ys)
+	ssRes, ssTot := 0.0, 0.0
+	for i, x := range xs {
+		d := ys[i] - r.Predict(x)
+		ssRes += d * d
+		t := ys[i] - my
+		ssTot += t * t
+	}
+	rmse = math.Sqrt(ssRes / float64(len(xs)))
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1, rmse
+		}
+		return 0, rmse
+	}
+	return 1 - ssRes/ssTot, rmse
+}
+
+// FitLinear fits y = a·x + b via least squares (the linear least
+// squares deduction spelled out in the paper).
+func FitLinear(xs, ys []float64) (Regression, error) {
+	if err := checkXY(xs, ys, 2); err != nil {
+		return Regression{}, err
+	}
+	design := linalg.New(len(xs), 2)
+	for i, x := range xs {
+		design.Set(i, 0, x)
+		design.Set(i, 1, 1)
+	}
+	beta, err := linalg.SolveLeastSquares(design, ys)
+	if err != nil {
+		return Regression{}, err
+	}
+	r := Regression{Kind: LinearRegression, Coeffs: beta, N: len(xs)}
+	r.R2, r.RMSE = rSquared(r, xs, ys)
+	return r, nil
+}
+
+// FitQuadratic fits y = a·x² + b·x + c.
+func FitQuadratic(xs, ys []float64) (Regression, error) {
+	if err := checkXY(xs, ys, 3); err != nil {
+		return Regression{}, err
+	}
+	design := linalg.New(len(xs), 3)
+	for i, x := range xs {
+		design.Set(i, 0, x*x)
+		design.Set(i, 1, x)
+		design.Set(i, 2, 1)
+	}
+	beta, err := linalg.SolveLeastSquares(design, ys)
+	if err != nil {
+		return Regression{}, err
+	}
+	r := Regression{Kind: QuadraticRegression, Coeffs: beta, N: len(xs)}
+	r.R2, r.RMSE = rSquared(r, xs, ys)
+	return r, nil
+}
+
+// FitExponential fits y = a·e^(b·x) by log-transforming y, the
+// transformation trick the paper mentions ("more complex functions
+// could be fitted by transforming the data, for instance by applying
+// natural logarithms beforehand"). All y must be positive.
+func FitExponential(xs, ys []float64) (Regression, error) {
+	if err := checkXY(xs, ys, 2); err != nil {
+		return Regression{}, err
+	}
+	logy := make([]float64, len(ys))
+	for i, y := range ys {
+		if y <= 0 {
+			return Regression{}, fmt.Errorf("%w: exponential fit needs y > 0, got %g at %d",
+				ErrInsufficientData, y, i)
+		}
+		logy[i] = math.Log(y)
+	}
+	lin, err := FitLinear(xs, logy)
+	if err != nil {
+		return Regression{}, err
+	}
+	r := Regression{
+		Kind:   ExponentialRegression,
+		Coeffs: []float64{math.Exp(lin.Coeffs[1]), lin.Coeffs[0]},
+		N:      len(xs),
+	}
+	r.R2, r.RMSE = rSquared(r, xs, ys)
+	return r, nil
+}
+
+// FitPower fits y = a·x^b by log-log transformation. All x and y must
+// be positive.
+func FitPower(xs, ys []float64) (Regression, error) {
+	if err := checkXY(xs, ys, 2); err != nil {
+		return Regression{}, err
+	}
+	logx := make([]float64, len(xs))
+	logy := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return Regression{}, fmt.Errorf("%w: power fit needs x,y > 0 (x=%g, y=%g at %d)",
+				ErrInsufficientData, xs[i], ys[i], i)
+		}
+		logx[i] = math.Log(xs[i])
+		logy[i] = math.Log(ys[i])
+	}
+	lin, err := FitLinear(logx, logy)
+	if err != nil {
+		return Regression{}, err
+	}
+	r := Regression{
+		Kind:   PowerRegression,
+		Coeffs: []float64{math.Exp(lin.Coeffs[1]), lin.Coeffs[0]},
+		N:      len(xs),
+	}
+	r.R2, r.RMSE = rSquared(r, xs, ys)
+	return r, nil
+}
+
+// FitLogarithmic fits y = a·ln(x) + b, the transformed-data form the
+// paper suggests for relations that flatten with the parameter. All x
+// must be positive.
+func FitLogarithmic(xs, ys []float64) (Regression, error) {
+	if err := checkXY(xs, ys, 2); err != nil {
+		return Regression{}, err
+	}
+	logx := make([]float64, len(xs))
+	for i, x := range xs {
+		if x <= 0 {
+			return Regression{}, fmt.Errorf("%w: logarithmic fit needs x > 0, got %g at %d",
+				ErrInsufficientData, x, i)
+		}
+		logx[i] = math.Log(x)
+	}
+	lin, err := FitLinear(logx, ys)
+	if err != nil {
+		return Regression{}, err
+	}
+	r := Regression{Kind: LogarithmicRegression, Coeffs: lin.Coeffs, N: len(xs)}
+	r.R2, r.RMSE = rSquared(r, xs, ys)
+	return r, nil
+}
+
+// FitAll fits every applicable regression kind and returns the fits
+// ordered as [linear, quadratic, exponential, power, logarithmic];
+// kinds whose preconditions fail (e.g. non-positive data for the log
+// transforms) are omitted.
+func FitAll(xs, ys []float64) []Regression {
+	var out []Regression
+	if r, err := FitLinear(xs, ys); err == nil {
+		out = append(out, r)
+	}
+	if r, err := FitQuadratic(xs, ys); err == nil {
+		out = append(out, r)
+	}
+	if r, err := FitExponential(xs, ys); err == nil {
+		out = append(out, r)
+	}
+	if r, err := FitPower(xs, ys); err == nil {
+		out = append(out, r)
+	}
+	if r, err := FitLogarithmic(xs, ys); err == nil {
+		out = append(out, r)
+	}
+	return out
+}
+
+// BestFit returns the regression with the highest R² among FitAll's
+// results, preferring simpler forms on near ties (within tieBreak) so
+// that a quadratic never displaces an equally good line.
+func BestFit(xs, ys []float64) (Regression, error) {
+	fits := FitAll(xs, ys)
+	if len(fits) == 0 {
+		return Regression{}, fmt.Errorf("%w: no regression applicable", ErrInsufficientData)
+	}
+	const tieBreak = 1e-4
+	best := fits[0]
+	for _, f := range fits[1:] {
+		if f.R2 > best.R2+tieBreak {
+			best = f
+		}
+	}
+	return best, nil
+}
+
+// PearsonR returns the Pearson correlation coefficient of two samples.
+func PearsonR(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// TTestResult is the outcome of comparing two samples. Confidence is
+// 1−p, the value EvSel displays next to each counter ("the reached
+// confidence is shown").
+type TTestResult struct {
+	T          float64 // the t statistic
+	DF         float64 // degrees of freedom (Welch–Satterthwaite for Welch's test)
+	P          float64 // two-tailed p-value
+	Confidence float64 // 1 − P
+	MeanA      float64
+	MeanB      float64
+	Delta      float64 // MeanB − MeanA
+	Relative   float64 // (MeanB − MeanA) / MeanA
+}
+
+// Significant reports whether the difference is significant at level
+// alpha (e.g. 0.05, or a Bonferroni-corrected level).
+func (r TTestResult) Significant(alpha float64) bool {
+	return !math.IsNaN(r.P) && r.P < alpha
+}
+
+// String renders the result in the style of EvSel's comparison pane.
+func (r TTestResult) String() string {
+	return fmt.Sprintf("t=%.3f df=%.1f p=%.4g conf=%.2f%% Δ=%+.4g (%+.1f%%)",
+		r.T, r.DF, r.P, 100*r.Confidence, r.Delta, 100*r.Relative)
+}
+
+// WelchTTest compares the means of two samples without assuming equal
+// population sizes, using Welch's method as the paper specifies for
+// user-chosen program runs of differing repetition counts. Variances
+// use Bessel's correction. It returns ErrInsufficientData when either
+// sample has fewer than two observations.
+func WelchTTest(a, b []float64) (TTestResult, error) {
+	if len(a) < 2 || len(b) < 2 {
+		return TTestResult{}, fmt.Errorf("%w: need ≥2 samples per group, got %d and %d",
+			ErrInsufficientData, len(a), len(b))
+	}
+	ma, mb := Mean(a), Mean(b)
+	va, vb := Variance(a), Variance(b)
+	na, nb := float64(len(a)), float64(len(b))
+
+	res := TTestResult{
+		MeanA:    ma,
+		MeanB:    mb,
+		Delta:    mb - ma,
+		Relative: RelativeChange(ma, mb),
+	}
+	sa, sb := va/na, vb/nb
+	se := math.Sqrt(sa + sb)
+	if se == 0 {
+		// Identical constant samples: no evidence of difference (p=1)
+		// unless the means differ, which with zero variance is a
+		// certain difference (p=0).
+		if ma == mb {
+			res.T, res.DF, res.P, res.Confidence = 0, na+nb-2, 1, 0
+		} else {
+			res.T = math.Inf(sign(mb - ma))
+			res.DF = na + nb - 2
+			res.P = 0
+			res.Confidence = 1
+		}
+		return res, nil
+	}
+	res.T = (mb - ma) / se
+	// Welch–Satterthwaite degrees of freedom.
+	res.DF = (sa + sb) * (sa + sb) / (sa*sa/(na-1) + sb*sb/(nb-1))
+	res.P = StudentTTwoTailedP(res.T, res.DF)
+	res.Confidence = 1 - res.P
+	return res, nil
+}
+
+// PooledTTest is the classic Student's t-test assuming equal variances,
+// kept alongside Welch's variant because EvSel "assumes similar
+// standard deviations for both measurements since the mechanisms
+// producing the values are the same".
+func PooledTTest(a, b []float64) (TTestResult, error) {
+	if len(a) < 2 || len(b) < 2 {
+		return TTestResult{}, fmt.Errorf("%w: need ≥2 samples per group, got %d and %d",
+			ErrInsufficientData, len(a), len(b))
+	}
+	ma, mb := Mean(a), Mean(b)
+	va, vb := Variance(a), Variance(b)
+	na, nb := float64(len(a)), float64(len(b))
+	df := na + nb - 2
+	sp2 := ((na-1)*va + (nb-1)*vb) / df
+	se := math.Sqrt(sp2 * (1/na + 1/nb))
+
+	res := TTestResult{
+		MeanA:    ma,
+		MeanB:    mb,
+		DF:       df,
+		Delta:    mb - ma,
+		Relative: RelativeChange(ma, mb),
+	}
+	if se == 0 {
+		if ma == mb {
+			res.P, res.Confidence = 1, 0
+		} else {
+			res.T = math.Inf(sign(mb - ma))
+			res.P = 0
+			res.Confidence = 1
+		}
+		return res, nil
+	}
+	res.T = (mb - ma) / se
+	res.P = StudentTTwoTailedP(res.T, df)
+	res.Confidence = 1 - res.P
+	return res, nil
+}
+
+// BonferroniAlpha returns the per-comparison significance level for a
+// family-wise level alpha across m simultaneous comparisons — the
+// correction the paper recommends against the multiple-comparisons
+// problem when all counters of a platform are tested at once.
+func BonferroniAlpha(alpha float64, m int) float64 {
+	if m <= 1 {
+		return alpha
+	}
+	return alpha / float64(m)
+}
+
+// BonferroniRequiredSamples estimates how many repetitions are needed
+// for a t-test to resolve a relative effect of size effect (|Δ|/σ) at a
+// Bonferroni-corrected level across m comparisons with power ≈ 0.8,
+// using the normal approximation n ≈ ((z_{α/2m}+z_{0.8})/effect)².
+func BonferroniRequiredSamples(alpha float64, m int, effect float64) int {
+	if effect <= 0 {
+		return math.MaxInt32
+	}
+	a := BonferroniAlpha(alpha, m)
+	za := normalQuantile(1 - a/2)
+	zb := normalQuantile(0.8)
+	n := (za + zb) / effect
+	return int(math.Ceil(2 * n * n))
+}
+
+// normalQuantile computes Φ⁻¹(p) by bisecting NormalCDF; precision is
+// ample for sample-size planning.
+func normalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	lo, hi := -40.0, 40.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if NormalCDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,208 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestWelchTTestDistinctMeans(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := make([]float64, 30)
+	b := make([]float64, 40) // different population sizes: Welch's case
+	for i := range a {
+		a[i] = 100 + rng.NormFloat64()*5
+	}
+	for i := range b {
+		b[i] = 130 + rng.NormFloat64()*8
+	}
+	res, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 1e-6 {
+		t.Errorf("clearly distinct samples: p = %g", res.P)
+	}
+	if !res.Significant(0.001) {
+		t.Error("difference must be significant at 0.1%")
+	}
+	if res.Confidence < 0.999 {
+		t.Errorf("confidence = %g, want > 99.9%% as in the paper's Fig. 8", res.Confidence)
+	}
+	if res.Delta < 20 || res.Delta > 40 {
+		t.Errorf("Delta = %g, want ≈ 30", res.Delta)
+	}
+	if res.T < 0 {
+		t.Errorf("T = %g, want positive for meanB > meanA", res.T)
+	}
+	if res.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestWelchTTestSameDistribution(t *testing.T) {
+	// With both samples from the same distribution the p-value should
+	// usually be unremarkable. Check across several seeds that the
+	// median p is large and significance at 0.001 is rare.
+	significant := 0
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float64, 25)
+		b := make([]float64, 25)
+		for i := range a {
+			a[i] = 50 + rng.NormFloat64()*10
+			b[i] = 50 + rng.NormFloat64()*10
+		}
+		res, err := WelchTTest(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Significant(0.001) {
+			significant++
+		}
+	}
+	if significant > 2 {
+		t.Errorf("%d/20 same-distribution comparisons significant at 0.001", significant)
+	}
+}
+
+func TestWelchTTestDegreesOfFreedom(t *testing.T) {
+	// With equal variances and equal n, Welch df ≈ pooled df = 2n−2.
+	rng := rand.New(rand.NewSource(3))
+	a := make([]float64, 20)
+	b := make([]float64, 20)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	res, _ := WelchTTest(a, b)
+	if res.DF < 25 || res.DF > 38.001 {
+		t.Errorf("Welch df = %g, want within (25, 38]", res.DF)
+	}
+}
+
+func TestWelchTTestConstantSamples(t *testing.T) {
+	same, err := WelchTTest([]float64{5, 5, 5}, []float64{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.P != 1 || same.T != 0 {
+		t.Errorf("identical constants: %+v", same)
+	}
+	diff, err := WelchTTest([]float64{5, 5, 5}, []float64{7, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.P != 0 || !math.IsInf(diff.T, 1) {
+		t.Errorf("different constants: %+v", diff)
+	}
+}
+
+func TestWelchTTestInsufficient(t *testing.T) {
+	if _, err := WelchTTest([]float64{1}, []float64{2, 3}); !errors.Is(err, ErrInsufficientData) {
+		t.Errorf("err = %v, want ErrInsufficientData", err)
+	}
+}
+
+func TestPooledTTestMatchesWelchForEqualN(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := make([]float64, 30)
+	b := make([]float64, 30)
+	for i := range a {
+		a[i] = 10 + rng.NormFloat64()
+		b[i] = 11 + rng.NormFloat64()
+	}
+	w, _ := WelchTTest(a, b)
+	p, _ := PooledTTest(a, b)
+	if math.Abs(w.T-p.T) > 0.05 {
+		t.Errorf("equal-n equal-variance: Welch t=%g vs pooled t=%g", w.T, p.T)
+	}
+	if p.DF != 58 {
+		t.Errorf("pooled df = %g, want 58", p.DF)
+	}
+}
+
+func TestPooledTTestEdges(t *testing.T) {
+	if _, err := PooledTTest([]float64{1}, []float64{2, 3}); !errors.Is(err, ErrInsufficientData) {
+		t.Errorf("err = %v", err)
+	}
+	same, err := PooledTTest([]float64{4, 4}, []float64{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.P != 1 {
+		t.Errorf("constant equal: p = %g", same.P)
+	}
+	diff, err := PooledTTest([]float64{4, 4}, []float64{6, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.P != 0 {
+		t.Errorf("constant different: p = %g", diff.P)
+	}
+}
+
+func TestBonferroni(t *testing.T) {
+	if a := BonferroniAlpha(0.05, 100); a != 0.0005 {
+		t.Errorf("BonferroniAlpha = %g, want 0.0005", a)
+	}
+	if a := BonferroniAlpha(0.05, 1); a != 0.05 {
+		t.Errorf("m=1 alpha = %g", a)
+	}
+	if a := BonferroniAlpha(0.05, 0); a != 0.05 {
+		t.Errorf("m=0 alpha = %g", a)
+	}
+	// More comparisons require more samples (the paper's point).
+	n1 := BonferroniRequiredSamples(0.05, 1, 0.5)
+	n100 := BonferroniRequiredSamples(0.05, 100, 0.5)
+	if n100 <= n1 {
+		t.Errorf("required samples must grow with comparisons: %d vs %d", n1, n100)
+	}
+	if n := BonferroniRequiredSamples(0.05, 10, 0); n != math.MaxInt32 {
+		t.Errorf("zero effect: n = %d", n)
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.96},
+		{0.05, -1.6449},
+	}
+	for _, c := range cases {
+		if got := normalQuantile(c.p); math.Abs(got-c.want) > 1e-3 {
+			t.Errorf("quantile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if !math.IsInf(normalQuantile(0), -1) || !math.IsInf(normalQuantile(1), 1) {
+		t.Error("quantile at bounds must be ±Inf")
+	}
+}
+
+// Property: swapping the samples negates the t statistic and preserves
+// the p-value.
+func TestWelchAntisymmetry(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float64, 5+rng.Intn(20))
+		b := make([]float64, 5+rng.Intn(20))
+		for i := range a {
+			a[i] = rng.NormFloat64() * 10
+		}
+		for i := range b {
+			b[i] = 3 + rng.NormFloat64()*10
+		}
+		ab, err1 := WelchTTest(a, b)
+		ba, err2 := WelchTTest(b, a)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if math.Abs(ab.T+ba.T) > 1e-9*(1+math.Abs(ab.T)) {
+			t.Fatalf("T not antisymmetric: %g vs %g", ab.T, ba.T)
+		}
+		if math.Abs(ab.P-ba.P) > 1e-9 {
+			t.Fatalf("P not symmetric: %g vs %g", ab.P, ba.P)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package topology
+
+// Predefined machines. DL580Gen9 is the paper's Table I testbed; the
+// others exist so experiments can study topology sensitivity ("costs of
+// remote memory accesses in more complex NUMA topologies", §VI).
+
+// haswellCaches returns the Haswell-EX cache geometry: 32 KiB 8-way L1D
+// (4 cycles), 256 KiB 8-way L2 (12 cycles), 45 MiB 18-way shared L3
+// (~52 cycles on the long EX ring).
+func haswellCaches() []CacheLevel {
+	return []CacheLevel{
+		{Level: 1, SizeBytes: 32 << 10, LineBytes: 64, Ways: 8, LatencyCycles: 4, Kind: PrivateCache},
+		{Level: 2, SizeBytes: 256 << 10, LineBytes: 64, Ways: 8, LatencyCycles: 12, Kind: PrivateCache},
+		{Level: 3, SizeBytes: 45 << 20, LineBytes: 64, Ways: 18, LatencyCycles: 52, Kind: SocketCache},
+	}
+}
+
+func haswellTLB() TLBConfig {
+	return TLBConfig{
+		L1Entries:      64,
+		L1Ways:         4,
+		L2Entries:      1024,
+		L2Ways:         8,
+		L2HitCycles:    7,
+		PageWalkCycles: 30,
+	}
+}
+
+func uniformDistance(sockets, remote int) [][]int {
+	d := make([][]int, sockets)
+	for i := range d {
+		d[i] = make([]int, sockets)
+		for j := range d[i] {
+			if i == j {
+				d[i][j] = 10
+			} else {
+				d[i][j] = remote
+			}
+		}
+	}
+	return d
+}
+
+// DL580Gen9 returns the paper's test system (Table I): an HPE ProLiant
+// DL580 Gen9 with four fully interconnected 18-core Xeon E7-8890 v3
+// sockets at 2.4 GHz and 32 GiB of DDR4-1600 per node.
+func DL580Gen9() *Machine {
+	return &Machine{
+		Name:           "Intel Xeon E7-8890 v3",
+		Model:          "HPE ProLiant DL580 Gen9 Server",
+		Sockets:        4,
+		CoresPerSocket: 18,
+		FreqHz:         2_400_000_000,
+		Caches:         haswellCaches(),
+		PageBytes:      4096,
+		MemPerNode:     32 << 30,
+		MemLatency:     220, // ~92 ns local DRAM at 2.4 GHz
+		MemBusMHz:      1600,
+		Distance:       uniformDistance(4, 21), // one QPI hop to every peer
+		TLB:            haswellTLB(),
+		LFBEntries:     10,
+		PMU:            PMUConfig{ProgrammableCounters: 4, FixedCounters: 3},
+		OS:             "Ubuntu Linux 16.04.1 LTS (simulated)",
+		Kernel:         "4.4.0-64 (simulated)",
+	}
+}
+
+// TwoSocket returns a common dual-socket server, useful for smaller and
+// faster experiments with the same cache geometry.
+func TwoSocket() *Machine {
+	m := DL580Gen9()
+	m.Name = "Intel Xeon E5-2690 v3 (sim)"
+	m.Model = "Generic 2S Server"
+	m.Sockets = 2
+	m.CoresPerSocket = 12
+	m.Distance = uniformDistance(2, 21)
+	m.MemPerNode = 16 << 30
+	return m
+}
+
+// EightSocketGlueless returns an 8-socket machine with a 2-hop ring
+// component in its distance matrix: nodes are paired, a partner is one
+// hop away (21), everything else is two hops (31). This is the "more
+// complex NUMA topologies" case the paper's outlook asks for.
+func EightSocketGlueless() *Machine {
+	m := DL580Gen9()
+	m.Name = "Intel Xeon E7-8890 v3"
+	m.Model = "Glueless 8S Server"
+	m.Sockets = 8
+	d := make([][]int, 8)
+	for i := range d {
+		d[i] = make([]int, 8)
+		for j := range d[i] {
+			switch {
+			case i == j:
+				d[i][j] = 10
+			case i/2 == j/2 || (i%4 == j%4): // partner or direct link
+				d[i][j] = 21
+			default:
+				d[i][j] = 31
+			}
+		}
+	}
+	m.Distance = d
+	return m
+}
+
+// UMA returns a single-socket machine with uniform memory access; it
+// serves as the degenerate baseline on which NUMA effects vanish.
+func UMA() *Machine {
+	m := DL580Gen9()
+	m.Name = "Intel Xeon E3 (sim)"
+	m.Model = "Single-Socket Workstation"
+	m.Sockets = 1
+	m.CoresPerSocket = 8
+	m.Distance = uniformDistance(1, 10)
+	m.MemPerNode = 64 << 30
+	return m
+}
+
+// ByName returns a predefined machine by its short name, used by the
+// command-line tools' -machine flag.
+func ByName(name string) (*Machine, bool) {
+	switch name {
+	case "dl580", "dl580gen9", "table1":
+		return DL580Gen9(), true
+	case "2s", "twosocket":
+		return TwoSocket(), true
+	case "8s", "glueless8":
+		return EightSocketGlueless(), true
+	case "uma", "1s":
+		return UMA(), true
+	default:
+		return nil, false
+	}
+}
+
+// MachineNames lists the names accepted by ByName (one per machine).
+func MachineNames() []string { return []string{"dl580", "2s", "8s", "uma"} }

@@ -1,0 +1,234 @@
+// Package topology describes the simulated NUMA machines: sockets,
+// cores, the cache hierarchy, TLB and line-fill-buffer geometry, and a
+// SLIT-style node distance matrix from which remote-access latencies
+// are derived. The package corresponds to the "environmental
+// parameters" input of the paper's two-step strategy (Fig. 4): all
+// machine-dependent constants that the indicator-to-cost analysis
+// needs live here.
+package topology
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalidMachine is returned by Validate for inconsistent machines.
+var ErrInvalidMachine = errors.New("topology: invalid machine")
+
+// CacheKind distinguishes private per-core caches from caches shared by
+// all cores of a socket (the L3 on the paper's Haswell-EX testbed).
+type CacheKind int
+
+const (
+	// PrivateCache is replicated per core (L1, L2).
+	PrivateCache CacheKind = iota
+	// SocketCache is shared by all cores of one socket (L3/LLC).
+	SocketCache
+)
+
+// CacheLevel is the geometry and latency of one cache level.
+type CacheLevel struct {
+	Level         int    // 1, 2, 3
+	SizeBytes     int    // total capacity
+	LineBytes     int    // cache line size
+	Ways          int    // associativity
+	LatencyCycles uint64 // load-use latency on a hit in this level
+	Kind          CacheKind
+}
+
+// Sets returns the number of sets of the cache.
+func (c CacheLevel) Sets() int { return c.SizeBytes / (c.LineBytes * c.Ways) }
+
+// TLBConfig is the translation hierarchy geometry.
+type TLBConfig struct {
+	L1Entries      int    // first-level DTLB entries
+	L1Ways         int    // DTLB associativity
+	L2Entries      int    // STLB entries
+	L2Ways         int    // STLB associativity
+	L2HitCycles    uint64 // penalty for an L1-TLB miss that hits the STLB
+	PageWalkCycles uint64 // penalty for a full page walk
+}
+
+// PMUConfig models the per-core performance monitoring unit: a limited
+// number of programmable registers plus fixed-function counters. The
+// limit is what forces EvSel to repeat program runs in batches.
+type PMUConfig struct {
+	ProgrammableCounters int // general-purpose registers (4 on Haswell)
+	FixedCounters        int // fixed counters (instructions, cycles, ref-cycles)
+}
+
+// Machine is a complete NUMA system description.
+type Machine struct {
+	Name           string
+	Model          string // marketing name for Table I style output
+	Sockets        int
+	CoresPerSocket int
+	FreqHz         uint64
+	Caches         []CacheLevel // ordered L1 → LLC
+	PageBytes      int
+	MemPerNode     uint64 // bytes of DRAM per NUMA node
+	MemLatency     uint64 // local DRAM access latency in cycles
+	MemBusMHz      int    // DIMM speed for Table I style output
+	Distance       [][]int
+	TLB            TLBConfig
+	LFBEntries     int // line-fill buffers per core (10 on Intel)
+	PMU            PMUConfig
+	OS             string
+	Kernel         string
+}
+
+// Cores returns the total number of cores in the machine.
+func (m *Machine) Cores() int { return m.Sockets * m.CoresPerSocket }
+
+// NodeOfCore maps a core index to its NUMA node (socket) index.
+func (m *Machine) NodeOfCore(core int) int { return core / m.CoresPerSocket }
+
+// CoreOfNode returns the i-th core of the given node.
+func (m *Machine) CoreOfNode(node, i int) int { return node*m.CoresPerSocket + i }
+
+// Cache returns the cache level l (1-based) or false when absent.
+func (m *Machine) Cache(level int) (CacheLevel, bool) {
+	for _, c := range m.Caches {
+		if c.Level == level {
+			return c, true
+		}
+	}
+	return CacheLevel{}, false
+}
+
+// LLC returns the last-level cache.
+func (m *Machine) LLC() CacheLevel { return m.Caches[len(m.Caches)-1] }
+
+// LineBytes returns the cache line size (uniform across levels).
+func (m *Machine) LineBytes() int { return m.Caches[0].LineBytes }
+
+// NodeDistance returns the SLIT distance between two nodes (10 means
+// local, larger means further away).
+func (m *Machine) NodeDistance(a, b int) int { return m.Distance[a][b] }
+
+// MemLatencyCycles returns the DRAM access latency in cycles for a core
+// on fromNode accessing memory resident on toNode. Latency scales with
+// the SLIT distance relative to the local distance of 10, which is how
+// tools like numactl interpret the matrix.
+func (m *Machine) MemLatencyCycles(fromNode, toNode int) uint64 {
+	d := m.Distance[fromNode][toNode]
+	return m.MemLatency * uint64(d) / 10
+}
+
+// MaxHops returns the largest distance ratio in the machine, a rough
+// topology-complexity measure (1.0 for UMA).
+func (m *Machine) MaxHops() float64 {
+	max := 10
+	for _, row := range m.Distance {
+		for _, d := range row {
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return float64(max) / 10
+}
+
+// FullyInterconnected reports whether every pair of distinct nodes has
+// the same distance, as in Table I's "fully interconnected" topology.
+func (m *Machine) FullyInterconnected() bool {
+	if m.Sockets < 2 {
+		return true
+	}
+	ref := m.Distance[0][1]
+	for i := range m.Distance {
+		for j, d := range m.Distance[i] {
+			if i == j {
+				continue
+			}
+			if d != ref {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Validate checks internal consistency of the machine description.
+func (m *Machine) Validate() error {
+	switch {
+	case m.Sockets <= 0 || m.CoresPerSocket <= 0:
+		return fmt.Errorf("%w: %d sockets × %d cores", ErrInvalidMachine, m.Sockets, m.CoresPerSocket)
+	case m.FreqHz == 0:
+		return fmt.Errorf("%w: zero frequency", ErrInvalidMachine)
+	case len(m.Caches) == 0:
+		return fmt.Errorf("%w: no caches", ErrInvalidMachine)
+	case m.PageBytes <= 0 || m.PageBytes&(m.PageBytes-1) != 0:
+		return fmt.Errorf("%w: page size %d not a power of two", ErrInvalidMachine, m.PageBytes)
+	case m.LFBEntries <= 0:
+		return fmt.Errorf("%w: no line-fill buffers", ErrInvalidMachine)
+	case m.PMU.ProgrammableCounters <= 0:
+		return fmt.Errorf("%w: no programmable PMU counters", ErrInvalidMachine)
+	}
+	if len(m.Distance) != m.Sockets {
+		return fmt.Errorf("%w: distance matrix has %d rows, want %d", ErrInvalidMachine, len(m.Distance), m.Sockets)
+	}
+	for i, row := range m.Distance {
+		if len(row) != m.Sockets {
+			return fmt.Errorf("%w: distance row %d has %d entries", ErrInvalidMachine, i, len(row))
+		}
+		if row[i] != 10 {
+			return fmt.Errorf("%w: self-distance of node %d is %d, want 10", ErrInvalidMachine, i, row[i])
+		}
+		for j, d := range row {
+			if d < 10 {
+				return fmt.Errorf("%w: distance[%d][%d] = %d below local", ErrInvalidMachine, i, j, d)
+			}
+			if m.Distance[j][i] != d {
+				return fmt.Errorf("%w: asymmetric distance between %d and %d", ErrInvalidMachine, i, j)
+			}
+		}
+	}
+	line := m.Caches[0].LineBytes
+	prevLat := uint64(0)
+	prevSize := 0
+	for _, c := range m.Caches {
+		if c.SizeBytes <= 0 || c.Ways <= 0 || c.LineBytes != line {
+			return fmt.Errorf("%w: malformed cache L%d", ErrInvalidMachine, c.Level)
+		}
+		if c.SizeBytes%(c.LineBytes*c.Ways) != 0 {
+			return fmt.Errorf("%w: L%d size %d not divisible into %d-way sets",
+				ErrInvalidMachine, c.Level, c.SizeBytes, c.Ways)
+		}
+		if c.LatencyCycles <= prevLat {
+			return fmt.Errorf("%w: L%d latency %d not above previous level",
+				ErrInvalidMachine, c.Level, c.LatencyCycles)
+		}
+		if c.SizeBytes <= prevSize {
+			return fmt.Errorf("%w: L%d smaller than previous level", ErrInvalidMachine, c.Level)
+		}
+		prevLat, prevSize = c.LatencyCycles, c.SizeBytes
+	}
+	if m.MemLatency <= prevLat {
+		return fmt.Errorf("%w: DRAM latency %d not above LLC", ErrInvalidMachine, m.MemLatency)
+	}
+	return nil
+}
+
+// CyclesPerSecond returns the core frequency as cycles per second.
+func (m *Machine) CyclesPerSecond() float64 { return float64(m.FreqHz) }
+
+// SpecTable renders the machine in the layout of the paper's Table I.
+func (m *Machine) SpecTable() string {
+	topo := "Fully interconnected"
+	if !m.FullyInterconnected() {
+		topo = fmt.Sprintf("Multi-hop (max %.1fx)", m.MaxHops())
+	}
+	return fmt.Sprintf(
+		"Server Model      %s\n"+
+			"Processor         %d×%s @%.1f GHz (%d cores each)\n"+
+			"NUMA Topology     %s\n"+
+			"Memory            %d × %d GiB RAM @%d MHz\n"+
+			"Operating System  %s\n"+
+			"Kernel Version    %s\n",
+		m.Model,
+		m.Sockets, m.Name, float64(m.FreqHz)/1e9, m.CoresPerSocket,
+		topo,
+		m.Sockets, m.MemPerNode>>30, m.MemBusMHz,
+		m.OS, m.Kernel)
+}

@@ -1,0 +1,164 @@
+package topology
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestPredefinedMachinesValid(t *testing.T) {
+	for _, name := range MachineNames() {
+		m, ok := ByName(name)
+		if !ok {
+			t.Fatalf("ByName(%q) missing", name)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("machine %q invalid: %v", name, err)
+		}
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Error("unknown machine name must not resolve")
+	}
+}
+
+func TestDL580MatchesTableI(t *testing.T) {
+	m := DL580Gen9()
+	if m.Sockets != 4 {
+		t.Errorf("sockets = %d, want 4", m.Sockets)
+	}
+	if m.Cores() != 72 {
+		t.Errorf("cores = %d, want 72 (4×18 E7-8890v3)", m.Cores())
+	}
+	if m.FreqHz != 2_400_000_000 {
+		t.Errorf("freq = %d, want 2.4 GHz", m.FreqHz)
+	}
+	if !m.FullyInterconnected() {
+		t.Error("DL580 must be fully interconnected (Table I)")
+	}
+	if m.MemPerNode != 32<<30 {
+		t.Errorf("mem per node = %d, want 32 GiB", m.MemPerNode)
+	}
+	spec := m.SpecTable()
+	for _, want := range []string{"DL580", "2.4 GHz", "Fully interconnected", "32 GiB", "1600"} {
+		if !strings.Contains(spec, want) {
+			t.Errorf("SpecTable missing %q:\n%s", want, spec)
+		}
+	}
+}
+
+func TestNodeOfCore(t *testing.T) {
+	m := DL580Gen9()
+	cases := []struct{ core, node int }{
+		{0, 0}, {17, 0}, {18, 1}, {35, 1}, {54, 3}, {71, 3},
+	}
+	for _, c := range cases {
+		if got := m.NodeOfCore(c.core); got != c.node {
+			t.Errorf("NodeOfCore(%d) = %d, want %d", c.core, got, c.node)
+		}
+	}
+	if c := m.CoreOfNode(2, 5); c != 41 {
+		t.Errorf("CoreOfNode(2,5) = %d, want 41", c)
+	}
+}
+
+func TestMemLatencyCycles(t *testing.T) {
+	m := DL580Gen9()
+	local := m.MemLatencyCycles(0, 0)
+	remote := m.MemLatencyCycles(0, 1)
+	if local != m.MemLatency {
+		t.Errorf("local latency = %d, want %d", local, m.MemLatency)
+	}
+	if remote <= local {
+		t.Errorf("remote latency %d must exceed local %d", remote, local)
+	}
+	// 21/10 distance ratio.
+	if remote != m.MemLatency*21/10 {
+		t.Errorf("remote latency = %d, want %d", remote, m.MemLatency*21/10)
+	}
+}
+
+func TestEightSocketTopology(t *testing.T) {
+	m := EightSocketGlueless()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.FullyInterconnected() {
+		t.Error("glueless 8S must not be fully interconnected")
+	}
+	if m.MaxHops() <= 2.1 && m.MaxHops() >= 3.2 {
+		t.Errorf("MaxHops = %g", m.MaxHops())
+	}
+	// Two-hop latency must exceed one-hop latency.
+	if m.MemLatencyCycles(0, 7) <= m.MemLatencyCycles(0, 1) {
+		t.Error("2-hop remote must cost more than 1-hop remote")
+	}
+}
+
+func TestUMAHasNoNUMAEffect(t *testing.T) {
+	m := UMA()
+	if m.MaxHops() != 1.0 {
+		t.Errorf("UMA MaxHops = %g, want 1", m.MaxHops())
+	}
+	if m.MemLatencyCycles(0, 0) != m.MemLatency {
+		t.Error("UMA local latency mismatch")
+	}
+}
+
+func TestCacheLookup(t *testing.T) {
+	m := DL580Gen9()
+	l1, ok := m.Cache(1)
+	if !ok || l1.SizeBytes != 32<<10 || l1.Kind != PrivateCache {
+		t.Errorf("L1 = %+v ok=%v", l1, ok)
+	}
+	llc := m.LLC()
+	if llc.Level != 3 || llc.Kind != SocketCache {
+		t.Errorf("LLC = %+v", llc)
+	}
+	if _, ok := m.Cache(4); ok {
+		t.Error("L4 must not exist")
+	}
+	if m.LineBytes() != 64 {
+		t.Errorf("line = %d", m.LineBytes())
+	}
+	if l1.Sets() != 64 {
+		t.Errorf("L1 sets = %d, want 64", l1.Sets())
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	mutations := []struct {
+		name string
+		f    func(*Machine)
+	}{
+		{"zero sockets", func(m *Machine) { m.Sockets = 0 }},
+		{"zero freq", func(m *Machine) { m.FreqHz = 0 }},
+		{"no caches", func(m *Machine) { m.Caches = nil }},
+		{"bad page size", func(m *Machine) { m.PageBytes = 3000 }},
+		{"no LFB", func(m *Machine) { m.LFBEntries = 0 }},
+		{"no PMU", func(m *Machine) { m.PMU.ProgrammableCounters = 0 }},
+		{"distance rows", func(m *Machine) { m.Distance = m.Distance[:2] }},
+		{"self distance", func(m *Machine) { m.Distance[0][0] = 11 }},
+		{"asymmetric", func(m *Machine) { m.Distance[0][1] = 25 }},
+		{"below local", func(m *Machine) { m.Distance[0][1] = 5; m.Distance[1][0] = 5 }},
+		{"cache line mismatch", func(m *Machine) { m.Caches[1].LineBytes = 32 }},
+		{"cache latency inversion", func(m *Machine) { m.Caches[2].LatencyCycles = 2 }},
+		{"cache size inversion", func(m *Machine) { m.Caches[2].SizeBytes = 1 << 10; m.Caches[2].Ways = 2 }},
+		{"cache not set-divisible", func(m *Machine) { m.Caches[0].Ways = 7 }},
+		{"DRAM below LLC", func(m *Machine) { m.MemLatency = 5 }},
+	}
+	for _, mu := range mutations {
+		m := DL580Gen9()
+		mu.f(m)
+		if err := m.Validate(); !errors.Is(err, ErrInvalidMachine) {
+			t.Errorf("%s: err = %v, want ErrInvalidMachine", mu.name, err)
+		}
+	}
+}
+
+func TestValidateRaggedDistanceRow(t *testing.T) {
+	m := DL580Gen9()
+	m.Distance[1] = m.Distance[1][:2]
+	if err := m.Validate(); !errors.Is(err, ErrInvalidMachine) {
+		t.Errorf("ragged row: %v", err)
+	}
+}

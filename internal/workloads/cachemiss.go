@@ -1,0 +1,80 @@
+package workloads
+
+import "numaperf/internal/exec"
+
+// CacheMiss reproduces the cache-miss micro-benchmark pair of the
+// paper's Listings 1 and 2: a Size×Size float32 array is filled and
+// then read either row-major (variant A — "hitting cache lines fairly
+// often") or column-major (variant B — a 4 KiB stride for Size=1024
+// that defeats the L1 and the page-bounded stream prefetcher). The
+// alternating-sum branch (y%2, respectively x%2) is included because
+// the paper reports its near-unchanged miss behaviour as the negative
+// control of the comparison.
+type CacheMiss struct {
+	// Size is the square array dimension (the paper uses 1024).
+	Size int
+	// ColumnMajor selects variant B (Listing 2) when true.
+	ColumnMajor bool
+}
+
+// Name identifies the variant.
+func (c CacheMiss) Name() string {
+	v := "A-rowmajor"
+	if c.ColumnMajor {
+		v = "B-colmajor"
+	}
+	return label("cachemiss-"+v, "size", c.size())
+}
+
+func (c CacheMiss) size() int {
+	if c.Size <= 0 {
+		return 1024
+	}
+	return c.Size
+}
+
+// Body emits the fill pass and the traversal.
+func (c CacheMiss) Body() func(*exec.Thread) {
+	n := uint64(c.size())
+	return func(t *exec.Thread) {
+		if t.ID() != 0 {
+			return // the listings are single-threaded
+		}
+		buf := t.Alloc(n * n * 4)
+		// "fill array with random values": one store plus the LCG
+		// multiply-add per element, row-major.
+		t.Begin("fill")
+		for y := uint64(0); y < n; y++ {
+			for x := uint64(0); x < n; x++ {
+				t.Store(buf.Addr((y*n + x) * 4))
+				t.Instr(2)
+			}
+		}
+		t.End()
+		// Traversal with the alternating-sum branch.
+		t.Begin("traverse")
+		for outer := uint64(0); outer < n; outer++ {
+			alt := outer%2 == 0
+			for inner := uint64(0); inner < n; inner++ {
+				var off uint64
+				if c.ColumnMajor {
+					off = (inner*n + outer) * 4 // array[y][x], y = inner
+				} else {
+					off = (outer*n + inner) * 4 // array[y][x], x = inner
+				}
+				t.Load(buf.Addr(off))
+				t.Branch(siteAltSum, alt)
+				t.Instr(2) // add/sub + index arithmetic; the counted
+				// inner-loop back-edge is perfectly predicted and
+				// pipelined away, so it is folded into Instr.
+			}
+		}
+		t.End()
+	}
+}
+
+// CacheMissA returns Listing 1 (row-major, cache friendly).
+func CacheMissA(size int) CacheMiss { return CacheMiss{Size: size} }
+
+// CacheMissB returns Listing 2 (column-major, cache hostile).
+func CacheMissB(size int) CacheMiss { return CacheMiss{Size: size, ColumnMajor: true} }

@@ -1,0 +1,106 @@
+package workloads
+
+import "numaperf/internal/exec"
+
+// GUPS models the HPCC RandomAccess kernel: read-modify-write updates
+// to pseudo-random locations of a large table. Unlike the sequential
+// kernels it defeats both the prefetcher and spatial locality, so its
+// counter signature is TLB- and DRAM-dominated — a useful contrast
+// workload for EvSel comparisons and Memhist histograms.
+type GUPS struct {
+	// TableBytes is the updated table size; default 16 MiB.
+	TableBytes uint64
+	// Updates is the number of random updates; default 100k.
+	Updates int
+}
+
+// Name identifies the workload.
+func (g GUPS) Name() string { return label("gups", "table", g.tableBytes()) }
+
+func (g GUPS) tableBytes() uint64 {
+	if g.TableBytes == 0 {
+		return 16 << 20
+	}
+	return g.TableBytes
+}
+
+func (g GUPS) updates() int {
+	if g.Updates <= 0 {
+		return 100_000
+	}
+	return g.Updates
+}
+
+// Body emits the random update stream, split across threads.
+func (g GUPS) Body() func(*exec.Thread) {
+	size := g.tableBytes()
+	updates := g.updates()
+	var table exec.Buffer
+	return func(t *exec.Thread) {
+		if t.ID() == 0 {
+			table = t.Alloc(size)
+		}
+		t.Barrier()
+		rng := newLCG(uint32(101 + t.ID()))
+		share := updates / t.Threads()
+		words := size / 8
+		for i := 0; i < share; i++ {
+			// 32-bit LCG composed twice for table-scale offsets.
+			idx := (uint64(rng.next())<<16 ^ uint64(rng.next())) % words
+			addr := table.Addr(idx * 8)
+			t.Load(addr)
+			t.Instr(2) // xor + address generation
+			t.Store(addr)
+		}
+	}
+}
+
+// FalseSharing models the classic pathology: every thread updates its
+// own counter, but all counters live on one cache line. The line
+// ping-pongs between cores, producing cache-to-cache transfers, L1D
+// lock cycles and memory-ordering machine clears. Padded disables the
+// pathology (one line per thread) for an A/B comparison.
+type FalseSharing struct {
+	// Updates per thread; default 50k.
+	Updates int
+	// Padded gives each thread its own cache line (the fix).
+	Padded bool
+}
+
+// Name identifies the variant.
+func (f FalseSharing) Name() string {
+	v := "shared-line"
+	if f.Padded {
+		v = "padded"
+	}
+	return label("falseshare-"+v, "updates", f.updates())
+}
+
+func (f FalseSharing) updates() int {
+	if f.Updates <= 0 {
+		return 50_000
+	}
+	return f.Updates
+}
+
+// Body emits the per-thread counter updates.
+func (f FalseSharing) Body() func(*exec.Thread) {
+	updates := f.updates()
+	padded := f.Padded
+	var buf exec.Buffer
+	return func(t *exec.Thread) {
+		if t.ID() == 0 {
+			buf = t.Alloc(uint64(t.Threads()) * 64)
+		}
+		t.Barrier()
+		stride := uint64(8) // all counters in one line
+		if padded {
+			stride = 64 // one line per thread
+		}
+		addr := buf.Addr(uint64(t.ID()) * stride)
+		for i := 0; i < updates; i++ {
+			t.Atomic(addr)
+			t.Instr(1)
+		}
+	}
+}

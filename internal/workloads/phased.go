@@ -1,0 +1,159 @@
+package workloads
+
+import "numaperf/internal/exec"
+
+// PhasedApp is the phase-structured application family Phasenprüfer
+// splits (the paper showcases the Google Chrome start-up): a ramp-up
+// phase that accumulates memory at the maximum possible rate (linearly
+// increasing footprint, dominated by I/O-ish activity and memory
+// redistribution) followed by a computation phase with a flat
+// footprint that processes the loaded data.
+type PhasedApp struct {
+	// RampChunks is the number of allocations in the ramp-up phase;
+	// default 32.
+	RampChunks int
+	// ChunkBytes is the size of each ramp-up allocation; default
+	// 256 KiB.
+	ChunkBytes uint64
+	// ComputePasses is how often the computation phase sweeps the
+	// accumulated data; default 6.
+	ComputePasses int
+}
+
+// Name identifies the workload.
+func (p PhasedApp) Name() string {
+	return label("phasedapp", "chunks", p.rampChunks(), "passes", p.computePasses())
+}
+
+func (p PhasedApp) rampChunks() int {
+	if p.RampChunks <= 0 {
+		return 32
+	}
+	return p.RampChunks
+}
+
+func (p PhasedApp) chunkBytes() uint64 {
+	if p.ChunkBytes == 0 {
+		return 256 << 10
+	}
+	return p.ChunkBytes
+}
+
+func (p PhasedApp) computePasses() int {
+	if p.ComputePasses <= 0 {
+		return 6
+	}
+	return p.ComputePasses
+}
+
+// Body emits the ramp-up then the computation phase. Worker threads
+// beyond thread 0 join for the computation phase, matching the typical
+// start-up of end-user applications (single-threaded loading, parallel
+// processing).
+func (p PhasedApp) Body() func(*exec.Thread) {
+	chunks := p.rampChunks()
+	chunkBytes := p.chunkBytes()
+	passes := p.computePasses()
+	var bufs []exec.Buffer
+	return func(t *exec.Thread) {
+		if t.ID() == 0 {
+			t.Begin("ramp-up")
+			bufs = bufs[:0]
+			for c := 0; c < chunks; c++ {
+				buf := t.Alloc(chunkBytes)
+				bufs = append(bufs, buf)
+				// "Loading": touch the pages, poll I/O readiness, burn
+				// syscall-ish instructions.
+				for off := uint64(0); off < buf.Size; off += 64 {
+					t.Store(buf.Addr(off))
+				}
+				t.Branch(sitePhaseIO, c%4 != 0)
+				t.Instr(uint64(chunkBytes / 16)) // parse/copy overhead
+			}
+			t.End()
+		}
+		t.Barrier()
+		// Computation phase: all threads sweep the loaded chunks.
+		t.Begin("compute")
+		for pass := 0; pass < passes; pass++ {
+			for ci, buf := range bufs {
+				if ci%t.Threads() != t.ID() {
+					continue
+				}
+				for off := uint64(0); off < buf.Size; off += 4 {
+					t.Load(buf.Addr(off))
+					t.Instr(2)
+				}
+			}
+			t.Barrier()
+		}
+		t.End()
+	}
+}
+
+// BSPApp is the multi-superstep extension case for k-phase detection
+// (paper §IV-C: "in the example of BSP-like programs, where multiple
+// supersteps could be analyzed, recognizing individual steps may be
+// desirable"). Each superstep allocates a new working set (footprint
+// staircase) and then computes on it (flat footprint), producing 2·K
+// phases.
+type BSPApp struct {
+	// Supersteps is the number of allocate+compute rounds; default 3.
+	Supersteps int
+	// StepBytes is the allocation per superstep; default 512 KiB.
+	StepBytes uint64
+	// Passes is the compute sweeps per superstep; default 4.
+	Passes int
+}
+
+// Name identifies the workload.
+func (b BSPApp) Name() string { return label("bspapp", "steps", b.supersteps()) }
+
+func (b BSPApp) supersteps() int {
+	if b.Supersteps <= 0 {
+		return 3
+	}
+	return b.Supersteps
+}
+
+func (b BSPApp) stepBytes() uint64 {
+	if b.StepBytes == 0 {
+		return 512 << 10
+	}
+	return b.StepBytes
+}
+
+func (b BSPApp) passes() int {
+	if b.Passes <= 0 {
+		return 4
+	}
+	return b.Passes
+}
+
+// Body emits the superstep staircase.
+func (b BSPApp) Body() func(*exec.Thread) {
+	steps := b.supersteps()
+	stepBytes := b.stepBytes()
+	passes := b.passes()
+	var cur exec.Buffer
+	return func(t *exec.Thread) {
+		for s := 0; s < steps; s++ {
+			if t.ID() == 0 {
+				cur = t.Alloc(stepBytes)
+				for off := uint64(0); off < cur.Size; off += 64 {
+					t.Store(cur.Addr(off))
+				}
+			}
+			t.Barrier()
+			share := cur.Size / uint64(t.Threads())
+			lo := uint64(t.ID()) * share
+			for pass := 0; pass < passes; pass++ {
+				for off := lo; off < lo+share; off += 4 {
+					t.Load(cur.Addr(off))
+					t.Instr(3)
+				}
+			}
+			t.Barrier()
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package workloads
+
+import "sort"
+
+// factories maps CLI names to default-parameterised workloads.
+var factories = map[string]func() Workload{
+	"cachemiss-a":       func() Workload { return CacheMissA(0) },
+	"cachemiss-b":       func() Workload { return CacheMissB(0) },
+	"parallelsort":      func() Workload { return ParallelSort{} },
+	"sift":              func() Workload { return SIFT{} },
+	"mlc-local":         func() Workload { return MLC{} },
+	"mlc-remote":        func() Workload { return MLC{Remote: true} },
+	"phasedapp":         func() Workload { return PhasedApp{} },
+	"bspapp":            func() Workload { return BSPApp{} },
+	"triad":             func() Workload { return Triad{} },
+	"gups":              func() Workload { return GUPS{} },
+	"falseshare":        func() Workload { return FalseSharing{} },
+	"falseshare-padded": func() Workload { return FalseSharing{Padded: true} },
+	"pointer-chase":     func() Workload { return PointerChase{} },
+}
+
+// ByName returns a default-parameterised workload for CLI use.
+func ByName(name string) (Workload, bool) {
+	f, ok := factories[name]
+	if !ok {
+		return nil, false
+	}
+	return f(), true
+}
+
+// Names lists the registered workload names alphabetically.
+func Names() []string {
+	out := make([]string, 0, len(factories))
+	for n := range factories {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

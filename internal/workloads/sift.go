@@ -1,0 +1,127 @@
+package workloads
+
+import "numaperf/internal/exec"
+
+// SIFT models the NUMA-optimised scale-invariant feature transform of
+// Plauth et al. (IPDPSW 2016), the workload behind the paper's
+// Fig. 10a: an image pyramid where every octave applies separable
+// Gaussian blur passes and difference-of-Gaussians subtractions. The
+// NUMA optimisation is that each thread's image stripe is first-touched
+// (and therefore homed) on the thread's own node, so the workload
+// "acts almost entirely on local memory" — the histogram shows L2, L3
+// and local-DRAM peaks and essentially no remote component.
+type SIFT struct {
+	// Width and Height are the base image dimensions in pixels
+	// (4 bytes per pixel); defaults 1024×1024.
+	Width, Height int
+	// Octaves is the pyramid depth (halving each level); default 3.
+	Octaves int
+	// BlurPasses per octave; default 2 separable passes.
+	BlurPasses int
+}
+
+// Name identifies the workload.
+func (s SIFT) Name() string {
+	w, h := s.dims()
+	return label("sift", "w", w, "h", h, "octaves", s.octaves())
+}
+
+func (s SIFT) dims() (int, int) {
+	w, h := s.Width, s.Height
+	if w <= 0 {
+		w = 1024
+	}
+	if h <= 0 {
+		h = 1024
+	}
+	return w, h
+}
+
+func (s SIFT) octaves() int {
+	if s.Octaves <= 0 {
+		return 3
+	}
+	return s.Octaves
+}
+
+func (s SIFT) blurPasses() int {
+	if s.BlurPasses <= 0 {
+		return 2
+	}
+	return s.BlurPasses
+}
+
+// Body builds the stripe-local pyramid and runs blur + DoG per octave.
+func (s SIFT) Body() func(*exec.Thread) {
+	w0, h0 := s.dims()
+	octaves := s.octaves()
+	passes := s.blurPasses()
+	return func(t *exec.Thread) {
+		// Per-thread stripe of the image, allocated and first-touched
+		// locally (the NUMA optimisation).
+		rows := uint64(h0 / t.Threads())
+		if rows == 0 {
+			rows = 1
+		}
+		width := uint64(w0)
+		stripe := t.Alloc(rows * width * 4)
+		blurred := t.Alloc(rows * width * 4)
+		dog := t.Alloc(rows * width * 4)
+		for off := uint64(0); off < stripe.Size; off += 4 {
+			t.Store(stripe.Addr(off)) // load image data (first touch)
+			t.Instr(1)
+		}
+		t.Barrier()
+
+		rng := newLCG(uint32(31 + t.ID()))
+		rw, rh := width, rows
+		for oct := 0; oct < octaves; oct++ {
+			// Separable Gaussian blur: horizontal then vertical taps.
+			t.Begin("blur")
+			for p := 0; p < passes; p++ {
+				for y := uint64(0); y < rh; y++ {
+					for x := uint64(0); x < rw; x++ {
+						idx := (y*rw + x) * 4
+						t.Load(stripe.Addr(idx))
+						if x+1 < rw {
+							t.Load(stripe.Addr(idx + 4)) // neighbour tap
+						}
+						if y+1 < rh {
+							t.Load(stripe.Addr(idx + rw*4)) // vertical tap
+						}
+						t.Store(blurred.Addr(idx))
+						t.Instr(5) // multiply-accumulate kernel taps
+					}
+				}
+			}
+			t.End()
+			// Difference of Gaussians + extremum threshold test.
+			t.Begin("dog")
+			for i := uint64(0); i < rh*rw; i++ {
+				t.Load(stripe.Addr(i * 4))
+				t.Load(blurred.Addr(i * 4))
+				t.Store(dog.Addr(i * 4))
+				t.Branch(siteSiftThresh, rng.chance(32)) // rare extrema
+				t.Instr(2)
+			}
+			t.End()
+			// Downsample for the next octave (reads strided, writes
+			// compact).
+			rw /= 2
+			rh /= 2
+			if rw == 0 || rh == 0 {
+				break
+			}
+			t.Begin("downsample")
+			for y := uint64(0); y < rh; y++ {
+				for x := uint64(0); x < rw; x++ {
+					t.Load(blurred.Addr(((2*y)*(rw*2) + 2*x) * 4))
+					t.Store(stripe.Addr((y*rw + x) * 4))
+					t.Instr(2)
+				}
+			}
+			t.End()
+			t.Barrier()
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package workloads
+
+import (
+	"math"
+
+	"numaperf/internal/exec"
+)
+
+// ParallelSort models Listing 3: a 4 MiB vector of uint filled with a
+// BSD linear congruential engine and sorted with the GNU libstdc++
+// parallel mode. The model executes the memory and branch pattern of a
+// parallel bottom-up merge sort: every thread sorts its segment
+// locally, then adjacent segments are merged across threads in log₂(T)
+// rounds separated by barriers.
+//
+// Two effects the paper's Fig. 9 correlates with the thread count come
+// out of this structure naturally:
+//
+//   - L1D cache-lock cycles rise with T: each barrier bounces a
+//     contended synchronisation line (one locked update per waiter) and
+//     cross-thread merges walk pages first touched by other threads,
+//     which locks the L1D during uncore-managed TLB walks.
+//   - Retired speculative taken jumps fall with T: local sort passes
+//     compare partially ordered data (biased, predictable branches,
+//     deep speculation) while cross-thread merge comparisons are
+//     fifty-fifty; more threads shift passes from the former to the
+//     latter, so the CPU speculates fewer jumps.
+type ParallelSort struct {
+	// Elements is the vector length (the paper uses 1 Mi uints = 4 MiB).
+	Elements int
+	// LocalBias is the predictability (out of 256) of comparison
+	// branches during thread-local passes; default 200 (~78%).
+	LocalBias uint32
+}
+
+// Name identifies the workload.
+func (p ParallelSort) Name() string { return label("parallelsort", "n", p.elements()) }
+
+func (p ParallelSort) elements() int {
+	if p.Elements <= 0 {
+		return 1 << 20
+	}
+	return p.Elements
+}
+
+func (p ParallelSort) bias() uint32 {
+	if p.LocalBias == 0 {
+		return 200
+	}
+	return p.LocalBias
+}
+
+// Body emits the fill, the local sort passes and the cross-thread merge
+// rounds. The returned body shares the data buffers between threads of
+// one run through its closure; the barrier after the fill publishes
+// them (the engine's barrier is a cross-goroutine synchronisation
+// point). The body supports repeated sequential runs but must not be
+// shared between concurrently running engines.
+func (p ParallelSort) Body() func(*exec.Thread) {
+	n := uint64(p.elements())
+	bias := p.bias()
+	var data, temp exec.Buffer // published by thread 0 at the first barrier
+	return func(t *exec.Thread) {
+		nt := uint64(t.Threads())
+		if t.ID() == 0 {
+			// data.reserve + LCG fill happens on the main thread, as in
+			// Listing 3 (emplace_back of LCG values).
+			t.Begin("fill")
+			data = t.Alloc(n * 4)
+			temp = t.Alloc(n * 4)
+			for i := uint64(0); i < n; i++ {
+				t.Store(data.Addr(i * 4))
+				t.Instr(2) // lcg = lcg*a + c
+			}
+			t.End()
+		}
+		t.Barrier()
+
+		rng := newLCG(uint32(7 + t.ID()))
+		seg := n / nt
+		if seg == 0 {
+			seg = 1
+		}
+		lo := uint64(t.ID()) * seg
+		hi := lo + seg
+		if t.ID() == t.Threads()-1 {
+			hi = n
+		}
+		if lo > n {
+			lo, hi = n, n
+		}
+
+		// Thread-local sort over [lo, hi): exactly seg·log₂(seg)
+		// comparisons, swept cyclically over the segment — the work of
+		// a comparison sort, continuous in the segment size so counter
+		// trends over the thread count stay smooth.
+		t.Begin("local-sort")
+		localComps := uint64(float64(hi-lo) * math.Log2(float64(hi-lo)+1))
+		for c, i := uint64(0), lo; c < localComps; c++ {
+			t.Load(data.Addr(i * 4))
+			t.Branch(siteSortLocal, rng.chance(bias))
+			t.Store(temp.Addr(i * 4))
+			t.Instr(3) // compare, index bookkeeping
+			i++
+			if i >= hi {
+				i = lo
+			}
+		}
+		t.End()
+		t.Barrier()
+
+		// Cross-thread merges: n·log₂(T) comparisons in total, spread
+		// over ceil(log₂ T) barrier rounds. In round r every 2^r-th
+		// thread merges its group's halves, touching data first written
+		// by other threads.
+		rounds := 0
+		for 1<<rounds < int(nt) {
+			rounds++
+		}
+		t.Begin("merge")
+		for round := 1; round <= rounds; round++ {
+			group := uint64(1) << round
+			if uint64(t.ID())%group == 0 {
+				mlo := uint64(t.ID()) * seg
+				mhi := mlo + group*seg
+				if mhi > n {
+					mhi = n
+				}
+				// This leader's share of the round's comparisons.
+				share := uint64(float64(mhi-mlo) * math.Log2(float64(nt)) / float64(rounds))
+				for c, i := uint64(0), mlo; c < share; c++ {
+					t.Load(data.Addr(i * 4))
+					t.Branch(siteSortMerge, rng.chance(128))
+					t.Store(temp.Addr(i * 4))
+					t.Instr(3)
+					i++
+					if i >= mhi {
+						i = mlo
+					}
+				}
+			}
+			// Barrier contention: every waiter bounces the sync line
+			// once per participant.
+			for w := 0; w < t.Threads(); w++ {
+				t.Atomic(data.Addr(0))
+			}
+			t.Barrier()
+		}
+		t.End()
+	}
+}
