@@ -1,35 +1,90 @@
 // Command memhist-probe is the headless measurement probe of the
 // paper's Fig. 6 architecture: server platforms without a rich
 // graphical interface run this probe next to the testee; the memhist
-// front end connects over TCP, submits a measurement request, and
-// receives the histogram.
+// front end connects over TCP, submits measurement requests over the
+// framed probenet protocol, and receives histograms.
+//
+// The probe serves connections concurrently up to -max-conns (excess
+// peers get an "overloaded" error) and drains gracefully on SIGINT or
+// SIGTERM: in-flight measurements finish and deliver their responses,
+// idle and new peers receive "shutting-down", and the process exits 0.
 //
 // Usage:
 //
-//	memhist-probe -listen :9844
+//	memhist-probe -listen :9844 -max-conns 8 -drain-timeout 30s
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"numaperf/internal/memhist"
 )
 
 func main() {
-	listen := flag.String("listen", "127.0.0.1:9844", "TCP address to listen on")
-	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main without the process-global parts so tests can drive the
+// full lifecycle, cancelling ctx in place of a signal.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("memhist-probe", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		listen       = fs.String("listen", "127.0.0.1:9844", "TCP address to listen on")
+		maxConns     = fs.Int("max-conns", 16, "concurrent connections before rejecting with 'overloaded'")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight measurements on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "memhist-probe: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "memhist-probe: %v\n", err)
+		return 1
 	}
-	fmt.Printf("memhist-probe: listening on %s\n", l.Addr())
-	if err := memhist.ServeProbe(l); err != nil {
-		fmt.Fprintf(os.Stderr, "memhist-probe: %v\n", err)
-		os.Exit(1)
+	srv := &memhist.ProbeServer{
+		MaxConns: *maxConns,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		},
+	}
+	fmt.Fprintf(stdout, "memhist-probe: listening on %s (max-conns %d)\n", l.Addr(), *maxConns)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			fmt.Fprintf(stderr, "memhist-probe: %v\n", err)
+			return 1
+		}
+		return 0
+	case <-ctx.Done():
+		fmt.Fprintf(stdout, "memhist-probe: draining (grace %s)...\n", *drainTimeout)
+		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		err := srv.Shutdown(dctx)
+		<-serveErr // Serve returns nil once the listener closes.
+		stats := srv.Stats()
+		fmt.Fprintf(stdout, "memhist-probe: served %d, errors %d, rejected %d, encode failures %d\n",
+			stats.Served, stats.ErrorsSent, stats.RejectedOverload+stats.RejectedDraining, stats.EncodeFailures)
+		if err != nil {
+			fmt.Fprintf(stderr, "memhist-probe: drain timeout exceeded, connections force-closed: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "memhist-probe: drained cleanly")
+		return 0
 	}
 }

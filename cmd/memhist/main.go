@@ -10,6 +10,7 @@
 //	memhist -workload mlc-remote -mode costs
 //	memhist -workload sift -threads 8 -machine dl580
 //	memhist -workload mlc-remote -remote host:9844
+//	memhist -workload sift -remote host:9844 -retries 3 -fallback-local
 package main
 
 import (
@@ -34,6 +35,9 @@ func main() {
 		modeArg  = flag.String("mode", "occurrences", "occurrences or costs")
 		exact    = flag.Bool("exact", false, "full-information sampling instead of threshold cycling")
 		remote   = flag.String("remote", "", "fetch from a probe at host:port instead of measuring locally")
+		retries  = flag.Int("retries", 0, "extra attempts after transient probe failures")
+		fallback = flag.Bool("fallback-local", false, "measure locally if the probe stays unreachable")
+		probeTO  = flag.Duration("probe-timeout", 5*time.Minute, "per-attempt probe deadline")
 		boundCSV = flag.String("bounds", "", "comma-separated latency thresholds in cycles")
 		slice    = flag.Uint64("slice", 0, "threshold-cycling slice in cycles (0 = 100 Hz)")
 		reps     = flag.Int("reps", 1, "cycled runs to average")
@@ -73,7 +77,7 @@ func main() {
 
 	var h *memhist.Histogram
 	if *remote != "" {
-		h, err = memhist.FetchRemote(*remote, memhist.ProbeRequest{
+		h, err = memhist.FetchRemoteWith(*remote, memhist.ProbeRequest{
 			Workload:    *workload,
 			Machine:     *machine,
 			Threads:     *threads,
@@ -82,9 +86,19 @@ func main() {
 			Reps:        *reps,
 			Exact:       *exact,
 			Seed:        *seed,
-		}, 5*time.Minute)
+		}, memhist.FetchOptions{
+			Timeout:       *probeTO,
+			Retries:       *retries,
+			FallbackLocal: *fallback,
+		})
 		if err != nil {
 			fatal(err)
+		}
+		switch h.Origin {
+		case memhist.OriginLocalFallback:
+			fmt.Printf("source: local fallback (probe %s unreachable)\n\n", *remote)
+		default:
+			fmt.Printf("source: remote probe %s\n\n", *remote)
 		}
 	} else {
 		wl, ok := workloads.ByName(*workload)
@@ -140,7 +154,8 @@ func parseBounds(csv string) ([]uint64, error) {
 }
 
 func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "memhist: %v\n", err)
+	// Errors from internal/memhist already carry the package prefix.
+	fmt.Fprintf(os.Stderr, "memhist: %s\n", strings.TrimPrefix(err.Error(), "memhist: "))
 	os.Exit(1)
 }
 

@@ -2,16 +2,23 @@
 // NUMA-optimised SIFT pyramid acting almost entirely on local memory,
 // and the mlc-induced remote-access case where the cost view is
 // dominated by remote latencies. Peaks are annotated with the memory
-// level whose latency they match.
+// level whose latency they match. The final section exercises the
+// Fig. 6 remote-probe path end to end: an in-process probe server, the
+// resilient client with retries and local fallback, and a graceful
+// drain.
 //
 //	go run ./examples/latency-map
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"net"
+	"time"
 
 	"numaperf"
+	"numaperf/internal/memhist"
 )
 
 func main() {
@@ -50,4 +57,49 @@ func main() {
 	// Fig. 10b: induced remote accesses, event costs.
 	show(numaperf.MLCRemote(32<<20, 60_000), numaperf.CostWeighted,
 		"=== mlc remote-latency inducer, event costs ===")
+
+	remoteProbeDemo()
+}
+
+// remoteProbeDemo runs the Fig. 6 architecture in one process: a
+// hardened probe server on a loopback listener, a resilient fetch, and
+// a graceful shutdown. With -fallback-local semantics, the same call
+// degrades to a local measurement when no probe is reachable.
+func remoteProbeDemo() {
+	fmt.Println("=== remote probe (Fig. 6): resilient fetch + graceful drain ===")
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &memhist.ProbeServer{MaxConns: 4}
+	go func() {
+		if err := srv.Serve(l); err != nil {
+			log.Fatal(err)
+		}
+	}()
+
+	req := memhist.ProbeRequest{
+		Workload: "mlc-remote",
+		Machine:  "dl580",
+		Exact:    true,
+		Bounds:   []uint64{4, 64, 256, 320, 512, 1024},
+		Seed:     3,
+	}
+	h, err := memhist.FetchRemoteWith(l.Addr().String(), req, memhist.FetchOptions{
+		Timeout:       time.Minute,
+		Retries:       2,
+		FallbackLocal: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fetched %g samples via %q (workload %s)\n", h.Total(), h.Origin, h.Source)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatalf("drain: %v", err)
+	}
+	stats := srv.Stats()
+	fmt.Printf("probe drained cleanly: served %d request(s), %d error frame(s)\n", stats.Served, stats.ErrorsSent)
 }

@@ -1,0 +1,222 @@
+// Package faultnet wraps net.Listener and net.Conn with deterministic,
+// scripted fault injection: delays, mid-frame truncation, single-byte
+// corruption, connection resets, accept failures and a network
+// partition toggle. It exists so the memhist chaos suite can prove that
+// the probe transport never hangs, never panics and never delivers a
+// corrupt histogram under any of these conditions.
+//
+// All randomness (which bit of a corrupted byte flips) comes from a
+// seeded RNG, and all fault positions are scripted byte offsets, so a
+// failing chaos run replays exactly.
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"math/rand"
+)
+
+// ErrInjected marks every error fabricated by this package, so tests
+// can tell injected faults from real ones with errors.Is.
+var ErrInjected = errors.New("faultnet: injected fault")
+
+// ConnScript describes the faults for one connection. Offsets count
+// cumulative bytes through the wrapped connection, 1-based; zero
+// disables the fault.
+type ConnScript struct {
+	// ReadDelay sleeps before every Read (a slow peer).
+	ReadDelay time.Duration
+	// WriteDelay sleeps before every Write.
+	WriteDelay time.Duration
+	// CorruptReadAt flips one bit of the Nth byte read.
+	CorruptReadAt int64
+	// CorruptWriteAt flips one bit of the Nth byte written.
+	CorruptWriteAt int64
+	// TruncateWriteAt closes the connection after N bytes have been
+	// written — the peer sees a mid-frame truncation.
+	TruncateWriteAt int64
+	// ResetReadAt fails reads once N bytes have been read, closing the
+	// underlying connection — the peer sees a reset.
+	ResetReadAt int64
+}
+
+// Options configures a wrapped listener.
+type Options struct {
+	// Seed drives the corruption RNG; connection i uses Seed+i.
+	Seed int64
+	// FailFirstAccepts makes the first N Accept calls return a
+	// temporary error (after closing the accepted connection).
+	FailFirstAccepts int
+	// Script returns the fault script for the i-th accepted connection
+	// (0-based); nil means that connection is clean. A nil Script
+	// function leaves every connection clean.
+	Script func(i int) *ConnScript
+}
+
+// Listener injects faults into accepted connections.
+type Listener struct {
+	net.Listener
+	opts        Options
+	partitioned atomic.Bool
+
+	mu       sync.Mutex
+	accepted int
+	toFail   int
+}
+
+// Wrap decorates l with the scripted faults.
+func Wrap(l net.Listener, opts Options) *Listener {
+	return &Listener{Listener: l, opts: opts, toFail: opts.FailFirstAccepts}
+}
+
+// SetPartition toggles the partition: while on, every accepted
+// connection is closed immediately, so peers see their connection die
+// before any byte arrives. Heal with SetPartition(false).
+func (l *Listener) SetPartition(on bool) { l.partitioned.Store(on) }
+
+// Accepted returns how many connections have been accepted so far
+// (including partitioned ones, excluding failed accepts).
+func (l *Listener) Accepted() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.accepted
+}
+
+// acceptError is the temporary error returned by scripted accept
+// failures; servers following the net/http convention retry it.
+type acceptError struct{}
+
+func (acceptError) Error() string   { return "faultnet: injected accept failure" }
+func (acceptError) Timeout() bool   { return false }
+func (acceptError) Temporary() bool { return true }
+func (acceptError) Unwrap() error   { return ErrInjected }
+
+// Accept applies accept failures and the partition, then wraps the
+// connection with its script.
+func (l *Listener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		fail := l.toFail > 0
+		if fail {
+			l.toFail--
+		} else {
+			l.accepted++
+		}
+		i := l.accepted - 1
+		l.mu.Unlock()
+		if fail {
+			c.Close()
+			return nil, acceptError{}
+		}
+		if l.partitioned.Load() {
+			c.Close()
+			continue
+		}
+		var script *ConnScript
+		if l.opts.Script != nil {
+			script = l.opts.Script(i)
+		}
+		if script == nil {
+			return c, nil
+		}
+		return &conn{
+			Conn:   c,
+			script: script,
+			rng:    rand.New(rand.NewSource(l.opts.Seed + int64(i))),
+		}, nil
+	}
+}
+
+// conn applies a ConnScript to one connection.
+type conn struct {
+	net.Conn
+	script *ConnScript
+	rng    *rand.Rand
+
+	mu     sync.Mutex
+	readN  int64
+	writeN int64
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	if c.script.ReadDelay > 0 {
+		time.Sleep(c.script.ReadDelay)
+	}
+	c.mu.Lock()
+	if c.script.ResetReadAt > 0 && c.readN >= c.script.ResetReadAt {
+		c.mu.Unlock()
+		c.Conn.Close()
+		return 0, fmt.Errorf("%w: connection reset after %d bytes read", ErrInjected, c.script.ResetReadAt)
+	}
+	// Never read past the reset point in one call, so the reset fires
+	// at its scripted offset.
+	limit := len(p)
+	if c.script.ResetReadAt > 0 && int64(limit) > c.script.ResetReadAt-c.readN {
+		limit = int(c.script.ResetReadAt - c.readN)
+	}
+	c.mu.Unlock()
+	n, err := c.Conn.Read(p[:limit])
+	c.mu.Lock()
+	if at := c.script.CorruptReadAt; at > 0 && c.readN < at && at <= c.readN+int64(n) {
+		p[at-c.readN-1] ^= 1 << c.rng.Intn(8)
+	}
+	c.readN += int64(n)
+	c.mu.Unlock()
+	return n, err
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	if c.script.WriteDelay > 0 {
+		time.Sleep(c.script.WriteDelay)
+	}
+	c.mu.Lock()
+	if at := c.script.TruncateWriteAt; at > 0 {
+		remaining := at - c.writeN
+		if remaining <= 0 {
+			c.mu.Unlock()
+			c.Conn.Close()
+			return 0, fmt.Errorf("%w: write truncated at %d bytes", ErrInjected, at)
+		}
+		if int64(len(p)) > remaining {
+			part := append([]byte(nil), p[:remaining]...)
+			c.corruptLocked(part)
+			c.mu.Unlock()
+			n, _ := c.Conn.Write(part)
+			c.mu.Lock()
+			c.writeN += int64(n)
+			c.mu.Unlock()
+			c.Conn.Close()
+			return n, fmt.Errorf("%w: write truncated at %d bytes", ErrInjected, at)
+		}
+	}
+	// Copy before corrupting: Write must never mutate the caller's buffer.
+	out := p
+	if at := c.script.CorruptWriteAt; at > 0 && c.writeN < at && at <= c.writeN+int64(len(p)) {
+		out = append([]byte(nil), p...)
+		c.corruptLocked(out)
+	}
+	c.mu.Unlock()
+	n, err := c.Conn.Write(out)
+	c.mu.Lock()
+	c.writeN += int64(n)
+	c.mu.Unlock()
+	return n, err
+}
+
+// corruptLocked flips one bit of buf if the scripted write-corruption
+// offset falls inside it. Caller holds c.mu.
+func (c *conn) corruptLocked(buf []byte) {
+	at := c.script.CorruptWriteAt
+	if at > 0 && c.writeN < at && at <= c.writeN+int64(len(buf)) {
+		buf[at-c.writeN-1] ^= 1 << c.rng.Intn(8)
+	}
+}

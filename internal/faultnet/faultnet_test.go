@@ -1,0 +1,236 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pair returns a wrapped server-side conn (per script) talking to a raw
+// client-side conn over real TCP.
+func pair(t *testing.T, script *ConnScript) (server net.Conn, client net.Conn) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	fl := Wrap(l, Options{Seed: 11, Script: func(int) *ConnScript { return script }})
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		server, err = fl.Accept()
+	}()
+	client, cerr := net.Dial("tcp", l.Addr().String())
+	if cerr != nil {
+		t.Fatal(cerr)
+	}
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { server.Close(); client.Close() })
+	return server, client
+}
+
+func TestCorruptWritePreservesCallerBuffer(t *testing.T) {
+	server, client := pair(t, &ConnScript{CorruptWriteAt: 3})
+	msg := []byte("hello-fault")
+	orig := append([]byte(nil), msg...)
+	if _, err := server.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(msg, orig) {
+		t.Error("Write mutated the caller's buffer")
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(client, got); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, orig) {
+		t.Fatal("scripted corruption did not alter the stream")
+	}
+	// Exactly byte 3 (1-based) differs, by exactly one bit.
+	for i := range got {
+		if i == 2 {
+			if d := got[i] ^ orig[i]; d == 0 || d&(d-1) != 0 {
+				t.Errorf("byte 3 xor = %08b, want a single flipped bit", d)
+			}
+		} else if got[i] != orig[i] {
+			t.Errorf("byte %d corrupted, script targets byte 3 only", i+1)
+		}
+	}
+}
+
+func TestCorruptRead(t *testing.T) {
+	server, client := pair(t, &ConnScript{CorruptReadAt: 2})
+	go client.Write([]byte("abcd"))
+	got := make([]byte, 4)
+	if _, err := io.ReadFull(server, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 'a' || got[2] != 'c' || got[3] != 'd' {
+		t.Errorf("bytes outside the script changed: %q", got)
+	}
+	if got[1] == 'b' {
+		t.Error("scripted read corruption did not fire")
+	}
+}
+
+func TestTruncateWrite(t *testing.T) {
+	server, client := pair(t, &ConnScript{TruncateWriteAt: 5})
+	n, err := server.Write([]byte("0123456789"))
+	if n != 5 {
+		t.Errorf("wrote %d bytes, want 5", n)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Errorf("err = %v, want ErrInjected", err)
+	}
+	// Subsequent writes fail outright.
+	if _, err := server.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Errorf("post-truncation write err = %v", err)
+	}
+	// The peer sees exactly the truncated prefix, then EOF.
+	got, err := io.ReadAll(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "01234" {
+		t.Errorf("peer saw %q, want %q", got, "01234")
+	}
+}
+
+func TestResetRead(t *testing.T) {
+	server, client := pair(t, &ConnScript{ResetReadAt: 4})
+	go client.Write([]byte("0123456789"))
+	got := make([]byte, 4)
+	if _, err := io.ReadFull(server, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "0123" {
+		t.Errorf("read %q before reset", got)
+	}
+	if _, err := server.Read(make([]byte, 1)); !errors.Is(err, ErrInjected) {
+		t.Errorf("read past reset: err = %v, want ErrInjected", err)
+	}
+}
+
+func TestDelays(t *testing.T) {
+	server, client := pair(t, &ConnScript{ReadDelay: 30 * time.Millisecond, WriteDelay: 30 * time.Millisecond})
+	go func() {
+		client.Write([]byte("x"))
+	}()
+	start := time.Now()
+	if _, err := server.Read(make([]byte, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Errorf("read returned after %v, want >= 30ms", d)
+	}
+	start = time.Now()
+	if _, err := server.Write([]byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Errorf("write returned after %v, want >= 30ms", d)
+	}
+}
+
+func TestFailFirstAccepts(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	fl := Wrap(l, Options{FailFirstAccepts: 2})
+
+	results := make(chan error, 3)
+	go func() {
+		for i := 0; i < 3; i++ {
+			c, err := fl.Accept()
+			if err == nil {
+				c.Close()
+			}
+			results <- err
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		c, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+	}
+	for i := 0; i < 2; i++ {
+		err := <-results
+		if !errors.Is(err, ErrInjected) {
+			t.Errorf("accept %d: err = %v, want ErrInjected", i, err)
+		}
+		te, ok := err.(interface{ Temporary() bool })
+		if !ok || !te.Temporary() {
+			t.Errorf("accept %d error must be temporary", i)
+		}
+	}
+	if err := <-results; err != nil {
+		t.Errorf("accept 3 failed: %v", err)
+	}
+	if fl.Accepted() != 1 {
+		t.Errorf("Accepted() = %d, want 1", fl.Accepted())
+	}
+}
+
+func TestPartitionThenHeal(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	fl := Wrap(l, Options{})
+	fl.SetPartition(true)
+
+	var mu sync.Mutex
+	var served []net.Conn
+	go func() {
+		for {
+			c, err := fl.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			served = append(served, c)
+			mu.Unlock()
+			go func(c net.Conn) { c.Write([]byte("ok")); c.Close() }(c)
+		}
+	}()
+
+	// During the partition a dial may succeed at TCP level, but the
+	// connection dies before any byte arrives.
+	c, err := net.Dial("tcp", l.Addr().String())
+	if err == nil {
+		c.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, rerr := c.Read(make([]byte, 2)); rerr == nil {
+			t.Error("read during partition must fail")
+		}
+		c.Close()
+	}
+
+	fl.SetPartition(false)
+	c, err = net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	got := make([]byte, 2)
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatalf("read after heal: %v", err)
+	}
+	if string(got) != "ok" {
+		t.Errorf("read %q after heal", got)
+	}
+}

@@ -1,0 +1,327 @@
+package memhist
+
+// The chaos suite drives the probe transport through scripted network
+// faults (internal/faultnet) and asserts the client contract: every
+// FetchRemoteWith call terminates within its deadline and returns
+// either a correct histogram or a typed error — it never hangs, never
+// panics, and never accepts a corrupted histogram as data.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"numaperf/internal/faultnet"
+	"numaperf/internal/probenet"
+	"numaperf/internal/topology"
+	"numaperf/internal/workloads"
+)
+
+// startFaultServer wires a ProbeServer behind a faultnet listener.
+func startFaultServer(t *testing.T, opts faultnet.Options) (addr string, fl *faultnet.Listener) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl = faultnet.Wrap(l, opts)
+	srv := &ProbeServer{MaxConns: 8}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(fl) }()
+	t.Cleanup(func() {
+		l.Close()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return l.Addr().String(), fl
+}
+
+// helloLen reproduces the exact on-wire size of the server's HELLO
+// frame so fault scripts can target bytes of the frames after it.
+func helloLen(t *testing.T) int64 {
+	t.Helper()
+	var buf bytes.Buffer
+	err := probenet.WriteFrame(&buf, probenet.FrameHello, &probenet.Hello{
+		Version:   probenet.Version,
+		Workloads: workloads.Names(),
+		Machines:  topology.MachineNames(),
+		MaxFrame:  probenet.MaxFrame,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return int64(buf.Len())
+}
+
+// onlyFirstConn scripts a fault for connection 0 and leaves every later
+// connection clean — the "fault then heal" shape of most chaos cases.
+func onlyFirstConn(script faultnet.ConnScript) faultnet.Options {
+	return faultnet.Options{Seed: 99, Script: func(i int) *faultnet.ConnScript {
+		if i == 0 {
+			return &script
+		}
+		return nil
+	}}
+}
+
+// referenceHistogram measures the request locally; with a fixed seed
+// the probe must deliver bit-identical counts.
+func referenceHistogram(t *testing.T, req ProbeRequest) *Histogram {
+	t.Helper()
+	h, err := HandleRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func fetchWithRetries(addr string, retries int) (*Histogram, error) {
+	return FetchRemoteWith(addr, quickRequest(), FetchOptions{
+		Timeout: 30 * time.Second,
+		Retries: retries,
+		Sleep:   func(time.Duration) {},
+	})
+}
+
+func assertProbeMatchesReference(t *testing.T, h *Histogram, ref *Histogram) {
+	t.Helper()
+	if h.Origin != OriginProbe {
+		t.Errorf("origin = %q, want %q", h.Origin, OriginProbe)
+	}
+	if !reflect.DeepEqual(h.Bounds, ref.Bounds) || !reflect.DeepEqual(h.Counts, ref.Counts) {
+		t.Errorf("probe histogram diverges from local reference:\nprobe %v %v\nlocal %v %v",
+			h.Bounds, h.Counts, ref.Bounds, ref.Counts)
+	}
+}
+
+func TestChaosTruncatedHello(t *testing.T) {
+	addr, _ := startFaultServer(t, onlyFirstConn(faultnet.ConnScript{TruncateWriteAt: 10}))
+	ref := referenceHistogram(t, quickRequest())
+	h, err := fetchWithRetries(addr, 2)
+	if err != nil {
+		t.Fatalf("fetch across truncated hello: %v", err)
+	}
+	assertProbeMatchesReference(t, h, ref)
+}
+
+func TestChaosCorruptedRequest(t *testing.T) {
+	// Byte 20 of the server's inbound stream sits inside the REQUEST
+	// frame; the checksum fails server-side and the connection drops
+	// without an ERROR frame, so the client retries.
+	addr, _ := startFaultServer(t, onlyFirstConn(faultnet.ConnScript{CorruptReadAt: 20}))
+	ref := referenceHistogram(t, quickRequest())
+	h, err := fetchWithRetries(addr, 2)
+	if err != nil {
+		t.Fatalf("fetch across corrupted request: %v", err)
+	}
+	assertProbeMatchesReference(t, h, ref)
+}
+
+func TestChaosCorruptedResponse(t *testing.T) {
+	// First payload byte of the RESPONSE frame (12-byte header after
+	// the hello): the client's checksum must catch the flip — a
+	// corrupted histogram is never surfaced as data.
+	hlen := helloLen(t)
+	addr, _ := startFaultServer(t, onlyFirstConn(faultnet.ConnScript{CorruptWriteAt: hlen + 13}))
+	ref := referenceHistogram(t, quickRequest())
+	h, err := fetchWithRetries(addr, 2)
+	if err != nil {
+		t.Fatalf("fetch across corrupted response: %v", err)
+	}
+	assertProbeMatchesReference(t, h, ref)
+}
+
+func TestChaosTruncatedResponse(t *testing.T) {
+	hlen := helloLen(t)
+	addr, _ := startFaultServer(t, onlyFirstConn(faultnet.ConnScript{TruncateWriteAt: hlen + 20}))
+	ref := referenceHistogram(t, quickRequest())
+	h, err := fetchWithRetries(addr, 2)
+	if err != nil {
+		t.Fatalf("fetch across truncated response: %v", err)
+	}
+	assertProbeMatchesReference(t, h, ref)
+}
+
+func TestChaosResetRequest(t *testing.T) {
+	// The server-side read resets five bytes into the client's request.
+	addr, _ := startFaultServer(t, onlyFirstConn(faultnet.ConnScript{ResetReadAt: 5}))
+	ref := referenceHistogram(t, quickRequest())
+	h, err := fetchWithRetries(addr, 2)
+	if err != nil {
+		t.Fatalf("fetch across reset: %v", err)
+	}
+	assertProbeMatchesReference(t, h, ref)
+}
+
+func TestChaosAcceptFailures(t *testing.T) {
+	addr, _ := startFaultServer(t, faultnet.Options{FailFirstAccepts: 2})
+	ref := referenceHistogram(t, quickRequest())
+	h, err := fetchWithRetries(addr, 3)
+	if err != nil {
+		t.Fatalf("fetch across accept failures: %v", err)
+	}
+	assertProbeMatchesReference(t, h, ref)
+}
+
+func TestChaosPartitionThenHeal(t *testing.T) {
+	addr, fl := startFaultServer(t, faultnet.Options{})
+	fl.SetPartition(true)
+	ref := referenceHistogram(t, quickRequest())
+
+	var sleeps atomic.Int32
+	h, err := FetchRemoteWith(addr, quickRequest(), FetchOptions{
+		Timeout: 30 * time.Second,
+		Retries: 5,
+		Sleep: func(time.Duration) {
+			// Heal the partition after the second failed attempt; the
+			// remaining retries must get through.
+			if sleeps.Add(1) == 2 {
+				fl.SetPartition(false)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("fetch across partition: %v", err)
+	}
+	assertProbeMatchesReference(t, h, ref)
+	if sleeps.Load() < 2 {
+		t.Errorf("only %d retries before success; partition did not bite", sleeps.Load())
+	}
+}
+
+func TestChaosNoRetryOnCapabilityMiss(t *testing.T) {
+	addr, _ := startFaultServer(t, faultnet.Options{})
+	dials := 0
+	req := quickRequest()
+	req.Workload = "definitely-not-registered"
+	_, err := FetchRemoteWith(addr, req, FetchOptions{
+		Timeout: 10 * time.Second,
+		Retries: 5,
+		Sleep:   func(time.Duration) {},
+		Dial: func(network, a string, timeout time.Duration) (net.Conn, error) {
+			dials++
+			return net.DialTimeout(network, a, timeout)
+		},
+	})
+	var re *probenet.RemoteError
+	if !errors.As(err, &re) || re.Code != probenet.CodeUnknownWorkload {
+		t.Fatalf("err = %v, want unknown-workload RemoteError", err)
+	}
+	if dials != 1 {
+		t.Errorf("%d dials; structural errors must never be retried", dials)
+	}
+}
+
+func TestChaosFallbackLocalUsesBackoffSchedule(t *testing.T) {
+	// No probe listens on port 1: every attempt fails transient, the
+	// recorded sleeps must replay the seeded schedule exactly, and the
+	// call degrades to a local measurement.
+	var recorded []time.Duration
+	req := quickRequest()
+	h, err := FetchRemoteWith("127.0.0.1:1", req, FetchOptions{
+		Timeout:       5 * time.Second,
+		Retries:       3,
+		Backoff:       probenet.NewBackoff(time.Millisecond, 8*time.Millisecond, 7),
+		Sleep:         func(d time.Duration) { recorded = append(recorded, d) },
+		FallbackLocal: true,
+	})
+	if err != nil {
+		t.Fatalf("fallback failed: %v", err)
+	}
+	if h.Origin != OriginLocalFallback {
+		t.Errorf("origin = %q, want %q", h.Origin, OriginLocalFallback)
+	}
+	ref := referenceHistogram(t, req)
+	if !reflect.DeepEqual(h.Counts, ref.Counts) {
+		t.Error("fallback histogram diverges from direct local measurement")
+	}
+	want := probenet.NewBackoff(time.Millisecond, 8*time.Millisecond, 7)
+	if len(recorded) != 3 {
+		t.Fatalf("%d sleeps, want 3", len(recorded))
+	}
+	for i, d := range recorded {
+		if w := want.Delay(i); d != w {
+			t.Errorf("sleep %d = %v, want %v (deterministic schedule)", i, d, w)
+		}
+	}
+}
+
+func TestChaosNoFallbackWithoutOptIn(t *testing.T) {
+	_, err := FetchRemoteWith("127.0.0.1:1", quickRequest(), FetchOptions{
+		Timeout: 2 * time.Second,
+		Retries: 1,
+		Sleep:   func(time.Duration) {},
+	})
+	if err == nil {
+		t.Fatal("unreachable probe must fail without FallbackLocal")
+	}
+	if !probenet.IsTransient(errors.Unwrap(err)) && !probenet.IsTransient(err) {
+		t.Errorf("unreachable-probe error %v should classify transient", err)
+	}
+}
+
+// TestChaosFaultSweep is the blanket guarantee: under a spread of fault
+// scripts the client either returns a histogram matching the local
+// reference or a typed error — within the deadline, without panics.
+func TestChaosFaultSweep(t *testing.T) {
+	hlen := helloLen(t)
+	scripts := []faultnet.ConnScript{
+		{TruncateWriteAt: 1},
+		{TruncateWriteAt: 11},        // inside the hello header
+		{TruncateWriteAt: 13},        // first hello payload byte
+		{TruncateWriteAt: hlen},      // exactly the hello: response never starts
+		{TruncateWriteAt: hlen + 1},  // first response header byte
+		{TruncateWriteAt: hlen + 30}, // inside the response payload
+		{CorruptWriteAt: 1},          // hello magic
+		{CorruptWriteAt: 3},          // hello version byte
+		{CorruptWriteAt: 20},         // hello payload
+		{CorruptWriteAt: hlen + 5},   // response header
+		{CorruptWriteAt: hlen + 40},  // response payload
+		{CorruptReadAt: 1},           // request magic server-side
+		{CorruptReadAt: 30},          // request payload server-side
+		{ResetReadAt: 1},
+		{ResetReadAt: 40},
+		{ReadDelay: 2 * time.Millisecond, CorruptWriteAt: hlen + 13},
+	}
+	ref := referenceHistogram(t, quickRequest())
+	for i, script := range scripts {
+		script := script
+		t.Run(fmt.Sprintf("script-%02d", i), func(t *testing.T) {
+			addr, _ := startFaultServer(t, faultnet.Options{
+				Seed: int64(100 + i),
+				// Every connection gets the fault: no healing, so the
+				// error path itself is exercised.
+				Script: func(int) *faultnet.ConnScript { return &script },
+			})
+			start := time.Now()
+			h, err := FetchRemoteWith(addr, quickRequest(), FetchOptions{
+				Timeout: 5 * time.Second,
+				Retries: 1,
+				Sleep:   func(time.Duration) {},
+			})
+			if elapsed := time.Since(start); elapsed > 15*time.Second {
+				t.Fatalf("fetch took %v, deadline not honoured", elapsed)
+			}
+			if err == nil {
+				// A fault that spared the exchange (e.g. a corrupt bit
+				// that missed) must still deliver correct data.
+				assertProbeMatchesReference(t, h, ref)
+				return
+			}
+			var re *probenet.RemoteError
+			var pe *probenet.ProtocolError
+			var ve *probenet.VersionError
+			typed := errors.As(err, &re) || errors.As(err, &pe) || errors.As(err, &ve) ||
+				probenet.IsTransient(err)
+			if !typed {
+				t.Errorf("untyped error: %v", err)
+			}
+		})
+	}
+}

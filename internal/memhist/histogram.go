@@ -62,7 +62,22 @@ type Histogram struct {
 	Exact bool
 	// Source labels the measured workload.
 	Source string
+	// Origin records where the measurement ran: OriginLocal,
+	// OriginProbe, or OriginLocalFallback when the remote probe was
+	// unreachable and the client degraded to a local measurement.
+	Origin string `json:",omitempty"`
 }
+
+// Origin values for Histogram.Origin.
+const (
+	// OriginLocal marks an in-process measurement.
+	OriginLocal = "local"
+	// OriginProbe marks data fetched from a remote probe.
+	OriginProbe = "probe"
+	// OriginLocalFallback marks graceful degradation: the probe stayed
+	// unreachable, so the client measured locally instead.
+	OriginLocalFallback = "local-fallback"
+)
 
 // Intervals returns the number of intervals (len(Bounds)).
 func (h *Histogram) Intervals() int { return len(h.Bounds) }

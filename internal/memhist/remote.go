@@ -1,21 +1,43 @@
 package memhist
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
-	"net"
-	"time"
 
 	"numaperf/internal/exec"
 	"numaperf/internal/topology"
 	"numaperf/internal/workloads"
 )
 
-// This file implements the remote–local architecture of the paper's
-// Fig. 6: server platforms do not always offer a rich graphical
-// interface, so a headless probe runs next to the testee and transfers
-// the measured data via TCP to the front-end application.
+// This file implements the request side of the paper's Fig. 6
+// remote–local architecture: server platforms do not always offer a
+// rich graphical interface, so a headless probe runs next to the testee
+// and transfers the measured data via TCP to the front-end application.
+// The wire protocol lives in internal/probenet; the hardened server and
+// client are in server.go and client.go.
+
+// Sentinel errors let the probe map measurement failures onto the
+// protocol's machine-readable error codes.
+var (
+	// ErrBadRequest marks requests that fail validation.
+	ErrBadRequest = errors.New("bad request")
+	// ErrUnknownWorkload marks workloads absent from the registry.
+	ErrUnknownWorkload = errors.New("unknown workload")
+	// ErrUnknownMachine marks unrecognised machine models.
+	ErrUnknownMachine = errors.New("unknown machine")
+)
+
+// Request limits, enforced on both the client and the server so a
+// malformed or hostile request cannot stall or exhaust the probe.
+const (
+	// MaxRequestThreads caps the requested thread count (the engine
+	// further limits it to the machine's core count).
+	MaxRequestThreads = 1024
+	// MaxRequestBounds caps the histogram resolution.
+	MaxRequestBounds = 256
+	// MaxRequestReps caps the number of averaged cycled runs.
+	MaxRequestReps = 10_000
+)
 
 // ProbeRequest asks the probe to measure one workload.
 type ProbeRequest struct {
@@ -38,17 +60,50 @@ type ProbeRequest struct {
 	Seed int64 `json:"seed,omitempty"`
 }
 
-// ProbeResponse carries the histogram or an error back to the GUI.
-type ProbeResponse struct {
-	Histogram *Histogram `json:"histogram,omitempty"`
-	Error     string     `json:"error,omitempty"`
+// Validate checks the request against the protocol limits: a workload
+// name must be present, reps must be non-negative, bounds must be
+// strictly increasing (and at least two when given), and the thread
+// count must stay under MaxRequestThreads. Both the client (before
+// dialling) and the server (on receipt) validate, so a bad request
+// never costs a measurement slot or a retry loop.
+func (r ProbeRequest) Validate() error {
+	if r.Workload == "" {
+		return fmt.Errorf("memhist: %w: workload name required", ErrBadRequest)
+	}
+	if r.Reps < 0 {
+		return fmt.Errorf("memhist: %w: reps %d must be >= 0", ErrBadRequest, r.Reps)
+	}
+	if r.Reps > MaxRequestReps {
+		return fmt.Errorf("memhist: %w: reps %d exceeds cap %d", ErrBadRequest, r.Reps, MaxRequestReps)
+	}
+	if r.Threads > MaxRequestThreads {
+		return fmt.Errorf("memhist: %w: %d threads exceed cap %d", ErrBadRequest, r.Threads, MaxRequestThreads)
+	}
+	if len(r.Bounds) == 1 {
+		return fmt.Errorf("memhist: %w: need at least two bounds", ErrBadRequest)
+	}
+	if len(r.Bounds) > MaxRequestBounds {
+		return fmt.Errorf("memhist: %w: %d bounds exceed cap %d", ErrBadRequest, len(r.Bounds), MaxRequestBounds)
+	}
+	for i := 0; i+1 < len(r.Bounds); i++ {
+		if r.Bounds[i+1] <= r.Bounds[i] {
+			return fmt.Errorf("memhist: %w: bounds must be strictly increasing (bounds[%d]=%d, bounds[%d]=%d)",
+				ErrBadRequest, i, r.Bounds[i], i+1, r.Bounds[i+1])
+		}
+	}
+	return nil
 }
 
-// HandleRequest executes one probe request locally.
+// HandleRequest executes one probe request locally. The returned
+// histogram is tagged Origin "local"; the remote client overwrites the
+// tag so callers can always tell where their data came from.
 func HandleRequest(req ProbeRequest) (*Histogram, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
 	w, ok := workloads.ByName(req.Workload)
 	if !ok {
-		return nil, fmt.Errorf("memhist: unknown workload %q (have %v)", req.Workload, workloads.Names())
+		return nil, fmt.Errorf("memhist: %w %q (have %v)", ErrUnknownWorkload, req.Workload, workloads.Names())
 	}
 	machName := req.Machine
 	if machName == "" {
@@ -56,7 +111,7 @@ func HandleRequest(req ProbeRequest) (*Histogram, error) {
 	}
 	mach, ok := topology.ByName(machName)
 	if !ok {
-		return nil, fmt.Errorf("memhist: unknown machine %q", machName)
+		return nil, fmt.Errorf("memhist: %w %q", ErrUnknownMachine, machName)
 	}
 	threads := req.Threads
 	if threads <= 0 {
@@ -80,64 +135,6 @@ func HandleRequest(req ProbeRequest) (*Histogram, error) {
 		return nil, err
 	}
 	h.Source = w.Name()
+	h.Origin = OriginLocal
 	return h, nil
-}
-
-// ServeProbe accepts probe connections until the listener closes. Each
-// connection carries one JSON request and receives one JSON response —
-// the Measure(...) RPC of Fig. 6.
-func ServeProbe(l net.Listener) error {
-	for {
-		conn, err := l.Accept()
-		if err != nil {
-			if errors.Is(err, net.ErrClosed) {
-				return nil
-			}
-			return err
-		}
-		serveConn(conn)
-	}
-}
-
-func serveConn(conn net.Conn) {
-	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(5 * time.Minute))
-	var req ProbeRequest
-	var resp ProbeResponse
-	if err := json.NewDecoder(conn).Decode(&req); err != nil {
-		resp.Error = fmt.Sprintf("decoding request: %v", err)
-	} else if h, err := HandleRequest(req); err != nil {
-		resp.Error = err.Error()
-	} else {
-		resp.Histogram = h
-	}
-	_ = json.NewEncoder(conn).Encode(&resp)
-}
-
-// FetchRemote connects to a probe, submits the request and returns the
-// measured histogram — the front-end side of Fig. 6.
-func FetchRemote(addr string, req ProbeRequest, timeout time.Duration) (*Histogram, error) {
-	if timeout <= 0 {
-		timeout = 5 * time.Minute
-	}
-	conn, err := net.DialTimeout("tcp", addr, timeout)
-	if err != nil {
-		return nil, fmt.Errorf("memhist: connecting to probe %s: %w", addr, err)
-	}
-	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(timeout))
-	if err := json.NewEncoder(conn).Encode(&req); err != nil {
-		return nil, fmt.Errorf("memhist: sending request: %w", err)
-	}
-	var resp ProbeResponse
-	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
-		return nil, fmt.Errorf("memhist: reading response: %w", err)
-	}
-	if resp.Error != "" {
-		return nil, fmt.Errorf("memhist: probe error: %s", resp.Error)
-	}
-	if resp.Histogram == nil {
-		return nil, errors.New("memhist: empty probe response")
-	}
-	return resp.Histogram, nil
 }

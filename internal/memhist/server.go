@@ -1,0 +1,465 @@
+package memhist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"numaperf/internal/probenet"
+	"numaperf/internal/topology"
+	"numaperf/internal/workloads"
+)
+
+// ProbeStats is a snapshot of the probe's counters, exposed through
+// the PING frame so operators (and tests) can observe rejected
+// connections and — crucially — response-encode failures that would
+// otherwise vanish silently.
+type ProbeStats struct {
+	// Accepted counts accepted TCP connections.
+	Accepted uint64 `json:"accepted"`
+	// Served counts successful RESPONSE frames sent.
+	Served uint64 `json:"served"`
+	// ErrorsSent counts ERROR frames sent (any code).
+	ErrorsSent uint64 `json:"errors_sent"`
+	// EncodeFailures counts frames that failed to serialise or write —
+	// the silent-swallow path of the original sketch, now observable.
+	EncodeFailures uint64 `json:"encode_failures"`
+	// RejectedOverload counts connections refused over MaxConns.
+	RejectedOverload uint64 `json:"rejected_overload"`
+	// RejectedDraining counts connections refused during shutdown.
+	RejectedDraining uint64 `json:"rejected_draining"`
+	// Panics counts recovered panics (connection or measurement).
+	Panics uint64 `json:"panics"`
+}
+
+type probeCounters struct {
+	accepted         atomic.Uint64
+	served           atomic.Uint64
+	errorsSent       atomic.Uint64
+	encodeFailures   atomic.Uint64
+	rejectedOverload atomic.Uint64
+	rejectedDraining atomic.Uint64
+	panics           atomic.Uint64
+}
+
+func (c *probeCounters) snapshot() ProbeStats {
+	return ProbeStats{
+		Accepted:         c.accepted.Load(),
+		Served:           c.served.Load(),
+		ErrorsSent:       c.errorsSent.Load(),
+		EncodeFailures:   c.encodeFailures.Load(),
+		RejectedOverload: c.rejectedOverload.Load(),
+		RejectedDraining: c.rejectedDraining.Load(),
+		Panics:           c.panics.Load(),
+	}
+}
+
+// ProbeServer is the hardened headless probe of the paper's Fig. 6
+// architecture: concurrent connections behind a semaphore, per-frame
+// deadlines, panic recovery, strict frame limits and a graceful drain.
+// The zero value is usable; Serve may be called on multiple listeners.
+type ProbeServer struct {
+	// MaxConns bounds concurrently served connections; beyond it new
+	// connections receive an "overloaded" ERROR frame. Default 16.
+	MaxConns int
+	// IdleTimeout bounds the wait for the next frame on an open
+	// connection. Default 2 minutes.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each frame write. Default 30 seconds.
+	WriteTimeout time.Duration
+	// Logf, when set, receives diagnostics (encode failures, panics).
+	Logf func(format string, args ...any)
+
+	initOnce sync.Once
+	sem      chan struct{}
+	draining atomic.Bool
+	wg       sync.WaitGroup
+	stats    probeCounters
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[*probeConn]struct{}
+}
+
+// probeConn tracks one served connection's lifecycle so a graceful
+// drain can close idle connections immediately while letting in-flight
+// measurements finish.
+type probeConn struct {
+	conn net.Conn
+
+	mu     sync.Mutex
+	busy   bool
+	closed bool
+}
+
+// beginRequest marks the connection busy; false means the connection
+// was closed by a concurrent shutdown and the handler must stop.
+func (pc *probeConn) beginRequest() bool {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.closed {
+		return false
+	}
+	pc.busy = true
+	return true
+}
+
+func (pc *probeConn) endRequest() {
+	pc.mu.Lock()
+	pc.busy = false
+	pc.mu.Unlock()
+}
+
+// closeIfIdle closes the connection unless a request is in flight,
+// first letting notify write a farewell frame. Reports whether it
+// closed the connection.
+func (pc *probeConn) closeIfIdle(notify func(net.Conn)) bool {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.busy || pc.closed {
+		return false
+	}
+	pc.closed = true
+	if notify != nil {
+		notify(pc.conn)
+	}
+	pc.conn.Close()
+	return true
+}
+
+func (pc *probeConn) forceClose() {
+	pc.mu.Lock()
+	pc.closed = true
+	pc.mu.Unlock()
+	pc.conn.Close()
+}
+
+func (s *ProbeServer) init() {
+	s.initOnce.Do(func() {
+		if s.MaxConns <= 0 {
+			s.MaxConns = 16
+		}
+		if s.IdleTimeout <= 0 {
+			s.IdleTimeout = 2 * time.Minute
+		}
+		if s.WriteTimeout <= 0 {
+			s.WriteTimeout = 30 * time.Second
+		}
+		s.sem = make(chan struct{}, s.MaxConns)
+		s.listeners = make(map[net.Listener]struct{})
+		s.conns = make(map[*probeConn]struct{})
+	})
+}
+
+func (s *ProbeServer) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// Stats returns a snapshot of the probe's counters.
+func (s *ProbeServer) Stats() ProbeStats { return s.stats.snapshot() }
+
+// Serve accepts probe connections until the listener closes (or
+// Shutdown is called). Each connection is handled concurrently, up to
+// MaxConns; excess connections are refused with an "overloaded" ERROR
+// frame rather than queued, so a stalled probe fails fast instead of
+// building an invisible backlog. Temporary accept errors are retried.
+func (s *ProbeServer) Serve(l net.Listener) error {
+	s.init()
+	s.mu.Lock()
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			if te, ok := err.(interface{ Temporary() bool }); ok && te.Temporary() {
+				time.Sleep(5 * time.Millisecond)
+				continue
+			}
+			return err
+		}
+		s.stats.accepted.Add(1)
+		if s.draining.Load() {
+			s.stats.rejectedDraining.Add(1)
+			go s.reject(conn, probenet.CodeShuttingDown, "probe is draining")
+			continue
+		}
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.stats.rejectedOverload.Add(1)
+			go s.reject(conn, probenet.CodeOverloaded, fmt.Sprintf("probe at connection limit %d", s.MaxConns))
+			continue
+		}
+		pc := &probeConn{conn: conn}
+		// Registration and the draining re-check share the mutex with
+		// Shutdown, so every admitted connection is either counted in
+		// the WaitGroup before Shutdown starts waiting or refused.
+		s.mu.Lock()
+		if s.draining.Load() {
+			s.mu.Unlock()
+			<-s.sem
+			s.stats.rejectedDraining.Add(1)
+			go s.reject(conn, probenet.CodeShuttingDown, "probe is draining")
+			continue
+		}
+		s.conns[pc] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					s.stats.panics.Add(1)
+					s.logf("memhist: probe connection panic: %v", r)
+				}
+				s.mu.Lock()
+				delete(s.conns, pc)
+				s.mu.Unlock()
+				conn.Close()
+				<-s.sem
+				s.wg.Done()
+			}()
+			s.handle(pc)
+		}()
+	}
+}
+
+// reject answers a connection we will not serve with a single ERROR
+// frame and closes it.
+func (s *ProbeServer) reject(conn net.Conn, code probenet.ErrorCode, msg string) {
+	defer conn.Close()
+	s.writeFrame(conn, probenet.FrameError, &probenet.ErrorMsg{Code: code, Message: msg})
+	s.stats.errorsSent.Add(1)
+}
+
+// writeFrame writes one frame under the write deadline, logging and
+// counting failures (the original implementation discarded them).
+func (s *ProbeServer) writeFrame(conn net.Conn, t probenet.FrameType, v any) error {
+	_ = conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+	if err := probenet.WriteFrame(conn, t, v); err != nil {
+		s.stats.encodeFailures.Add(1)
+		s.logf("memhist: probe failed to send %s to %s: %v", t, conn.RemoteAddr(), err)
+		return err
+	}
+	return nil
+}
+
+func (s *ProbeServer) sendError(conn net.Conn, id uint64, code probenet.ErrorCode, msg string) error {
+	err := s.writeFrame(conn, probenet.FrameError, &probenet.ErrorMsg{ID: id, Code: code, Message: msg})
+	if err == nil {
+		s.stats.errorsSent.Add(1)
+	}
+	return err
+}
+
+// handle runs the per-connection frame loop: HELLO, then any number of
+// REQUEST/PING frames until the peer leaves, a deadline fires or the
+// server drains.
+func (s *ProbeServer) handle(pc *probeConn) {
+	conn := pc.conn
+	hello := &probenet.Hello{
+		Version:   probenet.Version,
+		Workloads: workloads.Names(),
+		Machines:  topology.MachineNames(),
+		MaxFrame:  probenet.MaxFrame,
+	}
+	if s.writeFrame(conn, probenet.FrameHello, hello) != nil {
+		return
+	}
+	for {
+		if s.draining.Load() {
+			s.sendError(conn, 0, probenet.CodeShuttingDown, "probe is draining")
+			return
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
+		t, payload, err := probenet.ReadFrame(conn)
+		if err != nil {
+			// A malformed stream (bad magic, checksum mismatch,
+			// truncation) means the transport is damaged, not that the
+			// request was wrong: drop the connection without an ERROR
+			// frame so the client classifies the failure as transient
+			// and retries on a fresh connection. io.EOF is the clean
+			// close between frames.
+			if !errors.Is(err, io.EOF) {
+				s.logf("memhist: probe dropping %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		switch t {
+		case probenet.FramePing:
+			var ping probenet.Ping
+			if probenet.Decode(t, payload, &ping) != nil {
+				s.sendError(conn, 0, probenet.CodeBadRequest, "malformed PING")
+				continue
+			}
+			stats, _ := json.Marshal(s.Stats())
+			if s.writeFrame(conn, probenet.FramePong, &probenet.Pong{ID: ping.ID, Stats: stats}) != nil {
+				return
+			}
+		case probenet.FrameRequest:
+			if !s.handleRequest(pc, payload) {
+				return
+			}
+		default:
+			s.sendError(conn, 0, probenet.CodeBadRequest, fmt.Sprintf("unexpected %s frame", t))
+		}
+	}
+}
+
+// handleRequest serves one REQUEST frame; false tells the caller to
+// drop the connection.
+func (s *ProbeServer) handleRequest(pc *probeConn, payload []byte) bool {
+	conn := pc.conn
+	var env probenet.Request
+	if probenet.Decode(probenet.FrameRequest, payload, &env) != nil {
+		s.sendError(conn, 0, probenet.CodeBadRequest, "malformed REQUEST envelope")
+		return true
+	}
+	var req ProbeRequest
+	if err := json.Unmarshal(env.Body, &req); err != nil {
+		s.sendError(conn, env.ID, probenet.CodeBadRequest, fmt.Sprintf("malformed request body: %v", err))
+		return true
+	}
+	if err := req.Validate(); err != nil {
+		s.sendError(conn, env.ID, probenet.CodeBadRequest, err.Error())
+		return true
+	}
+	if !pc.beginRequest() {
+		return false
+	}
+	// Honour the client's propagated deadline for the response write:
+	// measuring past the point where the client gave up only wastes a
+	// slot on a response nobody reads.
+	deadline := time.Time{}
+	if env.TimeoutMillis > 0 {
+		deadline = time.Now().Add(time.Duration(env.TimeoutMillis) * time.Millisecond)
+	}
+	h, err := s.measure(req)
+	ok := true
+	if err != nil {
+		s.sendError(conn, env.ID, errorCode(err), err.Error())
+	} else {
+		body, merr := json.Marshal(h)
+		if merr != nil {
+			s.sendError(conn, env.ID, probenet.CodeInternal, fmt.Sprintf("encoding histogram: %v", merr))
+		} else {
+			if !deadline.IsZero() {
+				_ = conn.SetWriteDeadline(deadline)
+			}
+			if s.writeFrame(conn, probenet.FrameResponse, &probenet.Response{ID: env.ID, Body: body}) != nil {
+				ok = false
+			} else {
+				s.stats.served.Add(1)
+			}
+		}
+	}
+	pc.endRequest()
+	return ok
+}
+
+// measure runs the request with its own panic recovery so a workload
+// bug inside one measurement becomes an ERROR frame, not a dead probe.
+func (s *ProbeServer) measure(req ProbeRequest) (h *Histogram, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.stats.panics.Add(1)
+			s.logf("memhist: measurement panic for workload %q: %v", req.Workload, r)
+			err = fmt.Errorf("memhist: measurement panic: %v", r)
+		}
+	}()
+	return HandleRequest(req)
+}
+
+// errorCode maps a measurement error onto the protocol's error codes.
+func errorCode(err error) probenet.ErrorCode {
+	switch {
+	case errors.Is(err, ErrUnknownWorkload):
+		return probenet.CodeUnknownWorkload
+	case errors.Is(err, ErrUnknownMachine):
+		return probenet.CodeUnknownMachine
+	case errors.Is(err, ErrBadRequest):
+		return probenet.CodeBadRequest
+	default:
+		return probenet.CodeInternal
+	}
+}
+
+// Shutdown drains the server gracefully: new connections are refused
+// with "shutting-down", idle connections receive the same farewell and
+// close immediately, and in-flight measurements run to completion (and
+// deliver their response) before their connections close. When the
+// context expires first, remaining connections are force-closed and the
+// context's error is returned. Listeners close once the drain ends, so
+// Serve returns nil.
+func (s *ProbeServer) Shutdown(ctx context.Context) error {
+	s.init()
+	s.mu.Lock()
+	s.draining.Store(true)
+	idle := make([]*probeConn, 0, len(s.conns))
+	for pc := range s.conns {
+		idle = append(idle, pc)
+	}
+	s.mu.Unlock()
+
+	farewell := func(c net.Conn) {
+		s.sendError(c, 0, probenet.CodeShuttingDown, "probe is draining")
+	}
+	for _, pc := range idle {
+		pc.closeIfIdle(farewell)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+
+	closeListeners := func() {
+		s.mu.Lock()
+		for l := range s.listeners {
+			l.Close()
+		}
+		s.mu.Unlock()
+	}
+
+	select {
+	case <-done:
+		closeListeners()
+		return nil
+	case <-ctx.Done():
+		// Force-close without waiting: a measurement cannot be
+		// cancelled mid-run, so its handler may outlive Shutdown; the
+		// closed connection guarantees nothing more reaches the peer.
+		s.mu.Lock()
+		for pc := range s.conns {
+			pc.forceClose()
+		}
+		s.mu.Unlock()
+		closeListeners()
+		return ctx.Err()
+	}
+}
+
+// ServeProbe accepts probe connections until the listener closes — the
+// Measure(...) RPC of Fig. 6, served by a default ProbeServer. Callers
+// needing concurrency limits, stats or graceful shutdown should use
+// ProbeServer directly.
+func ServeProbe(l net.Listener) error {
+	return (&ProbeServer{}).Serve(l)
+}

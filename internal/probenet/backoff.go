@@ -1,0 +1,53 @@
+package probenet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff yields capped exponential retry delays with deterministic,
+// seedable jitter. Determinism is a repro invariant: given the same
+// seed, the exact delay schedule is reproducible, so tests can assert
+// it and chaos runs can be replayed. No wall-clock randomness is used.
+type Backoff struct {
+	// Base is the delay before the first retry (default 50 ms).
+	Base time.Duration
+	// Max caps the uncapped exponential growth (default 2 s).
+	Max time.Duration
+
+	rng *rand.Rand
+}
+
+// NewBackoff builds a deterministic backoff schedule. Non-positive base
+// or max select the defaults.
+func NewBackoff(base, max time.Duration, seed int64) *Backoff {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	if max < base {
+		max = base
+	}
+	return &Backoff{Base: base, Max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Delay returns the wait before retry number attempt (0-based): the
+// capped exponential d = min(Base·2^attempt, Max) with half jitter,
+// drawn uniformly from [d/2, d]. Successive calls advance the seeded
+// RNG, so the full schedule is a pure function of the seed.
+func (b *Backoff) Delay(attempt int) time.Duration {
+	d := b.Base
+	for i := 0; i < attempt && d < b.Max; i++ {
+		d *= 2
+	}
+	if d > b.Max {
+		d = b.Max
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(b.rng.Int63n(int64(half)+1))
+}

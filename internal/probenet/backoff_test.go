@@ -1,0 +1,70 @@
+package probenet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffExactSchedule pins the repro invariant: the delay schedule
+// is a pure function of the seed, with no wall-clock randomness. The
+// values are the frozen output of math/rand(seed=7) under half jitter
+// over min(100ms·2ⁿ, 2s).
+func TestBackoffExactSchedule(t *testing.T) {
+	b := NewBackoff(100*time.Millisecond, 2*time.Second, 7)
+	want := []time.Duration{
+		81362415,   // attempt 0
+		199763484,  // attempt 1
+		382437318,  // attempt 2
+		736364760,  // attempt 3
+		857678779,  // attempt 4
+		1224067029, // attempt 5
+		1025830531, // attempt 6
+	}
+	for i, w := range want {
+		if got := b.Delay(i); got != w {
+			t.Errorf("Delay(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestBackoffDeterministicAcrossInstances(t *testing.T) {
+	a := NewBackoff(30*time.Millisecond, time.Second, 42)
+	b := NewBackoff(30*time.Millisecond, time.Second, 42)
+	for i := 0; i < 20; i++ {
+		if da, db := a.Delay(i), b.Delay(i); da != db {
+			t.Fatalf("attempt %d: %v != %v for identical seeds", i, da, db)
+		}
+	}
+	c := NewBackoff(30*time.Millisecond, time.Second, 43)
+	same := true
+	for i := 0; i < 20; i++ {
+		if NewBackoff(30*time.Millisecond, time.Second, 42).Delay(i) != c.Delay(i) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced an identical schedule")
+	}
+}
+
+func TestBackoffBoundsAndCap(t *testing.T) {
+	base, max := 10*time.Millisecond, 160*time.Millisecond
+	b := NewBackoff(base, max, 3)
+	for attempt := 0; attempt < 12; attempt++ {
+		uncapped := base
+		for i := 0; i < attempt && uncapped < max; i++ {
+			uncapped *= 2
+		}
+		if uncapped > max {
+			uncapped = max
+		}
+		d := b.Delay(attempt)
+		if d < uncapped/2 || d > uncapped {
+			t.Errorf("Delay(%d) = %v outside [%v, %v]", attempt, d, uncapped/2, uncapped)
+		}
+	}
+	// Far past the cap the delay must stay bounded by Max.
+	if d := b.Delay(63); d > max {
+		t.Errorf("Delay(63) = %v exceeds cap %v", d, max)
+	}
+}

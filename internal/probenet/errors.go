@@ -1,0 +1,103 @@
+package probenet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"syscall"
+)
+
+// ErrorCode is the machine-readable code carried by ERROR frames. Codes
+// describe the probe's verdict on the request, so a client never
+// retries them — the same request would fail again.
+type ErrorCode string
+
+const (
+	// CodeBadRequest rejects a request that fails validation.
+	CodeBadRequest ErrorCode = "bad-request"
+	// CodeUnknownWorkload rejects a workload the probe cannot run.
+	CodeUnknownWorkload ErrorCode = "unknown-workload"
+	// CodeUnknownMachine rejects an unrecognised machine model.
+	CodeUnknownMachine ErrorCode = "unknown-machine"
+	// CodeOverloaded rejects a connection beyond the concurrency limit.
+	CodeOverloaded ErrorCode = "overloaded"
+	// CodeShuttingDown rejects work arriving during a graceful drain.
+	CodeShuttingDown ErrorCode = "shutting-down"
+	// CodeInternal reports a measurement failure inside the probe.
+	CodeInternal ErrorCode = "internal"
+)
+
+// RemoteError is a well-formed ERROR frame received from the peer. It
+// is never transient: the probe understood the request and rejected it.
+type RemoteError struct {
+	Code    ErrorCode
+	Message string
+}
+
+func (e *RemoteError) Error() string {
+	if e.Message == "" {
+		return fmt.Sprintf("probe error [%s]", e.Code)
+	}
+	return fmt.Sprintf("probe error [%s]: %s", e.Code, e.Message)
+}
+
+// ProtocolError reports a malformed byte stream: bad magic, unknown
+// frame type, oversized length, checksum mismatch or undecodable
+// payload. It is transient — the bytes were damaged in flight, so a
+// fresh connection may well succeed.
+type ProtocolError struct {
+	Reason string
+}
+
+func (e *ProtocolError) Error() string { return "probenet: protocol violation: " + e.Reason }
+
+// VersionError reports a protocol version mismatch. It is not
+// transient: reconnecting to the same peer yields the same version.
+type VersionError struct {
+	Got, Want int
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("probenet: protocol version %d, want %d", e.Got, e.Want)
+}
+
+// IsTransient classifies an error from a fetch attempt: true means a
+// retry on a fresh connection has a chance of succeeding (refused,
+// reset, timeout, truncated or corrupted stream); false means the
+// failure is structural (a well-formed ERROR frame, a version mismatch,
+// a validation failure) and retrying would only repeat it.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return false
+	}
+	var ve *VersionError
+	if errors.As(err, &ve) {
+		return false
+	}
+	var pe *ProtocolError
+	if errors.As(err, &pe) {
+		return true
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	if errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	if errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.ECONNABORTED) || errors.Is(err, syscall.EPIPE) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		// Timeouts and any other dial/read/write level failure.
+		return true
+	}
+	var oe *net.OpError
+	return errors.As(err, &oe)
+}

@@ -1,0 +1,232 @@
+package probenet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []struct {
+		ft FrameType
+		v  any
+	}{
+		{FrameHello, &Hello{Version: 1, Workloads: []string{"triad"}, Machines: []string{"2s"}, MaxFrame: MaxFrame}},
+		{FrameRequest, &Request{ID: 7, TimeoutMillis: 1500, Body: json.RawMessage(`{"workload":"triad"}`)}},
+		{FrameResponse, &Response{ID: 7, Body: json.RawMessage(`{"Bounds":[1,2]}`)}},
+		{FrameError, &ErrorMsg{ID: 7, Code: CodeOverloaded, Message: "full"}},
+		{FramePing, &Ping{ID: 9}},
+		{FramePong, &Pong{ID: 9, Stats: json.RawMessage(`{"served":3}`)}},
+	}
+	var buf bytes.Buffer
+	for _, c := range cases {
+		if err := WriteFrame(&buf, c.ft, c.v); err != nil {
+			t.Fatalf("write %s: %v", c.ft, err)
+		}
+	}
+	for _, c := range cases {
+		ft, payload, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("read %s: %v", c.ft, err)
+		}
+		if ft != c.ft {
+			t.Fatalf("read type %s, want %s", ft, c.ft)
+		}
+		want, _ := json.Marshal(c.v)
+		if !bytes.Equal(payload, want) {
+			t.Errorf("%s payload = %s, want %s", ft, payload, want)
+		}
+	}
+	if _, _, err := ReadFrame(&buf); err != io.EOF {
+		t.Errorf("drained stream: err = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameRejectsOversize(t *testing.T) {
+	big := Request{Body: json.RawMessage(`"` + strings.Repeat("x", MaxFrame) + `"`)}
+	if err := WriteFrame(io.Discard, FrameRequest, &big); err == nil {
+		t.Error("oversized write must fail")
+	}
+	// A forged header claiming an enormous payload must be rejected
+	// before allocation.
+	var buf bytes.Buffer
+	hdr := make([]byte, headerSize)
+	hdr[0], hdr[1], hdr[2], hdr[3] = 'N', 'P', Version, byte(FramePing)
+	binary.BigEndian.PutUint32(hdr[4:8], MaxFrame+1)
+	buf.Write(hdr)
+	_, _, err := ReadFrame(&buf)
+	var pe *ProtocolError
+	if !errors.As(err, &pe) {
+		t.Errorf("oversize header: err = %v, want ProtocolError", err)
+	}
+}
+
+func TestFrameRejectsGarbage(t *testing.T) {
+	var pe *ProtocolError
+
+	_, _, err := ReadFrame(strings.NewReader("GARBAGE-GARBAGE-GARBAGE"))
+	if !errors.As(err, &pe) {
+		t.Errorf("bad magic: err = %v, want ProtocolError", err)
+	}
+
+	var buf bytes.Buffer
+	_ = WriteFrame(&buf, FramePing, &Ping{ID: 1})
+	b := buf.Bytes()
+	b[2] = 99 // wrong version
+	var ve *VersionError
+	if _, _, err := ReadFrame(bytes.NewReader(b)); !errors.As(err, &ve) {
+		t.Errorf("version: err = %v, want VersionError", err)
+	}
+
+	buf.Reset()
+	_ = WriteFrame(&buf, FramePing, &Ping{ID: 1})
+	b = buf.Bytes()
+	b[3] = 200 // unknown frame type
+	if _, _, err := ReadFrame(bytes.NewReader(b)); !errors.As(err, &pe) {
+		t.Errorf("unknown type: err = %v, want ProtocolError", err)
+	}
+}
+
+func TestFrameDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameResponse, &Response{ID: 3, Body: json.RawMessage(`{"Counts":[1,2,3]}`)}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// Flip one payload bit: the checksum must catch it even though the
+	// JSON may still parse.
+	b[headerSize+10] ^= 0x04
+	_, _, err := ReadFrame(bytes.NewReader(b))
+	var pe *ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("corrupted payload: err = %v, want ProtocolError", err)
+	}
+	if !strings.Contains(pe.Reason, "checksum") {
+		t.Errorf("reason = %q, want checksum mismatch", pe.Reason)
+	}
+}
+
+func TestFrameTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FramePong, &Pong{ID: 5}); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	// Every proper prefix must yield EOF (empty) or ErrUnexpectedEOF.
+	for cut := 1; cut < len(whole); cut++ {
+		_, _, err := ReadFrame(bytes.NewReader(whole[:cut]))
+		if err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut at %d: err = %v, want ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestDecode(t *testing.T) {
+	var p Ping
+	if err := Decode(FramePing, []byte(`{"id":4}`), &p); err != nil || p.ID != 4 {
+		t.Errorf("Decode = %v, ping %+v", err, p)
+	}
+	err := Decode(FramePing, []byte(`{`), &p)
+	var pe *ProtocolError
+	if !errors.As(err, &pe) {
+		t.Errorf("malformed payload: err = %v, want ProtocolError", err)
+	}
+}
+
+type fakeTimeout struct{}
+
+func (fakeTimeout) Error() string   { return "fake timeout" }
+func (fakeTimeout) Timeout() bool   { return true }
+func (fakeTimeout) Temporary() bool { return true }
+
+func TestIsTransient(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"remote error", &RemoteError{Code: CodeOverloaded}, false},
+		{"wrapped remote error", errorsJoin(&RemoteError{Code: CodeShuttingDown}), false},
+		{"version mismatch", &VersionError{Got: 2, Want: 1}, false},
+		{"protocol violation", &ProtocolError{Reason: "bad magic"}, true},
+		{"eof", io.EOF, true},
+		{"unexpected eof", io.ErrUnexpectedEOF, true},
+		{"closed", net.ErrClosed, true},
+		{"refused", &net.OpError{Op: "dial", Err: os.NewSyscallError("connect", syscall.ECONNREFUSED)}, true},
+		{"reset", syscall.ECONNRESET, true},
+		{"timeout", fakeTimeout{}, true},
+		{"plain error", errors.New("nope"), false},
+	}
+	for _, c := range cases {
+		if got := IsTransient(c.err); got != c.want {
+			t.Errorf("IsTransient(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func errorsJoin(err error) error {
+	return &wrapErr{err}
+}
+
+type wrapErr struct{ inner error }
+
+func (w *wrapErr) Error() string { return "wrapped: " + w.inner.Error() }
+func (w *wrapErr) Unwrap() error { return w.inner }
+
+func TestErrorStrings(t *testing.T) {
+	if s := (&RemoteError{Code: CodeOverloaded}).Error(); !strings.Contains(s, "overloaded") {
+		t.Errorf("RemoteError = %q", s)
+	}
+	if s := (&RemoteError{Code: CodeBadRequest, Message: "no"}).Error(); !strings.Contains(s, "no") {
+		t.Errorf("RemoteError = %q", s)
+	}
+	if s := (&VersionError{Got: 3, Want: 1}).Error(); !strings.Contains(s, "3") {
+		t.Errorf("VersionError = %q", s)
+	}
+	for ft := FrameHello; ft <= frameTypeMax; ft++ {
+		if strings.HasPrefix(ft.String(), "FrameType(") {
+			t.Errorf("frame type %d unnamed", ft)
+		}
+	}
+	if FrameType(99).String() != "FrameType(99)" {
+		t.Error("unknown frame type string")
+	}
+}
+
+func TestWriteFrameSingleWrite(t *testing.T) {
+	// Header and payload must leave in one Write call so fault scripts
+	// and real sockets see back-to-back bytes.
+	w := &countingWriter{}
+	if err := WriteFrame(w, FramePing, &Ping{ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if w.calls != 1 {
+		t.Errorf("WriteFrame used %d writes, want 1", w.calls)
+	}
+}
+
+type countingWriter struct{ calls int }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.calls++
+	return len(p), nil
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	b := NewBackoff(0, 0, 1)
+	if b.Base != 50*time.Millisecond || b.Max != 2*time.Second {
+		t.Errorf("defaults = %v/%v", b.Base, b.Max)
+	}
+	if b := NewBackoff(time.Second, time.Millisecond, 1); b.Max != time.Second {
+		t.Errorf("max < base must clamp to base, got %v", b.Max)
+	}
+}

@@ -1,6 +1,14 @@
 package workloads
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
+
+// registryMu guards factories: the remote probe serves concurrent
+// connections that all resolve workloads by name, and tests register
+// synthetic workloads.
+var registryMu sync.RWMutex
 
 // factories maps CLI names to default-parameterised workloads.
 var factories = map[string]func() Workload{
@@ -19,9 +27,19 @@ var factories = map[string]func() Workload{
 	"pointer-chase":     func() Workload { return PointerChase{} },
 }
 
+// Register adds (or replaces) a named workload factory, making it
+// reachable by ByName and therefore by the remote probe.
+func Register(name string, f func() Workload) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	factories[name] = f
+}
+
 // ByName returns a default-parameterised workload for CLI use.
 func ByName(name string) (Workload, bool) {
+	registryMu.RLock()
 	f, ok := factories[name]
+	registryMu.RUnlock()
 	if !ok {
 		return nil, false
 	}
@@ -30,10 +48,12 @@ func ByName(name string) (Workload, bool) {
 
 // Names lists the registered workload names alphabetically.
 func Names() []string {
+	registryMu.RLock()
 	out := make([]string, 0, len(factories))
 	for n := range factories {
 		out = append(out, n)
 	}
+	registryMu.RUnlock()
 	sort.Strings(out)
 	return out
 }
