@@ -11,6 +11,17 @@
 //	evsel -workload cachemiss-a                   # measure everything
 //	evsel -workload cachemiss-a -compare cachemiss-b
 //	evsel -workload parallelsort -sweep 1,2,4,8,12,18
+//
+// With -journal the measurement runs as a supervised campaign: every
+// completed run cell is appended to a CRC-checked journal, each run is
+// bounded by -run-timeout and retried up to -max-retries times, and a
+// killed campaign continues with -resume exactly where it stopped.
+// -keep-going records typed gaps instead of aborting on a bad cell, and
+// counters that repeatedly fail or return impossible values are
+// quarantined and reported.
+//
+//	evsel -workload parallelsort -sweep 1,2,4 -journal sweep.jnl
+//	evsel -workload parallelsort -sweep 1,2,4 -journal sweep.jnl -resume
 package main
 
 import (
@@ -21,6 +32,7 @@ import (
 	"strconv"
 	"strings"
 
+	"numaperf/internal/campaign"
 	"numaperf/internal/counters"
 	"numaperf/internal/evsel"
 	"numaperf/internal/exec"
@@ -51,6 +63,13 @@ func main() {
 		saveTo   = flag.String("save", "", "save the measurement as JSON to this file")
 		loadA    = flag.String("load-a", "", "load measurement A from a JSON file (with -load-b)")
 		loadB    = flag.String("load-b", "", "load measurement B from a JSON file")
+
+		journal    = flag.String("journal", "", "run as a supervised campaign, journaling completed cells to this file")
+		resume     = flag.Bool("resume", false, "resume a killed campaign from its journal (skips completed cells)")
+		runTimeout = flag.Duration("run-timeout", campaign.DefaultRunTimeout, "wall-clock bound per run attempt")
+		maxRetries = flag.Int("max-retries", campaign.DefaultMaxRetries, "retries per run cell before it becomes a gap")
+		keepGoing  = flag.Bool("keep-going", false, "record typed gaps for failed cells instead of aborting the campaign")
+		opBudget   = flag.Uint64("op-budget", 0, "abort any run that simulates more than this many operations (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -119,6 +138,37 @@ func main() {
 		return e
 	}
 
+	// Campaign supervision: -journal (or -resume) switches measurement
+	// and sweep runs to the crash-tolerant campaign runner.
+	campaigning := *journal != "" || *resume
+	opts := campaign.Options{
+		RunTimeout:  *runTimeout,
+		MaxRetries:  *maxRetries,
+		OpBudget:    *opBudget,
+		KeepGoing:   *keepGoing,
+		JournalPath: *journal,
+		Resume:      *resume,
+		BackoffSeed: *seed,
+		Logf:        func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+	}
+	// The flags speak plainly (0 = off); the Options zero values select
+	// package defaults, so translate.
+	if *runTimeout == 0 {
+		opts.RunTimeout = -1
+	}
+	if *maxRetries == 0 {
+		opts.MaxRetries = -1
+	}
+	campaignPoint := func(threadCount int, param float64) campaign.Point {
+		return campaign.Point{Param: param, Mk: func(seed int64) (*exec.Engine, func(*exec.Thread), error) {
+			e, err := exec.NewEngine(exec.Config{Machine: mach, Threads: threadCount, Seed: seed})
+			if err != nil {
+				return nil, nil, err
+			}
+			return e, wl.Body(), nil
+		}}
+	}
+
 	switch {
 	case *sweepArg != "":
 		var params []float64
@@ -129,12 +179,32 @@ func main() {
 			}
 			params = append(params, float64(v))
 		}
-		sweep, err := evsel.RunSweep("threads", params,
-			func(p float64) (*exec.Engine, func(*exec.Thread), error) {
-				return mkEngine(int(p)), wl.Body(), nil
-			}, ids, *reps, mode)
-		if err != nil {
-			fatal(err)
+		var sweep *evsel.Sweep
+		if campaigning {
+			spec := campaign.Spec{ParamName: "threads", Events: ids, Reps: *reps, Mode: mode, Seed: *seed}
+			for _, p := range params {
+				spec.Points = append(spec.Points, campaignPoint(int(p), p))
+			}
+			rep, err := (&campaign.Runner{Spec: spec, Opts: opts}).Run()
+			if err != nil {
+				fatal(err)
+			}
+			sweep = &evsel.Sweep{ParamName: "threads"}
+			for _, pr := range rep.Points {
+				sweep.Points = append(sweep.Points, evsel.SweepPoint{Param: pr.Param, M: pr.M})
+			}
+			fmt.Print(sweep.Render(*minR))
+			fmt.Print(rep.Summary())
+			return
+		} else {
+			var err error
+			sweep, err = evsel.RunSweep("threads", params,
+				func(p float64) (*exec.Engine, func(*exec.Thread), error) {
+					return mkEngine(int(p)), wl.Body(), nil
+				}, ids, *reps, mode)
+			if err != nil {
+				fatal(err)
+			}
 		}
 		fmt.Print(sweep.Render(*minR))
 
@@ -173,9 +243,26 @@ func main() {
 			fmt.Printf("%s\n%s", wl.Name(), out)
 			return
 		}
-		m, err := perf.Measure(mkEngine(*threads), wl.Body(), ids, *reps, mode)
-		if err != nil {
-			fatal(err)
+		var m *perf.Measurement
+		var summary string
+		if campaigning {
+			spec := campaign.Spec{
+				ParamName: "threads",
+				Points:    []campaign.Point{campaignPoint(*threads, float64(*threads))},
+				Events:    ids, Reps: *reps, Mode: mode, Seed: *seed,
+			}
+			rep, err := (&campaign.Runner{Spec: spec, Opts: opts}).Run()
+			if err != nil {
+				fatal(err)
+			}
+			m = rep.Points[0].M
+			summary = rep.Summary()
+		} else {
+			var err error
+			m, err = perf.Measure(mkEngine(*threads), wl.Body(), ids, *reps, mode)
+			if err != nil {
+				fatal(err)
+			}
 		}
 		if *saveTo != "" {
 			if err := evsel.SaveMeasurementFile(*saveTo, m); err != nil {
@@ -192,8 +279,13 @@ func main() {
 				continue
 			}
 			cv := coefficientOfVariation(samples, mean)
-			fmt.Printf("%-45s %15.5g %11.2f%%\n", counters.Def(id).Name, mean, 100*cv)
+			cover := ""
+			if m.Partial {
+				cover = fmt.Sprintf("  %3.0f%% cover", 100*m.Coverage(id))
+			}
+			fmt.Printf("%-45s %15.5g %11.2f%%%s\n", counters.Def(id).Name, mean, 100*cv, cover)
 		}
+		fmt.Print(summary)
 	}
 }
 

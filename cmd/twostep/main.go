@@ -19,6 +19,7 @@ import (
 	"strconv"
 	"strings"
 
+	"numaperf/internal/campaign"
 	"numaperf/internal/core"
 	"numaperf/internal/exec"
 	"numaperf/internal/models"
@@ -46,8 +47,27 @@ func main() {
 		maxInd   = flag.Int("indicators", 4, "maximum indicator count")
 		threads  = flag.Int("threads", 1, "thread count")
 		seed     = flag.Int64("seed", 1, "noise seed")
+		runTO    = flag.Duration("run-timeout", campaign.DefaultRunTimeout, "wall-clock budget per collection phase (0 = none)")
+		maxRetry = flag.Int("max-retries", campaign.DefaultMaxRetries, "retries per collection phase on transient failure (0 = none)")
 	)
 	flag.Parse()
+
+	// Each collection phase (training, calibration, truth) runs under
+	// the same supervision a campaign cell gets: wall-clock timeout,
+	// panic recovery, and deterministic capped-backoff retries.
+	sup := campaign.NewSupervisor(*runTO, *maxRetry, *seed)
+	collect := func(phase string, sizes []float64, c func(p float64) (*exec.Engine, func(*exec.Thread), error)) []core.TrainingPoint {
+		pts, attempts, err := campaign.Do(sup, func() ([]core.TrainingPoint, error) {
+			return core.CollectTraining(sizes, *reps, c)
+		})
+		if err != nil {
+			fatalf("%s: %v", phase, err)
+		}
+		if attempts > 1 {
+			fmt.Fprintf(os.Stderr, "twostep: %s succeeded after %d attempts\n", phase, attempts)
+		}
+		return pts
+	}
 
 	mk, ok := families[*family]
 	if !ok {
@@ -77,10 +97,7 @@ func main() {
 	}
 
 	fmt.Printf("training %s on %s at sizes %v (%d reps)\n", *family, mach.Name, trainSizes, *reps)
-	train, err := core.CollectTraining(trainSizes, *reps, collector(mach))
-	if err != nil {
-		fatalf("training: %v", err)
-	}
+	train := collect("training", trainSizes, collector(mach))
 	st, err := core.Build(train, "size", *maxInd)
 	if err != nil {
 		fatalf("building strategy: %v", err)
@@ -94,10 +111,7 @@ func main() {
 			fatalf("unknown transfer machine %q", *transfer)
 		}
 		fmt.Printf("re-calibrating the cost model on %s\n", tm.Name)
-		calib, err := core.CollectTraining(trainSizes, *reps, collector(tm))
-		if err != nil {
-			fatalf("calibration: %v", err)
-		}
+		calib := collect("calibration", trainSizes, collector(tm))
 		st, err = st.Transfer(calib)
 		if err != nil {
 			fatalf("transfer: %v", err)
@@ -105,10 +119,7 @@ func main() {
 		evalMach = tm
 	}
 
-	truth, err := core.CollectTraining([]float64{*target}, *reps, collector(evalMach))
-	if err != nil {
-		fatalf("measuring target: %v", err)
-	}
+	truth := collect("measuring target", []float64{*target}, collector(evalMach))
 	var actual float64
 	for _, p := range truth {
 		actual += p.Cycles

@@ -5,26 +5,40 @@
 // (R > 0.95) and retired speculative taken jumps fall (strongly
 // negative R).
 //
+// The sweep runs as a supervised campaign, and the example doubles as
+// a crash-recovery demonstration: the campaign is first killed
+// mid-flight by an injected fault, then resumed from its CRC-checked
+// journal, and the resumed correlation table is shown to be identical
+// to an uninterrupted run with the same seed.
+//
 //	go run ./examples/sort-scaling
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
-	"numaperf"
+	"numaperf/internal/campaign"
+	"numaperf/internal/counters"
+	"numaperf/internal/evsel"
+	"numaperf/internal/exec"
+	"numaperf/internal/faultrun"
+	"numaperf/internal/perf"
+	"numaperf/internal/topology"
+	"numaperf/internal/workloads"
 )
 
-func main() {
-	s, err := numaperf.NewSession(
-		numaperf.WithMachineName("dl580"),
-		numaperf.WithSeed(9),
-	)
-	if err != nil {
-		log.Fatal(err)
-	}
+const seed = 9
 
-	var events []numaperf.EventID
+func spec() campaign.Spec {
+	mach, ok := topology.ByName("dl580")
+	if !ok {
+		log.Fatal("unknown machine dl580")
+	}
+	var events []counters.EventID
 	for _, name := range []string{
 		"LOCK_CYCLES.CACHE_LOCK_DURATION",
 		"BR_INST_EXEC.TAKEN_SPECULATIVE",
@@ -33,22 +47,102 @@ func main() {
 		"MACHINE_CLEARS.MEMORY_ORDERING",
 		"INST_RETIRED.ANY",
 	} {
-		id, ok := numaperf.LookupEvent(name)
+		id, ok := counters.Lookup(name)
 		if !ok {
 			log.Fatalf("unknown event %s", name)
 		}
 		events = append(events, id)
 	}
+	var points []campaign.Point
+	for _, threads := range []int{1, 2, 4, 6, 8, 12, 16, 18} {
+		threads := threads
+		points = append(points, campaign.Point{
+			Param: float64(threads),
+			Mk: func(cellSeed int64) (*exec.Engine, func(*exec.Thread), error) {
+				e, err := exec.NewEngine(exec.Config{
+					Machine: mach, Threads: threads, Seed: cellSeed,
+				})
+				if err != nil {
+					return nil, nil, err
+				}
+				return e, workloads.ParallelSort{Elements: 1 << 16}.Body(), nil
+			},
+		})
+	}
+	return campaign.Spec{
+		ParamName: "threads",
+		Points:    points,
+		Events:    events,
+		Reps:      2,
+		Mode:      perf.Batched,
+		Seed:      seed,
+	}
+}
 
-	sweep, err := s.SweepThreads(func(threads int) numaperf.Workload {
-		return numaperf.ParallelSort(1 << 16)
-	}, []int{1, 2, 4, 6, 8, 12, 16, 18}, events, 2, numaperf.Batched)
+func table(rep *campaign.Report) string {
+	s := &evsel.Sweep{ParamName: rep.ParamName}
+	for _, p := range rep.Points {
+		s.Points = append(s.Points, evsel.SweepPoint{Param: p.Param, M: p.M})
+	}
+	return s.Render(0.5)
+}
+
+func main() {
+	dir, err := os.MkdirTemp("", "sort-scaling-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	journal := filepath.Join(dir, "campaign.journal")
+
+	// The reference: the same campaign left to run uninterrupted.
+	ref, err := (&campaign.Runner{Spec: spec()}).Run()
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Print(sweep.Render(0.5))
+	// Act 1: the campaign is killed mid-flight. An injected fault makes
+	// a cell in the middle of the sweep fail hard; without -keep-going
+	// the campaign aborts, but every completed cell is already in the
+	// journal.
+	script := faultrun.NewScript().On("p4/r0/b0", faultrun.Fault{Kind: faultrun.Exit, ExitCode: 137})
+	_, err = (&campaign.Runner{Spec: spec(), Opts: campaign.Options{
+		JournalPath: journal,
+		MaxRetries:  -1,
+		Wrap:        script.Wrap,
+	}}).Run()
+	var ce *campaign.CampaignError
+	if !errors.As(err, &ce) {
+		log.Fatalf("expected the injected kill, got %v", err)
+	}
+	fmt.Printf("campaign killed mid-flight: %v\n", err)
+
+	// Act 2: resume from the journal. Completed cells replay from disk;
+	// only the killed cell and its successors execute.
+	rep, err := (&campaign.Runner{Spec: spec(), Opts: campaign.Options{
+		JournalPath: journal,
+		Resume:      true,
+	}}).Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.Summary())
 	fmt.Println()
+
+	resumed, uninterrupted := table(rep), table(ref)
+	fmt.Print(resumed)
+	fmt.Println()
+	if resumed == uninterrupted {
+		fmt.Println("resumed campaign matches the uninterrupted run: correlation tables identical")
+	} else {
+		fmt.Println("MISMATCH: resumed campaign differs from the uninterrupted run")
+		os.Exit(1)
+	}
+
+	sweep := &evsel.Sweep{ParamName: rep.ParamName}
+	for _, p := range rep.Points {
+		sweep.Points = append(sweep.Points, evsel.SweepPoint{Param: p.Param, M: p.M})
+	}
 	for _, c := range sweep.TopCorrelations(0.9) {
 		dir := "rises"
 		if c.R < 0 {

@@ -1,0 +1,576 @@
+// Package campaign is the supervised measurement layer for EvSel.
+// Measuring "the whole plenitude of available hardware counters" means
+// re-running a program once per PMU register batch, times repetitions,
+// times sweep parameters — dozens to hundreds of runs, any of which can
+// hang, panic, exit nonzero or return garbage on a real machine. The
+// campaign runner decomposes such a request into individually retryable
+// run cells, executes each under a wall-clock timeout and op budget
+// with panic recovery, retries transient failures with deterministic
+// capped backoff, journals every completed cell to a CRC-checked
+// append-only file (so a killed campaign resumes exactly where it
+// stopped), quarantines counters that repeatedly fail or return
+// impossible values, and reports typed gaps for everything it could not
+// measure — never a hang, never silent sample loss.
+//
+// Each cell builds a fresh engine seeded by the cell's global ordinal,
+// so a cell's measurement is a pure function of the spec: retries,
+// crashes and resumes cannot change the final numbers, which is what
+// makes a resumed campaign byte-identical to an uninterrupted one.
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"numaperf/internal/counters"
+	"numaperf/internal/exec"
+	"numaperf/internal/perf"
+	"numaperf/internal/probenet"
+)
+
+// DefaultMaxRetries is the retry allowance per cell when Options leaves
+// MaxRetries zero.
+const DefaultMaxRetries = 2
+
+// DefaultQuarantineAfter is the strike count at which an event is
+// quarantined when Options leaves QuarantineAfter zero.
+const DefaultQuarantineAfter = 3
+
+// DefaultRunTimeout bounds one run attempt when Options leaves
+// RunTimeout zero.
+const DefaultRunTimeout = 30 * time.Second
+
+// Point is one sweep setting: the parameter value and a constructor
+// producing a fresh engine and body for it. Mk is called once per run
+// cell with a cell-specific seed, which keeps every cell independent of
+// execution order — the resume invariant.
+type Point struct {
+	Param float64
+	Mk    func(seed int64) (*exec.Engine, func(*exec.Thread), error)
+}
+
+// Spec describes a measurement campaign: events × reps × batches per
+// sweep point.
+type Spec struct {
+	// ParamName labels the swept parameter ("threads"); single-point
+	// campaigns may leave it empty.
+	ParamName string
+	Points    []Point
+	Events    []counters.EventID
+	Reps      int
+	Mode      perf.Mode
+	// Seed is the campaign base seed; cell i measures with Seed+i+1.
+	Seed int64
+}
+
+// Options tunes the runner's supervision and persistence.
+type Options struct {
+	// RunTimeout bounds one run attempt (0 = DefaultRunTimeout,
+	// negative = no wall clock).
+	RunTimeout time.Duration
+	// OpBudget caps simulated operations per run; 0 = unlimited. A
+	// budget abort is deterministic and therefore never retried.
+	OpBudget uint64
+	// MaxRetries is the per-cell retry allowance (0 =
+	// DefaultMaxRetries, negative = no retries).
+	MaxRetries int
+	// KeepGoing records a typed gap for a cell whose retries are
+	// exhausted and continues; without it the campaign aborts with a
+	// *CampaignError (the journal keeping everything completed so far).
+	KeepGoing bool
+	// QuarantineAfter is the strike count that quarantines an event
+	// (0 = DefaultQuarantineAfter, negative = never).
+	QuarantineAfter int
+	// JournalPath enables the crash journal; empty runs in memory only.
+	JournalPath string
+	// Resume loads an existing journal and skips its completed cells.
+	// Without Resume, a non-empty journal is an error, never silently
+	// overwritten.
+	Resume bool
+	// BackoffBase/BackoffMax/BackoffSeed parameterise the deterministic
+	// retry backoff (probenet defaults when zero).
+	BackoffBase, BackoffMax time.Duration
+	BackoffSeed             int64
+	// Sleep replaces time.Sleep in tests.
+	Sleep func(time.Duration)
+	// Wrap decorates the cell run function; the faultrun package uses
+	// this to inject scripted run-level faults.
+	Wrap Middleware
+	// Logf receives progress lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Cell identifies one run: a (point, repetition, batch) coordinate plus
+// its global ordinal, which seeds the cell's engine.
+type Cell struct {
+	Point int
+	Rep   int
+	Batch int
+	Index int
+	Param float64
+}
+
+// Key is the cell's journal identity.
+func (c Cell) Key() string { return fmt.Sprintf("p%d/r%d/b%d", c.Point, c.Rep, c.Batch) }
+
+// RunFunc executes one measurement run for a cell and returns the
+// per-event values it observed.
+type RunFunc func(Cell) (map[counters.EventID]float64, error)
+
+// Middleware wraps a RunFunc — the seam where faultrun injects faults.
+type Middleware func(RunFunc) RunFunc
+
+// Gap is a typed hole in the campaign's data: a cell that was given up
+// on, and the events that consequently lack one sample each.
+type Gap struct {
+	Cell   Cell
+	Events []counters.EventID
+	Reason string
+}
+
+// Quarantine reports a counter removed from the results because its
+// runs repeatedly failed or returned impossible values.
+type Quarantine struct {
+	Event   counters.EventID
+	Name    string
+	Strikes int
+	Reason  string
+}
+
+// PointResult is the assembled measurement of one sweep point.
+type PointResult struct {
+	Param float64
+	M     *perf.Measurement
+}
+
+// Report is the outcome of a campaign: per-point measurements plus a
+// faithful account of everything that went wrong.
+type Report struct {
+	ParamName   string
+	Points      []PointResult
+	Gaps        []Gap
+	Quarantined []Quarantine
+	// Cells counts the campaign's run cells; Ran of them executed this
+	// session, Replayed came from the journal, Retried counts extra
+	// attempts beyond each cell's first.
+	Cells, Ran, Replayed, Retried int
+	// Truncated records that a torn final journal record was dropped
+	// during resume (the expected signature of a crash mid-write).
+	Truncated bool
+}
+
+// Complete reports whether every expected sample was measured.
+func (r *Report) Complete() bool { return len(r.Gaps) == 0 && len(r.Quarantined) == 0 }
+
+// Summary renders the supervision outcome for humans: cell accounting,
+// gaps and quarantine verdicts.
+func (r *Report) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "campaign: %d cells (%d run, %d replayed from journal, %d retries)\n",
+		r.Cells, r.Ran, r.Replayed, r.Retried)
+	if r.Truncated {
+		sb.WriteString("campaign: dropped a torn final journal record (crash mid-write)\n")
+	}
+	for _, g := range r.Gaps {
+		fmt.Fprintf(&sb, "gap: cell %s (%s=%g): %s (%d events unsampled)\n",
+			g.Cell.Key(), r.ParamName, g.Cell.Param, g.Reason, len(g.Events))
+	}
+	for _, q := range r.Quarantined {
+		fmt.Fprintf(&sb, "quarantined: %s after %d strikes: %s\n", q.Name, q.Strikes, q.Reason)
+	}
+	if r.Complete() {
+		sb.WriteString("campaign: complete, no gaps, no quarantined counters\n")
+	}
+	return sb.String()
+}
+
+// Runner executes a Spec under Options.
+type Runner struct {
+	Spec Spec
+	Opts Options
+}
+
+// pointPlan is the cell decomposition of one sweep point.
+type pointPlan struct {
+	batches int
+	visible func(b int) []counters.EventID
+}
+
+func (r *Runner) validate() error {
+	if len(r.Spec.Points) == 0 {
+		return errors.New("campaign: no sweep points")
+	}
+	if len(r.Spec.Events) == 0 {
+		return errors.New("campaign: no events requested")
+	}
+	if r.Spec.Reps <= 0 {
+		return errors.New("campaign: need at least one repetition")
+	}
+	for i, p := range r.Spec.Points {
+		if p.Mk == nil {
+			return fmt.Errorf("campaign: point %d has no engine constructor", i)
+		}
+	}
+	return nil
+}
+
+// plan builds the per-point cell decomposition. Batched mode needs one
+// probe engine per point to learn the register budget; other modes run
+// one whole-event-set cell per repetition.
+func (r *Runner) plan() ([]pointPlan, error) {
+	plans := make([]pointPlan, len(r.Spec.Points))
+	for i, p := range r.Spec.Points {
+		if r.Spec.Mode != perf.Batched {
+			all := append([]counters.EventID(nil), r.Spec.Events...)
+			plans[i] = pointPlan{batches: 1, visible: func(int) []counters.EventID { return all }}
+			continue
+		}
+		e, _, err := p.Mk(r.Spec.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: planning point %d: %w", i, err)
+		}
+		bp := perf.PlanBatches(e, r.Spec.Events)
+		plans[i] = pointPlan{batches: bp.Batches(), visible: bp.Visible}
+	}
+	return plans, nil
+}
+
+// cells enumerates the campaign's run cells in their canonical order:
+// points outermost, then repetitions, then register batches.
+func (r *Runner) cells(plans []pointPlan) []Cell {
+	var out []Cell
+	idx := 0
+	for pi, p := range r.Spec.Points {
+		for rep := 0; rep < r.Spec.Reps; rep++ {
+			for b := 0; b < plans[pi].batches; b++ {
+				out = append(out, Cell{Point: pi, Rep: rep, Batch: b, Index: idx, Param: p.Param})
+				idx++
+			}
+		}
+	}
+	return out
+}
+
+// defaultRun builds the real measurement RunFunc: fresh engine per
+// cell, seeded by the cell ordinal, executing one register batch
+// (Batched) or one full repetition (Unlimited/Multiplexed).
+func (r *Runner) defaultRun(plans []pointPlan) RunFunc {
+	return func(c Cell) (map[counters.EventID]float64, error) {
+		p := r.Spec.Points[c.Point]
+		e, body, err := p.Mk(r.Spec.Seed + int64(c.Index) + 1)
+		if err != nil {
+			return nil, err
+		}
+		if r.Opts.OpBudget > 0 {
+			e.SetOpBudget(r.Opts.OpBudget)
+		}
+		if r.Spec.Mode == perf.Batched {
+			return perf.RunVisible(e, body, plans[c.Point].visible(c.Batch))
+		}
+		m, err := perf.Measure(e, body, r.Spec.Events, 1, r.Spec.Mode)
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[counters.EventID]float64, len(m.Samples))
+		for id, s := range m.Samples {
+			if len(s) > 0 {
+				out[id] = s[0]
+			}
+		}
+		return out, nil
+	}
+}
+
+// header describes the spec for journal verification.
+func (r *Runner) header() *journalHeader {
+	h := &journalHeader{
+		Kind:      "header",
+		Version:   journalVersion,
+		ParamName: r.Spec.ParamName,
+		Reps:      r.Spec.Reps,
+		Mode:      r.Spec.Mode.String(),
+		Seed:      r.Spec.Seed,
+	}
+	for _, p := range r.Spec.Points {
+		h.Params = append(h.Params, p.Param)
+	}
+	for _, id := range r.Spec.Events {
+		h.Events = append(h.Events, counters.Def(id).Name)
+	}
+	return h
+}
+
+// strikeLog accumulates per-event evidence for quarantine decisions.
+type strikeLog struct {
+	count   map[counters.EventID]int
+	reasons map[counters.EventID][]string
+}
+
+func newStrikeLog() *strikeLog {
+	return &strikeLog{
+		count:   make(map[counters.EventID]int),
+		reasons: make(map[counters.EventID][]string),
+	}
+}
+
+func (s *strikeLog) strike(id counters.EventID, reason string) {
+	s.count[id]++
+	rs := s.reasons[id]
+	if len(rs) == 0 || rs[len(rs)-1] != reason {
+		s.reasons[id] = append(rs, reason)
+	}
+}
+
+// Run executes the campaign and returns its report. On an aborted
+// campaign (KeepGoing disabled) the error is a *CampaignError and the
+// journal retains every completed cell for a later resume.
+func (r *Runner) Run() (*Report, error) {
+	if err := r.validate(); err != nil {
+		return nil, err
+	}
+	logf := r.Opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	plans, err := r.plan()
+	if err != nil {
+		return nil, err
+	}
+	cells := r.cells(plans)
+
+	// Journal: load prior state when resuming, refuse to clobber
+	// otherwise, open for append, write the header once.
+	var state *journalState
+	var jnl *journal
+	if r.Opts.JournalPath != "" {
+		if r.Opts.Resume {
+			state, err = loadJournal(r.Opts.JournalPath)
+			if err != nil {
+				return nil, err
+			}
+			if state != nil {
+				if err := state.header.matches(r.header()); err != nil {
+					return nil, err
+				}
+				logf("campaign: resuming %s: %d of %d cells already journaled",
+					r.Opts.JournalPath, state.completed(), len(cells))
+			}
+		} else if fi, err := os.Stat(r.Opts.JournalPath); err == nil && fi.Size() > 0 {
+			return nil, fmt.Errorf("%w: %s", ErrJournalExists, r.Opts.JournalPath)
+		}
+		f, err := os.OpenFile(r.Opts.JournalPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: opening journal: %w", err)
+		}
+		jnl = &journal{f: f}
+		defer jnl.close()
+		if state == nil {
+			if err := jnl.append(r.header()); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	run := r.defaultRun(plans)
+	if r.Opts.Wrap != nil {
+		run = r.Opts.Wrap(run)
+	}
+	timeout := r.Opts.RunTimeout
+	switch {
+	case timeout == 0:
+		timeout = DefaultRunTimeout
+	case timeout < 0:
+		timeout = 0
+	}
+	maxRetries := r.Opts.MaxRetries
+	switch {
+	case maxRetries == 0:
+		maxRetries = DefaultMaxRetries
+	case maxRetries < 0:
+		maxRetries = 0
+	}
+	sup := &Supervisor{
+		Timeout:    timeout,
+		MaxRetries: maxRetries,
+		Backoff:    probenet.NewBackoff(r.Opts.BackoffBase, r.Opts.BackoffMax, r.Opts.BackoffSeed),
+		Sleep:      r.Opts.Sleep,
+	}
+
+	rep := &Report{ParamName: r.Spec.ParamName, Cells: len(cells)}
+	if state != nil {
+		rep.Truncated = state.truncated
+	}
+	strikes := newStrikeLog()
+	acc := make([]map[counters.EventID][]float64, len(r.Spec.Points))
+	runsPerPoint := make([]int, len(r.Spec.Points))
+	for i := range acc {
+		acc[i] = make(map[counters.EventID][]float64)
+	}
+
+	record := func(c Cell, samples map[counters.EventID]float64, bad map[string]string) {
+		runsPerPoint[c.Point]++
+		for _, id := range plans[c.Point].visible(c.Batch) {
+			if v, ok := samples[id]; ok {
+				acc[c.Point][id] = append(acc[c.Point][id], v)
+			}
+		}
+		for name, reason := range bad {
+			if id, ok := counters.Lookup(name); ok {
+				strikes.strike(id, reason)
+			}
+		}
+	}
+	gap := func(c Cell, reason string) {
+		events := plans[c.Point].visible(c.Batch)
+		rep.Gaps = append(rep.Gaps, Gap{Cell: c, Events: events, Reason: reason})
+		for _, id := range events {
+			strikes.strike(id, "run failed: "+reason)
+		}
+	}
+
+	for _, c := range cells {
+		key := c.Key()
+		if state != nil {
+			if cr, ok := state.cells[key]; ok {
+				samples, err := decodeSamples(cr.Samples)
+				if err != nil {
+					return nil, fmt.Errorf("%w: cell %s: %v", ErrJournalMismatch, key, err)
+				}
+				record(c, samples, cr.Bad)
+				rep.Replayed++
+				continue
+			}
+			if gr, ok := state.gaps[key]; ok {
+				gap(c, gr.Error)
+				rep.Replayed++
+				continue
+			}
+		}
+
+		out, attempts, err := Do(sup, func() (map[counters.EventID]float64, error) {
+			return run(c)
+		})
+		rep.Retried += attempts - 1
+		if err != nil {
+			cerr := &CellError{Cell: c, Attempts: attempts, Err: err}
+			if !r.Opts.KeepGoing {
+				return rep, &CampaignError{Cell: c, Err: cerr}
+			}
+			logf("campaign: %v (recording gap)", cerr)
+			if jerr := jnl.append(&gapRecord{Kind: "gap", Key: key, Error: cerr.Error(),
+				Events: names(plans[c.Point].visible(c.Batch))}); jerr != nil {
+				return rep, jerr
+			}
+			gap(c, cerr.Error())
+			rep.Ran++
+			continue
+		}
+
+		// Screen impossible values: the sample is dropped (a strike),
+		// the rest of the cell is kept.
+		samples := make(map[string]float64, len(out))
+		bad := map[string]string{}
+		for _, id := range plans[c.Point].visible(c.Batch) {
+			v, ok := out[id]
+			if !ok {
+				continue
+			}
+			name := counters.Def(id).Name
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				bad[name] = (&ValueError{Event: name, Value: v}).Error()
+				continue
+			}
+			samples[name] = v
+		}
+		if err := jnl.append(&cellRecord{Kind: "cell", Key: key, Samples: samples, Bad: bad}); err != nil {
+			return rep, err
+		}
+		decoded, _ := decodeSamples(samples)
+		record(c, decoded, bad)
+		rep.Ran++
+	}
+
+	// Quarantine verdicts: counters whose strike count crossed the
+	// threshold are removed from every point and reported.
+	threshold := r.Opts.QuarantineAfter
+	switch {
+	case threshold == 0:
+		threshold = DefaultQuarantineAfter
+	case threshold < 0:
+		threshold = math.MaxInt
+	}
+	var quarantined []counters.EventID
+	for id, n := range strikes.count {
+		if n >= threshold {
+			quarantined = append(quarantined, id)
+		}
+	}
+	sort.Slice(quarantined, func(i, j int) bool { return quarantined[i] < quarantined[j] })
+	for _, id := range quarantined {
+		rep.Quarantined = append(rep.Quarantined, Quarantine{
+			Event:   id,
+			Name:    counters.Def(id).Name,
+			Strikes: strikes.count[id],
+			Reason:  strings.Join(strikes.reasons[id], "; "),
+		})
+	}
+
+	// Assemble per-point measurements.
+	for pi, p := range r.Spec.Points {
+		m := &perf.Measurement{
+			Samples: make(map[counters.EventID][]float64, len(r.Spec.Events)),
+			Runs:    runsPerPoint[pi],
+			Batches: plans[pi].batches,
+			Reps:    r.Spec.Reps,
+			Mode:    r.Spec.Mode,
+		}
+		for _, id := range r.Spec.Events {
+			if contains(quarantined, id) {
+				m.Partial = true
+				continue
+			}
+			s := acc[pi][id]
+			m.Samples[id] = s
+			if len(s) < r.Spec.Reps {
+				m.Partial = true
+			}
+		}
+		rep.Points = append(rep.Points, PointResult{Param: p.Param, M: m})
+	}
+	return rep, nil
+}
+
+// decodeSamples maps journaled event names back to IDs.
+func decodeSamples(in map[string]float64) (map[counters.EventID]float64, error) {
+	out := make(map[counters.EventID]float64, len(in))
+	for name, v := range in {
+		id, ok := counters.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown event %q", name)
+		}
+		out[id] = v
+	}
+	return out, nil
+}
+
+func names(ids []counters.EventID) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = counters.Def(id).Name
+	}
+	return out
+}
+
+func contains(ids []counters.EventID, id counters.EventID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,93 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"numaperf/internal/exec"
+)
+
+// TimeoutError reports a run that exceeded the supervisor's wall-clock
+// budget. The run goroutine is abandoned (its result, if any, is
+// discarded), so a hung workload can never stall a campaign.
+type TimeoutError struct {
+	After time.Duration
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("campaign: run timed out after %s", e.After)
+}
+
+// PanicError reports a panic recovered from a supervised run.
+type PanicError struct {
+	Value any
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("campaign: run panicked: %v", e.Value)
+}
+
+// ValueError reports an impossible counter value (negative or
+// non-finite) returned by a run. The sample is discarded and counts as
+// a strike against the event.
+type ValueError struct {
+	Event string
+	Value float64
+}
+
+func (e *ValueError) Error() string {
+	return fmt.Sprintf("campaign: impossible value %g for event %s", e.Value, e.Event)
+}
+
+// CellError wraps the final error of a run cell after all retries were
+// exhausted.
+type CellError struct {
+	Cell     Cell
+	Attempts int
+	Err      error
+}
+
+func (e *CellError) Error() string {
+	return fmt.Sprintf("campaign: cell %s failed after %d attempt(s): %v", e.Cell.Key(), e.Attempts, e.Err)
+}
+
+func (e *CellError) Unwrap() error { return e.Err }
+
+// CampaignError aborts a campaign (KeepGoing disabled) at a failed
+// cell. Cells completed before the abort remain in the journal, so a
+// later -resume continues from exactly this point.
+type CampaignError struct {
+	Cell Cell
+	Err  error
+}
+
+func (e *CampaignError) Error() string {
+	return fmt.Sprintf("campaign: aborted at cell %s: %v", e.Cell.Key(), e.Err)
+}
+
+func (e *CampaignError) Unwrap() error { return e.Err }
+
+// ErrJournalExists rejects starting a fresh campaign over a non-empty
+// journal without Resume: silently overwriting completed cells would be
+// data loss.
+var ErrJournalExists = errors.New("campaign: journal already exists (resume it or remove it)")
+
+// ErrJournalCorrupt marks an integrity failure in the body of a
+// journal: a CRC mismatch or undecodable record before the final line.
+// (A torn final record is expected after a crash and is dropped
+// silently.)
+var ErrJournalCorrupt = errors.New("campaign: journal corrupt")
+
+// ErrJournalMismatch rejects resuming a journal whose header does not
+// match the campaign spec — mixing cells from two different campaigns
+// would fabricate measurements.
+var ErrJournalMismatch = errors.New("campaign: journal does not match the campaign spec")
+
+// retryable reports whether re-running a failed cell could help. The
+// simulator is deterministic, so a run that exceeded its op budget will
+// exceed it again; everything else (timeouts, panics, exits injected by
+// a flaky environment) is worth the retries the options allow.
+func retryable(err error) bool {
+	return !errors.Is(err, exec.ErrOpBudget)
+}

@@ -1,0 +1,221 @@
+// Campaign journal: an append-only JSON-lines file in which every
+// record is individually CRC-32 checked, so a campaign killed at any
+// instant — including mid-write — leaves a journal that loads cleanly.
+// Each line is
+//
+//	crc32(payload) as 8 hex digits, one space, the JSON payload, '\n'
+//
+// The first record is a header describing the campaign (events, reps,
+// mode, params, seed); every later record is either a completed cell
+// with its samples or a typed gap (a cell given up on). On resume the
+// header is checked against the spec, a torn final record (the crash
+// case) is dropped, and any damaged earlier record fails loudly with
+// ErrJournalCorrupt rather than resuming from lies.
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"strings"
+)
+
+// journalVersion guards the record schema.
+const journalVersion = 1
+
+type journalHeader struct {
+	Kind      string    `json:"kind"`
+	Version   int       `json:"v"`
+	ParamName string    `json:"param_name"`
+	Params    []float64 `json:"params"`
+	Events    []string  `json:"events"`
+	Reps      int       `json:"reps"`
+	Mode      string    `json:"mode"`
+	Seed      int64     `json:"seed"`
+}
+
+// cellRecord journals one completed run cell. Samples hold the accepted
+// values keyed by event name; Bad holds values rejected as impossible
+// (negative or non-finite), preserved so a resumed campaign reproduces
+// the original quarantine decisions exactly.
+type cellRecord struct {
+	Kind    string             `json:"kind"`
+	Key     string             `json:"key"`
+	Samples map[string]float64 `json:"samples"`
+	Bad     map[string]string  `json:"bad,omitempty"`
+}
+
+// gapRecord journals a cell the campaign gave up on (KeepGoing mode):
+// the typed reason and the events that consequently lack a sample.
+type gapRecord struct {
+	Kind   string   `json:"kind"`
+	Key    string   `json:"key"`
+	Error  string   `json:"error"`
+	Events []string `json:"events"`
+}
+
+// journal appends CRC-framed records to an open file, syncing after
+// every write so a kill -9 loses at most the record being written.
+type journal struct {
+	f *os.File
+}
+
+func (j *journal) append(record any) error {
+	if j == nil || j.f == nil {
+		return nil
+	}
+	payload, err := json.Marshal(record)
+	if err != nil {
+		return fmt.Errorf("campaign: encoding journal record: %w", err)
+	}
+	line := fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(payload), payload)
+	if _, err := j.f.WriteString(line); err != nil {
+		return fmt.Errorf("campaign: appending journal record: %w", err)
+	}
+	return j.f.Sync()
+}
+
+func (j *journal) close() error {
+	if j == nil || j.f == nil {
+		return nil
+	}
+	return j.f.Close()
+}
+
+// journalState is a loaded journal: the header plus completed cells and
+// recorded gaps keyed by cell key.
+type journalState struct {
+	header    *journalHeader
+	cells     map[string]*cellRecord
+	gaps      map[string]*gapRecord
+	truncated bool // a torn final record was dropped
+}
+
+func (s *journalState) completed() int { return len(s.cells) + len(s.gaps) }
+
+// parseLine verifies and decodes one journal line into kind + payload.
+func parseLine(line string) (kind string, payload []byte, err error) {
+	sp := strings.IndexByte(line, ' ')
+	if sp != 8 {
+		return "", nil, fmt.Errorf("no checksum prefix")
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(line[:sp], "%08x", &want); err != nil {
+		return "", nil, fmt.Errorf("bad checksum prefix: %v", err)
+	}
+	payload = []byte(line[sp+1:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return "", nil, fmt.Errorf("checksum mismatch: %08x, want %08x", got, want)
+	}
+	var probe struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(payload, &probe); err != nil {
+		return "", nil, fmt.Errorf("undecodable record: %v", err)
+	}
+	return probe.Kind, payload, nil
+}
+
+// loadJournal reads and verifies a journal file. A missing file returns
+// (nil, nil). A torn final record is dropped (truncated is set); any
+// earlier damage returns ErrJournalCorrupt with the line number.
+func loadJournal(path string) (*journalState, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	lines := strings.Split(string(raw), "\n")
+	// A file ending in '\n' splits into a trailing empty string; a file
+	// that does not was torn mid-write.
+	tornTail := lines[len(lines)-1] != ""
+	if !tornTail {
+		lines = lines[:len(lines)-1]
+	}
+	st := &journalState{
+		cells: make(map[string]*cellRecord),
+		gaps:  make(map[string]*gapRecord),
+	}
+	for i, line := range lines {
+		final := i == len(lines)-1
+		kind, payload, perr := parseLine(line)
+		if perr != nil {
+			if final {
+				// The crash case: a record cut off mid-write. Drop it;
+				// its cell simply re-runs.
+				st.truncated = true
+				break
+			}
+			return nil, fmt.Errorf("%w: line %d: %v", ErrJournalCorrupt, i+1, perr)
+		}
+		// A verified final record that merely lacks its newline (the
+		// crash hit between payload and '\n') is kept like any other.
+		switch kind {
+		case "header":
+			var h journalHeader
+			if err := json.Unmarshal(payload, &h); err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrJournalCorrupt, i+1, err)
+			}
+			if i != 0 {
+				return nil, fmt.Errorf("%w: line %d: duplicate header", ErrJournalCorrupt, i+1)
+			}
+			st.header = &h
+		case "cell":
+			var c cellRecord
+			if err := json.Unmarshal(payload, &c); err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrJournalCorrupt, i+1, err)
+			}
+			st.cells[c.Key] = &c
+		case "gap":
+			var g gapRecord
+			if err := json.Unmarshal(payload, &g); err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrJournalCorrupt, i+1, err)
+			}
+			st.gaps[g.Key] = &g
+		default:
+			return nil, fmt.Errorf("%w: line %d: unknown record kind %q", ErrJournalCorrupt, i+1, kind)
+		}
+	}
+	if st.header == nil {
+		return nil, fmt.Errorf("%w: missing header", ErrJournalCorrupt)
+	}
+	if st.header.Version != journalVersion {
+		return nil, fmt.Errorf("%w: journal version %d, want %d", ErrJournalMismatch, st.header.Version, journalVersion)
+	}
+	return st, nil
+}
+
+// matches checks a loaded header against the header a spec would write.
+func (h *journalHeader) matches(want *journalHeader) error {
+	switch {
+	case h.ParamName != want.ParamName:
+		return fmt.Errorf("%w: parameter %q, want %q", ErrJournalMismatch, h.ParamName, want.ParamName)
+	case len(h.Params) != len(want.Params):
+		return fmt.Errorf("%w: %d sweep points, want %d", ErrJournalMismatch, len(h.Params), len(want.Params))
+	case h.Reps != want.Reps:
+		return fmt.Errorf("%w: %d reps, want %d", ErrJournalMismatch, h.Reps, want.Reps)
+	case h.Mode != want.Mode:
+		return fmt.Errorf("%w: mode %s, want %s", ErrJournalMismatch, h.Mode, want.Mode)
+	case h.Seed != want.Seed:
+		return fmt.Errorf("%w: seed %d, want %d", ErrJournalMismatch, h.Seed, want.Seed)
+	case len(h.Events) != len(want.Events):
+		return fmt.Errorf("%w: %d events, want %d", ErrJournalMismatch, len(h.Events), len(want.Events))
+	}
+	for i := range h.Params {
+		if h.Params[i] != want.Params[i] {
+			return fmt.Errorf("%w: sweep point %d is %g, want %g", ErrJournalMismatch, i, h.Params[i], want.Params[i])
+		}
+	}
+	for i := range h.Events {
+		if h.Events[i] != want.Events[i] {
+			return fmt.Errorf("%w: event %d is %q, want %q", ErrJournalMismatch, i, h.Events[i], want.Events[i])
+		}
+	}
+	return nil
+}

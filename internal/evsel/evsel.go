@@ -39,7 +39,16 @@ type Row struct {
 	Zero bool
 	// Significant applies the Bonferroni-corrected level.
 	Significant bool
+	// CoverA and CoverB are the fraction of requested repetitions that
+	// actually back each side's samples (1 = complete). Campaigns with
+	// gaps or quarantined counters produce partial measurements; the
+	// comparison says so per row instead of pretending completeness.
+	CoverA, CoverB float64
 }
+
+// PartialData reports whether either side of the row rests on an
+// incomplete sample set.
+func (r Row) PartialData() bool { return r.CoverA < 1 || r.CoverB < 1 }
 
 // Icon returns the visual cue EvSel shows next to a counter.
 func (r Row) Icon() string {
@@ -67,19 +76,29 @@ type Comparison struct {
 	Comparisons int
 	// RunsA and RunsB count program executions consumed per side.
 	RunsA, RunsB int
+	// OnlyA and OnlyB list events measured on one side only (mismatched
+	// event sets); their rows carry zero coverage on the missing side.
+	OnlyA, OnlyB []counters.EventID
+	// Partial marks a comparison in which at least one row rests on an
+	// incomplete sample set.
+	Partial bool
 }
 
-// Compare performs the per-event Welch t-tests between two measurements
-// taken with the same event set. The significance level is Bonferroni
-// corrected for the number of non-zero events, addressing the multiple
-// comparisons problem the paper warns about.
+// Compare performs the per-event Welch t-tests between two
+// measurements. The significance level is Bonferroni corrected for the
+// number of non-zero events, addressing the multiple comparisons
+// problem the paper warns about. Mismatched event sets are compared
+// over the union: an event missing on one side gets a row with zero
+// coverage there and is listed in OnlyA/OnlyB, so partial or
+// differently-configured measurements are annotated rather than
+// silently truncated.
 func Compare(a, b *perf.Measurement) (*Comparison, error) {
 	if a == nil || b == nil {
 		return nil, errors.New("evsel: nil measurement")
 	}
-	events := a.Events()
+	events := unionEvents(a, b)
 	if len(events) == 0 {
-		return nil, errors.New("evsel: measurement A has no events")
+		return nil, errors.New("evsel: measurements have no events")
 	}
 	// Count testable hypotheses first for the correction.
 	m := 0
@@ -91,12 +110,21 @@ func Compare(a, b *perf.Measurement) (*Comparison, error) {
 	alpha := stats.BonferroniAlpha(DefaultAlpha, m)
 	cmp := &Comparison{Alpha: alpha, Comparisons: m, RunsA: a.Runs, RunsB: b.Runs}
 	for _, id := range events {
-		sa, sb := a.Samples[id], b.Samples[id]
+		sa, inA := a.Samples[id]
+		sb, inB := b.Samples[id]
+		if !inB {
+			cmp.OnlyA = append(cmp.OnlyA, id)
+		}
+		if !inA {
+			cmp.OnlyB = append(cmp.OnlyB, id)
+		}
 		row := Row{
-			Event: id,
-			Name:  counters.Def(id).Name,
-			A:     stats.Summarize(sa),
-			B:     stats.Summarize(sb),
+			Event:  id,
+			Name:   counters.Def(id).Name,
+			A:      stats.Summarize(sa),
+			B:      stats.Summarize(sb),
+			CoverA: coverage(a, id, inA),
+			CoverB: coverage(b, id, inB),
 		}
 		row.Zero = row.A.Mean == 0 && row.B.Mean == 0
 		if !row.Zero && len(sa) >= 2 && len(sb) >= 2 {
@@ -107,9 +135,37 @@ func Compare(a, b *perf.Measurement) (*Comparison, error) {
 				row.Significant = test.Significant(alpha)
 			}
 		}
+		if row.PartialData() {
+			cmp.Partial = true
+		}
 		cmp.Rows = append(cmp.Rows, row)
 	}
 	return cmp, nil
+}
+
+// unionEvents merges both measurements' event sets in ascending order.
+func unionEvents(a, b *perf.Measurement) []counters.EventID {
+	seen := make(map[counters.EventID]bool, len(a.Samples)+len(b.Samples))
+	var out []counters.EventID
+	for _, m := range []*perf.Measurement{a, b} {
+		for _, id := range m.Events() {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// coverage computes the fraction of requested repetitions backing an
+// event on one side; an event absent from the measurement covers 0.
+func coverage(m *perf.Measurement, id counters.EventID, present bool) float64 {
+	if !present {
+		return 0
+	}
+	return m.Coverage(id)
 }
 
 // CompareWorkloads measures two bodies on the given engines and
@@ -157,7 +213,8 @@ func NameContains(sub string) Filter {
 // Where returns a new Comparison containing only rows passing all
 // filters.
 func (c *Comparison) Where(filters ...Filter) *Comparison {
-	out := &Comparison{Alpha: c.Alpha, Comparisons: c.Comparisons, RunsA: c.RunsA, RunsB: c.RunsB}
+	out := &Comparison{Alpha: c.Alpha, Comparisons: c.Comparisons, RunsA: c.RunsA, RunsB: c.RunsB,
+		OnlyA: c.OnlyA, OnlyB: c.OnlyB}
 	for _, r := range c.Rows {
 		keep := true
 		for _, f := range filters {
@@ -168,6 +225,9 @@ func (c *Comparison) Where(filters ...Filter) *Comparison {
 		}
 		if keep {
 			out.Rows = append(out.Rows, r)
+			if r.PartialData() {
+				out.Partial = true
+			}
 		}
 	}
 	return out
@@ -198,10 +258,16 @@ func (c *Comparison) Row(id counters.EventID) (Row, bool) {
 }
 
 // Render produces the textual comparison pane: event, means, change,
-// confidence, significance icon.
+// confidence, significance icon. Comparisons over partial data grow a
+// COVER column saying what fraction of runs backs each row, so a reader
+// never mistakes a gap-ridden campaign for a complete one.
 func (c *Comparison) Render() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-45s %15s %15s %10s %9s  \n", "EVENT", "MEAN A", "MEAN B", "CHANGE", "CONF")
+	cover := ""
+	if c.Partial {
+		cover = fmt.Sprintf(" %9s", "COVER")
+	}
+	fmt.Fprintf(&sb, "%-45s %15s %15s %10s %9s%s  \n", "EVENT", "MEAN A", "MEAN B", "CHANGE", "CONF", cover)
 	for _, r := range c.Rows {
 		change := fmt.Sprintf("%+.1f%%", 100*r.Test.Relative)
 		if math.IsInf(r.Test.Relative, 0) {
@@ -210,10 +276,20 @@ func (c *Comparison) Render() string {
 		if r.Zero {
 			change = "-"
 		}
-		fmt.Fprintf(&sb, "%-45s %15.5g %15.5g %10s %8.2f%% %s\n",
-			r.Name, r.A.Mean, r.B.Mean, change, 100*r.Test.Confidence, r.Icon())
+		if c.Partial {
+			cover = fmt.Sprintf(" %4.0f/%3.0f%%", 100*r.CoverA, 100*r.CoverB)
+		}
+		fmt.Fprintf(&sb, "%-45s %15.5g %15.5g %10s %8.2f%%%s %s\n",
+			r.Name, r.A.Mean, r.B.Mean, change, 100*r.Test.Confidence, cover, r.Icon())
 	}
 	fmt.Fprintf(&sb, "\n%d runs vs %d runs; %d hypotheses, per-event α = %.2g (Bonferroni)\n",
 		c.RunsA, c.RunsB, c.Comparisons, c.Alpha)
+	if len(c.OnlyA) > 0 || len(c.OnlyB) > 0 {
+		fmt.Fprintf(&sb, "event sets differ: %d events only in A, %d only in B\n",
+			len(c.OnlyA), len(c.OnlyB))
+	}
+	if c.Partial {
+		sb.WriteString("partial data: COVER lists the fraction of requested runs backing each side\n")
+	}
 	return sb.String()
 }

@@ -2,6 +2,10 @@ package evsel
 
 import (
 	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -421,5 +425,236 @@ func TestCompareManyErrors(t *testing.T) {
 	}
 	if _, err := CompareMany([]string{"a", "b"}, m, m); err == nil {
 		t.Error("empty measurement must fail")
+	}
+}
+
+func TestSweepMkErrorMidSweep(t *testing.T) {
+	calls := 0
+	mk := func(p float64) (*exec.Engine, func(*exec.Thread), error) {
+		calls++
+		if p == 2 {
+			return nil, nil, errors.New("constructor refused")
+		}
+		e, err := exec.NewEngine(exec.Config{Machine: topology.TwoSocket(), Threads: 1})
+		return e, workloads.Triad{Elements: 256}.Body(), err
+	}
+	_, err := RunSweep("p", []float64{1, 2, 3}, mk, []counters.EventID{counters.AllLoads}, 1, perf.Unlimited)
+	if err == nil || !strings.Contains(err.Error(), "p=2") || !strings.Contains(err.Error(), "constructor refused") {
+		t.Errorf("mid-sweep constructor error not propagated: %v", err)
+	}
+	if calls != 2 {
+		t.Errorf("sweep continued past the failed point: %d calls", calls)
+	}
+}
+
+func TestCompareMismatchedEventSets(t *testing.T) {
+	a := &perf.Measurement{
+		Samples: map[counters.EventID][]float64{
+			counters.AllLoads: {100, 101},
+			counters.L1Hit:    {80, 82},
+		},
+		Runs: 2, Reps: 2,
+	}
+	b := &perf.Measurement{
+		Samples: map[counters.EventID][]float64{
+			counters.AllLoads: {100, 99},
+			counters.L2Miss:   {5, 6},
+		},
+		Runs: 2, Reps: 2,
+	}
+	cmp, err := Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Rows) != 3 {
+		t.Fatalf("rows = %d, want the union of both event sets (3)", len(cmp.Rows))
+	}
+	if len(cmp.OnlyA) != 1 || cmp.OnlyA[0] != counters.L1Hit {
+		t.Errorf("OnlyA = %v, want [L1Hit]", cmp.OnlyA)
+	}
+	if len(cmp.OnlyB) != 1 || cmp.OnlyB[0] != counters.L2Miss {
+		t.Errorf("OnlyB = %v, want [L2Miss]", cmp.OnlyB)
+	}
+	if !cmp.Partial {
+		t.Error("mismatched sets must mark the comparison partial")
+	}
+	row, ok := cmp.Row(counters.L1Hit)
+	if !ok || row.CoverA != 1 || row.CoverB != 0 || !row.PartialData() {
+		t.Errorf("L1Hit row coverage = %g/%g", row.CoverA, row.CoverB)
+	}
+	out := cmp.Render()
+	for _, want := range []string{"COVER", "event sets differ: 1 events only in A, 1 only in B", "partial data"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Filtering keeps the mismatch annotations.
+	filtered := cmp.Where(NonZero())
+	if len(filtered.OnlyA) != 1 || len(filtered.OnlyB) != 1 {
+		t.Error("Where dropped the OnlyA/OnlyB annotations")
+	}
+}
+
+func TestCompareCompleteDataHasNoCoverColumn(t *testing.T) {
+	mk := func() *perf.Measurement {
+		return &perf.Measurement{
+			Samples: map[counters.EventID][]float64{
+				counters.AllLoads: {100, 101},
+			},
+			Runs: 2, Reps: 2,
+		}
+	}
+	cmp, err := Compare(mk(), mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Partial {
+		t.Error("complete comparison marked partial")
+	}
+	out := cmp.Render()
+	if strings.Contains(out, "COVER") || strings.Contains(out, "partial data") {
+		t.Errorf("complete data grew partiality annotations:\n%s", out)
+	}
+}
+
+func TestComparePartialCoverage(t *testing.T) {
+	a := &perf.Measurement{
+		Samples: map[counters.EventID][]float64{counters.AllLoads: {100, 101, 99, 100}},
+		Runs:    4, Reps: 4, Partial: true,
+	}
+	b := &perf.Measurement{
+		Samples: map[counters.EventID][]float64{counters.AllLoads: {100, 102}},
+		Runs:    4, Reps: 4, Partial: true,
+	}
+	cmp, err := Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := cmp.Rows[0]
+	if row.CoverA != 1 || row.CoverB != 0.5 {
+		t.Errorf("coverage = %g/%g, want 1/0.5", row.CoverA, row.CoverB)
+	}
+	if !strings.Contains(cmp.Render(), "100/ 50%") {
+		t.Errorf("render lacks the coverage cell:\n%s", cmp.Render())
+	}
+}
+
+func TestSweepRenderCoverage(t *testing.T) {
+	pt := func(p float64, samples ...float64) SweepPoint {
+		return SweepPoint{Param: p, M: &perf.Measurement{
+			Samples: map[counters.EventID][]float64{counters.AllLoads: samples},
+			Runs:    len(samples), Reps: 2,
+		}}
+	}
+	s := &Sweep{ParamName: "p", Points: []SweepPoint{
+		pt(1, 10, 11), pt(2, 20, 21), pt(3, 30), // point 3 lost a sample
+	}}
+	cors := s.Correlate()
+	if len(cors) != 1 {
+		t.Fatalf("correlations = %d", len(cors))
+	}
+	if want := 5.0 / 6.0; cors[0].Coverage != want {
+		t.Errorf("coverage = %g, want %g", cors[0].Coverage, want)
+	}
+	out := s.Render(0)
+	if !strings.Contains(out, "COVER") || !strings.Contains(out, "83%") {
+		t.Errorf("render missing coverage annotations:\n%s", out)
+	}
+
+	// A complete sweep renders without the column.
+	full := &Sweep{ParamName: "p", Points: []SweepPoint{
+		pt(1, 10, 11), pt(2, 20, 21), pt(3, 30, 31),
+	}}
+	if out := full.Render(0); strings.Contains(out, "COVER") {
+		t.Errorf("complete sweep grew a COVER column:\n%s", out)
+	}
+}
+
+func TestLoadMeasurementValidation(t *testing.T) {
+	cases := []struct {
+		name, json, wantErr string
+	}{
+		{"negative sample", `{"events":{"MEM_UOPS_RETIRED.ALL_LOADS":[1,-2]},"runs":2}`, "finite and non-negative"},
+		{"negative runs", `{"events":{},"runs":-1}`, "-1 runs"},
+		{"negative batches", `{"events":{},"runs":0,"batches":-2}`, "-2 batches"},
+		{"negative reps", `{"events":{},"runs":0,"reps":-3}`, "-3 reps"},
+		{"inconsistent lengths", `{"events":{"MEM_UOPS_RETIRED.ALL_LOADS":[1,2],"INST_RETIRED.ANY":[1]},"runs":2}`, "inconsistent sample counts"},
+		{"more samples than reps", `{"events":{"MEM_UOPS_RETIRED.ALL_LOADS":[1,2,3]},"runs":3,"reps":2}`, "3 samples for 2 repetitions"},
+	}
+	for _, tc := range cases {
+		_, err := LoadMeasurement(strings.NewReader(tc.json))
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+	// Ragged sample counts are legal when the measurement says it is
+	// partial — that is exactly what campaign gaps produce.
+	m, err := LoadMeasurement(strings.NewReader(
+		`{"events":{"MEM_UOPS_RETIRED.ALL_LOADS":[1,2],"INST_RETIRED.ANY":[1]},"runs":2,"reps":2,"partial":true}`))
+	if err != nil {
+		t.Fatalf("partial measurement rejected: %v", err)
+	}
+	if !m.Partial || m.Coverage(counters.InstRetired) != 0.5 {
+		t.Errorf("partial flags lost: partial=%v coverage=%g", m.Partial, m.Coverage(counters.InstRetired))
+	}
+}
+
+func TestSaveMeasurementFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.json")
+	good := &perf.Measurement{
+		Samples: map[counters.EventID][]float64{counters.AllLoads: {1, 2}},
+		Runs:    2, Reps: 2,
+	}
+	if err := SaveMeasurementFile(path, good); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An encode failure (NaN is not representable in JSON) must leave
+	// the original file untouched and no temp file behind.
+	bad := &perf.Measurement{
+		Samples: map[counters.EventID][]float64{counters.AllLoads: {math.NaN()}},
+		Runs:    1,
+	}
+	if err := SaveMeasurementFile(path, bad); err == nil {
+		t.Fatal("NaN measurement must fail to encode")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Error("failed save clobbered the previous file")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "m.json" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Errorf("temp files left behind: %v", names)
+	}
+
+	// A successful overwrite replaces the content in one rename.
+	good2 := &perf.Measurement{
+		Samples: map[counters.EventID][]float64{counters.AllLoads: {7}},
+		Runs:    1, Reps: 1,
+	}
+	if err := SaveMeasurementFile(path, good2); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadMeasurementFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Mean(counters.AllLoads) != 7 {
+		t.Error("overwrite lost the new content")
 	}
 }

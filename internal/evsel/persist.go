@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"path/filepath"
 
 	"numaperf/internal/counters"
 	"numaperf/internal/perf"
@@ -16,7 +18,9 @@ type savedMeasurement struct {
 	Events  map[string][]float64 `json:"events"`
 	Runs    int                  `json:"runs"`
 	Batches int                  `json:"batches"`
+	Reps    int                  `json:"reps,omitempty"`
 	Mode    string               `json:"mode"`
+	Partial bool                 `json:"partial,omitempty"`
 }
 
 // SaveMeasurement serialises a measurement as JSON. EvSel compares
@@ -27,7 +31,9 @@ func SaveMeasurement(w io.Writer, m *perf.Measurement) error {
 		Events:  make(map[string][]float64, len(m.Samples)),
 		Runs:    m.Runs,
 		Batches: m.Batches,
+		Reps:    m.Reps,
 		Mode:    m.Mode.String(),
+		Partial: m.Partial,
 	}
 	for id, samples := range m.Samples {
 		out.Events[counters.Def(id).Name] = samples
@@ -37,17 +43,30 @@ func SaveMeasurement(w io.Writer, m *perf.Measurement) error {
 	return enc.Encode(&out)
 }
 
-// LoadMeasurement reads a measurement saved by SaveMeasurement.
-// Unknown event names fail loudly rather than being dropped silently.
+// LoadMeasurement reads a measurement saved by SaveMeasurement and
+// validates it: unknown event names, negative or non-finite samples,
+// negative run/batch/rep counts and mutually inconsistent per-event
+// sample counts all fail loudly rather than poisoning a comparison
+// downstream.
 func LoadMeasurement(r io.Reader) (*perf.Measurement, error) {
 	var in savedMeasurement
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
 		return nil, fmt.Errorf("evsel: parsing measurement: %w", err)
 	}
+	switch {
+	case in.Runs < 0:
+		return nil, fmt.Errorf("evsel: invalid measurement: %d runs", in.Runs)
+	case in.Batches < 0:
+		return nil, fmt.Errorf("evsel: invalid measurement: %d batches", in.Batches)
+	case in.Reps < 0:
+		return nil, fmt.Errorf("evsel: invalid measurement: %d reps", in.Reps)
+	}
 	m := &perf.Measurement{
 		Samples: make(map[counters.EventID][]float64, len(in.Events)),
 		Runs:    in.Runs,
 		Batches: in.Batches,
+		Reps:    in.Reps,
+		Partial: in.Partial,
 	}
 	switch in.Mode {
 	case "batched", "":
@@ -59,27 +78,67 @@ func LoadMeasurement(r io.Reader) (*perf.Measurement, error) {
 	default:
 		return nil, fmt.Errorf("evsel: unknown measurement mode %q", in.Mode)
 	}
+	commonLen, first := -1, ""
 	for name, samples := range in.Events {
 		id, ok := counters.Lookup(name)
 		if !ok {
 			return nil, fmt.Errorf("evsel: unknown event %q in saved measurement", name)
+		}
+		for i, v := range samples {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("evsel: event %s sample %d is %g; counter values must be finite and non-negative", name, i, v)
+			}
+		}
+		// Complete measurements carry the same sample count for every
+		// event; only measurements marked partial (campaign gaps,
+		// quarantine) may differ.
+		if !in.Partial {
+			if commonLen < 0 {
+				commonLen, first = len(samples), name
+			} else if len(samples) != commonLen {
+				return nil, fmt.Errorf("evsel: inconsistent sample counts: event %s has %d samples, %s has %d (a complete measurement has one per repetition; partial measurements must be marked partial)",
+					name, len(samples), first, commonLen)
+			}
+		}
+		if in.Reps > 0 && len(samples) > in.Reps {
+			return nil, fmt.Errorf("evsel: event %s has %d samples for %d repetitions", name, len(samples), in.Reps)
 		}
 		m.Samples[id] = samples
 	}
 	return m, nil
 }
 
-// SaveMeasurementFile writes a measurement to a file path.
+// SaveMeasurementFile writes a measurement to a file path atomically:
+// the JSON goes to a temp file in the same directory, is fsynced,
+// closed, and only then renamed over the destination. A crash at any
+// instant leaves either the old complete file or the new complete file,
+// never a torn measurement; an encode failure removes the temp file.
 func SaveMeasurementFile(path string, m *perf.Measurement) error {
-	f, err := os.Create(path)
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := SaveMeasurement(f, m); err != nil {
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := SaveMeasurement(f, m); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // LoadMeasurementFile reads a measurement from a file path.

@@ -61,6 +61,10 @@ type Correlation struct {
 	All []stats.Regression
 	// R is the signed correlation-style coefficient of the best fit.
 	R float64
+	// Coverage is the fraction of requested samples (points ×
+	// repetitions) that back the fit, 1 for complete sweeps. Campaigns
+	// with gaps regress what they have and say so here.
+	Coverage float64
 }
 
 // Correlate fits linear, quadratic and exponential (and power)
@@ -74,10 +78,16 @@ func (s *Sweep) Correlate() []Correlation {
 	var out []Correlation
 	for _, id := range s.Points[0].M.Events() {
 		var xs, ys []float64
+		expected := 0
 		for _, pt := range s.Points {
 			for _, v := range pt.M.Samples[id] {
 				xs = append(xs, pt.Param)
 				ys = append(ys, v)
+			}
+			if pt.M.Reps > 0 {
+				expected += pt.M.Reps
+			} else {
+				expected += len(pt.M.Samples[id])
 			}
 		}
 		// Constant indicators carry no information about the parameter;
@@ -89,12 +99,20 @@ func (s *Sweep) Correlate() []Correlation {
 		if err != nil {
 			continue
 		}
+		cov := 1.0
+		if expected > 0 {
+			cov = float64(len(ys)) / float64(expected)
+			if cov > 1 {
+				cov = 1
+			}
+		}
 		out = append(out, Correlation{
-			Event: id,
-			Name:  counters.Def(id).Name,
-			Best:  best,
-			All:   stats.FitAll(xs, ys),
-			R:     best.R(),
+			Event:    id,
+			Name:     counters.Def(id).Name,
+			Best:     best,
+			All:      stats.FitAll(xs, ys),
+			R:        best.R(),
+			Coverage: cov,
 		})
 	}
 	sort.SliceStable(out, func(i, j int) bool {
@@ -125,14 +143,34 @@ func (s *Sweep) TopCorrelations(minAbsR float64) []Correlation {
 }
 
 // Render prints the correlation table in the style of the paper's
-// Fig. 9: event, regression type, fitted function, R².
+// Fig. 9: event, regression type, fitted function, R². Sweeps over
+// partial data grow a COVER column stating what fraction of requested
+// samples backs each fit.
 func (s *Sweep) Render(minAbsR float64) string {
+	top := s.TopCorrelations(minAbsR)
+	partial := false
+	for _, c := range top {
+		if c.Coverage < 1 {
+			partial = true
+			break
+		}
+	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "correlations against %s (|R| ≥ %.2f)\n", s.ParamName, minAbsR)
-	fmt.Fprintf(&sb, "%-45s %-11s %-34s %8s %8s\n", "EVENT", "TYPE", "FUNCTION", "R²", "R")
-	for _, c := range s.TopCorrelations(minAbsR) {
-		fmt.Fprintf(&sb, "%-45s %-11s %-34s %8.4f %+8.4f\n",
-			c.Name, c.Best.Kind.String(), c.Best.Equation(), c.Best.R2, c.R)
+	cover := ""
+	if partial {
+		cover = fmt.Sprintf(" %6s", "COVER")
+	}
+	fmt.Fprintf(&sb, "%-45s %-11s %-34s %8s %8s%s\n", "EVENT", "TYPE", "FUNCTION", "R²", "R", cover)
+	for _, c := range top {
+		if partial {
+			cover = fmt.Sprintf(" %5.0f%%", 100*c.Coverage)
+		}
+		fmt.Fprintf(&sb, "%-45s %-11s %-34s %8.4f %+8.4f%s\n",
+			c.Name, c.Best.Kind.String(), c.Best.Equation(), c.Best.R2, c.R, cover)
+	}
+	if partial {
+		sb.WriteString("partial data: COVER lists the fraction of requested samples backing each fit\n")
 	}
 	return sb.String()
 }

@@ -54,6 +54,26 @@ type threadInfo struct {
 	state threadState
 }
 
+// ErrOpBudget marks a run aborted because it exceeded the engine's
+// per-run operation budget (see SetOpBudget). Campaign supervisors use
+// it to distinguish a runaway workload from a transient failure: the
+// simulator is deterministic, so re-running the same cell would exceed
+// the budget again.
+var ErrOpBudget = errors.New("exec: op budget exceeded")
+
+// BudgetError reports how far past the budget a run got before being
+// aborted. It unwraps to ErrOpBudget.
+type BudgetError struct {
+	Ops    uint64 // operations simulated when the run was aborted
+	Budget uint64 // the configured limit
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("exec: op budget exceeded: %d ops simulated, budget %d", e.Ops, e.Budget)
+}
+
+func (e *BudgetError) Unwrap() error { return ErrOpBudget }
+
 // Engine executes workload bodies on a simulated machine.
 type Engine struct {
 	cfg         Config
@@ -63,6 +83,8 @@ type Engine struct {
 	barrierAddr uint64
 	runs        int64
 	hook        func()
+	opBudget    uint64
+	opCount     uint64
 
 	// Per-run region attribution (see regions.go).
 	regions      *regionTable
@@ -111,6 +133,15 @@ func (e *Engine) Proc() *oslite.Process { return e.proc }
 // clear.
 func (e *Engine) SetPostChunkHook(h func()) { e.hook = h }
 
+// SetOpBudget caps the number of operations a single Run may simulate;
+// 0 (the default) means unlimited. A run crossing the budget is aborted
+// with a BudgetError: remaining thread output is drained in the
+// background, allocation requests fail, and barriers release
+// immediately, so Run returns promptly even for runaway bodies. The
+// campaign layer uses this as the deterministic half of its run
+// supervision (wall-clock timeouts being the other half).
+func (e *Engine) SetOpBudget(n uint64) { e.opBudget = n }
+
 // coreOf maps a thread index to a core per the configured mapping.
 func (e *Engine) coreOf(tid int) int {
 	m := e.cfg.Machine
@@ -129,6 +160,7 @@ func (e *Engine) coreOf(tid int) int {
 // EvSel's t-tests.
 func (e *Engine) Run(body func(t *Thread)) (res *Result, err error) {
 	e.runs++
+	e.opCount = 0
 	e.sim.Reset()
 	e.proc, err = oslite.NewProcess(e.cfg.Machine, e.cfg.Policy, e.cfg.BindNode)
 	if err != nil {
@@ -180,6 +212,11 @@ func (e *Engine) Run(body func(t *Thread)) (res *Result, err error) {
 				continue
 			}
 			c := <-ti.t.ch
+			e.opCount += uint64(len(c.ops))
+			if e.opBudget > 0 && e.opCount > e.opBudget {
+				e.abandon(threads, ti, c)
+				return nil, &BudgetError{Ops: e.opCount, Budget: e.opBudget}
+			}
 			e.simulate(ti.t, c.ops)
 			switch c.ctl {
 			case ctlNone:
@@ -218,6 +255,47 @@ func (e *Engine) Run(body func(t *Thread)) (res *Result, err error) {
 	res = e.collect()
 	res.Regions = regions
 	return res, nil
+}
+
+// abandon drains every unfinished thread in the background after a
+// budget abort so Run can return promptly: allocation requests fail
+// (the body's Alloc panics, which ends it), frees, moves and barriers
+// reply immediately, and plain chunks are discarded unsimulated. A body
+// that emits operations forever keeps its drainer goroutine alive;
+// callers bound that with a wall-clock timeout.
+func (e *Engine) abandon(threads []*threadInfo, cur *threadInfo, pending chunk) {
+	budgetErr := &BudgetError{Ops: e.opCount, Budget: e.opBudget}
+	drain := func(t *Thread, c chunk, havePending bool) {
+		for {
+			if !havePending {
+				c = <-t.ch
+			}
+			havePending = false
+			switch c.ctl {
+			case ctlAlloc:
+				t.reply <- ctlReply{err: budgetErr}
+			case ctlFree, ctlMove, ctlBarrier:
+				t.reply <- ctlReply{}
+			case ctlDone, ctlPanic:
+				return
+			}
+		}
+	}
+	for _, ti := range threads {
+		t := ti.t
+		switch {
+		case ti == cur:
+			go drain(t, pending, true)
+		case ti.state == atBarrier:
+			// Already parked: release the barrier, then keep draining.
+			go func() {
+				t.reply <- ctlReply{}
+				drain(t, chunk{}, false)
+			}()
+		case ti.state == running:
+			go drain(t, chunk{}, false)
+		}
+	}
 }
 
 // releaseBarrierIfReady resumes all barrier-parked threads once no

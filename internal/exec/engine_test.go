@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -430,5 +431,71 @@ func TestRawAggregationInvariant(t *testing.T) {
 			t.Errorf("event %s: per-core+uncore sum %d != raw total %d",
 				counters.Def(counters.EventID(id)).Name, sum[id], res.Raw[id])
 		}
+	}
+}
+
+func TestOpBudgetAbortsRun(t *testing.T) {
+	e := newEngine(t, 1)
+	e.SetOpBudget(100)
+	_, err := e.Run(func(t *Thread) {
+		buf := t.Alloc(1 << 16)
+		for off := uint64(0); off < buf.Size; off += 4 {
+			t.Load(buf.Addr(off))
+		}
+	})
+	if !errors.Is(err, ErrOpBudget) {
+		t.Fatalf("err = %v, want ErrOpBudget", err)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Budget != 100 || be.Ops <= be.Budget {
+		t.Errorf("budget error = %+v", err)
+	}
+
+	// Clearing the budget restores the engine to full service.
+	e.SetOpBudget(0)
+	res, err := e.Run(func(t *Thread) {
+		buf := t.Alloc(1 << 12)
+		for off := uint64(0); off < buf.Size; off += 64 {
+			t.Load(buf.Addr(off))
+		}
+	})
+	if err != nil || res == nil {
+		t.Fatalf("engine unusable after budget abort: %v", err)
+	}
+}
+
+// TestOpBudgetDrainsParkedThreads aborts a run while sibling threads
+// wait at a barrier and while the over-budget thread keeps allocating;
+// Run must return the typed error promptly instead of deadlocking.
+func TestOpBudgetDrainsParkedThreads(t *testing.T) {
+	e := newEngine(t, 4)
+	e.SetOpBudget(5000)
+	_, err := e.Run(func(t *Thread) {
+		buf := t.Alloc(1 << 16)
+		for pass := 0; pass < 4; pass++ {
+			for off := uint64(0); off < buf.Size; off += 4 {
+				t.Load(buf.Addr(off))
+			}
+			t.Barrier()
+			// Post-abort allocations are refused with the budget error,
+			// which surfaces in the body as a panic the drain absorbs.
+			t.Alloc(1 << 10)
+		}
+	})
+	if !errors.Is(err, ErrOpBudget) {
+		t.Fatalf("err = %v, want ErrOpBudget", err)
+	}
+}
+
+func TestOpBudgetZeroMeansUnlimited(t *testing.T) {
+	e := newEngine(t, 1)
+	e.SetOpBudget(0)
+	if _, err := e.Run(func(t *Thread) {
+		buf := t.Alloc(1 << 16)
+		for off := uint64(0); off < buf.Size; off += 4 {
+			t.Load(buf.Addr(off))
+		}
+	}); err != nil {
+		t.Fatalf("unlimited run failed: %v", err)
 	}
 }

@@ -1,0 +1,124 @@
+package faultrun
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"numaperf/internal/campaign"
+	"numaperf/internal/counters"
+)
+
+// passthrough is a RunFunc returning fixed values for two events.
+func passthrough(c campaign.Cell) (map[counters.EventID]float64, error) {
+	return map[counters.EventID]float64{
+		counters.AllLoads: 100,
+		counters.L1Hit:    80,
+	}, nil
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		Hang: "hang", Panic: "panic", Exit: "exit", Corrupt: "corrupt", Slow: "slow",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if !strings.HasPrefix(Kind(99).String(), "Kind(") {
+		t.Error("unknown kind name")
+	}
+}
+
+func TestScriptFiresPerKeyAndTimes(t *testing.T) {
+	s := NewScript().On("p0/r0/b0", Fault{Kind: Exit, Times: 2, ExitCode: 3})
+	run := s.Wrap(passthrough)
+	cell := campaign.Cell{Point: 0, Rep: 0, Batch: 0}
+
+	for attempt := 0; attempt < 2; attempt++ {
+		if _, err := run(cell); !errors.Is(err, ErrInjected) {
+			t.Fatalf("attempt %d: err = %v, want injected", attempt, err)
+		}
+	}
+	// The third attempt is past Times and runs clean.
+	out, err := run(cell)
+	if err != nil || out[counters.AllLoads] != 100 {
+		t.Fatalf("healed attempt: (%v, %v)", out, err)
+	}
+	// Unscripted cells always run clean.
+	if _, err := run(campaign.Cell{Point: 1}); err != nil {
+		t.Fatalf("unscripted cell: %v", err)
+	}
+	if s.Runs() != 4 {
+		t.Errorf("Runs() = %d, want 4", s.Runs())
+	}
+}
+
+func TestScriptPanic(t *testing.T) {
+	run := NewScript().On("p0/r0/b0", Fault{Kind: Panic}).Wrap(passthrough)
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("no panic")
+		}
+	}()
+	run(campaign.Cell{})
+}
+
+func TestCorruptNamedEvent(t *testing.T) {
+	name := counters.Def(counters.L1Hit).Name
+	run := NewScript().On("p0/r0/b0", Fault{Kind: Corrupt, Event: name}).Wrap(passthrough)
+	out, err := run(campaign.Cell{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[counters.L1Hit] != -80 || out[counters.AllLoads] != 100 {
+		t.Errorf("out = %v, want L1Hit negated only", out)
+	}
+}
+
+func TestCorruptDefaultsToLowestEvent(t *testing.T) {
+	run := NewScript().On("p0/r0/b0", Fault{Kind: Corrupt, NaN: true}).Wrap(passthrough)
+	out, err := run(campaign.Cell{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := counters.AllLoads
+	if counters.L1Hit < low {
+		low = counters.L1Hit
+	}
+	if !math.IsNaN(out[low]) {
+		t.Errorf("lowest event not poisoned: %v", out)
+	}
+}
+
+func TestCorruptMissingEventIsHarmless(t *testing.T) {
+	run := NewScript().On("p0/r0/b0", Fault{Kind: Corrupt, Event: counters.Def(counters.L3Miss).Name}).Wrap(passthrough)
+	out, err := run(campaign.Cell{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[counters.AllLoads] != 100 || out[counters.L1Hit] != 80 {
+		t.Errorf("absent target corrupted something: %v", out)
+	}
+}
+
+func TestHangAndRelease(t *testing.T) {
+	s := NewScript().On("p0/r0/b0", Fault{Kind: Hang})
+	run := s.Wrap(passthrough)
+	done := make(chan error, 1)
+	go func() {
+		_, err := run(campaign.Cell{})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("hung run returned early: %v", err)
+	default:
+	}
+	s.Release()
+	s.Release() // idempotent
+	if err := <-done; !errors.Is(err, ErrInjected) {
+		t.Errorf("released hang: %v", err)
+	}
+}

@@ -64,8 +64,31 @@ type Measurement struct {
 	Runs int
 	// Batches is the number of register batches per repetition.
 	Batches int
+	// Reps is the number of repetitions requested; every event should
+	// carry Reps samples. Campaign measurements taken over partial data
+	// may hold fewer (see Partial).
+	Reps int
 	// Mode records how the measurement was taken.
 	Mode Mode
+	// Partial marks a measurement assembled from an incomplete
+	// campaign: some events carry fewer than Reps samples (failed runs,
+	// quarantined values). Consumers annotate rather than assume
+	// completeness.
+	Partial bool
+}
+
+// Coverage returns the fraction of requested repetitions that produced
+// a sample for the event, in [0, 1]. Measurements that predate the
+// Reps field (Reps == 0) report full coverage.
+func (m *Measurement) Coverage(id counters.EventID) float64 {
+	if m.Reps <= 0 {
+		return 1
+	}
+	c := float64(len(m.Samples[id])) / float64(m.Reps)
+	if c > 1 {
+		return 1
+	}
+	return c
 }
 
 // Mean returns the sample mean for an event.
@@ -124,6 +147,76 @@ func batchesOf(ids []counters.EventID, size int) [][]counters.EventID {
 	return out
 }
 
+// BatchPlan is the register-batch decomposition of an event set: which
+// events are visible in which of the repeated runs EvSel schedules. It
+// is exported so the campaign layer can decompose a measurement into
+// individually retryable run cells that reproduce exactly what
+// measureBatched would have done in one piece.
+type BatchPlan struct {
+	// Fixed are the fixed and software events, readable in every run.
+	Fixed []counters.EventID
+	// Core are the programmable core-PMU batches.
+	Core [][]counters.EventID
+	// Uncore are the per-socket uncore-PMU batches.
+	Uncore [][]counters.EventID
+}
+
+// PlanBatches decomposes the event set for an engine's register budget.
+func PlanBatches(e *exec.Engine, events []counters.EventID) BatchPlan {
+	fixed, core, uncore := splitByDomain(events)
+	k := e.Config().Machine.PMU.ProgrammableCounters
+	return BatchPlan{
+		Fixed:  fixed,
+		Core:   batchesOf(core, k),
+		Uncore: batchesOf(uncore, uncoreRegisters),
+	}
+}
+
+// Batches is the number of runs needed per repetition: the larger of
+// the core and uncore batch counts, at least 1.
+func (p BatchPlan) Batches() int {
+	n := len(p.Core)
+	if len(p.Uncore) > n {
+		n = len(p.Uncore)
+	}
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// Visible lists the events readable during batch b. Fixed and software
+// events are included only in batch 0: they are readable in every run,
+// but one sample per repetition is all a measurement keeps.
+func (p BatchPlan) Visible(b int) []counters.EventID {
+	var out []counters.EventID
+	if b == 0 {
+		out = append(out, p.Fixed...)
+	}
+	if b < len(p.Core) {
+		out = append(out, p.Core[b]...)
+	}
+	if b < len(p.Uncore) {
+		out = append(out, p.Uncore[b]...)
+	}
+	return out
+}
+
+// RunVisible performs one program run and reads the given events from
+// the final counter state — one register batch of one repetition. This
+// is the unit of work a campaign cell executes.
+func RunVisible(e *exec.Engine, body func(*exec.Thread), visible []counters.EventID) (map[counters.EventID]float64, error) {
+	res, err := e.Run(body)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[counters.EventID]float64, len(visible))
+	for _, id := range visible {
+		out[id] = float64(res.Total.Get(id))
+	}
+	return out, nil
+}
+
 // Measure runs the body under the engine repeatedly and collects `reps`
 // samples for every requested event, honouring the machine's PMU
 // register budget according to the mode.
@@ -156,7 +249,7 @@ func MeasureAll(e *exec.Engine, body func(*exec.Thread), reps int, mode Mode) (*
 }
 
 func measureUnlimited(e *exec.Engine, body func(*exec.Thread), events []counters.EventID, reps int) (*Measurement, error) {
-	m := &Measurement{Samples: make(map[counters.EventID][]float64, len(events)), Mode: Unlimited, Batches: 1}
+	m := &Measurement{Samples: make(map[counters.EventID][]float64, len(events)), Mode: Unlimited, Batches: 1, Reps: reps}
 	for r := 0; r < reps; r++ {
 		res, err := e.Run(body)
 		if err != nil {
@@ -171,47 +264,20 @@ func measureUnlimited(e *exec.Engine, body func(*exec.Thread), events []counters
 }
 
 func measureBatched(e *exec.Engine, body func(*exec.Thread), events []counters.EventID, reps int) (*Measurement, error) {
-	fixed, core, uncore := splitByDomain(events)
-	k := e.Config().Machine.PMU.ProgrammableCounters
-	coreBatches := batchesOf(core, k)
-	uncoreBatches := batchesOf(uncore, uncoreRegisters)
-	nBatches := len(coreBatches)
-	if len(uncoreBatches) > nBatches {
-		nBatches = len(uncoreBatches)
-	}
-	if nBatches == 0 {
-		nBatches = 1
-	}
-	m := &Measurement{Samples: make(map[counters.EventID][]float64, len(events)), Mode: Batched, Batches: nBatches}
+	plan := PlanBatches(e, events)
+	nBatches := plan.Batches()
+	m := &Measurement{Samples: make(map[counters.EventID][]float64, len(events)), Mode: Batched, Batches: nBatches, Reps: reps}
 	for r := 0; r < reps; r++ {
 		for b := 0; b < nBatches; b++ {
-			res, err := e.Run(body)
+			samples, err := RunVisible(e, body, plan.Visible(b))
 			if err != nil {
 				return nil, err
 			}
 			m.Runs++
-			visible := fixed
-			if b < len(coreBatches) {
-				visible = append(append([]counters.EventID{}, visible...), coreBatches[b]...)
-			}
-			if b < len(uncoreBatches) {
-				visible = append(append([]counters.EventID{}, visible...), uncoreBatches[b]...)
-			}
-			for _, id := range visible {
-				m.Samples[id] = append(m.Samples[id], float64(res.Total.Get(id)))
+			for _, id := range plan.Visible(b) {
+				m.Samples[id] = append(m.Samples[id], samples[id])
 			}
 		}
-	}
-	// Fixed counters were sampled once per run; keep only one sample
-	// per repetition so every event ends up with exactly `reps`
-	// samples.
-	for _, id := range fixed {
-		s := m.Samples[id]
-		kept := make([]float64, 0, reps)
-		for i := 0; i < len(s); i += nBatches {
-			kept = append(kept, s[i])
-		}
-		m.Samples[id] = kept
 	}
 	return m, nil
 }
@@ -233,7 +299,7 @@ func measureMultiplexed(e *exec.Engine, body func(*exec.Thread), events []counte
 	if nGroups == 0 {
 		nGroups = 1
 	}
-	m := &Measurement{Samples: make(map[counters.EventID][]float64, len(events)), Mode: Multiplexed, Batches: nGroups}
+	m := &Measurement{Samples: make(map[counters.EventID][]float64, len(events)), Mode: Multiplexed, Batches: nGroups, Reps: reps}
 
 	for r := 0; r < reps; r++ {
 		acc := make([]float64, counters.NumEvents) // per-event accumulated counts while visible

@@ -355,3 +355,114 @@ func TestUncoreBatching(t *testing.T) {
 		t.Error("IMC reads must fire for a DRAM-touching scan")
 	}
 }
+
+func TestPlanBatchesDecomposition(t *testing.T) {
+	e := testEngine(t)
+	// 9 core + 1 fixed on a 4-register PMU → 3 batches of ≤4.
+	events := []counters.EventID{
+		counters.AllLoads, counters.L1Hit, counters.L1Miss, counters.L2Hit,
+		counters.L2Miss, counters.L3Hit, counters.L3Miss, counters.BranchRetired,
+		counters.BranchMiss,
+		counters.InstRetired,
+	}
+	p := PlanBatches(e, events)
+	if p.Batches() != 3 {
+		t.Fatalf("batches = %d, want 3", p.Batches())
+	}
+	if len(p.Fixed) != 1 || p.Fixed[0] != counters.InstRetired {
+		t.Errorf("fixed = %v", p.Fixed)
+	}
+	// Fixed events appear in batch 0 only; every core event appears in
+	// exactly one batch; no batch exceeds the register budget.
+	seen := map[counters.EventID]int{}
+	for b := 0; b < p.Batches(); b++ {
+		vis := p.Visible(b)
+		core := 0
+		for _, id := range vis {
+			seen[id]++
+			if counters.Def(id).Domain != counters.DomainFixed {
+				core++
+			}
+		}
+		if core > e.Config().Machine.PMU.ProgrammableCounters {
+			t.Errorf("batch %d exceeds the register budget: %v", b, vis)
+		}
+	}
+	for _, id := range events {
+		if seen[id] != 1 {
+			t.Errorf("%s visible in %d batches, want 1", counters.Def(id).Name, seen[id])
+		}
+	}
+}
+
+func TestPlanBatchesEmptyAndUncore(t *testing.T) {
+	e := testEngine(t)
+	if got := PlanBatches(e, nil).Batches(); got != 1 {
+		t.Errorf("empty plan batches = %d, want 1", got)
+	}
+	p := PlanBatches(e, []counters.EventID{counters.InstRetired})
+	if p.Batches() != 1 || len(p.Visible(0)) != 1 {
+		t.Errorf("fixed-only plan: batches=%d visible=%v", p.Batches(), p.Visible(0))
+	}
+}
+
+// TestRunVisibleMatchesMeasureBatched: driving the exported plan cell
+// by cell reproduces what measureBatched assembles in one piece.
+func TestRunVisibleMatchesMeasureBatched(t *testing.T) {
+	events := []counters.EventID{
+		counters.AllLoads, counters.L1Hit, counters.L1Miss, counters.L2Hit,
+		counters.L2Miss, counters.InstRetired,
+	}
+	whole, err := Measure(testEngine(t), scanBody, events, 1, Batched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEngine(t)
+	p := PlanBatches(e, events)
+	got := map[counters.EventID][]float64{}
+	for b := 0; b < p.Batches(); b++ {
+		vals, err := RunVisible(e, scanBody, p.Visible(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id, v := range vals {
+			got[id] = append(got[id], v)
+		}
+	}
+	for _, id := range events {
+		if len(got[id]) != len(whole.Samples[id]) {
+			t.Errorf("%s: %d cell samples vs %d batched", counters.Def(id).Name,
+				len(got[id]), len(whole.Samples[id]))
+			continue
+		}
+		for i := range got[id] {
+			if got[id][i] != whole.Samples[id][i] {
+				t.Errorf("%s sample %d: cell %g vs batched %g",
+					counters.Def(id).Name, i, got[id][i], whole.Samples[id][i])
+			}
+		}
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	m := &Measurement{
+		Samples: map[counters.EventID][]float64{
+			counters.AllLoads: {1, 2},
+			counters.L1Hit:    {1},
+		},
+		Reps: 2,
+	}
+	if got := m.Coverage(counters.AllLoads); got != 1 {
+		t.Errorf("full coverage = %g", got)
+	}
+	if got := m.Coverage(counters.L1Hit); got != 0.5 {
+		t.Errorf("half coverage = %g", got)
+	}
+	if got := m.Coverage(counters.L3Miss); got != 0 {
+		t.Errorf("absent coverage = %g", got)
+	}
+	m.Reps = 0
+	if got := m.Coverage(counters.L1Hit); got != 1 {
+		t.Errorf("legacy (reps unknown) coverage = %g", got)
+	}
+}
