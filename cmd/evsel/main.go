@@ -18,10 +18,14 @@
 // killed campaign continues with -resume exactly where it stopped.
 // -keep-going records typed gaps instead of aborting on a bad cell, and
 // counters that repeatedly fail or return impossible values are
-// quarantined and reported.
+// quarantined and reported. -parallel N measures up to N run cells
+// concurrently; because results are committed in canonical cell order,
+// the journal, tables and resume behaviour are byte-identical to a
+// serial run — only the wall-clock time changes.
 //
 //	evsel -workload parallelsort -sweep 1,2,4 -journal sweep.jnl
 //	evsel -workload parallelsort -sweep 1,2,4 -journal sweep.jnl -resume
+//	evsel -workload parallelsort -sweep 1,2,4 -journal sweep.jnl -parallel 8
 package main
 
 import (
@@ -70,6 +74,7 @@ func main() {
 		maxRetries = flag.Int("max-retries", campaign.DefaultMaxRetries, "retries per run cell before it becomes a gap")
 		keepGoing  = flag.Bool("keep-going", false, "record typed gaps for failed cells instead of aborting the campaign")
 		opBudget   = flag.Uint64("op-budget", 0, "abort any run that simulates more than this many operations (0 = unlimited)")
+		parallel   = flag.Int("parallel", 1, "run cells measured concurrently; results are byte-identical at any setting")
 	)
 	flag.Parse()
 
@@ -138,14 +143,17 @@ func main() {
 		return e
 	}
 
-	// Campaign supervision: -journal (or -resume) switches measurement
-	// and sweep runs to the crash-tolerant campaign runner.
-	campaigning := *journal != "" || *resume
+	// Campaign supervision: -journal, -resume or -parallel switches
+	// measurement and sweep runs to the crash-tolerant campaign runner
+	// (the only executor with a worker pool; -parallel therefore implies
+	// campaign-mode measurement even without a journal).
+	campaigning := *journal != "" || *resume || *parallel > 1
 	opts := campaign.Options{
 		RunTimeout:  *runTimeout,
 		MaxRetries:  *maxRetries,
 		OpBudget:    *opBudget,
 		KeepGoing:   *keepGoing,
+		Concurrency: *parallel,
 		JournalPath: *journal,
 		Resume:      *resume,
 		BackoffSeed: *seed,

@@ -9,6 +9,11 @@
 //
 //	twostep -family triad -train 65536,98304,131072,196608 -target 1048576
 //	twostep -family chase -train 4096,8192,16384 -target 65536 -transfer 2s
+//	twostep -family sort -train 65536,131072,262144 -target 1048576 -parallel 4
+//
+// -parallel N measures up to N training sizes of a collection phase
+// concurrently, each on its own engine; the fitted models and the
+// report are identical to -parallel 1.
 package main
 
 import (
@@ -49,16 +54,21 @@ func main() {
 		seed     = flag.Int64("seed", 1, "noise seed")
 		runTO    = flag.Duration("run-timeout", campaign.DefaultRunTimeout, "wall-clock budget per collection phase (0 = none)")
 		maxRetry = flag.Int("max-retries", campaign.DefaultMaxRetries, "retries per collection phase on transient failure (0 = none)")
+		parallel = flag.Int("parallel", 1, "training sizes measured concurrently; results are identical at any setting")
 	)
 	flag.Parse()
 
 	// Each collection phase (training, calibration, truth) runs under
 	// the same supervision a campaign cell gets: wall-clock timeout,
 	// panic recovery, and deterministic capped-backoff retries.
+	// With -parallel N, up to N training sizes of a phase are measured
+	// concurrently; every size runs on its own engine and the points are
+	// reassembled in size order, so the fitted models and the report are
+	// identical at any setting.
 	sup := campaign.NewSupervisor(*runTO, *maxRetry, *seed)
 	collect := func(phase string, sizes []float64, c func(p float64) (*exec.Engine, func(*exec.Thread), error)) []core.TrainingPoint {
 		pts, attempts, err := campaign.Do(sup, func() ([]core.TrainingPoint, error) {
-			return core.CollectTraining(sizes, *reps, c)
+			return core.CollectTrainingParallel(sizes, *reps, *parallel, c)
 		})
 		if err != nil {
 			fatalf("%s: %v", phase, err)

@@ -16,6 +16,13 @@
 // so a cell's measurement is a pure function of the spec: retries,
 // crashes and resumes cannot change the final numbers, which is what
 // makes a resumed campaign byte-identical to an uninterrupted one.
+//
+// That same independence makes cells safe to measure concurrently: with
+// Options.Concurrency > 1 a bounded worker pool executes cells while a
+// single committer consumes their outcomes re-sequenced into canonical
+// cell order, so the journal, the resume path, quarantine verdicts and
+// every rendered table stay byte-identical to a serial run at any
+// worker count — parallelism changes wall-clock time and nothing else.
 package campaign
 
 import (
@@ -25,6 +32,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"numaperf/internal/counters"
@@ -86,6 +94,15 @@ type Options struct {
 	// QuarantineAfter is the strike count that quarantines an event
 	// (0 = DefaultQuarantineAfter, negative = never).
 	QuarantineAfter int
+	// Concurrency is the number of cells measured at once (≤ 1 =
+	// serial). Every cell runs on its own engine and outcomes are
+	// committed in canonical cell order by a single goroutine, so the
+	// journal, resume behaviour, quarantine verdicts and every rendered
+	// table are byte-identical at any setting — only wall-clock time
+	// changes. Each cell's retry backoff is seeded BackoffSeed + cell
+	// ordinal, keeping retry delays reproducible regardless of worker
+	// scheduling.
+	Concurrency int
 	// JournalPath enables the crash journal; empty runs in memory only.
 	JournalPath string
 	// Resume loads an existing journal and skips its completed cells.
@@ -123,7 +140,18 @@ func (c Cell) Key() string { return fmt.Sprintf("p%d/r%d/b%d", c.Point, c.Rep, c
 type RunFunc func(Cell) (map[counters.EventID]float64, error)
 
 // Middleware wraps a RunFunc — the seam where faultrun injects faults.
+// Under Concurrency > 1 the wrapped RunFunc is called from multiple
+// pool workers at once and must be safe for concurrent use.
 type Middleware func(RunFunc) RunFunc
+
+// cellOutcome carries one executed cell from a pool worker to the
+// committer.
+type cellOutcome struct {
+	cell     Cell
+	samples  map[counters.EventID]float64
+	attempts int
+	err      error
+}
 
 // Gap is a typed hole in the campaign's data: a cell that was given up
 // on, and the events that consequently lack one sample each.
@@ -394,11 +422,16 @@ func (r *Runner) Run() (*Report, error) {
 	case maxRetries < 0:
 		maxRetries = 0
 	}
-	sup := &Supervisor{
-		Timeout:    timeout,
-		MaxRetries: maxRetries,
-		Backoff:    probenet.NewBackoff(r.Opts.BackoffBase, r.Opts.BackoffMax, r.Opts.BackoffSeed),
-		Sleep:      r.Opts.Sleep,
+	// Every cell gets its own supervisor whose backoff stream is seeded
+	// by the cell ordinal: retry delays depend only on the cell, never
+	// on which worker ran it or in what order.
+	mkSup := func(c Cell) *Supervisor {
+		return &Supervisor{
+			Timeout:    timeout,
+			MaxRetries: maxRetries,
+			Backoff:    probenet.NewBackoff(r.Opts.BackoffBase, r.Opts.BackoffMax, r.Opts.BackoffSeed+int64(c.Index)),
+			Sleep:      r.Opts.Sleep,
+		}
 	}
 
 	rep := &Report{ParamName: r.Spec.ParamName, Cells: len(cells)}
@@ -433,6 +466,78 @@ func (r *Runner) Run() (*Report, error) {
 		}
 	}
 
+	// Cells the journal does not already satisfy go to a bounded worker
+	// pool. Workers only execute; the commit loop below is the sole
+	// goroutine that journals, records, strikes and accounts, consuming
+	// outcomes re-sequenced into canonical cell order — so every byte of
+	// journal and report is independent of worker count and scheduling.
+	// Concurrency ≤ 1 takes the same path with a single worker.
+	var toRun []Cell
+	for _, c := range cells {
+		if state != nil {
+			key := c.Key()
+			if _, ok := state.cells[key]; ok {
+				continue
+			}
+			if _, ok := state.gaps[key]; ok {
+				continue
+			}
+		}
+		toRun = append(toRun, c)
+	}
+	workers := r.Opts.Concurrency
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(toRun) {
+		workers = len(toRun)
+	}
+
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	halt := func() { stopOnce.Do(func() { close(stop) }) }
+	defer halt()
+
+	jobs := make(chan Cell)
+	// Buffered for every dispatchable cell so workers never block on a
+	// departed committer: after an abort, in-flight cells finish into
+	// the buffer and their goroutines exit without leaking.
+	results := make(chan cellOutcome, len(toRun))
+	go func() {
+		defer close(jobs)
+		for _, c := range toRun {
+			select {
+			case jobs <- c:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		go func() {
+			for c := range jobs {
+				out, attempts, err := Do(mkSup(c), func() (map[counters.EventID]float64, error) {
+					return run(c)
+				})
+				results <- cellOutcome{cell: c, samples: out, attempts: attempts, err: err}
+			}
+		}()
+	}
+
+	// await returns the outcome of the cell with the given ordinal,
+	// parking outcomes that arrive out of order until their turn.
+	pending := make(map[int]cellOutcome, workers)
+	await := func(idx int) cellOutcome {
+		for {
+			if o, ok := pending[idx]; ok {
+				delete(pending, idx)
+				return o
+			}
+			o := <-results
+			pending[o.cell.Index] = o
+		}
+	}
+
 	for _, c := range cells {
 		key := c.Key()
 		if state != nil {
@@ -452,13 +557,14 @@ func (r *Runner) Run() (*Report, error) {
 			}
 		}
 
-		out, attempts, err := Do(sup, func() (map[counters.EventID]float64, error) {
-			return run(c)
-		})
-		rep.Retried += attempts - 1
-		if err != nil {
-			cerr := &CellError{Cell: c, Attempts: attempts, Err: err}
+		o := await(c.Index)
+		rep.Retried += o.attempts - 1
+		if o.err != nil {
+			cerr := &CellError{Cell: c, Attempts: o.attempts, Err: o.err}
 			if !r.Opts.KeepGoing {
+				// Aborting here leaves the journal a clean prefix of the
+				// serial journal: later cells may have executed on other
+				// workers, but none of them has been committed.
 				return rep, &CampaignError{Cell: c, Err: cerr}
 			}
 			logf("campaign: %v (recording gap)", cerr)
@@ -473,6 +579,7 @@ func (r *Runner) Run() (*Report, error) {
 
 		// Screen impossible values: the sample is dropped (a strike),
 		// the rest of the cell is kept.
+		out := o.samples
 		samples := make(map[string]float64, len(out))
 		bad := map[string]string{}
 		for _, id := range plans[c.Point].visible(c.Batch) {

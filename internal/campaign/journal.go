@@ -128,6 +128,14 @@ func loadJournal(path string) (*journalState, error) {
 		}
 		return nil, err
 	}
+	return parseJournal(raw)
+}
+
+// parseJournal verifies and decodes raw journal bytes — the pure core
+// of loadJournal, separated so it can be fuzzed without a filesystem.
+// Empty input returns (nil, nil); every failure is ErrJournalCorrupt or
+// ErrJournalMismatch, never a panic.
+func parseJournal(raw []byte) (*journalState, error) {
 	if len(raw) == 0 {
 		return nil, nil
 	}

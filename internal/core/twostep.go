@@ -25,6 +25,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"numaperf/internal/counters"
 	"numaperf/internal/exec"
@@ -45,26 +46,89 @@ type TrainingPoint struct {
 // body for a parameter value.
 func CollectTraining(params []float64, reps int,
 	mk func(param float64) (*exec.Engine, func(*exec.Thread), error)) ([]TrainingPoint, error) {
+	return CollectTrainingParallel(params, reps, 1, mk)
+}
+
+// CollectTrainingParallel is CollectTraining with up to workers
+// parameter values measured concurrently. Each parameter runs on its
+// own engine built by mk, so the training points — and any error — are
+// identical to the serial collection at any worker count; only
+// wall-clock time changes. mk must therefore be safe to call from
+// multiple goroutines (building a fresh engine per call, as the
+// twostep collectors do, satisfies this).
+func CollectTrainingParallel(params []float64, reps, workers int,
+	mk func(param float64) (*exec.Engine, func(*exec.Thread), error)) ([]TrainingPoint, error) {
 	if len(params) == 0 || reps <= 0 {
 		return nil, errors.New("core: empty training request")
 	}
-	var out []TrainingPoint
-	for _, p := range params {
-		e, body, err := mk(p)
-		if err != nil {
-			return nil, fmt.Errorf("core: engine for param %g: %w", p, err)
-		}
-		for r := 0; r < reps; r++ {
-			res, err := e.Run(body)
+	if workers > len(params) {
+		workers = len(params)
+	}
+	if workers <= 1 {
+		var out []TrainingPoint
+		for _, p := range params {
+			pts, err := collectParam(p, reps, mk)
 			if err != nil {
-				return nil, fmt.Errorf("core: run at param %g: %w", p, err)
+				return nil, err
 			}
-			out = append(out, TrainingPoint{
-				Param:  p,
-				Counts: res.Total,
-				Cycles: float64(res.Cycles),
-			})
+			out = append(out, pts...)
 		}
+		return out, nil
+	}
+
+	type paramResult struct {
+		pts []TrainingPoint
+		err error
+	}
+	results := make([]paramResult, len(params))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				pts, err := collectParam(params[i], reps, mk)
+				results[i] = paramResult{pts: pts, err: err}
+			}
+		}()
+	}
+	for i := range params {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Reassemble in parameter order; on failure report the error the
+	// serial collection would have hit first.
+	var out []TrainingPoint
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		out = append(out, r.pts...)
+	}
+	return out, nil
+}
+
+// collectParam measures one parameter value: a fresh engine, reps runs.
+func collectParam(p float64, reps int,
+	mk func(param float64) (*exec.Engine, func(*exec.Thread), error)) ([]TrainingPoint, error) {
+	e, body, err := mk(p)
+	if err != nil {
+		return nil, fmt.Errorf("core: engine for param %g: %w", p, err)
+	}
+	out := make([]TrainingPoint, 0, reps)
+	for r := 0; r < reps; r++ {
+		res, err := e.Run(body)
+		if err != nil {
+			return nil, fmt.Errorf("core: run at param %g: %w", p, err)
+		}
+		out = append(out, TrainingPoint{
+			Param:  p,
+			Counts: res.Total,
+			Cycles: float64(res.Cycles),
+		})
 	}
 	return out, nil
 }

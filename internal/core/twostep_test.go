@@ -53,6 +53,61 @@ func TestCollectTraining(t *testing.T) {
 	}
 }
 
+func TestCollectTrainingParallelEquivalence(t *testing.T) {
+	// The parallel collector must produce exactly the serial points —
+	// same order, same counts, same cycles — because every parameter
+	// runs on its own deterministically seeded engine.
+	params := []float64{1024, 2048, 4096, 8192}
+	mk := func(p float64) (*exec.Engine, func(*exec.Thread), error) {
+		e, err := exec.NewEngine(exec.Config{Machine: topology.TwoSocket(), Threads: 1, Seed: 17})
+		if err != nil {
+			return nil, nil, err
+		}
+		return e, workloads.Triad{Elements: int(p)}.Body(), nil
+	}
+	ref, err := CollectTraining(params, 2, mk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := CollectTrainingParallel(params, 2, workers, mk)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: %d points, want %d", workers, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i].Param != ref[i].Param || got[i].Cycles != ref[i].Cycles {
+				t.Fatalf("workers=%d point %d: %+v != %+v", workers, i, got[i], ref[i])
+			}
+			for id, v := range ref[i].Counts {
+				if got[i].Counts[id] != v {
+					t.Fatalf("workers=%d point %d: counter %v = %d, want %d",
+						workers, i, id, got[i].Counts[id], v)
+				}
+			}
+		}
+	}
+	// A failing parameter reports the error the serial walk would hit
+	// first, regardless of worker scheduling.
+	bad := func(p float64) (*exec.Engine, func(*exec.Thread), error) {
+		e, err := exec.NewEngine(exec.Config{Machine: topology.UMA(), Threads: 1})
+		if err != nil {
+			return nil, nil, err
+		}
+		body := workloads.Triad{Elements: int(p)}.Body()
+		if p == 2048 {
+			body = func(t *exec.Thread) { panic("boom") }
+		}
+		return e, body, nil
+	}
+	if _, err := CollectTrainingParallel([]float64{1024, 2048, 4096}, 1, 3, bad); err == nil ||
+		!strings.Contains(err.Error(), "param 2048") {
+		t.Fatalf("want the first failing param's error, got %v", err)
+	}
+}
+
 func TestSelectIndicators(t *testing.T) {
 	pts := triadTraining(t, []float64{1024, 2048, 4096, 8192}, 2, topology.TwoSocket())
 	ids := SelectIndicators(pts, 5)

@@ -1,0 +1,39 @@
+package exec
+
+import (
+	"testing"
+
+	"numaperf/internal/topology"
+)
+
+// BenchmarkEngineRun measures the full execution-driven path per run:
+// thread op emission, chunk handoff, page-table resolution and cache
+// simulation. This is the per-core cost the parallel campaign executor
+// multiplies, so allocation churn here caps the whole system's
+// throughput.
+func BenchmarkEngineRun(b *testing.B) {
+	for _, threads := range []int{1, 4} {
+		b.Run(map[int]string{1: "threads=1", 4: "threads=4"}[threads], func(b *testing.B) {
+			e, err := NewEngine(Config{Machine: topology.TwoSocket(), Threads: threads, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			body := func(t *Thread) {
+				buf := t.Alloc(256 << 10)
+				for off := uint64(0); off < buf.Size; off += 64 {
+					t.Load(buf.Addr(off))
+				}
+				for off := uint64(0); off < buf.Size; off += 64 {
+					t.Store(buf.Addr(off))
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Run(body); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -188,6 +188,7 @@ func (e *Engine) Run(body func(t *Thread)) (res *Result, err error) {
 			threads: e.cfg.Threads,
 			e:       e,
 			ops:     make([]Op, 0, e.chunkSize),
+			spare:   make([]Op, 0, e.chunkSize),
 			ch:      make(chan chunk),
 			reply:   make(chan ctlReply),
 		}

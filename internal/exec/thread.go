@@ -19,8 +19,14 @@ type Thread struct {
 	threads int
 	e       *Engine
 	ops     []Op
-	ch      chan chunk
-	reply   chan ctlReply
+	// spare is the previously sent chunk's buffer, recycled once the
+	// engine is done with it: the engine simulates chunk N before
+	// receiving chunk N+1, so when a send completes the buffer sent
+	// before it is free again. Two buffers therefore cover the whole
+	// run, instead of one allocation per chunk.
+	spare []Op
+	ch    chan chunk
+	reply chan ctlReply
 }
 
 // ID returns the thread index in [0, Threads()).
@@ -46,17 +52,20 @@ func (t *Thread) emit(op Op) {
 }
 
 // flush sends the accumulated operations plus an optional control
-// request to the engine and starts a fresh chunk.
+// request to the engine and starts a fresh chunk on the recycled
+// spare buffer.
 func (t *Thread) flush(ctl ctlKind) {
 	c := chunk{ops: t.ops, ctl: ctl}
 	t.ch <- c
-	t.ops = make([]Op, 0, t.e.chunkSize)
+	t.ops = t.spare[:0]
+	t.spare = c.ops
 }
 
 func (t *Thread) control(c chunk) ctlReply {
 	c.ops = t.ops
 	t.ch <- c
-	t.ops = make([]Op, 0, t.e.chunkSize)
+	t.ops = t.spare[:0]
+	t.spare = c.ops
 	return <-t.reply
 }
 

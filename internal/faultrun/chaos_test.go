@@ -5,6 +5,7 @@ package faultrun
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -202,20 +203,26 @@ func TestChaosMatrix(t *testing.T) {
 			},
 		},
 	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			script := NewScript().On("p0/r1/b0", tc.fault)
-			t.Cleanup(script.Release)
-			opts := tc.opts
-			opts.Sleep = noSleep
-			opts.Wrap = script.Wrap
-			r := &campaign.Runner{Spec: chaosSpec(2), Opts: opts}
-			rep, err := r.Run()
-			tc.check(t, rep, err)
-			if err == nil {
-				accountFor(t, rep, 2)
-			}
-		})
+	// Every fault case must produce its bounded outcome on the serial
+	// path and on the worker pool alike — faults fire per cell, so the
+	// verdicts cannot depend on which worker hit them.
+	for _, conc := range []int{1, 4} {
+		for _, tc := range cases {
+			t.Run(fmt.Sprintf("parallel=%d/%s", conc, tc.name), func(t *testing.T) {
+				script := NewScript().On("p0/r1/b0", tc.fault)
+				t.Cleanup(script.Release)
+				opts := tc.opts
+				opts.Sleep = noSleep
+				opts.Wrap = script.Wrap
+				opts.Concurrency = conc
+				r := &campaign.Runner{Spec: chaosSpec(2), Opts: opts}
+				rep, err := r.Run()
+				tc.check(t, rep, err)
+				if err == nil {
+					accountFor(t, rep, 2)
+				}
+			})
+		}
 	}
 }
 
@@ -224,45 +231,87 @@ func TestChaosMatrix(t *testing.T) {
 // faithful ledger: no hang, every missing sample traced to a gap or a
 // quarantine verdict.
 func TestChaosEverythingAtOnce(t *testing.T) {
-	script := NewScript().
-		On("p0/r0/b0", Fault{Kind: Exit, Times: 1, ExitCode: 2}). // heals
-		On("p0/r1/b0", Fault{Kind: Panic}).                       // gap
-		On("p0/r2/b0", Fault{Kind: Hang}).                        // timeout gap
-		On("p0/r3/b0", Fault{Kind: Corrupt, NaN: true}).          // screened value
-		On("p0/r4/b0", Fault{Kind: Slow, Delay: 5 * time.Millisecond})
+	for _, conc := range []int{1, 4} {
+		t.Run(fmt.Sprintf("parallel=%d", conc), func(t *testing.T) {
+			script := NewScript().
+				On("p0/r0/b0", Fault{Kind: Exit, Times: 1, ExitCode: 2}). // heals
+				On("p0/r1/b0", Fault{Kind: Panic}).                       // gap
+				On("p0/r2/b0", Fault{Kind: Hang}).                        // timeout gap
+				On("p0/r3/b0", Fault{Kind: Corrupt, NaN: true}).          // screened value
+				On("p0/r4/b0", Fault{Kind: Slow, Delay: 5 * time.Millisecond})
+			t.Cleanup(script.Release)
+			r := &campaign.Runner{
+				Spec: chaosSpec(6),
+				Opts: campaign.Options{
+					RunTimeout:  2 * time.Second,
+					MaxRetries:  1,
+					KeepGoing:   true,
+					Concurrency: conc,
+					Sleep:       func(time.Duration) {},
+					Wrap:        script.Wrap,
+				},
+			}
+			done := make(chan struct{})
+			var rep *campaign.Report
+			var err error
+			go func() {
+				rep, err = r.Run()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(30 * time.Second):
+				t.Fatal("chaos campaign hung")
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Gaps) != 2 {
+				t.Errorf("gaps = %d, want 2 (panic + hang)", len(rep.Gaps))
+			}
+			// One retry healed the exit; the panic and hang each burned
+			// their single retry before becoming gaps.
+			if rep.Retried != 3 {
+				t.Errorf("retried = %d, want 3", rep.Retried)
+			}
+			accountFor(t, rep, 6)
+		})
+	}
+}
+
+// TestChaosParallelOverlap proves the pool really overlaps cell
+// execution while staying a faithful ledger: with every repetition
+// slowed, a Concurrency=4 campaign must have had several runs in
+// flight at once (the script's high-water mark), complete cleanly, and
+// lose nothing.
+func TestChaosParallelOverlap(t *testing.T) {
+	script := NewScript()
+	for rep := 0; rep < 6; rep++ {
+		for b := 0; b < 4; b++ {
+			script.On(fmt.Sprintf("p0/r%d/b%d", rep, b), Fault{Kind: Slow, Delay: 20 * time.Millisecond})
+		}
+	}
 	t.Cleanup(script.Release)
 	r := &campaign.Runner{
 		Spec: chaosSpec(6),
 		Opts: campaign.Options{
-			RunTimeout: 2 * time.Second,
-			MaxRetries: 1,
-			KeepGoing:  true,
-			Sleep:      func(time.Duration) {},
-			Wrap:       script.Wrap,
+			RunTimeout:  5 * time.Second,
+			Concurrency: 4,
+			Sleep:       noSleepFn,
+			Wrap:        script.Wrap,
 		},
 	}
-	done := make(chan struct{})
-	var rep *campaign.Report
-	var err error
-	go func() {
-		rep, err = r.Run()
-		close(done)
-	}()
-	select {
-	case <-done:
-	case <-time.After(30 * time.Second):
-		t.Fatal("chaos campaign hung")
-	}
+	rep, err := r.Run()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Gaps) != 2 {
-		t.Errorf("gaps = %d, want 2 (panic + hang)", len(rep.Gaps))
+	if !rep.Complete() {
+		t.Fatalf("slowed parallel campaign incomplete: %s", rep.Summary())
 	}
-	// One retry healed the exit; the panic and hang each burned their
-	// single retry before becoming gaps.
-	if rep.Retried != 3 {
-		t.Errorf("retried = %d, want 3", rep.Retried)
+	if got := script.MaxInFlight(); got < 2 {
+		t.Errorf("max in-flight runs = %d, want ≥ 2 (no overlap happened)", got)
 	}
 	accountFor(t, rep, 6)
 }
+
+var noSleepFn = func(time.Duration) {}

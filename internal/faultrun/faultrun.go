@@ -82,13 +82,19 @@ type Fault struct {
 }
 
 // Script maps cell keys to faults and implements the campaign's Wrap
-// seam. Cells without an entry run clean.
+// seam. Cells without an entry run clean. A Script is safe for
+// concurrent use, so the same instance can fault cells running on
+// parallel campaign workers.
 type Script struct {
 	mu      sync.Mutex
 	faults  map[string]*Fault
 	fired   map[string]int
 	release chan struct{}
 	runs    int
+	// inFlight counts runs currently inside the wrap; maxInFlight is
+	// its high-water mark — the chaos suite's proof that a parallel
+	// campaign really overlapped cell execution.
+	inFlight, maxInFlight int
 }
 
 // NewScript builds an empty script.
@@ -116,6 +122,15 @@ func (s *Script) Runs() int {
 	return s.runs
 }
 
+// MaxInFlight returns the largest number of run attempts that were ever
+// inside the script at the same moment — 1 for a serial campaign, > 1
+// once a worker pool overlaps cells.
+func (s *Script) MaxInFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.maxInFlight
+}
+
 // Release unblocks every run hung by the script, letting abandoned
 // goroutines exit. Call it from test cleanup; it is idempotent.
 func (s *Script) Release() {
@@ -133,6 +148,15 @@ func (s *Script) Wrap(next campaign.RunFunc) campaign.RunFunc {
 	return func(c campaign.Cell) (map[counters.EventID]float64, error) {
 		s.mu.Lock()
 		s.runs++
+		s.inFlight++
+		if s.inFlight > s.maxInFlight {
+			s.maxInFlight = s.inFlight
+		}
+		defer func() {
+			s.mu.Lock()
+			s.inFlight--
+			s.mu.Unlock()
+		}()
 		f := s.faults[c.Key()]
 		var fire bool
 		if f != nil {

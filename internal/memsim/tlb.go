@@ -33,10 +33,19 @@ type streamPrefetcher struct {
 	streak    int
 	degree    int // lines fetched ahead once a stream is confirmed
 	linesPage uint64
+	// buf backs observeMiss's return value, reused across calls: the
+	// simulator consumes the prefetch list before the next miss, and a
+	// confirmed stream misses once per line, so a fresh allocation here
+	// would run on the hottest sequential-access path.
+	buf []uint64
 }
 
 func newStreamPrefetcher(lineBytes, pageBytes, degree int) *streamPrefetcher {
-	return &streamPrefetcher{degree: degree, linesPage: uint64(pageBytes / lineBytes)}
+	return &streamPrefetcher{
+		degree:    degree,
+		linesPage: uint64(pageBytes / lineBytes),
+		buf:       make([]uint64, 0, degree),
+	}
 }
 
 func (p *streamPrefetcher) reset() {
@@ -44,7 +53,8 @@ func (p *streamPrefetcher) reset() {
 }
 
 // observeMiss records a demand miss and returns the line addresses to
-// prefetch (possibly none).
+// prefetch (possibly none). The returned slice is only valid until the
+// next observeMiss call.
 func (p *streamPrefetcher) observeMiss(lineAddr uint64) []uint64 {
 	var dir int64
 	switch {
@@ -67,7 +77,7 @@ func (p *streamPrefetcher) observeMiss(lineAddr uint64) []uint64 {
 		return nil
 	}
 	// Confirmed stream: fetch ahead without leaving the page.
-	out := make([]uint64, 0, p.degree)
+	out := p.buf[:0]
 	page := lineAddr / p.linesPage
 	next := lineAddr
 	for i := 0; i < p.degree; i++ {
@@ -84,6 +94,7 @@ func (p *streamPrefetcher) observeMiss(lineAddr uint64) []uint64 {
 		}
 		out = append(out, next)
 	}
+	p.buf = out
 	return out
 }
 

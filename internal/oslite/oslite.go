@@ -75,15 +75,22 @@ type Process struct {
 	mach      *topology.Machine
 	pageShift uint
 	pageBytes uint64
-	pages     map[uint64]int16 // vpage → home node
-	policy    Policy
-	bindNode  int
-	ileave    int
-	brk       uint64
-	resident  uint64
-	limit     uint64
-	history   []FootprintSample
-	perNode   []uint64 // touched bytes per node
+	// table is the page table for the brk-managed address range: home
+	// node per vpage, -1 for untouched. It is a dense slice, not a map,
+	// because HomeNodeFault runs once per simulated memory access —
+	// the single hottest lookup in the whole simulator. Accesses
+	// outside the brk range (possible with hand-built addresses) fall
+	// back to the wild map so arbitrary sparse addresses stay cheap.
+	table    []int16
+	wild     map[uint64]int16
+	policy   Policy
+	bindNode int
+	ileave   int
+	brk      uint64
+	resident uint64
+	limit    uint64
+	history  []FootprintSample
+	perNode  []uint64 // touched bytes per node
 }
 
 // NewProcess creates a process on the machine with the given placement
@@ -95,7 +102,6 @@ func NewProcess(m *topology.Machine, policy Policy, bindNode int) (*Process, err
 	p := &Process{
 		mach:      m,
 		pageBytes: uint64(m.PageBytes),
-		pages:     make(map[uint64]int16),
 		policy:    policy,
 		bindNode:  bindNode,
 		brk:       uint64(m.PageBytes), // keep page 0 unmapped
@@ -127,8 +133,57 @@ func (p *Process) Alloc(size uint64, cycle uint64) (Buffer, error) {
 	buf := Buffer{Base: p.brk, Size: size}
 	p.brk += bytes + p.pageBytes // guard page between allocations
 	p.resident += bytes
+	if want := p.brk >> p.pageShift; uint64(len(p.table)) < want {
+		grown := make([]int16, want)
+		copy(grown, p.table)
+		for i := len(p.table); i < int(want); i++ {
+			grown[i] = -1
+		}
+		p.table = grown
+	}
 	p.history = append(p.history, FootprintSample{Cycle: cycle, Bytes: p.resident})
 	return buf, nil
+}
+
+// lookup returns the home node of vpage, or -1 if the page is
+// untouched.
+func (p *Process) lookup(vpage uint64) int16 {
+	if vpage < uint64(len(p.table)) {
+		return p.table[vpage]
+	}
+	if node, ok := p.wild[vpage]; ok {
+		return node
+	}
+	return -1
+}
+
+// set records the home node of vpage.
+func (p *Process) set(vpage uint64, node int16) {
+	if vpage < uint64(len(p.table)) {
+		p.table[vpage] = node
+		return
+	}
+	if p.wild == nil {
+		p.wild = make(map[uint64]int16)
+	}
+	p.wild[vpage] = node
+}
+
+// clear forgets vpage's placement, returning the node it was homed on.
+func (p *Process) clear(vpage uint64) (int16, bool) {
+	if vpage < uint64(len(p.table)) {
+		node := p.table[vpage]
+		if node < 0 {
+			return 0, false
+		}
+		p.table[vpage] = -1
+		return node, true
+	}
+	node, ok := p.wild[vpage]
+	if ok {
+		delete(p.wild, vpage)
+	}
+	return node, ok
 }
 
 // Free releases the pages of a buffer and records the shrunk footprint.
@@ -136,9 +191,8 @@ func (p *Process) Free(buf Buffer, cycle uint64) {
 	pages := (buf.Size + p.pageBytes - 1) / p.pageBytes
 	first := buf.Base >> p.pageShift
 	for i := uint64(0); i < pages; i++ {
-		if node, ok := p.pages[first+i]; ok {
+		if node, ok := p.clear(first + i); ok {
 			p.perNode[node] -= p.pageBytes
-			delete(p.pages, first+i)
 		}
 	}
 	p.resident -= pages * p.pageBytes
@@ -158,7 +212,11 @@ func (p *Process) HomeNode(vaddr uint64, touchingNode int) int {
 // event).
 func (p *Process) HomeNodeFault(vaddr uint64, touchingNode int) (int, bool) {
 	vpage := vaddr >> p.pageShift
-	if node, ok := p.pages[vpage]; ok {
+	if vpage < uint64(len(p.table)) {
+		if node := p.table[vpage]; node >= 0 {
+			return int(node), false
+		}
+	} else if node, ok := p.wild[vpage]; ok {
 		return int(node), false
 	}
 	var node int
@@ -171,7 +229,7 @@ func (p *Process) HomeNodeFault(vaddr uint64, touchingNode int) (int, bool) {
 	default: // FirstTouch
 		node = touchingNode
 	}
-	p.pages[vpage] = int16(node)
+	p.set(vpage, int16(node))
 	p.perNode[node] += p.pageBytes
 	return node, true
 }
@@ -186,10 +244,10 @@ func (p *Process) MovePages(buf Buffer, node int) error {
 	pages := (buf.Size + p.pageBytes - 1) / p.pageBytes
 	first := buf.Base >> p.pageShift
 	for i := uint64(0); i < pages; i++ {
-		if old, ok := p.pages[first+i]; ok {
+		if old := p.lookup(first + i); old >= 0 {
 			p.perNode[old] -= p.pageBytes
 		}
-		p.pages[first+i] = int16(node)
+		p.set(first+i, int16(node))
 		p.perNode[node] += p.pageBytes
 	}
 	return nil

@@ -1,0 +1,71 @@
+// Fuzz target for the probe protocol's frame decoder. ReadFrame faces
+// the network: on arbitrary bytes it must never panic, never allocate
+// past MaxFrame, consume exactly one frame's worth of input per call,
+// and fail only within its documented error taxonomy (io.EOF between
+// frames, io.ErrUnexpectedEOF mid-frame, *VersionError, *ProtocolError).
+package probenet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func seedFrame(t FrameType, v any) []byte {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, t, v); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+func FuzzReadFrame(f *testing.F) {
+	hello := seedFrame(FrameHello, Hello{Version: Version, Workloads: []string{"sort"}, MaxFrame: MaxFrame})
+	ping := seedFrame(FramePing, Ping{ID: 7})
+	errf := seedFrame(FrameError, ErrorMsg{ID: 3, Code: "overloaded", Message: "busy"})
+	f.Add([]byte{})
+	f.Add(hello)
+	f.Add(errf)
+	f.Add(append(append([]byte{}, hello...), ping...)) // two frames back to back
+	f.Add(hello[:headerSize-3])                        // torn header
+	f.Add(hello[:len(hello)-2])                        // torn payload
+	future := append([]byte{}, hello...)
+	future[2] = 9 // version from the future
+	f.Add(future)
+	oversize := append([]byte{}, hello...)
+	binary.BigEndian.PutUint32(oversize[4:8], MaxFrame+1)
+	f.Add(oversize)
+	corrupt := append([]byte{}, ping...)
+	corrupt[len(corrupt)-1] ^= 0xff // flip a payload bit under the CRC
+	f.Add(corrupt)
+	f.Add([]byte("GET / HTTP/1.1\r\n\r\n")) // a peer speaking the wrong protocol
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		r := bytes.NewReader(raw)
+		for {
+			before := r.Len()
+			ft, payload, err := ReadFrame(r)
+			if err != nil {
+				var pe *ProtocolError
+				var ve *VersionError
+				switch {
+				case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
+				case errors.As(err, &pe), errors.As(err, &ve):
+				default:
+					t.Fatalf("untyped frame error: %v", err)
+				}
+				return
+			}
+			if ft < FrameHello || ft > frameTypeMax {
+				t.Fatalf("accepted unknown frame type %d", ft)
+			}
+			if len(payload) > MaxFrame {
+				t.Fatalf("accepted %d-byte payload past MaxFrame", len(payload))
+			}
+			if got := before - r.Len(); got != headerSize+len(payload) {
+				t.Fatalf("consumed %d bytes for a %d-byte payload", got, len(payload))
+			}
+		}
+	})
+}
