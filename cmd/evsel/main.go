@@ -12,6 +12,12 @@
 //	evsel -workload cachemiss-a -compare cachemiss-b
 //	evsel -workload parallelsort -sweep 1,2,4,8,12,18
 //
+// With -strict any hard data-quality degradation — non-finite samples
+// dropped, series too damaged to test, degenerate statistics — turns
+// into a nonzero exit after the annotated table is printed. Advisory
+// diagnostics (constant series and the like) are reported in the DIAG
+// column but do not affect the exit status.
+//
 // With -journal the measurement runs as a supervised campaign: every
 // completed run cell is appended to a CRC-checked journal, each run is
 // bounded by -run-timeout and retried up to -max-retries times, and a
@@ -68,6 +74,8 @@ func main() {
 		loadA    = flag.String("load-a", "", "load measurement A from a JSON file (with -load-b)")
 		loadB    = flag.String("load-b", "", "load measurement B from a JSON file")
 
+		strict   = flag.Bool("strict", false, "exit nonzero when results rest on degraded data (non-finite samples dropped, unusable series, degenerate tests)")
+
 		journal    = flag.String("journal", "", "run as a supervised campaign, journaling completed cells to this file")
 		resume     = flag.Bool("resume", false, "resume a killed campaign from its journal (skips completed cells)")
 		runTimeout = flag.Duration("run-timeout", campaign.DefaultRunTimeout, "wall-clock bound per run attempt")
@@ -113,6 +121,7 @@ func main() {
 		}
 		fmt.Printf("comparing %s (A) with %s (B)\n\n", *loadA, *loadB)
 		fmt.Print(cmp.SortByImpact().Where(evsel.NonZero()).Render())
+		strictExit(*strict, cmp.HardDegraded(), "comparison")
 		return
 	case *workload == "":
 		flag.Usage()
@@ -203,6 +212,7 @@ func main() {
 			}
 			fmt.Print(sweep.Render(*minR))
 			fmt.Print(rep.Summary())
+			strictExit(*strict, sweep.HardDegraded(), "sweep")
 			return
 		} else {
 			var err error
@@ -215,6 +225,7 @@ func main() {
 			}
 		}
 		fmt.Print(sweep.Render(*minR))
+		strictExit(*strict, sweep.HardDegraded(), "sweep")
 
 	case *compare != "":
 		wlB, ok := workloads.ByName(*compare)
@@ -228,6 +239,7 @@ func main() {
 		}
 		fmt.Printf("comparing %s (A) with %s (B)\n\n", wl.Name(), wlB.Name())
 		fmt.Print(cmp.SortByImpact().Where(evsel.NonZero()).Render())
+		strictExit(*strict, cmp.HardDegraded(), "comparison")
 
 	default:
 		if *derived {
@@ -294,7 +306,35 @@ func main() {
 			fmt.Printf("%-45s %15.5g %11.2f%%%s\n", counters.Def(id).Name, mean, 100*cv, cover)
 		}
 		fmt.Print(summary)
+		strictExit(*strict, nonFiniteSamples(m), "measurement")
 	}
+}
+
+// nonFiniteSamples reports whether any recorded sample is NaN or ±Inf
+// — the one data fault a plain measurement table can hide (the mean of
+// a poisoned series is itself non-finite or silently wrong).
+func nonFiniteSamples(m *perf.Measurement) bool {
+	for _, samples := range m.Samples {
+		for _, v := range samples {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// strictExit implements -strict: the annotated table has already been
+// printed; hard degradation (non-finite samples dropped, unusable
+// series, degenerate tests) additionally becomes a nonzero exit so
+// scripts can gate on data quality. Advisory diagnostics — constant
+// series, zero-variance ties — never trip it.
+func strictExit(strict, hard bool, what string) {
+	if !strict || !hard {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "evsel: -strict: %s rests on degraded data (hard diagnostics above)\n", what)
+	os.Exit(1)
 }
 
 func coefficientOfVariation(samples []float64, mean float64) float64 {

@@ -8,6 +8,12 @@
 //
 //	phasenpruefer -workload phasedapp
 //	phasenpruefer -workload bspapp -k 6      # superstep extension
+//
+// When the requested segmentation is not statistically justified — the
+// footprint is constant, a single line already fits, or the F-test
+// cannot tell the segments apart — the report downgrades to one phase
+// and prints a verdict line. With -strict that verdict additionally
+// becomes a nonzero exit after the report is printed.
 package main
 
 import (
@@ -30,6 +36,7 @@ func main() {
 		slice    = flag.Uint64("slice", 0, "sampling interval in cycles (0 = auto)")
 		seed     = flag.Int64("seed", 1, "noise seed")
 		wlList   = flag.Bool("workloads", false, "list available workloads")
+		strict   = flag.Bool("strict", false, "exit nonzero when no phase transition is statistically justified")
 	)
 	flag.Parse()
 
@@ -61,6 +68,10 @@ func main() {
 	}
 	fmt.Printf("%s on %s (%d threads)\n\n", wl.Name(), mach.Name, *threads)
 	fmt.Print(rep.Render())
+	if *strict && rep.Verdict != nil {
+		fmt.Fprintf(os.Stderr, "phasenpruefer: -strict: %v\n", rep.Verdict)
+		os.Exit(1)
+	}
 }
 
 func fatalf(format string, args ...any) {

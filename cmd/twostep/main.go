@@ -14,6 +14,13 @@
 // -parallel N measures up to N training sizes of a collection phase
 // concurrently, each on its own engine; the fitted models and the
 // report are identical to -parallel 1.
+//
+// With -strict the command exits nonzero after printing the report
+// whenever the strategy was built from degraded data — training rows
+// dropped for non-finite cycles, collinear indicator columns removed or
+// ridge-regularised — or the prediction itself is non-finite. The
+// caveats are always printed either way; -strict only changes the exit
+// status so scripts can gate on prediction trustworthiness.
 package main
 
 import (
@@ -55,6 +62,7 @@ func main() {
 		runTO    = flag.Duration("run-timeout", campaign.DefaultRunTimeout, "wall-clock budget per collection phase (0 = none)")
 		maxRetry = flag.Int("max-retries", campaign.DefaultMaxRetries, "retries per collection phase on transient failure (0 = none)")
 		parallel = flag.Int("parallel", 1, "training sizes measured concurrently; results are identical at any setting")
+		strict   = flag.Bool("strict", false, "exit nonzero when the strategy carries hard data-quality caveats")
 	)
 	flag.Parse()
 
@@ -146,6 +154,17 @@ func main() {
 	for _, b := range models.All() {
 		p := b.PredictCycles(char, evalMach)
 		fmt.Printf("%-14s %14.4g cycles  error %6.1f%%\n", b.Name(), p, 100*relErr(p, actual))
+	}
+
+	if *strict {
+		switch {
+		case st.HardDegraded():
+			fmt.Fprintln(os.Stderr, "twostep: -strict: strategy carries hard data-quality caveats (see report above)")
+			os.Exit(1)
+		case math.IsNaN(pred) || math.IsInf(pred, 0):
+			fmt.Fprintf(os.Stderr, "twostep: -strict: prediction is non-finite (%g)\n", pred)
+			os.Exit(1)
+		}
 	}
 }
 

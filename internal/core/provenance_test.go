@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"numaperf/internal/counters"
+	"numaperf/internal/stats"
+)
+
+// synthTraining fabricates training points whose cost is an exact
+// affine function of AllLoads and L3Miss plus a pinch of noise.
+func synthTraining(seed int64, n int) []TrainingPoint {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]TrainingPoint, n)
+	for i := range pts {
+		p := float64(i + 1)
+		c := counters.NewCounts()
+		c[counters.AllLoads] = uint64(1000*p + rng.Float64()*10)
+		c[counters.L3Miss] = uint64(250*p*p + rng.Float64()*10)
+		pts[i] = TrainingPoint{
+			Param:  p,
+			Counts: c,
+			Cycles: 3*float64(c[counters.AllLoads]) + 9*float64(c[counters.L3Miss]) + 700,
+		}
+	}
+	return pts
+}
+
+func TestTrainCostModelCleanProvenance(t *testing.T) {
+	pts := synthTraining(1, 10)
+	cm, err := TrainCostModel(pts, []counters.EventID{counters.AllLoads, counters.L3Miss})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Prov.Method != "cholesky" {
+		t.Errorf("clean solve used %q, want cholesky", cm.Prov.Method)
+	}
+	if cm.Prov.Degraded() {
+		t.Errorf("clean training reports degraded provenance: %s", cm.Prov.String())
+	}
+	if len(cm.Prov.Dropped) != 0 || cm.Prov.DroppedRows != 0 || len(cm.Prov.Diags) != 0 {
+		t.Errorf("clean provenance carries drops/diags: %+v", cm.Prov)
+	}
+	if math.IsNaN(cm.Prov.Cond) || cm.Prov.Cond < 1 {
+		t.Errorf("condition estimate %g", cm.Prov.Cond)
+	}
+	for _, p := range pts {
+		pred := cm.Predict(p.Counts)
+		if math.Abs(pred-p.Cycles) > 0.05*p.Cycles {
+			t.Errorf("Predict(param %g) = %g, want ≈%g", p.Param, pred, p.Cycles)
+		}
+	}
+}
+
+func TestTrainCostModelDropsConstantColumn(t *testing.T) {
+	pts := synthTraining(2, 10)
+	for i := range pts {
+		pts[i].Counts[counters.InstRetired] = 4242 // no information
+	}
+	cm, err := TrainCostModel(pts, []counters.EventID{
+		counters.AllLoads, counters.InstRetired, counters.L3Miss})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cm.Prov.Dropped) != 1 || cm.Prov.Dropped[0] != counters.InstRetired {
+		t.Fatalf("Dropped = %v, want [InstRetired]", cm.Prov.Dropped)
+	}
+	if !cm.Prov.Diags.Has(stats.Degenerate) {
+		t.Errorf("constant-column drop lacks the Degenerate advisory: %v", cm.Prov.Diags)
+	}
+	if cm.Prov.Diags.HasHard() {
+		t.Errorf("constant column must stay advisory: %v", cm.Prov.Diags)
+	}
+	// The drop is degradation worth recording, even though advisory.
+	if !cm.Prov.Degraded() {
+		t.Error("a dropped column must mark the provenance degraded")
+	}
+	if !strings.Contains(cm.Prov.String(), "INST_RETIRED") {
+		t.Errorf("provenance string hides the dropped column: %s", cm.Prov.String())
+	}
+}
+
+func TestTrainCostModelDropsCollinearColumn(t *testing.T) {
+	pts := synthTraining(3, 12)
+	for i := range pts {
+		// RemoteDRAM = exact affine copy of AllLoads: rank deficiency.
+		pts[i].Counts[counters.RemoteDRAM] = 2*pts[i].Counts[counters.AllLoads] + 17
+	}
+	cm, err := TrainCostModel(pts, []counters.EventID{
+		counters.AllLoads, counters.RemoteDRAM, counters.L3Miss})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cm.Prov.Dropped) != 1 || cm.Prov.Dropped[0] != counters.RemoteDRAM {
+		t.Fatalf("Dropped = %v, want [RemoteDRAM]", cm.Prov.Dropped)
+	}
+	if !cm.Prov.Diags.Has(stats.IllConditioned) {
+		t.Errorf("collinear drop lacks IllConditioned: %v", cm.Prov.Diags)
+	}
+	if !cm.Prov.Diags.HasHard() {
+		t.Error("collinearity must be a hard diagnostic")
+	}
+	for _, p := range pts {
+		if v := cm.Predict(p.Counts); math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("non-finite prediction %g", v)
+		}
+	}
+}
+
+func TestTrainCostModelDropsPoisonedRows(t *testing.T) {
+	pts := synthTraining(4, 12)
+	pts[2].Cycles = math.NaN()
+	pts[7].Cycles = math.Inf(1)
+	cm, err := TrainCostModel(pts, []counters.EventID{counters.AllLoads, counters.L3Miss})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Prov.DroppedRows != 2 {
+		t.Errorf("DroppedRows = %d, want 2", cm.Prov.DroppedRows)
+	}
+	if !cm.Prov.Diags.Has(stats.NonFinite) {
+		t.Errorf("diags %v lack NonFinite", cm.Prov.Diags)
+	}
+	if !strings.Contains(cm.Prov.String(), "dropped 2 training row") {
+		t.Errorf("provenance string hides the dropped rows: %s", cm.Prov.String())
+	}
+	// The fit itself still reflects the clean majority.
+	clean := synthTraining(4, 12)
+	for i, p := range clean {
+		if i == 2 || i == 7 {
+			continue
+		}
+		pred := cm.Predict(p.Counts)
+		if math.Abs(pred-p.Cycles) > 0.05*p.Cycles {
+			t.Errorf("Predict(param %g) = %g, want ≈%g", p.Param, pred, p.Cycles)
+		}
+	}
+}

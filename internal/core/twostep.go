@@ -136,7 +136,17 @@ func collectParam(p float64, reps int,
 // SelectIndicators chooses up to max events as performance indicators:
 // non-constant counters, ranked by the absolute Pearson correlation of
 // the counter with the cost, with near-collinear duplicates pruned.
+// Points with a non-finite cycle cost are ignored for the ranking —
+// TrainCostModel drops the same rows with a diagnostic — so one
+// corrupt measurement cannot void every correlation.
 func SelectIndicators(points []TrainingPoint, max int) []counters.EventID {
+	var usable []TrainingPoint
+	for _, p := range points {
+		if !math.IsNaN(p.Cycles) && !math.IsInf(p.Cycles, 0) {
+			usable = append(usable, p)
+		}
+	}
+	points = usable
 	if len(points) < 3 || max <= 0 {
 		return nil
 	}
@@ -200,9 +210,80 @@ type CostModel struct {
 	Scale []float64
 	// R2 is the training coefficient of determination.
 	R2 float64
+	// Prov records how the solve was obtained and what had to be done
+	// to the training data to make it solvable.
+	Prov Provenance
 }
 
-// TrainCostModel fits the linear indicator-to-cost map.
+// Provenance documents the numerical path a cost-model solve took, so
+// a prediction made from degraded training data carries its caveat.
+type Provenance struct {
+	// Method is the solver that produced Beta: "cholesky" (the paper's
+	// normal-equations deduction, used whenever the data allows), "qr"
+	// (fallback for designs the normal equations cannot handle) or
+	// "ridge" (escalated regularization, the last resort).
+	Method string
+	// Cond is the condition estimate of the scaled design matrix.
+	Cond float64
+	// Lambda is the ridge strength the solve used. The primary path
+	// always applies a tiny stabilising jitter; only the "ridge" method
+	// uses a λ large enough to bias the coefficients noticeably.
+	Lambda float64
+	// Dropped lists indicator columns removed before solving (constant
+	// or collinear with a kept column).
+	Dropped []counters.EventID
+	// DroppedRows counts training rows removed for non-finite cost.
+	DroppedRows int
+	// Diags explains every removal and fallback.
+	Diags stats.Diagnostics
+}
+
+// Degraded reports whether the solve deviated in any way from the
+// clean path over the full training data.
+func (p Provenance) Degraded() bool {
+	return (p.Method != "" && p.Method != "cholesky") ||
+		len(p.Dropped) > 0 || p.DroppedRows > 0 || len(p.Diags) > 0
+}
+
+// String summarises the provenance for the strategy's caveat line.
+func (p Provenance) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "solve=%s cond≈%.3g", p.Method, p.Cond)
+	if p.Method == "ridge" {
+		fmt.Fprintf(&sb, " λ=%.3g", p.Lambda)
+	}
+	if len(p.Dropped) > 0 {
+		names := make([]string, len(p.Dropped))
+		for i, id := range p.Dropped {
+			names[i] = counters.Def(id).Name
+		}
+		fmt.Fprintf(&sb, ", dropped indicators: %s", strings.Join(names, ", "))
+	}
+	if p.DroppedRows > 0 {
+		fmt.Fprintf(&sb, ", dropped %d training row(s)", p.DroppedRows)
+	}
+	if len(p.Diags) > 0 {
+		fmt.Fprintf(&sb, " [%s]", p.Diags.Codes())
+	}
+	return sb.String()
+}
+
+// collinearR is the pairwise correlation above which two indicator
+// columns are considered duplicates of each other for the solve.
+// SelectIndicators already prunes at 0.999, so on the normal training
+// path this never fires; it guards direct TrainCostModel callers.
+const collinearR = 0.99999
+
+// condAnnotate is the design condition estimate above which the model
+// is annotated ill-conditioned even if a solve succeeds.
+const condAnnotate = 1e8
+
+// TrainCostModel fits the linear indicator-to-cost map. Training rows
+// with a non-finite cost are dropped, constant or collinear indicator
+// columns are removed, and a design the normal equations cannot handle
+// falls back to QR and then escalating ridge regularization — each
+// deviation recorded in the returned model's Prov. On healthy data the
+// computation is exactly the paper's normal-equations path.
 func TrainCostModel(points []TrainingPoint, events []counters.EventID) (*CostModel, error) {
 	if len(events) == 0 {
 		return nil, errors.New("core: no indicator events")
@@ -210,6 +291,70 @@ func TrainCostModel(points []TrainingPoint, events []counters.EventID) (*CostMod
 	if len(points) < len(events)+1 {
 		return nil, fmt.Errorf("core: %d training points for %d indicators", len(points), len(events))
 	}
+	var prov Provenance
+	// Rows whose cost is NaN/Inf cannot inform the fit.
+	badRows := 0
+	for _, p := range points {
+		if math.IsNaN(p.Cycles) || math.IsInf(p.Cycles, 0) {
+			badRows++
+		}
+	}
+	if badRows > 0 {
+		kept := make([]TrainingPoint, 0, len(points)-badRows)
+		for _, p := range points {
+			if !math.IsNaN(p.Cycles) && !math.IsInf(p.Cycles, 0) {
+				kept = append(kept, p)
+			}
+		}
+		points = kept
+		prov.DroppedRows = badRows
+		prov.Diags = append(prov.Diags, stats.Diagnostic{Kind: stats.NonFinite,
+			Detail: "training rows with non-finite cost removed", Dropped: badRows})
+	}
+	// Remove indicator columns the solve cannot use: constants carry no
+	// signal, and a column collinear with one already kept would make
+	// the normal equations singular.
+	colVals := func(id counters.EventID) []float64 {
+		vals := make([]float64, len(points))
+		for i, p := range points {
+			vals[i] = float64(p.Counts.Get(id))
+		}
+		return vals
+	}
+	var keep []counters.EventID
+	var keptVals [][]float64
+	for _, id := range events {
+		vals := colVals(id)
+		if stats.Variance(vals) == 0 {
+			prov.Dropped = append(prov.Dropped, id)
+			prov.Diags = append(prov.Diags, stats.Diagnostic{Kind: stats.Degenerate,
+				Detail: fmt.Sprintf("constant indicator %s", counters.Def(id).Name)})
+			continue
+		}
+		dup := false
+		for i, kv := range keptVals {
+			if r := stats.PearsonR(vals, kv); !math.IsNaN(r) && math.Abs(r) > collinearR {
+				prov.Dropped = append(prov.Dropped, id)
+				prov.Diags = append(prov.Diags, stats.Diagnostic{Kind: stats.IllConditioned,
+					Detail: fmt.Sprintf("indicator %s collinear with %s",
+						counters.Def(id).Name, counters.Def(keep[i]).Name)})
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			keep = append(keep, id)
+			keptVals = append(keptVals, vals)
+		}
+	}
+	if len(keep) == 0 {
+		return nil, errors.New("core: no usable indicator events after filtering")
+	}
+	if len(points) < len(keep)+1 {
+		return nil, fmt.Errorf("core: %d usable training points for %d indicators", len(points), len(keep))
+	}
+	events = keep
+
 	n, k := len(points), len(events)
 	scale := make([]float64, k)
 	for j, id := range events {
@@ -230,6 +375,11 @@ func TrainCostModel(points []TrainingPoint, events []counters.EventID) (*CostMod
 		}
 		design.Set(i, k, 1)
 		y[i] = p.Cycles
+	}
+	prov.Cond = linalg.ConditionEst(design)
+	if prov.Cond > condAnnotate {
+		prov.Diags = append(prov.Diags, stats.Diagnostic{Kind: stats.IllConditioned,
+			Detail: fmt.Sprintf("design condition estimate %.3g", prov.Cond)})
 	}
 	// Ridge-regularised normal equations: (XᵀX + λI)β = Xᵀy. The tiny λ
 	// keeps correlated counter columns solvable.
@@ -254,10 +404,33 @@ func TrainCostModel(points []TrainingPoint, events []counters.EventID) (*CostMod
 		return nil, err
 	}
 	beta, err := linalg.SolveCholesky(xtx, xty)
-	if err != nil {
-		return nil, fmt.Errorf("core: cost model solve: %w", err)
+	prov.Method, prov.Lambda = "cholesky", lambda
+	if err != nil || !finiteAll(beta) {
+		// The paper's path failed: fall back to QR, then to escalating
+		// ridge strengths, recording the deviation.
+		beta, err = linalg.SolveLeastSquares(design, y)
+		if err == nil && finiteAll(beta) {
+			prov.Method, prov.Lambda = "qr", 0
+			prov.Diags = append(prov.Diags, stats.Diagnostic{Kind: stats.IllConditioned,
+				Detail: "normal equations failed; solved by QR"})
+		} else {
+			solved := false
+			for lam := lambda * 100; lam < lambda*1e22; lam *= 100 {
+				if b, rerr := linalg.SolveRidge(design, y, lam); rerr == nil && finiteAll(b) {
+					beta, err = b, nil
+					prov.Method, prov.Lambda = "ridge", lam
+					prov.Diags = append(prov.Diags, stats.Diagnostic{Kind: stats.IllConditioned,
+						Detail: fmt.Sprintf("solved with escalated ridge λ=%.3g", lam)})
+					solved = true
+					break
+				}
+			}
+			if !solved {
+				return nil, fmt.Errorf("core: cost model solve: %w", err)
+			}
+		}
 	}
-	cm := &CostModel{Events: events, Beta: beta, Scale: scale}
+	cm := &CostModel{Events: events, Beta: beta, Scale: scale, Prov: prov}
 	// Training R².
 	my := stats.Mean(y)
 	var ssRes, ssTot float64
@@ -274,6 +447,16 @@ func TrainCostModel(points []TrainingPoint, events []counters.EventID) (*CostMod
 		cm.R2 = 1
 	}
 	return cm, nil
+}
+
+// finiteAll reports whether every coefficient is a usable number.
+func finiteAll(xs []float64) bool {
+	for _, v := range xs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
 }
 
 // Predict maps a counter vector to predicted cycles.
@@ -330,7 +513,9 @@ func Build(points []TrainingPoint, paramName string, maxIndicators int) (*Strate
 		return nil, err
 	}
 	st := &Strategy{Cost: cost, ParamName: paramName}
-	for _, id := range events {
+	// Iterate the columns the cost model actually kept — training may
+	// have dropped constant or collinear indicators.
+	for _, id := range cost.Events {
 		var xs, ys []float64
 		for _, p := range points {
 			xs = append(xs, p.Param)
@@ -383,13 +568,53 @@ func (s *Strategy) Transfer(calibration []TrainingPoint) (*Strategy, error) {
 	return &Strategy{Indicators: s.Indicators, Cost: cost, ParamName: s.ParamName}, nil
 }
 
-// String summarises the trained strategy.
+// Degraded reports whether any step of the strategy had to deviate
+// from the clean path: the cost solve fell back or dropped data, or an
+// indicator's extrapolation fit carries diagnostics.
+func (s *Strategy) Degraded() bool {
+	if s.Cost != nil && s.Cost.Prov.Degraded() {
+		return true
+	}
+	for _, im := range s.Indicators {
+		if len(im.Fit.Diags) > 0 || im.Fit.Dropped > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// HardDegraded reports whether the degradation breaks trust in the
+// predictions — a non-Cholesky solve, a hard diagnostic anywhere —
+// the predicate -strict turns into a nonzero exit.
+func (s *Strategy) HardDegraded() bool {
+	if s.Cost != nil {
+		if m := s.Cost.Prov.Method; m != "" && m != "cholesky" {
+			return true
+		}
+		if s.Cost.Prov.Diags.HasHard() {
+			return true
+		}
+	}
+	for _, im := range s.Indicators {
+		if im.Fit.Diags.HasHard() {
+			return true
+		}
+	}
+	return false
+}
+
+// String summarises the trained strategy. Strategies trained on
+// degraded data append a caveat line; clean strategies render exactly
+// as before.
 func (s *Strategy) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "two-step strategy over %q (cost R²=%.4f)\n", s.ParamName, s.Cost.R2)
 	for i, im := range s.Indicators {
 		fmt.Fprintf(&sb, "  %-45s %s (R²=%.3f) weight %.4g\n",
 			counters.Def(im.Event).Name, im.Fit.Equation(), im.Fit.R2, s.Cost.Beta[i])
+	}
+	if s.Degraded() {
+		fmt.Fprintf(&sb, "  caveat: degraded training data — %s; prediction confidence reduced\n", s.Cost.Prov)
 	}
 	return sb.String()
 }

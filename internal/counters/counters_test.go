@@ -2,6 +2,7 @@ package counters
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -161,6 +162,10 @@ func TestReadJSONErrors(t *testing.T) {
 	}
 	if _, err := ReadJSON(strings.NewReader(`[{"name":"NO_SUCH_EVENT"}]`)); err == nil {
 		t.Error("unknown event must fail")
+	}
+	dup := `[{"name":"INST_RETIRED.ANY"},{"name":"MEM_UOPS_RETIRED.ALL_LOADS"},{"name":"INST_RETIRED.ANY"}]`
+	if _, err := ReadJSON(strings.NewReader(dup)); !errors.Is(err, ErrDuplicateEvent) {
+		t.Errorf("duplicate name: err = %v, want ErrDuplicateEvent", err)
 	}
 }
 

@@ -2,10 +2,16 @@ package counters
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 )
+
+// ErrDuplicateEvent marks an event database listing the same event name
+// more than once. A duplicate would make the resulting ID list weight
+// that counter twice in every downstream selection.
+var ErrDuplicateEvent = errors.New("counters: duplicate event")
 
 // defs is the built-in Haswell-flavoured event database. Codes/umasks
 // follow the Intel SDM where an obvious counterpart exists; purely
@@ -148,18 +154,24 @@ func WriteJSON(w io.Writer) error {
 // ReadJSON parses an event database and resolves every entry against
 // the built-in registry, returning the IDs in file order. Unknown
 // events are reported, mirroring EvSel's behaviour of only offering
-// counters the platform actually exposes.
+// counters the platform actually exposes; repeated names are rejected
+// with ErrDuplicateEvent.
 func ReadJSON(r io.Reader) ([]EventID, error) {
 	var in []EventDef
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
 		return nil, fmt.Errorf("counters: parsing event JSON: %w", err)
 	}
 	out := make([]EventID, 0, len(in))
+	seen := make(map[string]bool, len(in))
 	for _, d := range in {
 		id, ok := Lookup(d.Name)
 		if !ok {
 			return nil, fmt.Errorf("counters: unknown event %q in JSON database", d.Name)
 		}
+		if seen[d.Name] {
+			return nil, fmt.Errorf("%w: %q listed twice in JSON database", ErrDuplicateEvent, d.Name)
+		}
+		seen[d.Name] = true
 		out = append(out, id)
 	}
 	return out, nil

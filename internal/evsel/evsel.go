@@ -44,11 +44,19 @@ type Row struct {
 	// gaps or quarantined counters produce partial measurements; the
 	// comparison says so per row instead of pretending completeness.
 	CoverA, CoverB float64
+	// Diags collects the degradations observed in this row's samples:
+	// non-finite values dropped before summarizing, a side left with too
+	// few usable samples, or a zero-variance certainty verdict. Rendered
+	// as a DIAG column alongside COVER.
+	Diags stats.Diagnostics
 }
 
 // PartialData reports whether either side of the row rests on an
 // incomplete sample set.
 func (r Row) PartialData() bool { return r.CoverA < 1 || r.CoverB < 1 }
+
+// Degraded reports whether the row carries any diagnostic.
+func (r Row) Degraded() bool { return len(r.Diags) > 0 }
 
 // Icon returns the visual cue EvSel shows next to a counter.
 func (r Row) Icon() string {
@@ -100,10 +108,13 @@ func Compare(a, b *perf.Measurement) (*Comparison, error) {
 	if len(events) == 0 {
 		return nil, errors.New("evsel: measurements have no events")
 	}
-	// Count testable hypotheses first for the correction.
+	// Count testable hypotheses first for the correction, on sanitized
+	// samples so injected NaN/Inf cannot sway the correction factor.
 	m := 0
 	for _, id := range events {
-		if stats.Mean(a.Samples[id]) != 0 || stats.Mean(b.Samples[id]) != 0 {
+		ca, _ := stats.SanitizeSamples(a.Samples[id])
+		cb, _ := stats.SanitizeSamples(b.Samples[id])
+		if stats.Mean(ca) != 0 || stats.Mean(cb) != 0 {
 			m++
 		}
 	}
@@ -118,21 +129,35 @@ func Compare(a, b *perf.Measurement) (*Comparison, error) {
 		if !inA {
 			cmp.OnlyB = append(cmp.OnlyB, id)
 		}
+		// Summaries, the zero check and the t-test all work on sanitized
+		// samples: non-finite values are dropped with a diagnostic, never
+		// propagated into rendered numbers.
+		ca, da := stats.SanitizeSamples(sa)
+		cb, db := stats.SanitizeSamples(sb)
 		row := Row{
 			Event:  id,
 			Name:   counters.Def(id).Name,
-			A:      stats.Summarize(sa),
-			B:      stats.Summarize(sb),
+			A:      stats.Summarize(ca),
+			B:      stats.Summarize(cb),
 			CoverA: coverage(a, id, inA),
 			CoverB: coverage(b, id, inB),
 		}
+		if da+db > 0 {
+			row.Diags = append(row.Diags, stats.Diagnostic{Kind: stats.NonFinite,
+				Detail: "non-finite samples removed", Dropped: da + db})
+			if (len(ca) < 2 && len(sa) >= 2) || (len(cb) < 2 && len(sb) >= 2) {
+				row.Diags = append(row.Diags, stats.Diagnostic{Kind: stats.InsufficientData,
+					Detail: "too few usable samples left for a t-test"})
+			}
+		}
 		row.Zero = row.A.Mean == 0 && row.B.Mean == 0
-		if !row.Zero && len(sa) >= 2 && len(sb) >= 2 {
+		if !row.Zero && len(ca) >= 2 && len(cb) >= 2 {
 			// Welch's method handles differing population sizes.
-			test, err := stats.WelchTTest(sa, sb)
+			test, err := stats.WelchTTest(ca, cb)
 			if err == nil {
 				row.Test = test
 				row.Significant = test.Significant(alpha)
+				row.Diags = append(row.Diags, test.Diags...)
 			}
 		}
 		if row.PartialData() {
@@ -141,6 +166,27 @@ func Compare(a, b *perf.Measurement) (*Comparison, error) {
 		cmp.Rows = append(cmp.Rows, row)
 	}
 	return cmp, nil
+}
+
+// Degraded reports whether any row carries a diagnostic of any kind.
+func (c *Comparison) Degraded() bool {
+	for _, r := range c.Rows {
+		if r.Degraded() {
+			return true
+		}
+	}
+	return false
+}
+
+// HardDegraded reports whether any row carries a hard (trust-breaking)
+// diagnostic — the predicate -strict turns into a nonzero exit.
+func (c *Comparison) HardDegraded() bool {
+	for _, r := range c.Rows {
+		if r.Diags.HasHard() {
+			return true
+		}
+	}
+	return false
 }
 
 // unionEvents merges both measurements' event sets in ascending order.
@@ -260,14 +306,21 @@ func (c *Comparison) Row(id counters.EventID) (Row, bool) {
 // Render produces the textual comparison pane: event, means, change,
 // confidence, significance icon. Comparisons over partial data grow a
 // COVER column saying what fraction of runs backs each row, so a reader
-// never mistakes a gap-ridden campaign for a complete one.
+// never mistakes a gap-ridden campaign for a complete one; comparisons
+// over degraded data grow a DIAG column of diagnostic codes in the same
+// spirit. Both columns are absent on healthy, complete data.
 func (c *Comparison) Render() string {
 	var sb strings.Builder
 	cover := ""
 	if c.Partial {
 		cover = fmt.Sprintf(" %9s", "COVER")
 	}
-	fmt.Fprintf(&sb, "%-45s %15s %15s %10s %9s%s  \n", "EVENT", "MEAN A", "MEAN B", "CHANGE", "CONF", cover)
+	diag := ""
+	degraded := c.Degraded()
+	if degraded {
+		diag = fmt.Sprintf(" %12s", "DIAG")
+	}
+	fmt.Fprintf(&sb, "%-45s %15s %15s %10s %9s%s%s  \n", "EVENT", "MEAN A", "MEAN B", "CHANGE", "CONF", cover, diag)
 	for _, r := range c.Rows {
 		change := fmt.Sprintf("%+.1f%%", 100*r.Test.Relative)
 		if math.IsInf(r.Test.Relative, 0) {
@@ -279,8 +332,11 @@ func (c *Comparison) Render() string {
 		if c.Partial {
 			cover = fmt.Sprintf(" %4.0f/%3.0f%%", 100*r.CoverA, 100*r.CoverB)
 		}
-		fmt.Fprintf(&sb, "%-45s %15.5g %15.5g %10s %8.2f%%%s %s\n",
-			r.Name, r.A.Mean, r.B.Mean, change, 100*r.Test.Confidence, cover, r.Icon())
+		if degraded {
+			diag = fmt.Sprintf(" %12s", r.Diags.Codes())
+		}
+		fmt.Fprintf(&sb, "%-45s %15.5g %15.5g %10s %8.2f%%%s%s %s\n",
+			r.Name, r.A.Mean, r.B.Mean, change, 100*r.Test.Confidence, cover, diag, r.Icon())
 	}
 	fmt.Fprintf(&sb, "\n%d runs vs %d runs; %d hypotheses, per-event α = %.2g (Bonferroni)\n",
 		c.RunsA, c.RunsB, c.Comparisons, c.Alpha)
@@ -290,6 +346,9 @@ func (c *Comparison) Render() string {
 	}
 	if c.Partial {
 		sb.WriteString("partial data: COVER lists the fraction of requested runs backing each side\n")
+	}
+	if degraded {
+		sb.WriteString("degraded data: DIAG marks rows whose samples were sanitized or tests were degenerate\n")
 	}
 	return sb.String()
 }

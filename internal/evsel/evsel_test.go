@@ -12,6 +12,7 @@ import (
 	"numaperf/internal/counters"
 	"numaperf/internal/exec"
 	"numaperf/internal/perf"
+	"numaperf/internal/stats"
 	"numaperf/internal/topology"
 	"numaperf/internal/workloads"
 )
@@ -266,9 +267,12 @@ func TestSweepErrors(t *testing.T) {
 	}
 }
 
-func TestSweepSkipsConstantIndicators(t *testing.T) {
+func TestSweepAnnotatesConstantIndicators(t *testing.T) {
 	// An event that never fires (RemoteDRAM on a single-node run with
-	// no noise) must be dropped from correlation output.
+	// no noise) must not vanish silently from correlation output: it
+	// appears with a Degenerate diagnostic, no fitted form, and zero R,
+	// so it stays out of any |R|-filtered table while remaining visible
+	// to callers who look.
 	tri := workloads.Triad{Elements: 1 << 10}
 	sweep, err := RunSweep("n", []float64{1, 2, 3},
 		func(p float64) (*exec.Engine, func(*exec.Thread), error) {
@@ -280,10 +284,32 @@ func TestSweepSkipsConstantIndicators(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	found := false
 	for _, c := range sweep.Correlate() {
 		if c.Event == counters.RemoteDRAM {
-			t.Error("constant zero indicator must be skipped")
+			found = true
+			if !c.Diags.Has(stats.Degenerate) {
+				t.Errorf("constant series lacks Degenerate diagnostic: %v", c.Diags)
+			}
+			if c.R != 0 || len(c.Best.Coeffs) != 0 {
+				t.Errorf("constant series got a fit: R=%g best=%v", c.R, c.Best)
+			}
+			if c.Diags.HasHard() {
+				t.Errorf("constant series must stay advisory, got %v", c.Diags)
+			}
 		}
+	}
+	if !found {
+		t.Error("constant indicator skipped silently")
+	}
+	// The rendered table keeps it below the cutoff but counts it in the
+	// diagnostics footer.
+	out := sweep.Render(0.5)
+	if strings.Contains(out, "RemoteDRAM") {
+		t.Errorf("constant series rendered as a correlation row:\n%s", out)
+	}
+	if !strings.Contains(out, "carry diagnostics") {
+		t.Errorf("render lacks the degraded-events footer:\n%s", out)
 	}
 }
 
@@ -586,6 +612,31 @@ func TestLoadMeasurementValidation(t *testing.T) {
 		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
 			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.wantErr)
 		}
+	}
+	// JSON itself cannot carry NaN or ±Inf — an out-of-range literal
+	// fails at the parse layer before the typed check can run.
+	if _, err := LoadMeasurement(strings.NewReader(
+		`{"events":{"MEM_UOPS_RETIRED.ALL_LOADS":[1,1e999]},"runs":2}`)); err == nil {
+		t.Error("out-of-range literal must fail to parse")
+	}
+	// A repeated event key would silently drop one series without the
+	// duplicate scan — encoding/json keeps only the last value.
+	dup := `{"events":{"MEM_UOPS_RETIRED.ALL_LOADS":[1,2],"INST_RETIRED.ANY":[3,4],"MEM_UOPS_RETIRED.ALL_LOADS":[5,6]},"runs":2}`
+	if _, err := LoadMeasurement(strings.NewReader(dup)); !errors.Is(err, ErrDuplicateEvent) {
+		t.Errorf("duplicate event: err = %v, want ErrDuplicateEvent", err)
+	}
+	// Saving a measurement with non-finite samples fails before any
+	// byte is written, with the same typed error.
+	var buf bytes.Buffer
+	nan := &perf.Measurement{
+		Samples: map[counters.EventID][]float64{counters.AllLoads: {1, math.NaN()}},
+		Runs:    2,
+	}
+	if err := SaveMeasurement(&buf, nan); !errors.Is(err, ErrNonFiniteSample) {
+		t.Errorf("NaN save: err = %v, want ErrNonFiniteSample", err)
+	}
+	if buf.Len() != 0 {
+		t.Error("failed save must not emit partial JSON")
 	}
 	// Ragged sample counts are legal when the measurement says it is
 	// partial — that is exactly what campaign gaps produce.

@@ -1,7 +1,9 @@
 package evsel
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -11,6 +13,18 @@ import (
 	"numaperf/internal/counters"
 	"numaperf/internal/perf"
 )
+
+// ErrNonFiniteSample marks a measurement carrying NaN or ±Inf samples,
+// on either the save or the load path. Non-finite values would poison
+// every statistic computed downstream, so they are rejected at the
+// persistence boundary with this typed error.
+var ErrNonFiniteSample = errors.New("evsel: non-finite sample")
+
+// ErrDuplicateEvent marks a saved measurement whose JSON lists the same
+// event name twice. encoding/json keeps only the last value of a
+// repeated object key, so without this check one series would silently
+// replace the other.
+var ErrDuplicateEvent = errors.New("evsel: duplicate event")
 
 // savedMeasurement is the on-disk JSON form of a measurement. Events
 // are keyed by name so files survive event-database reordering.
@@ -25,8 +39,20 @@ type savedMeasurement struct {
 
 // SaveMeasurement serialises a measurement as JSON. EvSel compares
 // "any user-chosen program runs"; persisting measurements is what makes
-// comparing today's run against last week's possible.
+// comparing today's run against last week's possible. Measurements
+// containing non-finite samples are rejected with ErrNonFiniteSample
+// before any byte is written — JSON cannot represent NaN or ±Inf, and
+// the corruption should be reported where it exists, not as an opaque
+// encoder failure.
 func SaveMeasurement(w io.Writer, m *perf.Measurement) error {
+	for id, samples := range m.Samples {
+		for i, v := range samples {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("%w: event %s sample %d is %g",
+					ErrNonFiniteSample, counters.Def(id).Name, i, v)
+			}
+		}
+	}
 	out := savedMeasurement{
 		Events:  make(map[string][]float64, len(m.Samples)),
 		Runs:    m.Runs,
@@ -44,14 +70,22 @@ func SaveMeasurement(w io.Writer, m *perf.Measurement) error {
 }
 
 // LoadMeasurement reads a measurement saved by SaveMeasurement and
-// validates it: unknown event names, negative or non-finite samples,
-// negative run/batch/rep counts and mutually inconsistent per-event
-// sample counts all fail loudly rather than poisoning a comparison
-// downstream.
+// validates it: unknown event names, duplicate event names
+// (ErrDuplicateEvent), negative or non-finite samples
+// (ErrNonFiniteSample), negative run/batch/rep counts and mutually
+// inconsistent per-event sample counts all fail loudly rather than
+// poisoning a comparison downstream.
 func LoadMeasurement(r io.Reader) (*perf.Measurement, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("evsel: reading measurement: %w", err)
+	}
 	var in savedMeasurement
-	if err := json.NewDecoder(r).Decode(&in); err != nil {
+	if err := json.Unmarshal(data, &in); err != nil {
 		return nil, fmt.Errorf("evsel: parsing measurement: %w", err)
+	}
+	if name := duplicateEventName(data); name != "" {
+		return nil, fmt.Errorf("%w: event %q appears twice in the saved measurement", ErrDuplicateEvent, name)
 	}
 	switch {
 	case in.Runs < 0:
@@ -85,7 +119,10 @@ func LoadMeasurement(r io.Reader) (*perf.Measurement, error) {
 			return nil, fmt.Errorf("evsel: unknown event %q in saved measurement", name)
 		}
 		for i, v := range samples {
-			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("%w: event %s sample %d is %g", ErrNonFiniteSample, name, i, v)
+			}
+			if v < 0 {
 				return nil, fmt.Errorf("evsel: event %s sample %d is %g; counter values must be finite and non-negative", name, i, v)
 			}
 		}
@@ -106,6 +143,74 @@ func LoadMeasurement(r io.Reader) (*perf.Measurement, error) {
 		m.Samples[id] = samples
 	}
 	return m, nil
+}
+
+// duplicateEventName scans raw measurement JSON for a repeated key
+// inside the top-level "events" object and returns the first one found,
+// or "". Malformed JSON yields "" — json.Unmarshal has already vetted
+// the document by the time this runs.
+func duplicateEventName(data []byte) string {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	if tok, err := dec.Token(); err != nil || tok != json.Delim('{') {
+		return ""
+	}
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return ""
+		}
+		key, _ := keyTok.(string)
+		if key != "events" {
+			if skipValue(dec) != nil {
+				return ""
+			}
+			continue
+		}
+		if tok, err := dec.Token(); err != nil || tok != json.Delim('{') {
+			return ""
+		}
+		seen := make(map[string]bool)
+		for dec.More() {
+			kt, err := dec.Token()
+			if err != nil {
+				return ""
+			}
+			k, _ := kt.(string)
+			if seen[k] {
+				return k
+			}
+			seen[k] = true
+			if skipValue(dec) != nil {
+				return ""
+			}
+		}
+		return ""
+	}
+	return ""
+}
+
+// skipValue consumes exactly one JSON value from the decoder.
+func skipValue(dec *json.Decoder) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	d, ok := tok.(json.Delim)
+	if !ok || (d != '{' && d != '[') {
+		return nil
+	}
+	for dec.More() {
+		if d == '{' {
+			if _, err := dec.Token(); err != nil { // key
+				return err
+			}
+		}
+		if err := skipValue(dec); err != nil {
+			return err
+		}
+	}
+	_, err = dec.Token() // closing delimiter
+	return err
 }
 
 // SaveMeasurementFile writes a measurement to a file path atomically:

@@ -65,12 +65,22 @@ type Correlation struct {
 	// repetitions) that back the fit, 1 for complete sweeps. Campaigns
 	// with gaps regress what they have and say so here.
 	Coverage float64
+	// Diags collects the degradations observed while fitting this
+	// event: a constant series (Degenerate, advisory — the paper calls
+	// such counters candidates for removal), non-finite samples dropped
+	// before fitting, or a series left unusable altogether.
+	Diags stats.Diagnostics
 }
+
+// Degraded reports whether the correlation carries any diagnostic.
+func (c Correlation) Degraded() bool { return len(c.Diags) > 0 }
 
 // Correlate fits linear, quadratic and exponential (and power)
 // regressions of every measured event against the parameter, using all
 // samples of all points, and returns the per-event results sorted by
-// |R| descending.
+// |R| descending. Events whose series cannot support a fit — constant,
+// non-finite or otherwise degenerate — are not skipped silently: they
+// appear with a zero R, no fitted form, and a diagnostic saying why.
 func (s *Sweep) Correlate() []Correlation {
 	if len(s.Points) == 0 {
 		return nil
@@ -90,15 +100,6 @@ func (s *Sweep) Correlate() []Correlation {
 				expected += len(pt.M.Samples[id])
 			}
 		}
-		// Constant indicators carry no information about the parameter;
-		// the paper suggests considering them for removal.
-		if stats.Variance(ys) == 0 {
-			continue
-		}
-		best, err := stats.BestFit(xs, ys)
-		if err != nil {
-			continue
-		}
 		cov := 1.0
 		if expected > 0 {
 			cov = float64(len(ys)) / float64(expected)
@@ -106,19 +107,67 @@ func (s *Sweep) Correlate() []Correlation {
 				cov = 1
 			}
 		}
-		out = append(out, Correlation{
-			Event:    id,
-			Name:     counters.Def(id).Name,
-			Best:     best,
-			All:      stats.FitAll(xs, ys),
-			R:        best.R(),
-			Coverage: cov,
-		})
+		c := Correlation{Event: id, Name: counters.Def(id).Name, Coverage: cov}
+		cys, dropped := stats.SanitizeSamples(ys)
+		nonFin := stats.Diagnostic{Kind: stats.NonFinite,
+			Detail: "non-finite samples removed", Dropped: dropped}
+		// Constant indicators carry no information about the parameter;
+		// the paper suggests considering them for removal.
+		if stats.Variance(cys) == 0 {
+			if dropped > 0 {
+				c.Diags = append(c.Diags, nonFin)
+			}
+			c.Diags = append(c.Diags, stats.Diagnostic{Kind: stats.Degenerate,
+				Detail: "constant series"})
+			out = append(out, c)
+			continue
+		}
+		best, err := stats.BestFit(xs, ys)
+		if err != nil {
+			if dropped > 0 {
+				c.Diags = append(c.Diags, nonFin)
+			}
+			c.Diags = append(c.Diags, stats.Diagnostic{Kind: stats.InsufficientData,
+				Detail: "no regression family applicable"})
+			out = append(out, c)
+			continue
+		}
+		c.Best = best
+		c.All = stats.FitAll(xs, ys)
+		c.R = best.R()
+		// The winning fit's own diagnostics already record any sanitation
+		// it performed (non-finite or out-of-domain points dropped).
+		c.Diags = append(c.Diags, best.Diags...)
+		out = append(out, c)
 	}
 	sort.SliceStable(out, func(i, j int) bool {
 		return math.Abs(out[i].R) > math.Abs(out[j].R)
 	})
 	return out
+}
+
+// Degraded reports whether any event's correlation carries a
+// diagnostic of any kind (including advisory ones).
+func (s *Sweep) Degraded() bool {
+	for _, c := range s.Correlate() {
+		if c.Degraded() {
+			return true
+		}
+	}
+	return false
+}
+
+// HardDegraded reports whether any event's correlation carries a hard
+// diagnostic — the predicate -strict turns into a nonzero exit.
+// Constant series alone do not count: they are routine on healthy
+// platforms with many never-firing counters.
+func (s *Sweep) HardDegraded() bool {
+	for _, c := range s.Correlate() {
+		if c.Diags.HasHard() {
+			return true
+		}
+	}
+	return false
 }
 
 // CorrelationFor returns the correlation of one event.
@@ -145,14 +194,28 @@ func (s *Sweep) TopCorrelations(minAbsR float64) []Correlation {
 // Render prints the correlation table in the style of the paper's
 // Fig. 9: event, regression type, fitted function, R². Sweeps over
 // partial data grow a COVER column stating what fraction of requested
-// samples backs each fit.
+// samples backs each fit; degraded fits grow a DIAG column of
+// diagnostic codes, and degraded events below the |R| cutoff are
+// counted in a footer instead of vanishing. Healthy complete sweeps
+// render exactly as before.
 func (s *Sweep) Render(minAbsR float64) string {
-	top := s.TopCorrelations(minAbsR)
-	partial := false
+	all := s.Correlate()
+	var top []Correlation
+	excluded := 0
+	for _, c := range all {
+		if math.Abs(c.R) >= minAbsR && len(c.Best.Coeffs) > 0 {
+			top = append(top, c)
+		} else if c.Degraded() {
+			excluded++
+		}
+	}
+	partial, degraded := false, false
 	for _, c := range top {
 		if c.Coverage < 1 {
 			partial = true
-			break
+		}
+		if c.Degraded() {
+			degraded = true
 		}
 	}
 	var sb strings.Builder
@@ -161,16 +224,30 @@ func (s *Sweep) Render(minAbsR float64) string {
 	if partial {
 		cover = fmt.Sprintf(" %6s", "COVER")
 	}
-	fmt.Fprintf(&sb, "%-45s %-11s %-34s %8s %8s%s\n", "EVENT", "TYPE", "FUNCTION", "R²", "R", cover)
+	diag := ""
+	if degraded {
+		diag = fmt.Sprintf(" %12s", "DIAG")
+	}
+	fmt.Fprintf(&sb, "%-45s %-11s %-34s %8s %8s%s%s\n", "EVENT", "TYPE", "FUNCTION", "R²", "R", cover, diag)
 	for _, c := range top {
 		if partial {
 			cover = fmt.Sprintf(" %5.0f%%", 100*c.Coverage)
 		}
-		fmt.Fprintf(&sb, "%-45s %-11s %-34s %8.4f %+8.4f%s\n",
-			c.Name, c.Best.Kind.String(), c.Best.Equation(), c.Best.R2, c.R, cover)
+		if degraded {
+			diag = fmt.Sprintf(" %12s", c.Diags.Codes())
+		}
+		fmt.Fprintf(&sb, "%-45s %-11s %-34s %8.4f %+8.4f%s%s\n",
+			c.Name, c.Best.Kind.String(), c.Best.Equation(), c.Best.R2, c.R, cover, diag)
 	}
 	if partial {
 		sb.WriteString("partial data: COVER lists the fraction of requested samples backing each fit\n")
+	}
+	if degraded {
+		sb.WriteString("degraded data: DIAG marks fits computed after dropping unusable samples\n")
+	}
+	if excluded > 0 {
+		fmt.Fprintf(&sb, "%d event(s) below the cutoff carry diagnostics (constant, non-finite or unusable series)\n",
+			excluded)
 	}
 	return sb.String()
 }

@@ -1,0 +1,276 @@
+package faultdata
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"numaperf/internal/core"
+	"numaperf/internal/counters"
+	"numaperf/internal/evsel"
+	"numaperf/internal/perf"
+	"numaperf/internal/phase"
+	"numaperf/internal/stats"
+)
+
+var chaosEvents = []counters.EventID{
+	counters.InstRetired, counters.AllLoads, counters.L3Miss, counters.RemoteDRAM,
+}
+
+// baseMeasurement fabricates a healthy measurement: distinct means per
+// event, mild noise, all finite.
+func baseMeasurement(seed int64, reps int) *perf.Measurement {
+	rng := rand.New(rand.NewSource(seed))
+	m := &perf.Measurement{
+		Samples: make(map[counters.EventID][]float64),
+		Runs:    reps, Reps: reps, Mode: perf.Batched,
+	}
+	for i, id := range chaosEvents {
+		base := float64(1000 * (i + 1))
+		s := make([]float64, reps)
+		for r := range s {
+			s[r] = base + rng.Float64()*base/50
+		}
+		m.Samples[id] = s
+	}
+	return m
+}
+
+// assertFiniteRender fails if rendered output leaks a non-finite
+// number.
+func assertFiniteRender(t *testing.T, label, out string) {
+	t.Helper()
+	for _, bad := range []string{"NaN", "+Inf", "-Inf", "Inf "} {
+		if strings.Contains(out, bad) {
+			t.Errorf("%s: rendered output leaks %q:\n%s", label, bad, out)
+		}
+	}
+}
+
+func TestChaosCompareSurvivesDataFaults(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		in := New(seed)
+		a := baseMeasurement(seed, 8)
+		b := baseMeasurement(seed+100, 8)
+		// Poison one side, flatten an event on the other, and blow up a
+		// few samples by six orders of magnitude.
+		pa := in.PoisonSamples(a, 0.3)
+		fb := in.FlattenSeries(b, counters.L3Miss, 42)
+		ob := in.InjectOutliers(fb, 0.2, 1e6)
+		cmp, err := evsel.Compare(pa, ob)
+		if err != nil {
+			t.Fatalf("seed %d: Compare on faulted data: %v", seed, err)
+		}
+		if !cmp.Degraded() {
+			t.Errorf("seed %d: poisoned comparison reports no diagnostics", seed)
+		}
+		if !cmp.HardDegraded() {
+			t.Errorf("seed %d: dropped non-finite samples must be a hard diagnostic", seed)
+		}
+		found := false
+		for _, r := range cmp.Rows {
+			if r.Diags.Has(stats.NonFinite) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("seed %d: no row carries the NonFinite diagnostic", seed)
+		}
+		out := cmp.Render()
+		assertFiniteRender(t, "compare", out)
+		if !strings.Contains(out, "DIAG") || !strings.Contains(out, "NONFIN") {
+			t.Errorf("seed %d: render hides the degradation:\n%s", seed, out)
+		}
+		// The same data without faults stays clean — the guards are
+		// no-ops on healthy measurements.
+		clean, err := evsel.Compare(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if clean.HardDegraded() {
+			t.Errorf("seed %d: clean comparison flagged hard-degraded", seed)
+		}
+	}
+}
+
+func TestChaosSweepSurvivesDataFaults(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		in := New(seed)
+		s := &evsel.Sweep{ParamName: "threads"}
+		for p := 1; p <= 6; p++ {
+			m := baseMeasurement(seed+int64(p), 5)
+			// Give the sweep real structure: loads scale with the
+			// parameter.
+			for i := range m.Samples[counters.AllLoads] {
+				m.Samples[counters.AllLoads][i] *= float64(p)
+			}
+			m = in.PoisonSamples(m, 0.15)
+			m = in.FlattenSeries(m, counters.RemoteDRAM, 3)
+			s.Points = append(s.Points, evsel.SweepPoint{Param: float64(p), M: m})
+		}
+		cors := s.Correlate()
+		if len(cors) != len(chaosEvents) {
+			t.Fatalf("seed %d: %d correlations for %d events — events vanished",
+				seed, len(cors), len(chaosEvents))
+		}
+		for _, c := range cors {
+			if math.IsNaN(c.R) || math.IsInf(c.R, 0) {
+				t.Errorf("seed %d: %s has non-finite R %g", seed, c.Name, c.R)
+			}
+			if c.Event == counters.RemoteDRAM && !c.Diags.Has(stats.Degenerate) {
+				t.Errorf("seed %d: flattened event lacks the Degenerate diagnostic", seed)
+			}
+		}
+		if !s.Degraded() {
+			t.Errorf("seed %d: faulted sweep reports no degradation", seed)
+		}
+		assertFiniteRender(t, "sweep", s.Render(0))
+	}
+}
+
+// baseTraining fabricates training points whose cycle cost is an exact
+// linear function of two counters plus noise, with a third constant
+// counter riding along.
+func baseTraining(seed int64, n int) []core.TrainingPoint {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]core.TrainingPoint, n)
+	for i := range pts {
+		p := float64(i + 1)
+		c := counters.NewCounts()
+		c[counters.AllLoads] = uint64(1000*p + rng.Float64()*20)
+		c[counters.L3Miss] = uint64(300*p*p + rng.Float64()*20)
+		c[counters.InstRetired] = 7777 // constant: no information
+		pts[i] = core.TrainingPoint{
+			Param:  p,
+			Counts: c,
+			Cycles: 4*float64(c[counters.AllLoads]) + 11*float64(c[counters.L3Miss]) + 500,
+		}
+	}
+	return pts
+}
+
+var trainingEvents = []counters.EventID{
+	counters.AllLoads, counters.L3Miss, counters.InstRetired, counters.RemoteDRAM,
+}
+
+func TestChaosTrainingSurvivesCollinearColumns(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		in := New(seed)
+		pts := baseTraining(seed, 12)
+		// Make RemoteDRAM an exact affine copy of AllLoads: the design
+		// matrix loses a rank.
+		col := in.CollinearCounts(pts, counters.AllLoads, counters.RemoteDRAM, 2, 50)
+		cost, err := core.TrainCostModel(col, trainingEvents)
+		if err != nil {
+			t.Fatalf("seed %d: collinear training failed outright: %v", seed, err)
+		}
+		if !cost.Prov.Degraded() {
+			t.Errorf("seed %d: collinear training reports clean provenance", seed)
+		}
+		if len(cost.Prov.Dropped) == 0 {
+			t.Errorf("seed %d: no column recorded as dropped", seed)
+		}
+		if !cost.Prov.Diags.Has(stats.IllConditioned) {
+			t.Errorf("seed %d: provenance diags %v lack the collinearity record", seed, cost.Prov.Diags)
+		}
+		// The surviving model still predicts finite costs.
+		for _, p := range col {
+			if v := cost.Predict(p.Counts); math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("seed %d: non-finite prediction %g", seed, v)
+			}
+		}
+		// Clean training on the same shape keeps clean provenance (the
+		// constant InstRetired column is dropped with an advisory).
+		clean, err := core.TrainCostModel(pts, trainingEvents)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if clean.Prov.Method != "cholesky" {
+			t.Errorf("seed %d: clean training solved via %q", seed, clean.Prov.Method)
+		}
+		if clean.Prov.Diags.HasHard() {
+			t.Errorf("seed %d: clean training carries hard diags %v", seed, clean.Prov.Diags)
+		}
+	}
+}
+
+func TestChaosTrainingSurvivesPoisonedCycles(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		in := New(seed)
+		pts := in.PoisonCycles(baseTraining(seed, 14), 0.2)
+		cost, err := core.TrainCostModel(pts, []counters.EventID{counters.AllLoads, counters.L3Miss})
+		if err != nil {
+			t.Fatalf("seed %d: poisoned-cycles training failed outright: %v", seed, err)
+		}
+		if cost.Prov.DroppedRows == 0 || !cost.Prov.Diags.Has(stats.NonFinite) {
+			t.Errorf("seed %d: provenance %+v does not record the dropped rows", seed, cost.Prov)
+		}
+		for _, p := range pts {
+			if v := cost.Predict(p.Counts); math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("seed %d: non-finite prediction %g", seed, v)
+			}
+		}
+	}
+}
+
+func TestChaosStrategySurvivesFaultedTraining(t *testing.T) {
+	in := New(3)
+	pts := in.PoisonCycles(
+		in.CollinearCounts(baseTraining(3, 16), counters.AllLoads, counters.RemoteDRAM, 1, 0),
+		0.15)
+	st, err := core.Build(pts, "n", 3)
+	if err != nil {
+		t.Fatalf("Build on faulted training: %v", err)
+	}
+	if !st.Degraded() {
+		t.Error("faulted strategy reports no degradation")
+	}
+	for p := 1.0; p <= 20; p += 3 {
+		if v := st.PredictCycles(p); math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("PredictCycles(%g) = %g", p, v)
+		}
+	}
+	if out := st.String(); !strings.Contains(out, "caveat") {
+		t.Errorf("degraded strategy string lacks the caveat:\n%s", out)
+	}
+}
+
+func TestChaosPhaseSurvivesDegenerateFootprints(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		in := New(seed)
+		flat := in.FlatFootprint(80, 1<<20, 2000)
+		mono := in.MonotoneFootprint(80, 1<<20, 700, 2000)
+		spike := in.SpikeFootprint(80, 1<<20, 64<<20)
+		if _, err := phase.DetectTwoPhases(flat); !errors.Is(err, phase.ErrNoTransition) {
+			t.Errorf("seed %d: flat footprint: err = %v, want ErrNoTransition", seed, err)
+		}
+		if _, err := phase.DetectTwoPhases(mono); !errors.Is(err, phase.ErrNoTransition) {
+			t.Errorf("seed %d: monotone footprint: err = %v, want ErrNoTransition", seed, err)
+		}
+		// The spike is an outlier, not a phase; whatever the detector
+		// decides, it must not emit non-finite segments.
+		sp, err := phase.DetectTwoPhases(spike)
+		if err == nil {
+			for _, seg := range sp.Segments {
+				for _, v := range []float64{seg.Slope, seg.Intercept, seg.SSE} {
+					if math.IsNaN(v) || math.IsInf(v, 0) {
+						t.Errorf("seed %d: spike split has non-finite field %g", seed, v)
+					}
+				}
+			}
+		} else if !errors.Is(err, phase.ErrNoTransition) {
+			t.Errorf("seed %d: spike: unexpected error %v", seed, err)
+		}
+		// Forcing a segmentation past the check still yields finite
+		// fits, and the check then vetoes them.
+		forced, err := phase.DetectPhases(flat, 3)
+		if err != nil {
+			t.Fatalf("seed %d: forced 3-split: %v", seed, err)
+		}
+		if err := phase.TransitionCheck(flat, forced); !errors.Is(err, phase.ErrNoTransition) {
+			t.Errorf("seed %d: forced split of flat noise passed the check: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Package faultdata fabricates the degenerate data shapes the analysis
+// pipeline must survive — the data-level sibling of faultnet (wire
+// corruption) and faultrun (run-level faults). Where those packages
+// break transport and execution, faultdata poisons the numbers
+// themselves: NaN and ±Inf samples, constant series, collinear
+// indicator columns, extreme outliers, and footprint curves with no
+// phase structure. The chaos suite feeds these shapes through evsel
+// comparisons and sweeps, core training and prediction, and phase
+// splitting, and asserts that nothing panics, rendered output stays
+// finite, and every degraded result carries a typed diagnostic.
+//
+// All injection is driven by a seeded generator so a failing chaos run
+// replays exactly. Injectors never mutate their inputs: they return
+// deep copies with the fault applied.
+package faultdata
+
+import (
+	"math"
+	"math/rand"
+
+	"numaperf/internal/core"
+	"numaperf/internal/counters"
+	"numaperf/internal/oslite"
+	"numaperf/internal/perf"
+)
+
+// Injector produces corrupted copies of measurement data,
+// deterministically per seed.
+type Injector struct {
+	rng *rand.Rand
+}
+
+// New returns an injector whose fault placement is fully determined by
+// seed.
+func New(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// cloneMeasurement deep-copies a measurement so injection never
+// corrupts the caller's data.
+func cloneMeasurement(m *perf.Measurement) *perf.Measurement {
+	out := &perf.Measurement{
+		Samples: make(map[counters.EventID][]float64, len(m.Samples)),
+		Runs:    m.Runs,
+		Batches: m.Batches,
+		Reps:    m.Reps,
+		Mode:    m.Mode,
+		Partial: m.Partial,
+	}
+	for id, s := range m.Samples {
+		out.Samples[id] = append([]float64(nil), s...)
+	}
+	return out
+}
+
+// nonFinite cycles through the three non-finite values so a single
+// injection pass exercises NaN, +Inf and −Inf.
+var nonFinite = []float64{math.NaN(), math.Inf(1), math.Inf(-1)}
+
+// PoisonSamples returns a copy of m with approximately frac of every
+// event's samples replaced by NaN or ±Inf. At least one sample per
+// event is poisoned whenever frac > 0 and the series is non-empty.
+func (in *Injector) PoisonSamples(m *perf.Measurement, frac float64) *perf.Measurement {
+	out := cloneMeasurement(m)
+	k := 0
+	for _, id := range out.Events() {
+		s := out.Samples[id]
+		if len(s) == 0 || frac <= 0 {
+			continue
+		}
+		hit := false
+		for i := range s {
+			if in.rng.Float64() < frac {
+				s[i] = nonFinite[k%len(nonFinite)]
+				k++
+				hit = true
+			}
+		}
+		if !hit {
+			s[in.rng.Intn(len(s))] = nonFinite[k%len(nonFinite)]
+			k++
+		}
+	}
+	return out
+}
+
+// FlattenSeries returns a copy of m with event id's series forced to a
+// constant value — the zero-information shape of a never-firing or
+// saturated counter.
+func (in *Injector) FlattenSeries(m *perf.Measurement, id counters.EventID, value float64) *perf.Measurement {
+	out := cloneMeasurement(m)
+	s := out.Samples[id]
+	for i := range s {
+		s[i] = value
+	}
+	return out
+}
+
+// InjectOutliers returns a copy of m with approximately frac of each
+// event's samples scaled by factor — the shape of a mismeasured run or
+// a unit error several orders of magnitude off.
+func (in *Injector) InjectOutliers(m *perf.Measurement, frac, factor float64) *perf.Measurement {
+	out := cloneMeasurement(m)
+	for _, id := range out.Events() {
+		s := out.Samples[id]
+		if len(s) == 0 || frac <= 0 {
+			continue
+		}
+		hit := false
+		for i := range s {
+			if in.rng.Float64() < frac {
+				s[i] *= factor
+				hit = true
+			}
+		}
+		if !hit {
+			s[in.rng.Intn(len(s))] *= factor
+		}
+	}
+	return out
+}
+
+// clonePoints deep-copies training points.
+func clonePoints(pts []core.TrainingPoint) []core.TrainingPoint {
+	out := make([]core.TrainingPoint, len(pts))
+	for i, p := range pts {
+		out[i] = core.TrainingPoint{Param: p.Param, Counts: p.Counts.Clone(), Cycles: p.Cycles}
+	}
+	return out
+}
+
+// CollinearCounts returns a copy of pts in which event dst is an exact
+// affine function of event src (dst = a·src + b) at every point — a
+// rank-deficient design matrix for any training that keeps both
+// columns.
+func (in *Injector) CollinearCounts(pts []core.TrainingPoint, src, dst counters.EventID, a, b float64) []core.TrainingPoint {
+	out := clonePoints(pts)
+	for i := range out {
+		v := a*float64(out[i].Counts.Get(src)) + b
+		if v < 0 {
+			v = 0
+		}
+		out[i].Counts[dst] = uint64(v)
+	}
+	return out
+}
+
+// PoisonCycles returns a copy of pts with approximately frac of the
+// measured cycle costs replaced by NaN or ±Inf; at least one point is
+// poisoned when frac > 0.
+func (in *Injector) PoisonCycles(pts []core.TrainingPoint, frac float64) []core.TrainingPoint {
+	out := clonePoints(pts)
+	if len(out) == 0 || frac <= 0 {
+		return out
+	}
+	hit := false
+	for i := range out {
+		if in.rng.Float64() < frac {
+			out[i].Cycles = nonFinite[i%len(nonFinite)]
+			hit = true
+		}
+	}
+	if !hit {
+		out[in.rng.Intn(len(out))].Cycles = math.NaN()
+	}
+	return out
+}
+
+// FlatFootprint returns n samples of a footprint that never grows:
+// base bytes plus uniform noise of the given amplitude. No phase
+// detector should report a transition in it.
+func (in *Injector) FlatFootprint(n int, base uint64, noise float64) []oslite.FootprintSample {
+	out := make([]oslite.FootprintSample, n)
+	for i := range out {
+		v := float64(base) + noise*(in.rng.Float64()*2-1)
+		if v < 0 {
+			v = 0
+		}
+		out[i] = oslite.FootprintSample{Cycle: uint64(i * 100), Bytes: uint64(v)}
+	}
+	return out
+}
+
+// MonotoneFootprint returns n samples growing at one uniform rate with
+// noise — a single allocation phase with no transition anywhere.
+func (in *Injector) MonotoneFootprint(n int, base uint64, slope, noise float64) []oslite.FootprintSample {
+	out := make([]oslite.FootprintSample, n)
+	y := float64(base)
+	for i := range out {
+		v := y + noise*(in.rng.Float64()*2-1)
+		if v < 0 {
+			v = 0
+		}
+		out[i] = oslite.FootprintSample{Cycle: uint64(i * 100), Bytes: uint64(v)}
+		y += slope
+	}
+	return out
+}
+
+// SpikeFootprint returns a flat footprint with a single one-sample
+// allocation spike — an outlier, not a phase.
+func (in *Injector) SpikeFootprint(n int, base, spike uint64) []oslite.FootprintSample {
+	out := make([]oslite.FootprintSample, n)
+	at := n / 2
+	for i := range out {
+		b := base
+		if i == at {
+			b = spike
+		}
+		out[i] = oslite.FootprintSample{Cycle: uint64(i * 100), Bytes: b}
+	}
+	return out
+}

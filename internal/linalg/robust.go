@@ -1,0 +1,180 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotSPD identifies Cholesky failures precisely: the matrix handed
+// in is not symmetric positive definite. Errors returned by Cholesky
+// match both ErrNotSPD and ErrSingular under errors.Is, so existing
+// callers that only know about ErrSingular keep working.
+var ErrNotSPD = errors.New("linalg: matrix not positive definite")
+
+// ErrNonFinite is returned when a solver input contains NaN or ±Inf;
+// no factorization can rescue such a system, callers must sanitize
+// their data first.
+var ErrNonFinite = errors.New("linalg: non-finite input")
+
+type notSPDError struct {
+	pivot float64
+	index int
+}
+
+func (e *notSPDError) Error() string {
+	return fmt.Sprintf("linalg: matrix not positive definite (pivot %g at %d)", e.pivot, e.index)
+}
+
+func (e *notSPDError) Is(target error) bool {
+	return target == ErrNotSPD || target == ErrSingular
+}
+
+// ConditionEst returns a cheap order-of-magnitude estimate of the
+// 2-norm condition number of a (rows ≥ cols): the ratio
+// max|r_ii| / min|r_ii| over the diagonal of the R factor of a
+// Householder QR decomposition. It is exact for diagonal matrices and
+// within a small factor of κ₂ in general — ample for deciding whether
+// normal equations can be trusted. It returns +Inf for an exactly
+// rank-deficient (or non-finite) matrix.
+func ConditionEst(a *Matrix) float64 {
+	if a.rows == 0 || a.cols == 0 {
+		return math.Inf(1)
+	}
+	_, r, err := QR(a)
+	if err != nil {
+		return math.Inf(1)
+	}
+	maxd, mind := 0.0, math.Inf(1)
+	for i := 0; i < a.cols; i++ {
+		d := math.Abs(r.At(i, i))
+		if math.IsNaN(d) {
+			return math.Inf(1)
+		}
+		if d > maxd {
+			maxd = d
+		}
+		if d < mind {
+			mind = d
+		}
+	}
+	if mind == 0 {
+		return math.Inf(1)
+	}
+	return maxd / mind
+}
+
+// SolveRidge solves the Tikhonov-regularized normal equations
+// (XᵀX + λI)·β = Xᵀy. For λ > 0 the system is positive definite even
+// when X is rank deficient, at the cost of shrinking β toward zero —
+// the standard remedy for collinear indicator columns.
+func SolveRidge(x *Matrix, y []float64, lambda float64) ([]float64, error) {
+	if x.rows != len(y) {
+		return nil, fmt.Errorf("%w: X is %d×%d but y has %d entries", ErrShape, x.rows, x.cols, len(y))
+	}
+	if lambda < 0 || math.IsNaN(lambda) {
+		return nil, fmt.Errorf("linalg: ridge strength must be ≥ 0, got %g", lambda)
+	}
+	xt := x.Transpose()
+	xtx, err := xt.Mul(x)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < xtx.rows; i++ {
+		xtx.Set(i, i, xtx.At(i, i)+lambda)
+	}
+	xty, err := xt.MulVec(y)
+	if err != nil {
+		return nil, err
+	}
+	return SolveCholesky(xtx, xty)
+}
+
+// Solution reports how a robust least-squares solve succeeded, so
+// callers can record the provenance of their coefficients.
+type Solution struct {
+	Beta   []float64
+	Method string  // "cholesky", "qr" or "ridge"
+	Cond   float64 // condition estimate of the design matrix
+	Lambda float64 // ridge strength actually used (0 unless Method == "ridge")
+}
+
+// condTrust is the condition estimate above which the Cholesky-solved
+// normal equations are not trusted: cond(XᵀX) ≈ cond(X)², so a design
+// at 1e8 leaves no significant digits in double precision.
+const condTrust = 1e8
+
+// SolveRobust solves the overdetermined system X·β ≈ y with a
+// fallback chain ordered from fastest to most forgiving:
+//
+//  1. Cholesky on the normal equations — the paper's deduction — when
+//     the design's condition estimate is small enough to trust it;
+//  2. Householder QR, which tolerates roughly the square of that
+//     conditioning;
+//  3. ridge regularization with an escalating λ, which cannot fail on
+//     finite input and degrades gracefully to shrunk coefficients.
+//
+// The returned Solution records which rung succeeded, the condition
+// estimate, and the ridge strength used (if any). Non-finite input is
+// rejected with ErrNonFinite.
+func SolveRobust(x *Matrix, y []float64) (Solution, error) {
+	if x.rows != len(y) {
+		return Solution{}, fmt.Errorf("%w: X is %d×%d but y has %d entries", ErrShape, x.rows, x.cols, len(y))
+	}
+	if x.rows < x.cols {
+		return Solution{}, fmt.Errorf("%w: underdetermined system %d×%d", ErrShape, x.rows, x.cols)
+	}
+	for _, v := range x.data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return Solution{}, fmt.Errorf("%w: design matrix", ErrNonFinite)
+		}
+	}
+	var trace float64
+	for _, v := range y {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return Solution{}, fmt.Errorf("%w: right-hand side", ErrNonFinite)
+		}
+	}
+	sol := Solution{Cond: ConditionEst(x)}
+	if sol.Cond < condTrust {
+		if beta, err := SolveNormalEquations(x, y); err == nil && allFinite(beta) {
+			sol.Beta, sol.Method = beta, "cholesky"
+			return sol, nil
+		}
+	}
+	if beta, err := SolveLeastSquares(x, y); err == nil && allFinite(beta) {
+		sol.Beta, sol.Method = beta, "qr"
+		return sol, nil
+	}
+	// Ridge floor: scale λ to the mean diagonal of XᵀX so the strength
+	// is invariant under rescaling the design, escalate until the
+	// jittered system factors.
+	for i := 0; i < x.cols; i++ {
+		var s float64
+		for r := 0; r < x.rows; r++ {
+			s += x.At(r, i) * x.At(r, i)
+		}
+		trace += s
+	}
+	lambda := 1e-8 * trace / float64(x.cols)
+	if lambda <= 0 {
+		lambda = 1e-8
+	}
+	for i := 0; i < 12; i++ {
+		if beta, err := SolveRidge(x, y, lambda); err == nil && allFinite(beta) {
+			sol.Beta, sol.Method, sol.Lambda = beta, "ridge", lambda
+			return sol, nil
+		}
+		lambda *= 100
+	}
+	return Solution{}, fmt.Errorf("%w: system unsolvable even with ridge regularization", ErrSingular)
+}
+
+func allFinite(xs []float64) bool {
+	for _, v := range xs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,180 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func mustMatrix(t *testing.T, rows [][]float64) *Matrix {
+	t.Helper()
+	m, err := NewFromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// design builds an n×2 matrix [1 x] for the given xs — the workhorse
+// shape of every regression in the pipeline.
+func design(t *testing.T, xs []float64) *Matrix {
+	t.Helper()
+	rows := make([][]float64, len(xs))
+	for i, x := range xs {
+		rows[i] = []float64{1, x}
+	}
+	return mustMatrix(t, rows)
+}
+
+func TestCholeskyNotSPDTypedError(t *testing.T) {
+	// A matrix with a negative pivot: Cholesky must fail with an error
+	// matching BOTH the new precise sentinel and the legacy one.
+	notSPD := mustMatrix(t, [][]float64{{1, 2}, {2, 1}})
+	_, err := Cholesky(notSPD)
+	if err == nil {
+		t.Fatal("Cholesky accepted an indefinite matrix")
+	}
+	if !errors.Is(err, ErrNotSPD) {
+		t.Errorf("err %v does not match ErrNotSPD", err)
+	}
+	if !errors.Is(err, ErrSingular) {
+		t.Errorf("err %v does not match ErrSingular (legacy compatibility)", err)
+	}
+}
+
+func TestConditionEst(t *testing.T) {
+	if got := ConditionEst(Identity(4)); math.Abs(got-1) > 1e-12 {
+		t.Errorf("ConditionEst(I) = %g, want 1", got)
+	}
+	// For a diagonal matrix the estimate is exact: max/min entry.
+	diag := mustMatrix(t, [][]float64{{1e6, 0}, {0, 1}})
+	if got := ConditionEst(diag); math.Abs(got-1e6) > 1 {
+		t.Errorf("ConditionEst(diag(1e6,1)) = %g, want 1e6", got)
+	}
+	// Exact rank deficiency: second column is twice the first. Roundoff
+	// in the QR pivots may keep the estimate finite, but it must land
+	// far past any trust bound.
+	rankDef := mustMatrix(t, [][]float64{{1, 2}, {2, 4}, {3, 6}})
+	if got := ConditionEst(rankDef); got < 1e12 {
+		t.Errorf("ConditionEst(rank-deficient) = %g, want ≥1e12", got)
+	}
+	if got := ConditionEst(new(Matrix)); !math.IsInf(got, 1) {
+		t.Errorf("ConditionEst(empty) = %g, want +Inf", got)
+	}
+}
+
+func TestSolveRidge(t *testing.T) {
+	// Well-conditioned system, tiny λ: the answer matches ordinary least
+	// squares to within the shrinkage.
+	x := design(t, []float64{1, 2, 3, 4, 5})
+	y := []float64{3, 5, 7, 9, 11} // y = 1 + 2x exactly
+	beta, err := SolveRidge(x, y, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(beta[0]-1) > 1e-6 || math.Abs(beta[1]-2) > 1e-6 {
+		t.Errorf("ridge β = %v, want ≈[1 2]", beta)
+	}
+
+	// Rank-deficient design: plain least squares has no unique answer,
+	// but ridge still produces finite coefficients that reproduce y.
+	xdef := mustMatrix(t, [][]float64{{1, 2}, {2, 4}, {3, 6}})
+	ydef := []float64{5, 10, 15}
+	beta, err = SolveRidge(xdef, ydef, 1e-6)
+	if err != nil {
+		t.Fatalf("ridge on a rank-deficient design: %v", err)
+	}
+	for i, v := range []float64{5, 10, 15} {
+		got := beta[0]*xdef.At(i, 0) + beta[1]*xdef.At(i, 1)
+		if math.Abs(got-v) > 1e-3 {
+			t.Errorf("ridge fit reproduces y[%d] as %g, want %g", i, got, v)
+		}
+	}
+
+	if _, err := SolveRidge(x, y, -1); err == nil {
+		t.Error("negative λ accepted")
+	}
+	if _, err := SolveRidge(x, []float64{1, 2}, 1); !errors.Is(err, ErrShape) {
+		t.Errorf("shape mismatch err = %v, want ErrShape", err)
+	}
+}
+
+func TestSolveRobustFallbackChain(t *testing.T) {
+	// Rung 1: a healthy design solves via Cholesky.
+	x := design(t, []float64{1, 2, 3, 4, 5, 6})
+	y := []float64{4, 7, 10, 13, 16, 19} // y = 1 + 3x
+	sol, err := SolveRobust(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Method != "cholesky" {
+		t.Errorf("healthy solve used %q, want cholesky", sol.Method)
+	}
+	if sol.Lambda != 0 {
+		t.Errorf("healthy solve reports λ = %g", sol.Lambda)
+	}
+	if math.Abs(sol.Beta[0]-1) > 1e-8 || math.Abs(sol.Beta[1]-3) > 1e-8 {
+		t.Errorf("β = %v, want [1 3]", sol.Beta)
+	}
+	if sol.Cond <= 0 || sol.Cond >= condTrust {
+		t.Errorf("condition estimate %g out of the trusted range", sol.Cond)
+	}
+
+	// Rung 2: condition estimate past the trust bound forces QR. A
+	// Vandermonde-ish design with a huge scale spread does it.
+	var rows [][]float64
+	var yy []float64
+	for i := 1; i <= 8; i++ {
+		v := float64(i)
+		rows = append(rows, []float64{1, 1e9 * v, 1e9*v + float64(i%3)})
+		yy = append(yy, v)
+	}
+	sol, err = SolveRobust(mustMatrix(t, rows), yy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Method == "cholesky" {
+		t.Errorf("near-collinear design (cond %g) solved by cholesky", sol.Cond)
+	}
+	if !allFinite(sol.Beta) {
+		t.Errorf("non-finite β %v", sol.Beta)
+	}
+
+	// Rung 3: exact collinearity defeats QR too; ridge must still
+	// deliver finite coefficients and record its λ.
+	xdef := mustMatrix(t, [][]float64{{1, 2}, {2, 4}, {3, 6}, {4, 8}})
+	sol, err = SolveRobust(xdef, []float64{3, 6, 9, 12})
+	if err != nil {
+		t.Fatalf("exactly collinear design: %v", err)
+	}
+	if sol.Method != "ridge" {
+		t.Errorf("collinear solve used %q, want ridge", sol.Method)
+	}
+	if sol.Lambda <= 0 {
+		t.Errorf("ridge solve reports λ = %g", sol.Lambda)
+	}
+	if sol.Cond < condTrust {
+		t.Errorf("collinear condition estimate = %g, want past the trust bound", sol.Cond)
+	}
+	if !allFinite(sol.Beta) {
+		t.Errorf("non-finite β %v", sol.Beta)
+	}
+}
+
+func TestSolveRobustRejectsBadInput(t *testing.T) {
+	x := design(t, []float64{1, 2, 3})
+	if _, err := SolveRobust(x, []float64{1, math.NaN(), 3}); !errors.Is(err, ErrNonFinite) {
+		t.Errorf("NaN rhs err = %v, want ErrNonFinite", err)
+	}
+	bad := design(t, []float64{1, math.Inf(1), 3})
+	if _, err := SolveRobust(bad, []float64{1, 2, 3}); !errors.Is(err, ErrNonFinite) {
+		t.Errorf("Inf design err = %v, want ErrNonFinite", err)
+	}
+	under := mustMatrix(t, [][]float64{{1, 2, 3}})
+	if _, err := SolveRobust(under, []float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("underdetermined err = %v, want ErrShape", err)
+	}
+	if _, err := SolveRobust(x, []float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("length mismatch err = %v, want ErrShape", err)
+	}
+}

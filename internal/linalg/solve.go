@@ -6,8 +6,10 @@ import (
 )
 
 // Cholesky computes the lower-triangular factor L with A = L·Lᵀ for a
-// symmetric positive-definite matrix A. It returns ErrSingular when A
-// is not positive definite (within floating-point tolerance).
+// symmetric positive-definite matrix A. When A is not positive
+// definite (within floating-point tolerance) it returns an error
+// matching both ErrNotSPD and, for backwards compatibility,
+// ErrSingular.
 func Cholesky(a *Matrix) (*Matrix, error) {
 	if a.rows != a.cols {
 		return nil, fmt.Errorf("%w: Cholesky of %d×%d", ErrShape, a.rows, a.cols)
@@ -21,8 +23,8 @@ func Cholesky(a *Matrix) (*Matrix, error) {
 				sum -= l.At(i, k) * l.At(j, k)
 			}
 			if i == j {
-				if sum <= 0 {
-					return nil, fmt.Errorf("%w: non-positive pivot %g at %d", ErrSingular, sum, i)
+				if sum <= 0 || math.IsNaN(sum) {
+					return nil, &notSPDError{pivot: sum, index: i}
 				}
 				l.Set(i, i, math.Sqrt(sum))
 			} else {

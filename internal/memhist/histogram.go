@@ -102,8 +102,18 @@ func (h *Histogram) representative(i int) float64 {
 	return float64(lo+hi) / 2
 }
 
-// Cost returns the cost-weighted value of interval i.
-func (h *Histogram) Cost(i int) float64 { return h.Counts[i] * h.representative(i) }
+// Cost returns the cost-weighted value of interval i. Negative counts
+// are subtraction artefacts of threshold cycling, not real load
+// populations; weighting them by the interval latency would fabricate
+// large negative cycle totals, so cost mode clamps them to zero. The
+// artefact stays visible through Counts, NegativeArtifacts and the
+// Render annotation.
+func (h *Histogram) Cost(i int) float64 {
+	if h.Counts[i] < 0 {
+		return 0
+	}
+	return h.Counts[i] * h.representative(i)
+}
 
 // Value returns interval i under the given mode.
 func (h *Histogram) Value(i int, mode Mode) float64 {
@@ -351,8 +361,14 @@ func (h *Histogram) Render(mode Mode, width int) string {
 		if h.Uncertain[i] {
 			marker = " (uncertain sampling)"
 		}
-		if v < 0 {
+		// Key the annotation on the raw count, not the displayed value:
+		// cost mode clamps negative artefacts to zero but must still
+		// disclose them.
+		if h.Counts[i] < 0 {
 			marker += " (negative estimate)"
+			if mode == Costs {
+				marker += " (clamped)"
+			}
 		}
 		fmt.Fprintf(&sb, "%s |%s %.4g%s\n", rangeLabel, strings.Repeat("█", bar), v, marker)
 	}

@@ -188,6 +188,66 @@ func TestHistogramAccessors(t *testing.T) {
 	}
 }
 
+func TestCostClampsNegativeArtifacts(t *testing.T) {
+	h := newHistogram([]uint64{4, 8, 32, 64, 256, 448})
+	// A Fig. 10b-like shape: cache peak, remote-memory peak, and two
+	// negative subtraction artefacts in between.
+	h.Counts = []float64{0, 900, -40, 12, -7, 500}
+	h.Source = "mlc remote"
+	if h.Cost(2) != 0 || h.Cost(4) != 0 {
+		t.Errorf("negative bins must clamp to zero cost: %g %g", h.Cost(2), h.Cost(4))
+	}
+	if h.Value(2, Costs) != 0 {
+		t.Error("Value must see the clamp in cost mode")
+	}
+	if h.Value(2, Occurrences) != -40 {
+		t.Error("occurrence mode must keep the raw negative estimate")
+	}
+	if got := h.Cost(5); got != 500*448 {
+		t.Errorf("positive tail cost = %g, want %g", got, 500.0*448)
+	}
+	if h.NegativeArtifacts() != 2 {
+		t.Error("clamp must not hide the artefacts from NegativeArtifacts")
+	}
+	// The annotated peaks — the paper's Fig. 10 labels — are identical
+	// with and without negative bins present, because peak finding
+	// ignores artefact bins entirely.
+	m := topology.TwoSocket()
+	peaks := h.Annotate(m)
+	clean := newHistogram(h.Bounds)
+	copy(clean.Counts, h.Counts)
+	for i, c := range clean.Counts {
+		if c < 0 {
+			clean.Counts[i] = 0
+		}
+	}
+	cleanPeaks := clean.Annotate(m)
+	if len(peaks) != len(cleanPeaks) {
+		t.Fatalf("peak count changed: %d vs %d", len(peaks), len(cleanPeaks))
+	}
+	for i := range peaks {
+		if peaks[i] != cleanPeaks[i] {
+			t.Errorf("peak %d drifted: %+v vs %+v", i, peaks[i], cleanPeaks[i])
+		}
+	}
+	// Cost-mode rendering discloses the clamp instead of drawing
+	// negative bars.
+	out := h.Render(Costs, 40)
+	if !strings.Contains(out, "(negative estimate) (clamped)") {
+		t.Errorf("cost render must mark clamped artefacts:\n%s", out)
+	}
+	if strings.Contains(out, "-") && strings.Contains(out, "█ -") {
+		t.Errorf("cost render must not draw negative bars:\n%s", out)
+	}
+	occ := h.Render(Occurrences, 40)
+	if strings.Contains(occ, "clamped") {
+		t.Errorf("occurrence render must not claim clamping:\n%s", occ)
+	}
+	if !strings.Contains(occ, "negative estimate") {
+		t.Errorf("occurrence render must keep the artefact marker:\n%s", occ)
+	}
+}
+
 func TestCollectErrors(t *testing.T) {
 	e := engine(t)
 	body := workloads.Triad{Elements: 256}.Body()

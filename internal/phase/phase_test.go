@@ -346,6 +346,112 @@ func TestDetectAutoPhases(t *testing.T) {
 	}
 }
 
+func TestNoTransitionOnNullSeries(t *testing.T) {
+	// Flat noise: any pivot is an artefact of the noise realisation.
+	flat := syntheticSeries([]float64{0}, 100, 300, 21)
+	if _, err := DetectTwoPhases(flat); !errors.Is(err, ErrNoTransition) {
+		t.Errorf("flat noise: err = %v, want ErrNoTransition", err)
+	}
+	// Monotone noise: one slope throughout, no transition to report.
+	mono := syntheticSeries([]float64{20}, 100, 300, 22)
+	if _, err := DetectTwoPhases(mono); !errors.Is(err, ErrNoTransition) {
+		t.Errorf("monotone noise: err = %v, want ErrNoTransition", err)
+	}
+	// Constant series: nothing to explain at all.
+	var konst []oslite.FootprintSample
+	for i := 0; i < 40; i++ {
+		konst = append(konst, oslite.FootprintSample{Cycle: uint64(i * 100), Bytes: 4096})
+	}
+	if _, err := DetectTwoPhases(konst); !errors.Is(err, ErrNoTransition) {
+		t.Errorf("constant: err = %v, want ErrNoTransition", err)
+	}
+	// A genuine slope change keeps detecting even through noise.
+	if _, err := DetectTwoPhases(syntheticSeries([]float64{30, 1}, 50, 200, 23)); err != nil {
+		t.Errorf("genuine transition rejected: %v", err)
+	}
+}
+
+func TestTransitionCheck(t *testing.T) {
+	samples := syntheticSeries([]float64{50, 0}, 50, 200, 5)
+	// Single-segment splits and nil splits are trivially justified.
+	if err := TransitionCheck(samples, nil); err != nil {
+		t.Errorf("nil split: %v", err)
+	}
+	one, err := DetectPhases(samples, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := TransitionCheck(samples, one); err != nil {
+		t.Errorf("single segment: %v", err)
+	}
+	// The genuine two-phase split passes.
+	two, err := DetectPhases(samples, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := TransitionCheck(samples, two); err != nil {
+		t.Errorf("genuine split: %v", err)
+	}
+	// A forced split of uniform noise does not.
+	flat := syntheticSeries([]float64{0}, 60, 250, 6)
+	forced, err := DetectPhases(flat, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := TransitionCheck(flat, forced); !errors.Is(err, ErrNoTransition) {
+		t.Errorf("forced split of noise: err = %v, want ErrNoTransition", err)
+	}
+}
+
+func TestAnalyzeDowngradesUnjustifiedSplit(t *testing.T) {
+	e, err := exec.NewEngine(exec.Config{Machine: topology.TwoSocket(), Threads: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A steady allocator: the footprint grows at one overall rate with
+	// irregular chunk sizes, so a two-phase request has no transition
+	// to find — only noise around a single line.
+	body := func(th *exec.Thread) {
+		for i := 0; i < 200; i++ {
+			th.Alloc(uint64(16<<10 + (i*2654435761)%(96<<10)))
+			th.Instr(500)
+		}
+	}
+	rep, err := Analyze(e, body, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(rep.Verdict, ErrNoTransition) {
+		t.Fatalf("verdict = %v, want ErrNoTransition", rep.Verdict)
+	}
+	if len(rep.Split.Segments) != 1 {
+		t.Errorf("downgraded report has %d segments, want 1", len(rep.Split.Segments))
+	}
+	if len(rep.PhaseCounts) != 1 {
+		t.Errorf("%d phase count buckets, want 1", len(rep.PhaseCounts))
+	}
+	out := rep.Render()
+	if !strings.Contains(out, "verdict:") || !strings.Contains(out, "no phase transition") {
+		t.Errorf("Render missing the verdict line:\n%s", out)
+	}
+	// A genuinely phased app keeps a clean verdict and no verdict line.
+	e2, err := exec.NewEngine(exec.Config{Machine: topology.TwoSocket(), Threads: 2, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := workloads.PhasedApp{RampChunks: 24, ChunkBytes: 128 << 10, ComputePasses: 4}
+	rep2, err := Analyze(e2, wl.Body(), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Verdict != nil {
+		t.Errorf("phased app verdict = %v, want nil", rep2.Verdict)
+	}
+	if strings.Contains(rep2.Render(), "verdict:") {
+		t.Error("clean report must not print a verdict line")
+	}
+}
+
 func TestAnalyzeAutoK(t *testing.T) {
 	e, err := exec.NewEngine(exec.Config{Machine: topology.TwoSocket(), Threads: 2, Seed: 7})
 	if err != nil {

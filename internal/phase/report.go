@@ -22,6 +22,11 @@ type Report struct {
 	Result *exec.Result
 	// SampleInterval is the footprint sampling interval in cycles.
 	SampleInterval uint64
+	// Verdict is non-nil when the requested segmentation was not
+	// statistically justified: the report then falls back to a single
+	// phase and Verdict (wrapping ErrNoTransition) says why. Check it
+	// with errors.Is(rep.Verdict, phase.ErrNoTransition).
+	Verdict error
 }
 
 // Attribute assigns time-sliced counter deltas to phases by each
@@ -76,11 +81,23 @@ func Analyze(e *exec.Engine, body func(*exec.Thread), k int, sliceCycles uint64)
 	if err != nil {
 		return nil, err
 	}
+	// A segmentation the footprint does not support statistically is
+	// downgraded to a single phase instead of presenting an arbitrary
+	// pivot of noise; the verdict records why.
+	var verdict error
+	if v := TransitionCheck(samples, split); v != nil {
+		verdict = v
+		split, err = DetectPhases(samples, 1)
+		if err != nil {
+			return nil, err
+		}
+	}
 	return &Report{
 		Split:          split,
 		PhaseCounts:    Attribute(slices, split.Boundaries()),
 		Result:         res,
 		SampleInterval: interval,
+		Verdict:        verdict,
 	}, nil
 }
 
@@ -101,6 +118,9 @@ func (r *Report) Render() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "detected %d phases over %d cycles (SSE %.4g)\n",
 		len(r.Split.Segments), r.Result.Cycles, r.Split.TotalSSE)
+	if r.Verdict != nil {
+		fmt.Fprintf(&sb, "verdict: %v\n", r.Verdict)
+	}
 	for i, seg := range r.Split.Segments {
 		kind := "computation"
 		if seg.Slope > 1e-6 {

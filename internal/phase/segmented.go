@@ -15,15 +15,41 @@ import (
 	"math"
 
 	"numaperf/internal/oslite"
+	"numaperf/internal/stats"
 )
 
 // ErrTooFewSamples is returned when the series cannot support the
 // requested segmentation.
 var ErrTooFewSamples = errors.New("phase: too few samples")
 
-// minSegment is the minimum number of samples per segment so each
-// regression is determined.
-const minSegment = 2
+// ErrNoTransition is returned when the footprint offers no
+// statistically justified phase transition — a flat or uniformly
+// linear series fits a single line essentially as well as any
+// segmentation, and reporting the SSE-minimising pivot anyway would
+// present an arbitrary split of noise as a program phase.
+var ErrNoTransition = errors.New("phase: no phase transition detected")
+
+// MinSegment is the minimum number of samples per segment so each
+// per-segment regression is determined (a line needs two points).
+// Detectors reject requests that cannot honour it.
+const MinSegment = 2
+
+// minSegment is kept as the internal spelling.
+const minSegment = MinSegment
+
+// TransitionAlpha is the significance level of the transition F-test
+// in TransitionCheck. It is deliberately conservative: the pivot is
+// chosen by minimising SSE over all positions, which inflates the F
+// statistic under the null, so an ordinary 0.05 would see phases in
+// pure noise.
+const TransitionAlpha = 1e-3
+
+// transitionGain is the minimum relative SSE reduction a segmentation
+// must achieve on top of statistical significance. The sup-F
+// selection effect can push the nominal p-value below TransitionAlpha
+// on long noise series; requiring the segmented fit to at least halve
+// the single-line error keeps such splits out.
+const transitionGain = 0.5
 
 // Segment is one detected phase with its fitted footprint line.
 type Segment struct {
@@ -126,9 +152,66 @@ func (p *prefixSums) segment(i, j int) Segment {
 	}
 }
 
+// TransitionCheck tests whether a multi-segment split explains the
+// samples significantly better than a single line. It returns nil when
+// the segmentation is justified and an error wrapping ErrNoTransition
+// when it is not — constant footprints, uniformly linear growth and
+// monotone noise all land in the second bucket. Single-segment splits
+// are trivially justified.
+//
+// The test is a Chow-style F-test: each extra segment spends three
+// parameters (slope, intercept, boundary), and the SSE reduction they
+// buy is compared against the residual variance of the segmented fit.
+// Because the boundaries were themselves chosen to minimise SSE, the
+// statistic is inflated under the null; TransitionAlpha and
+// transitionGain compensate.
+func TransitionCheck(samples []oslite.FootprintSample, sp *Split) error {
+	if sp == nil || len(sp.Segments) < 2 {
+		return nil
+	}
+	n := len(samples)
+	k := len(sp.Segments)
+	p := newPrefixSums(samples)
+	_, _, sse1 := p.fit(0, n)
+	// Total variation around the mean: a constant series has nothing
+	// for any fit to explain.
+	sy := p.y[n]
+	cyy := p.yy[n] - sy*sy/float64(n)
+	if cyy <= 0 {
+		return fmt.Errorf("%w: constant footprint", ErrNoTransition)
+	}
+	if sse1 <= 1e-9*cyy {
+		return fmt.Errorf("%w: a single line already explains the footprint (SSE %.4g)",
+			ErrNoTransition, sse1)
+	}
+	ssek := sp.TotalSSE
+	if ssek <= 0 {
+		// The segmented fit is exact while a single line is not: the
+		// transition is certain.
+		return nil
+	}
+	df1 := float64(3 * (k - 1))
+	df2 := float64(n - (3*k - 1))
+	if df2 < 1 {
+		return fmt.Errorf("%w: %d samples cannot justify %d segments", ErrNoTransition, n, k)
+	}
+	if ssek > transitionGain*sse1 {
+		return fmt.Errorf("%w: segmentation reduces SSE only %.1f%% (%.4g → %.4g)",
+			ErrNoTransition, 100*(1-ssek/sse1), sse1, ssek)
+	}
+	f := ((sse1 - ssek) / df1) / (ssek / df2)
+	if pv := 1 - stats.FCDF(f, df1, df2); pv > TransitionAlpha {
+		return fmt.Errorf("%w: F=%.3g p=%.3g over %d samples", ErrNoTransition, f, pv, n)
+	}
+	return nil
+}
+
 // DetectTwoPhases implements the paper's exhaustive pivot search: all
 // pivots are tried, the one minimising the summed error of both linear
-// fits determines the phase transition.
+// fits determines the phase transition. When no pivot is statistically
+// justified — the footprint is flat, uniformly linear or monotone
+// noise — it returns an error wrapping ErrNoTransition rather than an
+// arbitrary split.
 func DetectTwoPhases(samples []oslite.FootprintSample) (*Split, error) {
 	n := len(samples)
 	if n < 2*minSegment {
@@ -148,6 +231,9 @@ func DetectTwoPhases(samples []oslite.FootprintSample) (*Split, error) {
 	sp := &Split{
 		Segments: []Segment{p.segment(0, bestPivot), p.segment(bestPivot, n)},
 		TotalSSE: bestSSE,
+	}
+	if err := TransitionCheck(samples, sp); err != nil {
+		return nil, err
 	}
 	return sp, nil
 }

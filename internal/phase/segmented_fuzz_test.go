@@ -1,0 +1,119 @@
+// Fuzz target for segmented phase detection. Arbitrary bytes become a
+// footprint series (monotone cycles, unconstrained byte values); the
+// detectors must never panic, every split they return must consist of
+// finite, well-ordered segments, and every rejection must use a typed
+// error — ErrTooFewSamples or ErrNoTransition, never an untyped one.
+package phase
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"numaperf/internal/oslite"
+)
+
+// decodeFootprint turns fuzz bytes into a footprint series: each
+// 3-byte group yields one sample, with cycles advancing by 1 + the
+// first byte (always strictly monotone) and the value taken from the
+// remaining two bytes scaled to a plausible byte count.
+func decodeFootprint(data []byte) []oslite.FootprintSample {
+	var out []oslite.FootprintSample
+	cycle := uint64(0)
+	for i := 0; i+3 <= len(data); i += 3 {
+		cycle += 1 + uint64(data[i])
+		v := uint64(data[i+1])<<8 | uint64(data[i+2])
+		out = append(out, oslite.FootprintSample{Cycle: cycle, Bytes: v << 10})
+	}
+	return out
+}
+
+// encodeFootprint builds a corpus seed from per-sample (delta, value)
+// pairs matching decodeFootprint's layout.
+func encodeFootprint(deltas []byte, values []uint16) []byte {
+	out := make([]byte, 0, 3*len(deltas))
+	for i := range deltas {
+		out = append(out, deltas[i], byte(values[i]>>8), byte(values[i]))
+	}
+	return out
+}
+
+func FuzzSegmentedFit(f *testing.F) {
+	rampFlat := func(n int) []byte {
+		deltas := make([]byte, n)
+		values := make([]uint16, n)
+		for i := range deltas {
+			deltas[i] = 10
+			if i < n/2 {
+				values[i] = uint16(100 * i)
+			} else {
+				values[i] = uint16(100 * n / 2)
+			}
+		}
+		return encodeFootprint(deltas, values)
+	}
+	f.Add(rampFlat(40))
+	// Degenerate shapes: constant, flat-with-noise-ish alternation,
+	// strictly monotone ramp, a single spike, and truncated tails.
+	constant := make([]byte, 0, 60)
+	for i := 0; i < 20; i++ {
+		constant = append(constant, 5, 0x10, 0x00)
+	}
+	f.Add(constant)
+	saw := make([]byte, 0, 60)
+	for i := 0; i < 20; i++ {
+		saw = append(saw, 5, byte(i%2), byte(37*i))
+	}
+	f.Add(saw)
+	ramp := make([]byte, 0, 90)
+	for i := 0; i < 30; i++ {
+		ramp = append(ramp, 3, byte(i>>4), byte(i<<4))
+	}
+	f.Add(ramp)
+	f.Add(encodeFootprint([]byte{1, 1, 1, 1, 1}, []uint16{0, 0, 60000, 0, 0}))
+	f.Add([]byte{7, 1})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		samples := decodeFootprint(data)
+		checkSplit := func(sp *Split, err error, label string) {
+			if err != nil {
+				if !errors.Is(err, ErrTooFewSamples) && !errors.Is(err, ErrNoTransition) {
+					t.Fatalf("%s: untyped error: %v", label, err)
+				}
+				return
+			}
+			if sp == nil || len(sp.Segments) == 0 {
+				t.Fatalf("%s: nil/empty split without error", label)
+			}
+			if math.IsNaN(sp.TotalSSE) || math.IsInf(sp.TotalSSE, 0) || sp.TotalSSE < 0 {
+				t.Fatalf("%s: bad TotalSSE %g", label, sp.TotalSSE)
+			}
+			prevEnd := 0
+			for _, seg := range sp.Segments {
+				if seg.Start != prevEnd || seg.End <= seg.Start {
+					t.Fatalf("%s: segments not a partition: %+v", label, sp.Segments)
+				}
+				if seg.Samples() < MinSegment {
+					t.Fatalf("%s: segment below MinSegment: %+v", label, seg)
+				}
+				for _, v := range []float64{seg.Slope, seg.Intercept, seg.SSE} {
+					if math.IsNaN(v) || math.IsInf(v, 0) {
+						t.Fatalf("%s: non-finite segment field %g", label, v)
+					}
+				}
+				prevEnd = seg.End
+			}
+			if prevEnd != len(samples) {
+				t.Fatalf("%s: split covers %d of %d samples", label, prevEnd, len(samples))
+			}
+		}
+		sp, err := DetectTwoPhases(samples)
+		checkSplit(sp, err, "two-phase")
+		for k := 1; k <= 3; k++ {
+			sp, err := DetectPhases(samples, k)
+			checkSplit(sp, err, "k-phase")
+		}
+		sp, err = DetectAutoPhases(samples, 4)
+		checkSplit(sp, err, "auto")
+	})
+}

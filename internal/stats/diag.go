@@ -1,0 +1,256 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// DiagnosticKind classifies the ways a statistical computation can be
+// degraded by its input data. The taxonomy is shared by the whole
+// analysis pipeline: stats attaches diagnostics to its results, evsel /
+// core / phase thread them upward, and the CLIs' -strict mode turns
+// hard diagnostics into a nonzero exit.
+type DiagnosticKind int
+
+const (
+	// Degenerate marks inputs whose variation is zero or too small to
+	// support the inference drawn from them — a constant sample fed to a
+	// t-test or correlation, a constant indicator column. Degenerate
+	// data is common on healthy deterministic counters (an allocation
+	// counter that reads the same value every repetition), so it is
+	// advisory: annotated, but never fatal on its own.
+	Degenerate DiagnosticKind = iota
+	// NonFinite marks NaN or ±Inf values found in the input; the
+	// offending points were dropped before computing.
+	NonFinite
+	// IllConditioned marks a design matrix whose condition estimate is
+	// too large for the normal equations to be trusted, or indicator
+	// columns so collinear one had to be dropped or ridge-regularized.
+	IllConditioned
+	// InsufficientData marks results computed from fewer points than
+	// the method needs for a meaningful answer (after any filtering).
+	InsufficientData
+	// DomainViolation marks points outside a model family's domain —
+	// non-positive values fed to a logarithmic link — that were dropped
+	// before fitting.
+	DomainViolation
+)
+
+// String returns the human-readable name of the kind.
+func (k DiagnosticKind) String() string {
+	switch k {
+	case Degenerate:
+		return "degenerate"
+	case NonFinite:
+		return "non-finite"
+	case IllConditioned:
+		return "ill-conditioned"
+	case InsufficientData:
+		return "insufficient-data"
+	case DomainViolation:
+		return "domain-violation"
+	}
+	return fmt.Sprintf("diagnostic(%d)", int(k))
+}
+
+// Code returns the short uppercase tag used in rendered table columns,
+// mirroring the style of the COVER annotations.
+func (k DiagnosticKind) Code() string {
+	switch k {
+	case Degenerate:
+		return "DEGEN"
+	case NonFinite:
+		return "NONFIN"
+	case IllConditioned:
+		return "COND"
+	case InsufficientData:
+		return "FEWN"
+	case DomainViolation:
+		return "DOM"
+	}
+	return "DIAG?"
+}
+
+// Hard reports whether the kind indicates a result that should not be
+// trusted without intervention. Hard diagnostics make -strict runs
+// exit nonzero; advisory ones (Degenerate) only annotate, because they
+// routinely occur on healthy deterministic data.
+func (k DiagnosticKind) Hard() bool {
+	return k != Degenerate
+}
+
+// Diagnostic is one concrete degradation observed while computing a
+// result.
+type Diagnostic struct {
+	Kind    DiagnosticKind
+	Detail  string // short free-text context, e.g. "zero variance in both samples"
+	Dropped int    // number of input points discarded because of this condition
+}
+
+// String renders the diagnostic as "CODE: detail (dropped n)".
+func (d Diagnostic) String() string {
+	var sb strings.Builder
+	sb.WriteString(d.Kind.Code())
+	if d.Detail != "" {
+		sb.WriteString(": ")
+		sb.WriteString(d.Detail)
+	}
+	if d.Dropped > 0 {
+		fmt.Fprintf(&sb, " (dropped %d)", d.Dropped)
+	}
+	return sb.String()
+}
+
+// Diagnostics collects every degradation attached to one result.
+type Diagnostics []Diagnostic
+
+// Has reports whether any diagnostic of the given kind is present.
+func (ds Diagnostics) Has(kind DiagnosticKind) bool {
+	for _, d := range ds {
+		if d.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// HasHard reports whether any hard (trust-breaking) diagnostic is
+// present; this is the predicate the CLIs' -strict mode keys on.
+func (ds Diagnostics) HasHard() bool {
+	for _, d := range ds {
+		if d.Kind.Hard() {
+			return true
+		}
+	}
+	return false
+}
+
+// Dropped returns the total number of input points discarded across
+// all diagnostics.
+func (ds Diagnostics) Dropped() int {
+	n := 0
+	for _, d := range ds {
+		n += d.Dropped
+	}
+	return n
+}
+
+// Codes returns the deduplicated short tags joined with "+", in a
+// stable order — the compact form rendered in table columns.
+func (ds Diagnostics) Codes() string {
+	if len(ds) == 0 {
+		return ""
+	}
+	seen := map[string]bool{}
+	var codes []string
+	for _, d := range ds {
+		c := d.Kind.Code()
+		if !seen[c] {
+			seen[c] = true
+			codes = append(codes, c)
+		}
+	}
+	sort.Strings(codes)
+	return strings.Join(codes, "+")
+}
+
+// String joins the full diagnostics with "; ".
+func (ds Diagnostics) String() string {
+	parts := make([]string, len(ds))
+	for i, d := range ds {
+		parts[i] = d.String()
+	}
+	return strings.Join(parts, "; ")
+}
+
+// SanitizeSamples returns xs with every NaN and ±Inf removed, plus the
+// number of values dropped. When xs is already clean it is returned
+// as-is without copying, so the common healthy path allocates nothing.
+func SanitizeSamples(xs []float64) ([]float64, int) {
+	bad := 0
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			bad++
+		}
+	}
+	if bad == 0 {
+		return xs, 0
+	}
+	clean := make([]float64, 0, len(xs)-bad)
+	for _, x := range xs {
+		if !math.IsNaN(x) && !math.IsInf(x, 0) {
+			clean = append(clean, x)
+		}
+	}
+	return clean, bad
+}
+
+// nonFiniteDiag builds the standard NonFinite diagnostic for dropped
+// samples.
+func nonFiniteDiag(dropped int) Diagnostic {
+	return Diagnostic{Kind: NonFinite, Detail: "non-finite samples removed", Dropped: dropped}
+}
+
+// RobustSummary describes a sample through order statistics — median
+// and MAD instead of mean and standard deviation — so that a handful
+// of extreme outliers cannot dominate the description. ScaledMAD is
+// 1.4826·MAD, the consistency-scaled estimate of σ for normal data;
+// Outliers counts points further than 3·ScaledMAD from the median.
+type RobustSummary struct {
+	N         int // points actually summarized (after dropping non-finite)
+	Median    float64
+	MAD       float64 // raw median absolute deviation
+	ScaledMAD float64 // 1.4826 · MAD
+	Outliers  int     // points with |x − median| > 3·ScaledMAD
+	Diags     Diagnostics
+}
+
+// Robust computes a RobustSummary of xs. Non-finite values are dropped
+// with a NonFinite diagnostic; a zero MAD on a non-constant sample is
+// flagged Degenerate (a majority of identical values makes the outlier
+// rule vacuous). It returns ErrInsufficientData for an empty sample.
+func Robust(xs []float64) (RobustSummary, error) {
+	clean, dropped := SanitizeSamples(xs)
+	var rs RobustSummary
+	if dropped > 0 {
+		rs.Diags = append(rs.Diags, nonFiniteDiag(dropped))
+	}
+	if len(clean) == 0 {
+		rs.Diags = append(rs.Diags, Diagnostic{Kind: InsufficientData, Detail: "no finite samples"})
+		return rs, fmt.Errorf("%w: no finite samples (of %d)", ErrInsufficientData, len(xs))
+	}
+	rs.N = len(clean)
+	rs.Median = Median(clean)
+	dev := make([]float64, len(clean))
+	varies := false
+	for i, x := range clean {
+		dev[i] = math.Abs(x - rs.Median)
+		if x != clean[0] {
+			varies = true
+		}
+	}
+	rs.MAD = Median(dev)
+	rs.ScaledMAD = 1.4826 * rs.MAD
+	if rs.MAD == 0 {
+		if varies {
+			rs.Diags = append(rs.Diags, Diagnostic{Kind: Degenerate,
+				Detail: "zero MAD on a non-constant sample"})
+			// With a vacuous spread estimate, count every point off the
+			// median as an outlier: they are the minority by definition.
+			for _, d := range dev {
+				if d > 0 {
+					rs.Outliers++
+				}
+			}
+		}
+		return rs, nil
+	}
+	for _, d := range dev {
+		if d > 3*rs.ScaledMAD {
+			rs.Outliers++
+		}
+	}
+	return rs, nil
+}

@@ -1,0 +1,229 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDiagnosticKindStringsAndCodes(t *testing.T) {
+	cases := []struct {
+		kind DiagnosticKind
+		str  string
+		code string
+		hard bool
+	}{
+		{Degenerate, "degenerate", "DEGEN", false},
+		{NonFinite, "non-finite", "NONFIN", true},
+		{IllConditioned, "ill-conditioned", "COND", true},
+		{InsufficientData, "insufficient-data", "FEWN", true},
+		{DomainViolation, "domain-violation", "DOM", true},
+	}
+	for _, c := range cases {
+		if got := c.kind.String(); got != c.str {
+			t.Errorf("%d.String() = %q, want %q", c.kind, got, c.str)
+		}
+		if got := c.kind.Code(); got != c.code {
+			t.Errorf("%v.Code() = %q, want %q", c.kind, got, c.code)
+		}
+		if got := c.kind.Hard(); got != c.hard {
+			t.Errorf("%v.Hard() = %v, want %v", c.kind, got, c.hard)
+		}
+	}
+	// Unknown kinds must still render something identifiable.
+	bogus := DiagnosticKind(99)
+	if !strings.Contains(bogus.String(), "99") {
+		t.Errorf("unknown kind renders as %q", bogus.String())
+	}
+	if bogus.Code() != "DIAG?" {
+		t.Errorf("unknown kind code = %q", bogus.Code())
+	}
+}
+
+func TestDiagnosticsQueries(t *testing.T) {
+	var empty Diagnostics
+	if empty.Has(NonFinite) || empty.HasHard() || empty.Dropped() != 0 || empty.Codes() != "" {
+		t.Errorf("empty diagnostics misbehave: %v %v %d %q",
+			empty.Has(NonFinite), empty.HasHard(), empty.Dropped(), empty.Codes())
+	}
+
+	advisory := Diagnostics{{Kind: Degenerate, Detail: "constant sample"}}
+	if advisory.HasHard() {
+		t.Error("advisory-only diagnostics report hard degradation")
+	}
+	if !advisory.Has(Degenerate) {
+		t.Error("Has misses the present kind")
+	}
+
+	ds := Diagnostics{
+		{Kind: NonFinite, Detail: "non-finite samples removed", Dropped: 3},
+		{Kind: Degenerate},
+		{Kind: NonFinite, Dropped: 2}, // duplicate kind: code dedupes, Dropped sums
+	}
+	if !ds.HasHard() {
+		t.Error("NonFinite did not register as hard")
+	}
+	if got := ds.Dropped(); got != 5 {
+		t.Errorf("Dropped() = %d, want 5", got)
+	}
+	if got := ds.Codes(); got != "DEGEN+NONFIN" {
+		t.Errorf("Codes() = %q, want DEGEN+NONFIN (sorted, deduplicated)", got)
+	}
+	full := ds.String()
+	for _, want := range []string{"NONFIN: non-finite samples removed (dropped 3)", "DEGEN", "; "} {
+		if !strings.Contains(full, want) {
+			t.Errorf("String() = %q, missing %q", full, want)
+		}
+	}
+}
+
+func TestSanitizeSamples(t *testing.T) {
+	clean := []float64{1, 2, 3}
+	got, dropped := SanitizeSamples(clean)
+	if dropped != 0 {
+		t.Fatalf("clean input dropped %d", dropped)
+	}
+	// The healthy path must not copy.
+	if &got[0] != &clean[0] {
+		t.Error("clean input was copied")
+	}
+
+	dirty := []float64{1, math.NaN(), 2, math.Inf(1), math.Inf(-1), 3}
+	got, dropped = SanitizeSamples(dirty)
+	if dropped != 3 || len(got) != 3 {
+		t.Fatalf("SanitizeSamples = %v (dropped %d), want [1 2 3] (dropped 3)", got, dropped)
+	}
+	for i, want := range []float64{1, 2, 3} {
+		if got[i] != want {
+			t.Errorf("got[%d] = %g, want %g", i, got[i], want)
+		}
+	}
+
+	got, dropped = SanitizeSamples(nil)
+	if len(got) != 0 || dropped != 0 {
+		t.Errorf("nil input: got %v, dropped %d", got, dropped)
+	}
+}
+
+func TestRobustSummary(t *testing.T) {
+	// A well-behaved sample with one gross outlier: the median and MAD
+	// must ignore it, the outlier counter must see it.
+	xs := []float64{10, 11, 9, 10.5, 9.5, 10, 1e6}
+	rs, err := Robust(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.N != 7 || rs.Median != 10 {
+		t.Errorf("N=%d median=%g, want 7 and 10", rs.N, rs.Median)
+	}
+	if rs.MAD != 0.5 || math.Abs(rs.ScaledMAD-0.7413) > 1e-9 {
+		t.Errorf("MAD=%g scaled=%g, want 0.5 and 0.7413", rs.MAD, rs.ScaledMAD)
+	}
+	if rs.Outliers != 1 {
+		t.Errorf("Outliers = %d, want 1", rs.Outliers)
+	}
+	if len(rs.Diags) != 0 {
+		t.Errorf("healthy sample carries diagnostics: %v", rs.Diags)
+	}
+}
+
+func TestRobustDropsNonFinite(t *testing.T) {
+	rs, err := Robust([]float64{5, math.NaN(), 5, math.Inf(1), 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.N != 3 || rs.Median != 5 {
+		t.Errorf("N=%d median=%g after sanitizing, want 3 and 5", rs.N, rs.Median)
+	}
+	if !rs.Diags.Has(NonFinite) || rs.Diags.Dropped() != 2 {
+		t.Errorf("diags %v do not record the 2 dropped values", rs.Diags)
+	}
+}
+
+func TestRobustEmptyAndAllPoisoned(t *testing.T) {
+	for _, xs := range [][]float64{nil, {}, {math.NaN(), math.Inf(1)}} {
+		rs, err := Robust(xs)
+		if !errors.Is(err, ErrInsufficientData) {
+			t.Errorf("Robust(%v) err = %v, want ErrInsufficientData", xs, err)
+		}
+		if !rs.Diags.Has(InsufficientData) {
+			t.Errorf("Robust(%v) diags %v lack InsufficientData", xs, rs.Diags)
+		}
+	}
+}
+
+func TestRobustZeroMADDegenerate(t *testing.T) {
+	// Majority-identical sample: MAD is zero even though the data
+	// varies, so the 3·MAD rule is vacuous and the summary must say so.
+	rs, err := Robust([]float64{7, 7, 7, 7, 7, 12, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.MAD != 0 {
+		t.Fatalf("MAD = %g, want 0", rs.MAD)
+	}
+	if !rs.Diags.Has(Degenerate) {
+		t.Errorf("zero-MAD varying sample lacks Degenerate: %v", rs.Diags)
+	}
+	if rs.Diags.HasHard() {
+		t.Errorf("zero MAD must stay advisory, got %v", rs.Diags)
+	}
+	if rs.Outliers != 2 {
+		t.Errorf("Outliers = %d, want 2 (every off-median point)", rs.Outliers)
+	}
+
+	// A genuinely constant sample is fine: no diagnostics at all.
+	rs, err = Robust([]float64{4, 4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Diags) != 0 || rs.Outliers != 0 {
+		t.Errorf("constant sample: diags %v outliers %d", rs.Diags, rs.Outliers)
+	}
+}
+
+func TestWelchTTestDiagnostics(t *testing.T) {
+	// Poisoned but recoverable samples: the test runs on the survivors
+	// and reports the drop.
+	a := []float64{10, math.NaN(), 11, 9, 10.5}
+	b := []float64{20, 21, math.Inf(1), 19, 20.5}
+	res, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Diags.Has(NonFinite) || res.Diags.Dropped() != 2 {
+		t.Errorf("diags %v do not record 2 dropped samples", res.Diags)
+	}
+	if !res.Diags.HasHard() {
+		t.Error("dropped samples must be a hard diagnostic")
+	}
+
+	// Samples poisoned down to one usable value: typed failure.
+	_, err = WelchTTest([]float64{1, math.NaN(), math.NaN()}, []float64{2, 3, 4})
+	if !errors.Is(err, ErrInsufficientData) {
+		t.Errorf("err = %v, want ErrInsufficientData", err)
+	}
+
+	// Identical constant samples: zero-variance certain verdict carries
+	// the advisory Degenerate flag, not a hard one.
+	res, err = WelchTTest([]float64{5, 5, 5}, []float64{8, 8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Diags.Has(Degenerate) {
+		t.Errorf("zero-variance verdict lacks Degenerate: %v", res.Diags)
+	}
+	if res.Diags.HasHard() {
+		t.Errorf("constant samples must stay advisory: %v", res.Diags)
+	}
+
+	// Healthy input carries no diagnostics.
+	res, err = WelchTTest([]float64{1, 2, 3, 4}, []float64{2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diags) != 0 {
+		t.Errorf("healthy t-test carries diagnostics: %v", res.Diags)
+	}
+}

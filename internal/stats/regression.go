@@ -1,11 +1,18 @@
 package stats
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"numaperf/internal/linalg"
 )
+
+// ErrNonFiniteFit is returned when a regression's coefficients or
+// quality measures come out NaN/Inf even after input sanitation — for
+// instance when the back-transformed exponential overflows. A
+// Regression returned without error never carries non-finite values.
+var ErrNonFiniteFit = errors.New("stats: non-finite fit")
 
 // RegressionKind identifies the functional form of a fitted model.
 // EvSel creates linear, quadratic and exponential regressions to find
@@ -41,13 +48,17 @@ func (k RegressionKind) String() string {
 }
 
 // Regression is a fitted model y ≈ f(x) together with its quality
-// measures.
+// measures. N counts the points actually fitted; Dropped counts the
+// points discarded beforehand (non-finite values, or outside the
+// domain of a log-transformed family), each drop recorded in Diags.
 type Regression struct {
-	Kind   RegressionKind
-	Coeffs []float64 // interpretation depends on Kind; see Predict
-	R2     float64   // coefficient of determination
-	RMSE   float64   // root mean squared residual
-	N      int
+	Kind    RegressionKind
+	Coeffs  []float64 // interpretation depends on Kind; see Predict
+	R2      float64   // coefficient of determination
+	RMSE    float64   // root mean squared residual
+	N       int
+	Dropped int
+	Diags   Diagnostics
 }
 
 // Predict evaluates the fitted model at x.
@@ -121,6 +132,78 @@ func checkXY(xs, ys []float64, minN int) error {
 	return nil
 }
 
+// cleanXY drops point pairs that are non-finite or — when posX/posY is
+// set — outside the domain of a log-transformed family, recording one
+// diagnostic per cause. Already-clean inputs are returned as-is.
+func cleanXY(xs, ys []float64, posX, posY bool) (cx, cy []float64, diags Diagnostics) {
+	finite := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+	nonfin, domain := 0, 0
+	for i := range xs {
+		switch {
+		case !finite(xs[i]) || !finite(ys[i]):
+			nonfin++
+		case (posX && xs[i] <= 0) || (posY && ys[i] <= 0):
+			domain++
+		}
+	}
+	if nonfin == 0 && domain == 0 {
+		return xs, ys, nil
+	}
+	cx = make([]float64, 0, len(xs)-nonfin-domain)
+	cy = make([]float64, 0, cap(cx))
+	for i := range xs {
+		if !finite(xs[i]) || !finite(ys[i]) {
+			continue
+		}
+		if (posX && xs[i] <= 0) || (posY && ys[i] <= 0) {
+			continue
+		}
+		cx = append(cx, xs[i])
+		cy = append(cy, ys[i])
+	}
+	if nonfin > 0 {
+		diags = append(diags, nonFiniteDiag(nonfin))
+	}
+	if domain > 0 {
+		diags = append(diags, Diagnostic{Kind: DomainViolation,
+			Detail: "points outside the log-transform domain removed", Dropped: domain})
+	}
+	return cx, cy, diags
+}
+
+// tooFew builds the uniform error and diagnostic for a fit left with
+// fewer usable points than the family needs.
+func tooFew(kind RegressionKind, usable, total, minN int, diags Diagnostics) (Regression, error) {
+	diags = append(diags, Diagnostic{Kind: InsufficientData,
+		Detail: fmt.Sprintf("%d usable of %d points", usable, total)})
+	return Regression{Kind: kind, Diags: diags, Dropped: total - usable},
+		fmt.Errorf("%w: %s fit needs ≥%d points, only %d of %d usable",
+			ErrInsufficientData, kind, minN, usable, total)
+}
+
+// finalize scores the fit on the cleaned points and rejects any fit
+// whose coefficients or quality measures came out non-finite — the
+// invariant FuzzRegression locks in: a returned Regression never
+// carries NaN or ±Inf.
+func finalize(r Regression, xs, ys []float64) (Regression, error) {
+	r.R2, r.RMSE = rSquared(r, xs, ys)
+	finite := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+	for _, c := range r.Coeffs {
+		if !finite(c) {
+			r.Diags = append(r.Diags, Diagnostic{Kind: NonFinite, Detail: "fit diverged"})
+			return r, fmt.Errorf("%w: %s fit produced non-finite coefficients", ErrNonFiniteFit, r.Kind)
+		}
+	}
+	if !finite(r.R2) || !finite(r.RMSE) {
+		r.Diags = append(r.Diags, Diagnostic{Kind: NonFinite, Detail: "fit diverged"})
+		return r, fmt.Errorf("%w: %s fit produced non-finite R²", ErrNonFiniteFit, r.Kind)
+	}
+	if Variance(ys) == 0 {
+		r.Diags = append(r.Diags, Diagnostic{Kind: Degenerate, Detail: "constant response"})
+	}
+	return r, nil
+}
+
 // rSquared computes 1 − SSres/SStot for predictions of the model.
 func rSquared(r Regression, xs, ys []float64) (r2, rmse float64) {
 	my := Mean(ys)
@@ -142,131 +225,146 @@ func rSquared(r Regression, xs, ys []float64) (r2, rmse float64) {
 }
 
 // FitLinear fits y = a·x + b via least squares (the linear least
-// squares deduction spelled out in the paper).
+// squares deduction spelled out in the paper). Non-finite point pairs
+// are dropped with a NonFinite diagnostic before fitting.
 func FitLinear(xs, ys []float64) (Regression, error) {
 	if err := checkXY(xs, ys, 2); err != nil {
 		return Regression{}, err
 	}
-	design := linalg.New(len(xs), 2)
-	for i, x := range xs {
+	cx, cy, diags := cleanXY(xs, ys, false, false)
+	if len(cx) < 2 {
+		return tooFew(LinearRegression, len(cx), len(xs), 2, diags)
+	}
+	design := linalg.New(len(cx), 2)
+	for i, x := range cx {
 		design.Set(i, 0, x)
 		design.Set(i, 1, 1)
 	}
-	beta, err := linalg.SolveLeastSquares(design, ys)
+	beta, err := linalg.SolveLeastSquares(design, cy)
 	if err != nil {
-		return Regression{}, err
+		return Regression{Kind: LinearRegression, Diags: diags}, err
 	}
-	r := Regression{Kind: LinearRegression, Coeffs: beta, N: len(xs)}
-	r.R2, r.RMSE = rSquared(r, xs, ys)
-	return r, nil
+	r := Regression{Kind: LinearRegression, Coeffs: beta,
+		N: len(cx), Dropped: len(xs) - len(cx), Diags: diags}
+	return finalize(r, cx, cy)
 }
 
-// FitQuadratic fits y = a·x² + b·x + c.
+// FitQuadratic fits y = a·x² + b·x + c, after the same non-finite
+// filtering as FitLinear.
 func FitQuadratic(xs, ys []float64) (Regression, error) {
 	if err := checkXY(xs, ys, 3); err != nil {
 		return Regression{}, err
 	}
-	design := linalg.New(len(xs), 3)
-	for i, x := range xs {
+	cx, cy, diags := cleanXY(xs, ys, false, false)
+	if len(cx) < 3 {
+		return tooFew(QuadraticRegression, len(cx), len(xs), 3, diags)
+	}
+	design := linalg.New(len(cx), 3)
+	for i, x := range cx {
 		design.Set(i, 0, x*x)
 		design.Set(i, 1, x)
 		design.Set(i, 2, 1)
 	}
-	beta, err := linalg.SolveLeastSquares(design, ys)
+	beta, err := linalg.SolveLeastSquares(design, cy)
 	if err != nil {
-		return Regression{}, err
+		return Regression{Kind: QuadraticRegression, Diags: diags}, err
 	}
-	r := Regression{Kind: QuadraticRegression, Coeffs: beta, N: len(xs)}
-	r.R2, r.RMSE = rSquared(r, xs, ys)
-	return r, nil
+	r := Regression{Kind: QuadraticRegression, Coeffs: beta,
+		N: len(cx), Dropped: len(xs) - len(cx), Diags: diags}
+	return finalize(r, cx, cy)
 }
 
 // FitExponential fits y = a·e^(b·x) by log-transforming y, the
 // transformation trick the paper mentions ("more complex functions
 // could be fitted by transforming the data, for instance by applying
-// natural logarithms beforehand"). All y must be positive.
+// natural logarithms beforehand"). Points with y ≤ 0 lie outside the
+// transform's domain and are dropped with a DomainViolation
+// diagnostic; the fit proceeds on the rest.
 func FitExponential(xs, ys []float64) (Regression, error) {
 	if err := checkXY(xs, ys, 2); err != nil {
 		return Regression{}, err
 	}
-	logy := make([]float64, len(ys))
-	for i, y := range ys {
-		if y <= 0 {
-			return Regression{}, fmt.Errorf("%w: exponential fit needs y > 0, got %g at %d",
-				ErrInsufficientData, y, i)
-		}
+	cx, cy, diags := cleanXY(xs, ys, false, true)
+	if len(cx) < 2 {
+		return tooFew(ExponentialRegression, len(cx), len(xs), 2, diags)
+	}
+	logy := make([]float64, len(cy))
+	for i, y := range cy {
 		logy[i] = math.Log(y)
 	}
-	lin, err := FitLinear(xs, logy)
+	lin, err := FitLinear(cx, logy)
 	if err != nil {
-		return Regression{}, err
+		return Regression{Kind: ExponentialRegression, Diags: diags}, err
 	}
 	r := Regression{
-		Kind:   ExponentialRegression,
-		Coeffs: []float64{math.Exp(lin.Coeffs[1]), lin.Coeffs[0]},
-		N:      len(xs),
+		Kind:    ExponentialRegression,
+		Coeffs:  []float64{math.Exp(lin.Coeffs[1]), lin.Coeffs[0]},
+		N:       len(cx),
+		Dropped: len(xs) - len(cx),
+		Diags:   diags,
 	}
-	r.R2, r.RMSE = rSquared(r, xs, ys)
-	return r, nil
+	return finalize(r, cx, cy)
 }
 
-// FitPower fits y = a·x^b by log-log transformation. All x and y must
-// be positive.
+// FitPower fits y = a·x^b by log-log transformation. Points with
+// x ≤ 0 or y ≤ 0 are dropped with a DomainViolation diagnostic.
 func FitPower(xs, ys []float64) (Regression, error) {
 	if err := checkXY(xs, ys, 2); err != nil {
 		return Regression{}, err
 	}
-	logx := make([]float64, len(xs))
-	logy := make([]float64, len(ys))
-	for i := range xs {
-		if xs[i] <= 0 || ys[i] <= 0 {
-			return Regression{}, fmt.Errorf("%w: power fit needs x,y > 0 (x=%g, y=%g at %d)",
-				ErrInsufficientData, xs[i], ys[i], i)
-		}
-		logx[i] = math.Log(xs[i])
-		logy[i] = math.Log(ys[i])
+	cx, cy, diags := cleanXY(xs, ys, true, true)
+	if len(cx) < 2 {
+		return tooFew(PowerRegression, len(cx), len(xs), 2, diags)
+	}
+	logx := make([]float64, len(cx))
+	logy := make([]float64, len(cy))
+	for i := range cx {
+		logx[i] = math.Log(cx[i])
+		logy[i] = math.Log(cy[i])
 	}
 	lin, err := FitLinear(logx, logy)
 	if err != nil {
-		return Regression{}, err
+		return Regression{Kind: PowerRegression, Diags: diags}, err
 	}
 	r := Regression{
-		Kind:   PowerRegression,
-		Coeffs: []float64{math.Exp(lin.Coeffs[1]), lin.Coeffs[0]},
-		N:      len(xs),
+		Kind:    PowerRegression,
+		Coeffs:  []float64{math.Exp(lin.Coeffs[1]), lin.Coeffs[0]},
+		N:       len(cx),
+		Dropped: len(xs) - len(cx),
+		Diags:   diags,
 	}
-	r.R2, r.RMSE = rSquared(r, xs, ys)
-	return r, nil
+	return finalize(r, cx, cy)
 }
 
 // FitLogarithmic fits y = a·ln(x) + b, the transformed-data form the
-// paper suggests for relations that flatten with the parameter. All x
-// must be positive.
+// paper suggests for relations that flatten with the parameter. Points
+// with x ≤ 0 are dropped with a DomainViolation diagnostic.
 func FitLogarithmic(xs, ys []float64) (Regression, error) {
 	if err := checkXY(xs, ys, 2); err != nil {
 		return Regression{}, err
 	}
-	logx := make([]float64, len(xs))
-	for i, x := range xs {
-		if x <= 0 {
-			return Regression{}, fmt.Errorf("%w: logarithmic fit needs x > 0, got %g at %d",
-				ErrInsufficientData, x, i)
-		}
+	cx, cy, diags := cleanXY(xs, ys, true, false)
+	if len(cx) < 2 {
+		return tooFew(LogarithmicRegression, len(cx), len(xs), 2, diags)
+	}
+	logx := make([]float64, len(cx))
+	for i, x := range cx {
 		logx[i] = math.Log(x)
 	}
-	lin, err := FitLinear(logx, ys)
+	lin, err := FitLinear(logx, cy)
 	if err != nil {
-		return Regression{}, err
+		return Regression{Kind: LogarithmicRegression, Diags: diags}, err
 	}
-	r := Regression{Kind: LogarithmicRegression, Coeffs: lin.Coeffs, N: len(xs)}
-	r.R2, r.RMSE = rSquared(r, xs, ys)
-	return r, nil
+	r := Regression{Kind: LogarithmicRegression, Coeffs: lin.Coeffs,
+		N: len(cx), Dropped: len(xs) - len(cx), Diags: diags}
+	return finalize(r, cx, cy)
 }
 
 // FitAll fits every applicable regression kind and returns the fits
-// ordered as [linear, quadratic, exponential, power, logarithmic];
-// kinds whose preconditions fail (e.g. non-positive data for the log
-// transforms) are omitted.
+// ordered as [linear, quadratic, exponential, power, logarithmic].
+// Families that had to drop out-of-domain or non-finite points still
+// appear, with the drops recorded in Dropped/Diags; only families left
+// with too few usable points (or whose fit diverged) are omitted.
 func FitAll(xs, ys []float64) []Regression {
 	var out []Regression
 	if r, err := FitLinear(xs, ys); err == nil {
@@ -289,20 +387,35 @@ func FitAll(xs, ys []float64) []Regression {
 
 // BestFit returns the regression with the highest R² among FitAll's
 // results, preferring simpler forms on near ties (within tieBreak) so
-// that a quadratic never displaces an equally good line.
+// that a quadratic never displaces an equally good line. Fits that
+// kept every point always outrank fits that had to drop some: a family
+// that discarded data only wins when no family could use all of it, so
+// on healthy data the selection is exactly the classic one.
 func BestFit(xs, ys []float64) (Regression, error) {
 	fits := FitAll(xs, ys)
 	if len(fits) == 0 {
 		return Regression{}, fmt.Errorf("%w: no regression applicable", ErrInsufficientData)
 	}
 	const tieBreak = 1e-4
-	best := fits[0]
-	for _, f := range fits[1:] {
-		if f.R2 > best.R2+tieBreak {
-			best = f
+	pick := func(fs []Regression) Regression {
+		best := fs[0]
+		for _, f := range fs[1:] {
+			if f.R2 > best.R2+tieBreak {
+				best = f
+			}
+		}
+		return best
+	}
+	var complete []Regression
+	for _, f := range fits {
+		if f.Dropped == 0 {
+			complete = append(complete, f)
 		}
 	}
-	return best, nil
+	if len(complete) > 0 {
+		return pick(complete), nil
+	}
+	return pick(fits), nil
 }
 
 // PearsonR returns the Pearson correlation coefficient of two samples.

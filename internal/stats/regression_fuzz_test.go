@@ -1,0 +1,98 @@
+// Fuzz target for the regression family. Whatever bytes arrive —
+// decoded as raw float64 series, including NaN, ±Inf, denormals and
+// astronomically scaled values — the fitters must never panic, and
+// every fit they do return must carry finite coefficients, a finite R²
+// and a finite RMSE. Failures must use the package's typed errors so
+// callers can tell "not enough usable data" from "fit diverged".
+package stats
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// decodeSeries reinterprets fuzz bytes as consecutive little-endian
+// float64 pairs (x, y).
+func decodeSeries(data []byte) (xs, ys []float64) {
+	for i := 0; i+16 <= len(data); i += 16 {
+		xs = append(xs, math.Float64frombits(binary.LittleEndian.Uint64(data[i:])))
+		ys = append(ys, math.Float64frombits(binary.LittleEndian.Uint64(data[i+8:])))
+	}
+	return xs, ys
+}
+
+// encodeSeries is decodeSeries' inverse, for seeding the corpus.
+func encodeSeries(xs, ys []float64) []byte {
+	out := make([]byte, 0, 16*len(xs))
+	for i := range xs {
+		var buf [16]byte
+		binary.LittleEndian.PutUint64(buf[:8], math.Float64bits(xs[i]))
+		binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(ys[i]))
+		out = append(out, buf[:]...)
+	}
+	return out
+}
+
+func fuzzSeed(family func(x float64) float64, n int) []byte {
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+		ys[i] = family(xs[i])
+	}
+	return encodeSeries(xs, ys)
+}
+
+func FuzzRegression(f *testing.F) {
+	// One seed per fitted family...
+	f.Add(fuzzSeed(func(x float64) float64 { return 2*x + 1 }, 6))
+	f.Add(fuzzSeed(func(x float64) float64 { return 3*x*x - 2*x + 7 }, 6))
+	f.Add(fuzzSeed(func(x float64) float64 { return 2.5 * math.Exp(0.7*x) }, 6))
+	f.Add(fuzzSeed(func(x float64) float64 { return 3 * math.Pow(x, 1.5) }, 6))
+	f.Add(fuzzSeed(func(x float64) float64 { return 100 - 7*math.Log(x) }, 6))
+	// ...and the degenerate shapes the robustness layer guards against.
+	f.Add(encodeSeries([]float64{1, 2, 3, 4}, []float64{5, math.NaN(), 7, math.Inf(1)}))
+	f.Add(encodeSeries([]float64{1, 1, 1, 1}, []float64{2, 2, 2, 2}))       // constant both
+	f.Add(encodeSeries([]float64{1, 2, 3, 4}, []float64{-1, -2, -3, -4}))  // log-domain violations
+	f.Add(encodeSeries([]float64{1e300, 2e300, 3e300}, []float64{1, 2, 3})) // overflow-prone
+	f.Add(encodeSeries([]float64{1}, []float64{1}))                         // too short
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		xs, ys := decodeSeries(data)
+		for _, r := range FitAll(xs, ys) {
+			checkFiniteFit(t, r)
+		}
+		best, err := BestFit(xs, ys)
+		if err != nil {
+			if !errors.Is(err, ErrInsufficientData) && !errors.Is(err, ErrNonFiniteFit) {
+				t.Fatalf("untyped BestFit error: %v", err)
+			}
+			return
+		}
+		checkFiniteFit(t, best)
+	})
+}
+
+func checkFiniteFit(t *testing.T, r Regression) {
+	t.Helper()
+	if math.IsNaN(r.R2) || math.IsInf(r.R2, 0) {
+		t.Fatalf("%v fit has non-finite R² %g", r.Kind, r.R2)
+	}
+	if math.IsNaN(r.RMSE) || math.IsInf(r.RMSE, 0) {
+		t.Fatalf("%v fit has non-finite RMSE %g", r.Kind, r.RMSE)
+	}
+	if v := r.R(); math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("%v fit has non-finite R %g", r.Kind, v)
+	}
+	for i, c := range r.Coeffs {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			t.Fatalf("%v fit coefficient %d is %g", r.Kind, i, c)
+		}
+	}
+	if strings.Contains(r.Equation(), "NaN") {
+		t.Fatalf("%v equation renders NaN: %s", r.Kind, r.Equation())
+	}
+}

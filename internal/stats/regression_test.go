@@ -76,8 +76,22 @@ func TestFitExponentialExact(t *testing.T) {
 	if math.Abs(r.Coeffs[0]-2.5) > 1e-8 || math.Abs(r.Coeffs[1]-0.7) > 1e-8 {
 		t.Errorf("coeffs = %v, want [2.5 0.7]", r.Coeffs)
 	}
-	if _, err := FitExponential(xs, []float64{1, -1, 1, 1, 1}); err == nil {
-		t.Error("negative y must fail the exponential fit")
+	// A negative y is outside the log transform's domain: the point is
+	// dropped with a DomainViolation diagnostic and the fit proceeds on
+	// the rest.
+	part, err := FitExponential(xs, []float64{1, -1, 1, 1, 1})
+	if err != nil {
+		t.Fatalf("partial exponential fit: %v", err)
+	}
+	if part.Dropped != 1 || !part.Diags.Has(DomainViolation) {
+		t.Errorf("dropped=%d diags=%v, want 1 dropped with DomainViolation", part.Dropped, part.Diags)
+	}
+	if part.N != 4 {
+		t.Errorf("N = %d, want 4", part.N)
+	}
+	// With fewer than two usable points the fit still fails.
+	if _, err := FitExponential([]float64{1, 2}, []float64{-1, -2}); !errors.Is(err, ErrInsufficientData) {
+		t.Errorf("all-negative y: %v", err)
 	}
 }
 
@@ -94,8 +108,10 @@ func TestFitPowerExact(t *testing.T) {
 	if math.Abs(r.Coeffs[0]-3) > 1e-8 || math.Abs(r.Coeffs[1]-1.5) > 1e-8 {
 		t.Errorf("coeffs = %v, want [3 1.5]", r.Coeffs)
 	}
-	if _, err := FitPower([]float64{-1, 2}, []float64{1, 2}); err == nil {
-		t.Error("negative x must fail the power fit")
+	// Dropping the out-of-domain point leaves a single pair — not
+	// enough to fit.
+	if _, err := FitPower([]float64{-1, 2}, []float64{1, 2}); !errors.Is(err, ErrInsufficientData) {
+		t.Error("one usable point must fail the power fit")
 	}
 }
 
@@ -144,23 +160,38 @@ func TestBestFitPrefersCorrectForm(t *testing.T) {
 	}
 }
 
-func TestFitAllOmitsInapplicable(t *testing.T) {
+func TestFitAllMarksPartialFits(t *testing.T) {
 	xs := []float64{1, 2, 3, 4}
-	ys := []float64{-1, 2, -3, 4} // negatives: exponential and power must drop out
+	ys := []float64{-1, 2, -3, 4} // negatives: exponential and power must filter
 	fits := FitAll(xs, ys)
+	if len(fits) != 5 {
+		t.Fatalf("got %d fits, want all 5 families", len(fits))
+	}
 	for _, f := range fits {
-		if f.Kind == ExponentialRegression || f.Kind == PowerRegression {
-			t.Errorf("inapplicable fit %v returned", f.Kind)
+		switch f.Kind {
+		case ExponentialRegression, PowerRegression:
+			if f.Dropped != 2 || !f.Diags.Has(DomainViolation) {
+				t.Errorf("%v: dropped=%d diags=%v, want 2 dropped with DomainViolation",
+					f.Kind, f.Dropped, f.Diags)
+			}
+		default:
+			if f.Dropped != 0 || len(f.Diags) != 0 {
+				t.Errorf("%v: unexpected drops on in-domain data: %d %v", f.Kind, f.Dropped, f.Diags)
+			}
 		}
 	}
-	if len(fits) != 3 {
-		t.Errorf("got %d fits, want linear+quadratic+logarithmic", len(fits))
+	// BestFit never lets a partial fit displace a complete one.
+	best, err := BestFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
 	}
-	// Negative x additionally rules out the logarithmic form.
-	fits = FitAll([]float64{-1, 2, 3, 4}, ys)
-	for _, f := range fits {
-		if f.Kind == LogarithmicRegression {
-			t.Error("logarithmic fit with non-positive x returned")
+	if best.Dropped != 0 {
+		t.Errorf("best fit %v dropped %d points despite complete alternatives", best.Kind, best.Dropped)
+	}
+	// Negative x additionally cuts into the logarithmic form's domain.
+	for _, f := range FitAll([]float64{-1, 2, 3, 4}, ys) {
+		if f.Kind == LogarithmicRegression && f.Dropped == 0 {
+			t.Error("logarithmic fit with non-positive x must drop the point")
 		}
 	}
 }

@@ -15,8 +15,9 @@ type TTestResult struct {
 	Confidence float64 // 1 − P
 	MeanA      float64
 	MeanB      float64
-	Delta      float64 // MeanB − MeanA
-	Relative   float64 // (MeanB − MeanA) / MeanA
+	Delta      float64     // MeanB − MeanA
+	Relative   float64     // (MeanB − MeanA) / MeanA
+	Diags      Diagnostics // degradations observed in the input samples
 }
 
 // Significant reports whether the difference is significant at level
@@ -31,14 +32,33 @@ func (r TTestResult) String() string {
 		r.T, r.DF, r.P, 100*r.Confidence, r.Delta, 100*r.Relative)
 }
 
+// sanitizePair drops non-finite values from both samples, returning
+// the cleaned slices plus the shared NonFinite diagnostic (nil when
+// both were already clean).
+func sanitizePair(a, b []float64) ([]float64, []float64, Diagnostics) {
+	ca, da := SanitizeSamples(a)
+	cb, db := SanitizeSamples(b)
+	var diags Diagnostics
+	if da+db > 0 {
+		diags = append(diags, nonFiniteDiag(da+db))
+	}
+	return ca, cb, diags
+}
+
 // WelchTTest compares the means of two samples without assuming equal
 // population sizes, using Welch's method as the paper specifies for
 // user-chosen program runs of differing repetition counts. Variances
-// use Bessel's correction. It returns ErrInsufficientData when either
-// sample has fewer than two observations.
+// use Bessel's correction. NaN and ±Inf observations are dropped with
+// a NonFinite diagnostic before testing; a certain-difference verdict
+// reached from zero-variance samples is flagged Degenerate. It returns
+// ErrInsufficientData when either sample has fewer than two usable
+// observations.
 func WelchTTest(a, b []float64) (TTestResult, error) {
+	a, b, diags := sanitizePair(a, b)
 	if len(a) < 2 || len(b) < 2 {
-		return TTestResult{}, fmt.Errorf("%w: need ≥2 samples per group, got %d and %d",
+		diags = append(diags, Diagnostic{Kind: InsufficientData,
+			Detail: fmt.Sprintf("%d and %d usable samples", len(a), len(b))})
+		return TTestResult{Diags: diags}, fmt.Errorf("%w: need ≥2 samples per group, got %d and %d",
 			ErrInsufficientData, len(a), len(b))
 	}
 	ma, mb := Mean(a), Mean(b)
@@ -50,13 +70,16 @@ func WelchTTest(a, b []float64) (TTestResult, error) {
 		MeanB:    mb,
 		Delta:    mb - ma,
 		Relative: RelativeChange(ma, mb),
+		Diags:    diags,
 	}
 	sa, sb := va/na, vb/nb
 	se := math.Sqrt(sa + sb)
 	if se == 0 {
 		// Identical constant samples: no evidence of difference (p=1)
 		// unless the means differ, which with zero variance is a
-		// certain difference (p=0).
+		// certain difference (p=0) — but one the t-test's normality
+		// assumption cannot actually support, so it carries a
+		// Degenerate annotation.
 		if ma == mb {
 			res.T, res.DF, res.P, res.Confidence = 0, na+nb-2, 1, 0
 		} else {
@@ -64,6 +87,8 @@ func WelchTTest(a, b []float64) (TTestResult, error) {
 			res.DF = na + nb - 2
 			res.P = 0
 			res.Confidence = 1
+			res.Diags = append(res.Diags, Diagnostic{Kind: Degenerate,
+				Detail: "zero variance in both samples with differing means"})
 		}
 		return res, nil
 	}
@@ -78,10 +103,14 @@ func WelchTTest(a, b []float64) (TTestResult, error) {
 // PooledTTest is the classic Student's t-test assuming equal variances,
 // kept alongside Welch's variant because EvSel "assumes similar
 // standard deviations for both measurements since the mechanisms
-// producing the values are the same".
+// producing the values are the same". It applies the same input
+// sanitation and diagnostics as WelchTTest.
 func PooledTTest(a, b []float64) (TTestResult, error) {
+	a, b, diags := sanitizePair(a, b)
 	if len(a) < 2 || len(b) < 2 {
-		return TTestResult{}, fmt.Errorf("%w: need ≥2 samples per group, got %d and %d",
+		diags = append(diags, Diagnostic{Kind: InsufficientData,
+			Detail: fmt.Sprintf("%d and %d usable samples", len(a), len(b))})
+		return TTestResult{Diags: diags}, fmt.Errorf("%w: need ≥2 samples per group, got %d and %d",
 			ErrInsufficientData, len(a), len(b))
 	}
 	ma, mb := Mean(a), Mean(b)
@@ -97,6 +126,7 @@ func PooledTTest(a, b []float64) (TTestResult, error) {
 		DF:       df,
 		Delta:    mb - ma,
 		Relative: RelativeChange(ma, mb),
+		Diags:    diags,
 	}
 	if se == 0 {
 		if ma == mb {
@@ -105,6 +135,8 @@ func PooledTTest(a, b []float64) (TTestResult, error) {
 			res.T = math.Inf(sign(mb - ma))
 			res.P = 0
 			res.Confidence = 1
+			res.Diags = append(res.Diags, Diagnostic{Kind: Degenerate,
+				Detail: "zero variance in both samples with differing means"})
 		}
 		return res, nil
 	}
