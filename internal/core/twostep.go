@@ -565,7 +565,23 @@ func (s *Strategy) Transfer(calibration []TrainingPoint) (*Strategy, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: transfer: %w", err)
 	}
-	return &Strategy{Indicators: s.Indicators, Cost: cost, ParamName: s.ParamName}, nil
+	// Retraining may drop constant or collinear columns on the
+	// calibration data, so the indicator models must be filtered to the
+	// kept events, in cost.Events order, to stay aligned with Beta.
+	byEvent := make(map[counters.EventID]IndicatorModel, len(s.Indicators))
+	for _, im := range s.Indicators {
+		byEvent[im.Event] = im
+	}
+	inds := make([]IndicatorModel, 0, len(cost.Events))
+	for _, id := range cost.Events {
+		im, ok := byEvent[id]
+		if !ok {
+			return nil, fmt.Errorf("core: transfer: cost model kept %s but the source strategy has no extrapolation model for it",
+				counters.Def(id).Name)
+		}
+		inds = append(inds, im)
+	}
+	return &Strategy{Indicators: inds, Cost: cost, ParamName: s.ParamName}, nil
 }
 
 // Degraded reports whether any step of the strategy had to deviate

@@ -269,6 +269,69 @@ func TestTransferToOtherMachine(t *testing.T) {
 	}
 }
 
+// TestTransferRealignsDroppedIndicators pins the alignment contract
+// between Indicators and Cost.Events when retraining on calibration
+// data forces the cost model to drop columns: two of the three source
+// indicators are constant on the target machine, so only one survives
+// and the indicator models must be filtered to match.
+func TestTransferRealignsDroppedIndicators(t *testing.T) {
+	mk := func(shape func(p float64) (a, l3, rd uint64)) []TrainingPoint {
+		var pts []TrainingPoint
+		for i := 1; i <= 10; i++ {
+			p := float64(i)
+			a, l3, rd := shape(p)
+			c := counters.NewCounts()
+			c[counters.AllLoads] = a
+			c[counters.L3Miss] = l3
+			c[counters.RemoteDRAM] = rd
+			pts = append(pts, TrainingPoint{Param: p, Counts: c,
+				Cycles: 4*float64(a) + 11*float64(l3) + 3*float64(rd) + 500})
+		}
+		return pts
+	}
+	train := mk(func(p float64) (uint64, uint64, uint64) {
+		return uint64(1000 * p), uint64(300 * p * p), uint64(10 * p * p * p)
+	})
+	st, err := Build(train, "n", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Indicators) != 3 {
+		t.Fatalf("synthetic build selected %d indicators, want 3", len(st.Indicators))
+	}
+	// On the target machine two of the three counters never vary.
+	calib := mk(func(p float64) (uint64, uint64, uint64) {
+		return uint64(1000 * p), 5000, 777
+	})
+	moved, err := st.Transfer(calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moved.Cost.Events) != 1 {
+		t.Fatalf("retrained cost model kept %d columns, want 1", len(moved.Cost.Events))
+	}
+	if len(moved.Indicators) != len(moved.Cost.Events) {
+		t.Fatalf("%d indicator models for %d cost columns", len(moved.Indicators), len(moved.Cost.Events))
+	}
+	for i, im := range moved.Indicators {
+		if im.Event != moved.Cost.Events[i] {
+			t.Errorf("indicator %d is %s, cost column is %s", i,
+				counters.Def(im.Event).Name, counters.Def(moved.Cost.Events[i]).Name)
+		}
+	}
+	// String must not index Beta past its length, and the dropped
+	// columns must surface as a caveat.
+	if out := moved.String(); !strings.Contains(out, "caveat") {
+		t.Errorf("transfer onto degenerate calibration lacks a caveat:\n%s", out)
+	}
+	// The surviving column is a perfect linear predictor on the
+	// calibration data, so the two-step prediction is near exact.
+	want := 4*1000*12.0 + 11*5000 + 3*777 + 500
+	if got := moved.PredictCycles(12); math.Abs(got-want)/want > 0.05 {
+		t.Errorf("PredictCycles(12) = %.0f, want ≈ %.0f", got, want)
+	}
+}
+
 func TestBuildErrors(t *testing.T) {
 	if _, err := Build(nil, "x", 3); err == nil {
 		t.Error("no points must fail")

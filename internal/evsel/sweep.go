@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"numaperf/internal/counters"
 	"numaperf/internal/exec"
@@ -26,6 +27,13 @@ type Sweep struct {
 	// ParamName labels the varied parameter (e.g. "threads").
 	ParamName string
 	Points    []SweepPoint
+
+	// Correlate refits every regression for every event, so its result
+	// is memoised: Render, Degraded and HardDegraded all consume it and
+	// would otherwise triple the fitting work on large sweeps.
+	corrMu  sync.Mutex
+	corr    []Correlation
+	corrFor int // len(Points) the memo was computed from
 }
 
 // RunSweep builds the engines and measurements for each parameter
@@ -82,6 +90,19 @@ func (c Correlation) Degraded() bool { return len(c.Diags) > 0 }
 // non-finite or otherwise degenerate — are not skipped silently: they
 // appear with a zero R, no fitted form, and a diagnostic saying why.
 func (s *Sweep) Correlate() []Correlation {
+	s.corrMu.Lock()
+	defer s.corrMu.Unlock()
+	if s.corr == nil || s.corrFor != len(s.Points) {
+		s.corr = s.correlate()
+		s.corrFor = len(s.Points)
+	}
+	// Hand out a copy of the slice so callers cannot disturb the memo.
+	out := make([]Correlation, len(s.corr))
+	copy(out, s.corr)
+	return out
+}
+
+func (s *Sweep) correlate() []Correlation {
 	if len(s.Points) == 0 {
 		return nil
 	}

@@ -240,7 +240,9 @@ func DetectTwoPhases(samples []oslite.FootprintSample) (*Split, error) {
 
 // DetectPhases segments the series into exactly k phases by dynamic
 // programming over segment boundaries, minimising the total SSE of the
-// per-segment linear fits. k = 2 reproduces DetectTwoPhases; larger k
+// per-segment linear fits. k = 2 performs the same pivot search as
+// DetectTwoPhases but applies no transition test — callers such as
+// Analyze run TransitionCheck on the result themselves; larger k
 // recognises BSP-like supersteps.
 func DetectPhases(samples []oslite.FootprintSample, k int) (*Split, error) {
 	n := len(samples)

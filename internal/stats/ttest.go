@@ -58,7 +58,7 @@ func WelchTTest(a, b []float64) (TTestResult, error) {
 	if len(a) < 2 || len(b) < 2 {
 		diags = append(diags, Diagnostic{Kind: InsufficientData,
 			Detail: fmt.Sprintf("%d and %d usable samples", len(a), len(b))})
-		return TTestResult{Diags: diags}, fmt.Errorf("%w: need ≥2 samples per group, got %d and %d",
+		return TTestResult{Diags: diags}, fmt.Errorf("%w: need ≥2 usable samples per group, only %d and %d usable",
 			ErrInsufficientData, len(a), len(b))
 	}
 	ma, mb := Mean(a), Mean(b)
@@ -110,7 +110,7 @@ func PooledTTest(a, b []float64) (TTestResult, error) {
 	if len(a) < 2 || len(b) < 2 {
 		diags = append(diags, Diagnostic{Kind: InsufficientData,
 			Detail: fmt.Sprintf("%d and %d usable samples", len(a), len(b))})
-		return TTestResult{Diags: diags}, fmt.Errorf("%w: need ≥2 samples per group, got %d and %d",
+		return TTestResult{Diags: diags}, fmt.Errorf("%w: need ≥2 usable samples per group, only %d and %d usable",
 			ErrInsufficientData, len(a), len(b))
 	}
 	ma, mb := Mean(a), Mean(b)
