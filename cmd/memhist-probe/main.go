@@ -80,6 +80,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		stats := srv.Stats()
 		fmt.Fprintf(stdout, "memhist-probe: served %d, errors %d, rejected %d, encode failures %d\n",
 			stats.Served, stats.ErrorsSent, stats.RejectedOverload+stats.RejectedDraining, stats.EncodeFailures)
+		// Fidelity summary, only when sampling actually lost something:
+		// the drain output of a lossless probe is unchanged.
+		if stats.SamplesDropped > 0 || stats.ThrottledCycles > 0 || stats.LowCoverageServed > 0 {
+			fmt.Fprintf(stdout, "memhist-probe: fidelity: %d samples dropped, %d cycles throttled, %d low-coverage responses\n",
+				stats.SamplesDropped, stats.ThrottledCycles, stats.LowCoverageServed)
+		}
 		if err != nil {
 			fmt.Fprintf(stderr, "memhist-probe: drain timeout exceeded, connections force-closed: %v\n", err)
 			return 1

@@ -11,6 +11,12 @@
 //	memhist -workload sift -threads 8 -machine dl580
 //	memhist -workload mlc-remote -remote host:9844
 //	memhist -workload sift -remote host:9844 -retries 3 -fallback-local
+//	memhist -workload mlc-local -adaptive -strict -min-coverage 0.5
+//
+// The histogram carries a sampling-fidelity report (coverage, dropped
+// records, throttled cycles); -strict turns fidelity into an exit code:
+// the report is always printed, but coverage below -min-coverage or a
+// clamped-negative-mass share above -max-clamped-share exits nonzero.
 package main
 
 import (
@@ -44,6 +50,12 @@ func main() {
 		width    = flag.Int("width", 60, "histogram bar width")
 		seed     = flag.Int64("seed", 1, "noise seed")
 		wlList   = flag.Bool("workloads", false, "list available workloads")
+		adaptive = flag.Bool("adaptive", false, "repair starved thresholds with adaptive dwell cycling")
+		strict   = flag.Bool("strict", false, "exit nonzero when the fidelity gates below fail")
+		minCov   = flag.Float64("min-coverage", memhist.DefaultCoverageFloor,
+			"-strict gate: minimum sampling coverage")
+		maxClamp = flag.Float64("max-clamped-share", 1,
+			"-strict gate: maximum share of histogram mass clamped as negative artefacts")
 	)
 	flag.Parse()
 
@@ -69,6 +81,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if bounds != nil {
+		// Validate up front for a typed CLI error; Collect/Exact and the
+		// probe re-validate with the same rules.
+		if err := memhist.ValidateBounds(bounds); err != nil {
+			fatal(err)
+		}
+	}
 
 	mach, ok := topology.ByName(*machine)
 	if !ok {
@@ -85,6 +104,7 @@ func main() {
 			SliceCycles: *slice,
 			Reps:        *reps,
 			Exact:       *exact,
+			Adaptive:    *adaptive,
 			Seed:        *seed,
 		}, memhist.FetchOptions{
 			Timeout:       *probeTO,
@@ -116,6 +136,7 @@ func main() {
 				Bounds:      bounds,
 				SliceCycles: *slice,
 				Reps:        *reps,
+				Adaptive:    *adaptive,
 			})
 		}
 		if err != nil {
@@ -135,6 +156,26 @@ func main() {
 	}
 	if n := h.NegativeArtifacts(); n > 0 {
 		fmt.Printf("\n%d interval(s) with negative estimates — threshold-cycling artefact, see paper §IV-B\n", n)
+	}
+	if h.Quality != nil {
+		fmt.Printf("\nsampling fidelity: %s\n", h.Quality)
+	}
+
+	// -strict: the report above is always printed; fidelity only decides
+	// the exit code, matching the other CLIs' strict mode.
+	if *strict {
+		failed := false
+		if cov := h.Coverage(); cov < *minCov {
+			fmt.Fprintf(os.Stderr, "memhist: -strict: sampling coverage %.3f below floor %.3f\n", cov, *minCov)
+			failed = true
+		}
+		if _, share := h.ClampedMass(); share > *maxClamp {
+			fmt.Fprintf(os.Stderr, "memhist: -strict: clamped negative mass share %.3f exceeds %.3f\n", share, *maxClamp)
+			failed = true
+		}
+		if failed {
+			os.Exit(1)
+		}
 	}
 }
 

@@ -142,6 +142,11 @@ func (e *Engine) SetPostChunkHook(h func()) { e.hook = h }
 // supervision (wall-clock timeouts being the other half).
 func (e *Engine) SetOpBudget(n uint64) { e.opBudget = n }
 
+// OpBudget returns the per-run operation cap set via SetOpBudget;
+// 0 means unlimited. The perf layer uses it to pre-size sample
+// buffers for budgeted runs.
+func (e *Engine) OpBudget() uint64 { return e.opBudget }
+
 // coreOf maps a thread index to a core per the configured mapping.
 func (e *Engine) coreOf(tid int) int {
 	m := e.cfg.Machine

@@ -1,0 +1,326 @@
+package faultperf_test
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"numaperf/internal/exec"
+	"numaperf/internal/faultperf"
+	"numaperf/internal/memhist"
+	"numaperf/internal/perf"
+	"numaperf/internal/topology"
+	"numaperf/internal/workloads"
+)
+
+// The sampling chaos suite: every scripted PMU disturbance — overrun
+// bursts, throttle storms, threshold starvation, observer stalls — must
+// yield a histogram that is finite, annotated with a quality report
+// whose ledgers balance, and within loose error bounds of the lossless
+// ground truth. Runs under -race in CI; the Script is inspected from
+// the test goroutine while measurements are in flight.
+
+const slice = 100_000
+
+func chaosEngine(t *testing.T) *exec.Engine {
+	t.Helper()
+	// A small scheduling chunk keeps the effective slice length close
+	// to the requested one (rotation happens at chunk boundaries), so
+	// the workload completes several full threshold rounds — the
+	// adaptive cycler evaluates starvation only at round boundaries.
+	e, err := exec.NewEngine(exec.Config{
+		Machine: topology.TwoSocket(),
+		Threads: 1,
+		Seed:    77,
+		Chunk:   1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func body() func(*exec.Thread) {
+	return workloads.MLC{BufferBytes: 2 << 20, Chases: 60_000}.Body()
+}
+
+// lossless measures the ground truth: same workload, same slicing, no
+// faults.
+func lossless(t *testing.T, e *exec.Engine) *memhist.Histogram {
+	t.Helper()
+	h, err := memhist.Collect(e, body(), memhist.Options{SliceCycles: slice})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// assertSane checks the invariants every faulted histogram must keep:
+// finite counts, a quality report whose record ledger balances, and
+// confidence annotations in [0, 1].
+func assertSane(t *testing.T, h *memhist.Histogram) {
+	t.Helper()
+	for i, c := range h.Counts {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			t.Fatalf("count[%d] = %v, want finite", i, c)
+		}
+	}
+	q := h.Quality
+	if q == nil {
+		t.Fatal("faulted histogram must carry a quality report")
+	}
+	if q.RecordsSeen != q.RecordsKept+q.Dropped() {
+		t.Errorf("record ledger does not balance: seen %d != kept %d + dropped %d",
+			q.RecordsSeen, q.RecordsKept, q.Dropped())
+	}
+	if c := q.Coverage(); math.IsNaN(c) || c < 0 || c > 1 {
+		t.Errorf("coverage %v outside [0,1]", c)
+	}
+	if d := q.DutyCycle(); math.IsNaN(d) || d < 0 || d > 1 {
+		t.Errorf("duty cycle %v outside [0,1]", d)
+	}
+	if h.Confidence == nil {
+		t.Fatal("cycled histogram must carry confidence annotations")
+	}
+	for i, c := range h.Confidence {
+		if math.IsNaN(c) || c < 0 || c > 1 {
+			t.Errorf("confidence[%d] = %v outside [0,1]", i, c)
+		}
+	}
+}
+
+func TestOverrunBurstStaysFiniteAndAccounted(t *testing.T) {
+	e := chaosEngine(t)
+	base := lossless(t, e)
+	total := base.Quality.TotalCycles
+
+	s := faultperf.NewScript().OverrunBurst(0, total/2)
+	h, err := memhist.Collect(e, body(), memhist.Options{
+		SliceCycles: slice,
+		Sampler:     perf.SamplerOptions{Disruptor: s},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSane(t, h)
+	if h.Quality.DroppedOverrun == 0 {
+		t.Error("burst dropped no records")
+	}
+	if got, want := h.Quality.DroppedOverrun, uint64(s.RecordsDropped()); got != want {
+		t.Errorf("quality reports %d overrun drops, script fired %d", got, want)
+	}
+	if !errors.Is(s.Err(), faultperf.ErrInjected) {
+		t.Errorf("script.Err() = %v, want ErrInjected", s.Err())
+	}
+	// Half the run's records are gone and overruns do not reduce dwell,
+	// so the total shrinks — but must stay within loose bounds of truth.
+	if bt, ht := base.Total(), h.Total(); ht < bt/8 || ht > bt*1.5 {
+		t.Errorf("faulted total %.0f vs lossless %.0f out of bounds", ht, bt)
+	}
+}
+
+func TestThrottleStormSuppressesDwell(t *testing.T) {
+	e := chaosEngine(t)
+	base := lossless(t, e)
+	total := base.Quality.TotalCycles
+
+	s := faultperf.NewScript().ThrottleStorm(total/4, total/2)
+	h, err := memhist.Collect(e, body(), memhist.Options{
+		SliceCycles: slice,
+		Sampler:     perf.SamplerOptions{Disruptor: s},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSane(t, h)
+	q := h.Quality
+	if q.DroppedThrottle == 0 || q.ThrottledCycles == 0 {
+		t.Errorf("storm left no throttle trace: dropped %d, throttled %d cycles",
+			q.DroppedThrottle, q.ThrottledCycles)
+	}
+	if q.DutyCycle() >= 1 {
+		t.Errorf("duty cycle %v, want < 1 under a throttle storm", q.DutyCycle())
+	}
+	if s.ThrottlesFired() == 0 {
+		t.Error("script recorded no fired throttles")
+	}
+	// The storm spans a quarter of the run; accounting must not invent
+	// more suppressed time than that (plus slice-rounding slack).
+	if limit := total/4 + 2*slice; q.ThrottledCycles > limit {
+		t.Errorf("throttled %d cycles, storm window only allows ~%d", q.ThrottledCycles, limit)
+	}
+	// Duty-cycle scaling compensates for lost dwell: the total stays
+	// within loose bounds of the lossless ground truth.
+	if bt, ht := base.Total(), h.Total(); ht < bt/4 || ht > bt*4 {
+		t.Errorf("faulted total %.0f vs lossless %.0f out of bounds", ht, bt)
+	}
+}
+
+func TestStarvationRepairedByAdaptiveCycler(t *testing.T) {
+	e := chaosEngine(t)
+	base := lossless(t, e)
+	// Starve threshold 3 of three quarters of its fair slice count —
+	// far below the coverage floor if nothing repairs it.
+	slicesPer := int(base.Quality.TotalCycles/slice) / len(memhist.DefaultBounds)
+	if slicesPer < 2 {
+		t.Fatalf("workload too short: %d slices per threshold", slicesPer)
+	}
+	starveN := (3 * slicesPer) / 4
+	if starveN < 2 {
+		starveN = 2
+	}
+
+	sFixed := faultperf.NewScript().Starve(3, starveN)
+	hFixed, err := memhist.Collect(e, body(), memhist.Options{
+		SliceCycles: slice,
+		Sampler:     perf.SamplerOptions{Disruptor: sFixed},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSane(t, hFixed)
+
+	sAdaptive := faultperf.NewScript().Starve(3, starveN)
+	hAdaptive, err := memhist.Collect(e, body(), memhist.Options{
+		SliceCycles:     slice,
+		Adaptive:        true,
+		MaxRepairSlices: slicesPer,
+		Sampler:         perf.SamplerOptions{Disruptor: sAdaptive},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSane(t, hAdaptive)
+
+	covFixed := hFixed.Quality.ThresholdCoverage(3)
+	covAdaptive := hAdaptive.Quality.ThresholdCoverage(3)
+	if covFixed >= memhist.DefaultCoverageFloor {
+		t.Errorf("fixed cycler coverage %.3f, starvation should push it below the %.2f floor",
+			covFixed, memhist.DefaultCoverageFloor)
+	}
+	if covAdaptive <= covFixed {
+		t.Errorf("adaptive coverage %.3f did not improve on fixed %.3f", covAdaptive, covFixed)
+	}
+	if covAdaptive < 0.9*memhist.DefaultCoverageFloor {
+		t.Errorf("adaptive coverage %.3f, want ≈ the %.2f floor on a repairable script",
+			covAdaptive, memhist.DefaultCoverageFloor)
+	}
+	if sAdaptive.SlicesStarved() == 0 {
+		t.Error("adaptive run was never actually starved")
+	}
+}
+
+func TestObserverStallCapsKeptRecords(t *testing.T) {
+	e := chaosEngine(t)
+	const bufCap = 64
+	s := faultperf.NewScript().ObserverStall(0, 0)
+	h, err := memhist.Collect(e, body(), memhist.Options{
+		SliceCycles: slice,
+		Sampler:     perf.SamplerOptions{BufferCap: bufCap, Disruptor: s},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSane(t, h)
+	q := h.Quality
+	if s.DrainsStalled() == 0 {
+		t.Fatal("no drains were stalled")
+	}
+	if q.RecordsSeen <= bufCap {
+		t.Fatalf("workload too quiet: only %d records seen", q.RecordsSeen)
+	}
+	// With every PMI drain wedged, the buffer fills once and never
+	// empties: exactly BufferCap records survive the whole run.
+	if q.RecordsKept != bufCap {
+		t.Errorf("kept %d records, want exactly the buffer cap %d", q.RecordsKept, bufCap)
+	}
+	if q.DroppedOverrun != q.RecordsSeen-bufCap {
+		t.Errorf("overrun drops %d, want %d", q.DroppedOverrun, q.RecordsSeen-bufCap)
+	}
+}
+
+func TestKernelThrottleBudget(t *testing.T) {
+	e := chaosEngine(t)
+	// No scripted faults at all: the built-in interrupt-throttle model
+	// alone must degrade gracefully when the record rate exceeds the
+	// kernel budget.
+	h, err := memhist.Collect(e, body(), memhist.Options{
+		SliceCycles: slice,
+		Sampler:     perf.SamplerOptions{ThrottleLimit: 40, ThrottleWindow: 100_000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSane(t, h)
+	q := h.Quality
+	if q.DroppedThrottle == 0 {
+		t.Error("throttle budget was never exhausted")
+	}
+	if q.DutyCycle() >= 1 {
+		t.Errorf("duty cycle %v, want < 1 under kernel throttling", q.DutyCycle())
+	}
+}
+
+func TestUnrepairedStarvationRendersLowConfidence(t *testing.T) {
+	e := chaosEngine(t)
+	// Starve threshold 5 for the entire run with the fixed cycler: its
+	// estimate stays zero and the bins subtracted from it must be
+	// flagged, not silently trusted.
+	s := faultperf.NewScript().Starve(5, 1_000_000)
+	h, err := memhist.Collect(e, body(), memhist.Options{
+		SliceCycles: slice,
+		Sampler:     perf.SamplerOptions{Disruptor: s},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSane(t, h)
+	if cov := h.Quality.ThresholdCoverage(5); cov != 0 {
+		t.Errorf("fully starved threshold has coverage %.3f, want 0", cov)
+	}
+	for _, i := range []int{4, 5} {
+		if c := h.BinConfidence(i); c >= memhist.LowConfidence {
+			t.Errorf("bin %d confidence %.3f, want < %.2f next to a starved threshold",
+				i, c, memhist.LowConfidence)
+		}
+	}
+	for _, mode := range []memhist.Mode{memhist.Occurrences, memhist.Costs} {
+		out := h.Render(mode, 40)
+		if !strings.Contains(out, "LOW CONFIDENCE") {
+			t.Errorf("%s render lacks LOW CONFIDENCE marker:\n%s", mode, out)
+		}
+		if !strings.Contains(out, "sampling coverage") {
+			t.Errorf("%s render lacks the coverage footer:\n%s", mode, out)
+		}
+	}
+}
+
+func TestCombinedStormWithinBoundsOfGroundTruth(t *testing.T) {
+	e := chaosEngine(t)
+	base := lossless(t, e)
+	total := base.Quality.TotalCycles
+
+	s := faultperf.NewScript().
+		OverrunBurst(total/3, total/2).
+		ThrottleStorm(total/2, 2*total/3).
+		Starve(2, 2)
+	h, err := memhist.Collect(e, body(), memhist.Options{
+		SliceCycles: slice,
+		Adaptive:    true,
+		Sampler:     perf.SamplerOptions{BufferCap: 4096, Disruptor: s},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSane(t, h)
+	if !errors.Is(s.Err(), faultperf.ErrInjected) {
+		t.Fatalf("combined script fired nothing: %v", s.Err())
+	}
+	if cov := h.Coverage(); cov <= 0 || cov > 1 {
+		t.Errorf("coverage %v outside (0,1]", cov)
+	}
+	if bt, ht := base.Total(), h.Total(); ht < bt/10 || ht > bt*4 {
+		t.Errorf("faulted total %.0f vs lossless %.0f out of bounds", ht, bt)
+	}
+}

@@ -1,0 +1,195 @@
+// Package faultperf injects scripted faults into the simulated PEBS
+// sampling facility — the sibling of faultrun, faultnet and faultdata,
+// one layer down: where faultrun fails whole measurement runs,
+// faultperf disturbs the sampler itself the way real PMUs do. It
+// models the four fidelity hazards of hardware load-latency sampling:
+// sample-buffer overruns (records lost before the PMI handler drains
+// them), interrupt-throttle storms (the kernel suppresses the sampling
+// interrupt), threshold starvation (a programmed threshold never gets
+// its dwell), and observer stalls (the drain handler is wedged, so the
+// buffer stays full).
+//
+// Faults are scripted over absolute simulated-cycle windows, so a
+// failing chaos run replays exactly: the engine is deterministic and
+// every Disruptor callback fires on its single simulation goroutine in
+// cycle order. A Script is nevertheless mutex-protected, because the
+// chaos suite runs under -race and inspects counters from the test
+// goroutine while a measurement is in flight.
+package faultperf
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrInjected marks the summary error a Script reports for faults it
+// actually fired, so tests can tell injected disturbance from real
+// failures with errors.Is.
+var ErrInjected = errors.New("faultperf: injected fault")
+
+// window is a half-open cycle interval [From, To); To == 0 means
+// unbounded above.
+type window struct {
+	from, to uint64
+}
+
+func (w window) contains(c uint64) bool {
+	return c >= w.from && (w.to == 0 || c < w.to)
+}
+
+// Script schedules sampler faults and implements perf.Disruptor. The
+// zero of each fault family injects nothing; scripts compose by
+// chaining. All counters are introspectable after (or during) a run.
+type Script struct {
+	mu       sync.Mutex
+	overruns []window
+	storms   []window
+	stalls   []window
+	starve   map[int]int
+
+	recordsDropped int
+	throttlesFired int
+	slicesStarved  int
+	drainsStalled  int
+}
+
+// NewScript builds an empty script.
+func NewScript() *Script {
+	return &Script{starve: make(map[int]int)}
+}
+
+// OverrunBurst schedules a buffer-overrun burst: every record arriving
+// in cycles [from, to) is dropped as if the sample buffer were full
+// (to == 0 means until the end of the run). Returns the script for
+// chaining.
+func (s *Script) OverrunBurst(from, to uint64) *Script {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.overruns = append(s.overruns, window{from, to})
+	return s
+}
+
+// ThrottleStorm schedules a forced interrupt throttle: the first record
+// arriving in cycles [from, to) trips a throttle lasting until cycle
+// to, exactly like a kernel whose interrupt budget is exhausted. The
+// window must be bounded (to > from).
+func (s *Script) ThrottleStorm(from, to uint64) *Script {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.storms = append(s.storms, window{from, to})
+	return s
+}
+
+// ObserverStall schedules a drain stall: PMI drains in cycles [from,
+// to) do not empty the sample buffer, so a bounded buffer overruns
+// (to == 0 means until the end of the run).
+func (s *Script) ObserverStall(from, to uint64) *Script {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stalls = append(s.stalls, window{from, to})
+	return s
+}
+
+// Starve schedules dwell starvation: the next `slices` slices of the
+// given threshold index record nothing and count entirely as throttled
+// dwell — the hazard the adaptive cycler exists to repair.
+func (s *Script) Starve(threshold, slices int) *Script {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.starve[threshold] += slices
+	return s
+}
+
+// SliceStarved implements perf.Disruptor.
+func (s *Script) SliceStarved(threshold int, startCycle uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.starve[threshold] <= 0 {
+		return false
+	}
+	s.starve[threshold]--
+	s.slicesStarved++
+	return true
+}
+
+// DropRecord implements perf.Disruptor.
+func (s *Script) DropRecord(cycle uint64, threshold int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, w := range s.overruns {
+		if w.contains(cycle) {
+			s.recordsDropped++
+			return true
+		}
+	}
+	return false
+}
+
+// ThrottleUntil implements perf.Disruptor.
+func (s *Script) ThrottleUntil(cycle uint64, threshold int) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, w := range s.storms {
+		if w.contains(cycle) && w.to > cycle {
+			s.throttlesFired++
+			return w.to
+		}
+	}
+	return 0
+}
+
+// DrainStalled implements perf.Disruptor.
+func (s *Script) DrainStalled(cycle uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, w := range s.stalls {
+		if w.contains(cycle) {
+			s.drainsStalled++
+			return true
+		}
+	}
+	return false
+}
+
+// RecordsDropped returns how many records the script destroyed via
+// overrun bursts.
+func (s *Script) RecordsDropped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recordsDropped
+}
+
+// ThrottlesFired returns how many forced throttles the script tripped.
+func (s *Script) ThrottlesFired() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.throttlesFired
+}
+
+// SlicesStarved returns how many threshold slices the script starved.
+func (s *Script) SlicesStarved() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.slicesStarved
+}
+
+// DrainsStalled returns how many PMI drains the script wedged.
+func (s *Script) DrainsStalled() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drainsStalled
+}
+
+// Err summarises the faults that actually fired as an error wrapping
+// ErrInjected, or nil when the script never disturbed the run — the
+// chaos suite's proof that a "faulted" measurement was really faulted.
+func (s *Script) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.recordsDropped == 0 && s.throttlesFired == 0 && s.slicesStarved == 0 && s.drainsStalled == 0 {
+		return nil
+	}
+	return fmt.Errorf("%w: %d records dropped, %d throttles, %d slices starved, %d drains stalled",
+		ErrInjected, s.recordsDropped, s.throttlesFired, s.slicesStarved, s.drainsStalled)
+}

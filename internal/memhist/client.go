@@ -203,6 +203,11 @@ func decodeHistogram(body []byte) (*Histogram, error) {
 			return nil, &probenet.ProtocolError{Reason: "histogram bounds not strictly increasing"}
 		}
 	}
+	// Confidence is optional (pre-fidelity probes omit it), but when
+	// present it must annotate every interval.
+	if h.Confidence != nil && len(h.Confidence) != len(h.Bounds) {
+		return nil, &probenet.ProtocolError{Reason: "histogram confidence length mismatch"}
+	}
 	return &h, nil
 }
 

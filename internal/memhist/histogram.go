@@ -10,7 +10,6 @@
 package memhist
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -66,7 +65,22 @@ type Histogram struct {
 	// OriginProbe, or OriginLocalFallback when the remote probe was
 	// unreachable and the client degraded to a local measurement.
 	Origin string `json:",omitempty"`
+	// Quality is the sampling-fidelity report of the measurement:
+	// records dropped, throttled cycles, per-threshold coverage. Nil on
+	// histograms from clients or probes that predate the report — both
+	// directions of the probe protocol tolerate its absence.
+	Quality *perf.SampleQuality `json:",omitempty"`
+	// Confidence annotates each interval with the sampling coverage of
+	// the two threshold estimates its count was subtracted from, in
+	// [0, 1]; nil when the measurement carried no quality report.
+	Confidence []float64 `json:",omitempty"`
 }
+
+// LowConfidence is the per-bin confidence below which Render flags an
+// interval: at least one of the two thresholds the bin was subtracted
+// from kept less than half its fair dwell, so the scaled estimate
+// rests on a sliver of observation.
+const LowConfidence = 0.5
 
 // Origin values for Histogram.Origin.
 const (
@@ -146,6 +160,43 @@ func (h *Histogram) Total() float64 {
 	return t
 }
 
+// ClampedMass quantifies how much estimate cost mode clamps away:
+// the absolute negative mass, and its share of the histogram's total
+// absolute mass. A large share means subtraction artefacts dominate
+// the measurement; -strict can gate on it via -max-clamped-share.
+func (h *Histogram) ClampedMass() (abs, share float64) {
+	var total float64
+	for _, c := range h.Counts {
+		if c < 0 {
+			abs += -c
+		}
+		total += math.Abs(c)
+	}
+	if total > 0 {
+		share = abs / total
+	}
+	return abs, share
+}
+
+// BinConfidence returns the confidence of interval i, or 1 when the
+// histogram carries no per-bin annotations (exact histograms, data
+// from pre-fidelity probes).
+func (h *Histogram) BinConfidence(i int) float64 {
+	if h.Confidence == nil || i < 0 || i >= len(h.Confidence) {
+		return 1
+	}
+	return h.Confidence[i]
+}
+
+// Coverage returns the measurement's minimum threshold coverage, or 1
+// when no quality report is attached.
+func (h *Histogram) Coverage() float64 {
+	if h.Quality == nil {
+		return 1
+	}
+	return h.Quality.Coverage()
+}
+
 // Options configures Collect.
 type Options struct {
 	// Bounds are the latency thresholds; DefaultBounds when nil.
@@ -155,18 +206,35 @@ type Options struct {
 	SliceCycles uint64
 	// Reps averages this many cycled runs; default 1.
 	Reps int
+	// Adaptive enables mid-run dwell repair: thresholds starved below
+	// CoverageFloor of their fair dwell receive bounded repair slices.
+	// With no faults the schedule is identical to the fixed cycler.
+	Adaptive bool
+	// CoverageFloor is the repair trigger and the reported floor;
+	// default DefaultCoverageFloor.
+	CoverageFloor float64
+	// MaxRepairSlices bounds repair slices per threshold; default
+	// DefaultMaxRepairSlices.
+	MaxRepairSlices int
+	// AdaptiveSeed seeds the repair-queue tie-breaks; 0 selects 1.
+	AdaptiveSeed int64
+	// Sampler models the lossy PEBS facility (bounded buffer,
+	// interrupt throttling, scripted faults); zero value is lossless.
+	Sampler perf.SamplerOptions
 }
 
 // Collect measures the latency histogram by threshold cycling — the
 // production path of Memhist. The estimates for neighbouring
-// thresholds are subtracted to obtain per-interval counts.
+// thresholds are subtracted to obtain per-interval counts; the
+// histogram carries the merged SampleQuality report and per-bin
+// confidence annotations derived from threshold coverage.
 func Collect(e *exec.Engine, body func(*exec.Thread), opts Options) (*Histogram, error) {
 	bounds := opts.Bounds
 	if bounds == nil {
 		bounds = DefaultBounds
 	}
-	if len(bounds) < 2 {
-		return nil, errors.New("memhist: need at least two bounds")
+	if err := ValidateBounds(bounds); err != nil {
+		return nil, err
 	}
 	slice := opts.SliceCycles
 	if slice == 0 {
@@ -177,13 +245,25 @@ func Collect(e *exec.Engine, body func(*exec.Thread), opts Options) (*Histogram,
 		reps = 1
 	}
 	sum := make([]float64, len(bounds))
+	var quality *perf.SampleQuality
 	for r := 0; r < reps; r++ {
-		tc, err := perf.CountAboveThresholds(e, body, bounds, slice)
+		copts := perf.CycleOptions{Sampler: opts.Sampler}
+		if opts.Adaptive {
+			// A fresh cycler per rep: every rep replays the same
+			// deterministic schedule instead of inheriting repair debt.
+			copts.Scheduler = newAdaptiveCycler(opts.CoverageFloor, opts.MaxRepairSlices, opts.AdaptiveSeed)
+		}
+		tc, err := perf.CycleThresholds(e, body, bounds, slice, copts)
 		if err != nil {
 			return nil, err
 		}
 		for i, v := range tc.Estimated {
 			sum[i] += v
+		}
+		if quality == nil {
+			quality = tc.Quality
+		} else if err := quality.Merge(tc.Quality); err != nil {
+			return nil, err
 		}
 	}
 	h := newHistogram(bounds)
@@ -195,7 +275,29 @@ func Collect(e *exec.Engine, body func(*exec.Thread), opts Options) (*Histogram,
 		}
 		h.Counts[i] = atOrAbove - next
 	}
+	h.Quality = quality
+	h.Confidence = binConfidence(quality, len(bounds))
 	return h, nil
+}
+
+// binConfidence derives per-interval confidence from per-threshold
+// coverage: Counts[i] is the difference of the estimates at thresholds
+// i and i+1, so it is only as trustworthy as the weaker of the two.
+func binConfidence(q *perf.SampleQuality, n int) []float64 {
+	if q == nil || len(q.Thresholds) != n {
+		return nil
+	}
+	conf := make([]float64, n)
+	for i := 0; i < n; i++ {
+		c := q.ThresholdCoverage(i)
+		if i+1 < n {
+			if c2 := q.ThresholdCoverage(i + 1); c2 < c {
+				c = c2
+			}
+		}
+		conf[i] = c
+	}
+	return conf
 }
 
 // Exact builds the ground-truth histogram from full-information load
@@ -205,10 +307,10 @@ func Exact(e *exec.Engine, body func(*exec.Thread), bounds []uint64, period uint
 	if bounds == nil {
 		bounds = DefaultBounds
 	}
-	if len(bounds) < 2 {
-		return nil, errors.New("memhist: need at least two bounds")
+	if err := ValidateBounds(bounds); err != nil {
+		return nil, err
 	}
-	recs, _, err := perf.CaptureLatencies(e, body, period)
+	recs, quality, _, err := perf.CaptureLatenciesQ(e, body, period, perf.SamplerOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -228,6 +330,7 @@ func Exact(e *exec.Engine, body func(*exec.Thread), bounds []uint64, period uint
 		}
 		h.Counts[idx] += float64(period)
 	}
+	h.Quality = quality
 	return h, nil
 }
 
@@ -361,6 +464,9 @@ func (h *Histogram) Render(mode Mode, width int) string {
 		if h.Uncertain[i] {
 			marker = " (uncertain sampling)"
 		}
+		if c := h.BinConfidence(i); h.Confidence != nil && c < LowConfidence {
+			marker += fmt.Sprintf(" (LOW CONFIDENCE %.2f)", c)
+		}
 		// Key the annotation on the raw count, not the displayed value:
 		// cost mode clamps negative artefacts to zero but must still
 		// disclose them.
@@ -374,6 +480,14 @@ func (h *Histogram) Render(mode Mode, width int) string {
 	}
 	if truncated {
 		sb.WriteString("(largest bar truncated to approximately half its height)\n")
+	}
+	if h.Quality != nil {
+		fmt.Fprintf(&sb, "sampling coverage %.0f%% (min threshold dwell), %d/%d records kept\n",
+			100*h.Coverage(), h.Quality.RecordsKept, h.Quality.RecordsSeen)
+	}
+	if mode == Costs && h.NegativeArtifacts() > 0 {
+		abs, share := h.ClampedMass()
+		fmt.Fprintf(&sb, "(clamped negative mass: %.4g, %.1f%% of total absolute mass)\n", abs, 100*share)
 	}
 	return sb.String()
 }

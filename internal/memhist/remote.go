@@ -56,6 +56,10 @@ type ProbeRequest struct {
 	Reps int `json:"reps,omitempty"`
 	// Exact requests the ground-truth histogram instead of cycling.
 	Exact bool `json:"exact,omitempty"`
+	// Adaptive enables the adaptive dwell-repair cycler. Probes that
+	// predate the field ignore it (unknown JSON fields are dropped), so
+	// new clients stay compatible with old probes.
+	Adaptive bool `json:"adaptive,omitempty"`
 	// Seed for the engine's noise model.
 	Seed int64 `json:"seed,omitempty"`
 }
@@ -79,16 +83,12 @@ func (r ProbeRequest) Validate() error {
 	if r.Threads > MaxRequestThreads {
 		return fmt.Errorf("memhist: %w: %d threads exceed cap %d", ErrBadRequest, r.Threads, MaxRequestThreads)
 	}
-	if len(r.Bounds) == 1 {
-		return fmt.Errorf("memhist: %w: need at least two bounds", ErrBadRequest)
-	}
 	if len(r.Bounds) > MaxRequestBounds {
 		return fmt.Errorf("memhist: %w: %d bounds exceed cap %d", ErrBadRequest, len(r.Bounds), MaxRequestBounds)
 	}
-	for i := 0; i+1 < len(r.Bounds); i++ {
-		if r.Bounds[i+1] <= r.Bounds[i] {
-			return fmt.Errorf("memhist: %w: bounds must be strictly increasing (bounds[%d]=%d, bounds[%d]=%d)",
-				ErrBadRequest, i, r.Bounds[i], i+1, r.Bounds[i+1])
+	if len(r.Bounds) > 0 {
+		if err := ValidateBounds(r.Bounds); err != nil {
+			return fmt.Errorf("memhist: %w: %w", ErrBadRequest, err)
 		}
 	}
 	return nil
@@ -129,6 +129,7 @@ func HandleRequest(req ProbeRequest) (*Histogram, error) {
 			Bounds:      req.Bounds,
 			SliceCycles: req.SliceCycles,
 			Reps:        req.Reps,
+			Adaptive:    req.Adaptive,
 		})
 	}
 	if err != nil {

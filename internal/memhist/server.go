@@ -36,27 +36,45 @@ type ProbeStats struct {
 	RejectedDraining uint64 `json:"rejected_draining"`
 	// Panics counts recovered panics (connection or measurement).
 	Panics uint64 `json:"panics"`
+	// SamplesDropped accumulates records lost across all served
+	// measurements (overrun + throttle); omitted when zero so the PING
+	// payload stays byte-compatible with pre-fidelity probes on the
+	// lossless path.
+	SamplesDropped uint64 `json:"samples_dropped,omitempty"`
+	// ThrottledCycles accumulates suppressed sampling time across all
+	// served measurements.
+	ThrottledCycles uint64 `json:"throttled_cycles,omitempty"`
+	// LowCoverageServed counts responses whose histogram coverage fell
+	// below the default coverage floor — measurements a -strict client
+	// would have rejected.
+	LowCoverageServed uint64 `json:"low_coverage_served,omitempty"`
 }
 
 type probeCounters struct {
-	accepted         atomic.Uint64
-	served           atomic.Uint64
-	errorsSent       atomic.Uint64
-	encodeFailures   atomic.Uint64
-	rejectedOverload atomic.Uint64
-	rejectedDraining atomic.Uint64
-	panics           atomic.Uint64
+	accepted          atomic.Uint64
+	served            atomic.Uint64
+	errorsSent        atomic.Uint64
+	encodeFailures    atomic.Uint64
+	rejectedOverload  atomic.Uint64
+	rejectedDraining  atomic.Uint64
+	panics            atomic.Uint64
+	samplesDropped    atomic.Uint64
+	throttledCycles   atomic.Uint64
+	lowCoverageServed atomic.Uint64
 }
 
 func (c *probeCounters) snapshot() ProbeStats {
 	return ProbeStats{
-		Accepted:         c.accepted.Load(),
-		Served:           c.served.Load(),
-		ErrorsSent:       c.errorsSent.Load(),
-		EncodeFailures:   c.encodeFailures.Load(),
-		RejectedOverload: c.rejectedOverload.Load(),
-		RejectedDraining: c.rejectedDraining.Load(),
-		Panics:           c.panics.Load(),
+		Accepted:          c.accepted.Load(),
+		Served:            c.served.Load(),
+		ErrorsSent:        c.errorsSent.Load(),
+		EncodeFailures:    c.encodeFailures.Load(),
+		RejectedOverload:  c.rejectedOverload.Load(),
+		RejectedDraining:  c.rejectedDraining.Load(),
+		Panics:            c.panics.Load(),
+		SamplesDropped:    c.samplesDropped.Load(),
+		ThrottledCycles:   c.throttledCycles.Load(),
+		LowCoverageServed: c.lowCoverageServed.Load(),
 	}
 }
 
@@ -355,6 +373,16 @@ func (s *ProbeServer) handleRequest(pc *probeConn, payload []byte) bool {
 	if err != nil {
 		s.sendError(conn, env.ID, errorCode(err), err.Error())
 	} else {
+		// Fidelity accounting: the probe's operators see sampling losses
+		// in the PING stats even when every individual response is
+		// accepted by its client.
+		if q := h.Quality; q != nil {
+			s.stats.samplesDropped.Add(q.Dropped())
+			s.stats.throttledCycles.Add(q.ThrottledCycles)
+		}
+		if h.Coverage() < DefaultCoverageFloor {
+			s.stats.lowCoverageServed.Add(1)
+		}
 		body, merr := json.Marshal(h)
 		if merr != nil {
 			s.sendError(conn, env.ID, probenet.CodeInternal, fmt.Sprintf("encoding histogram: %v", merr))

@@ -1,0 +1,396 @@
+package perf
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// This file is the loss-accounting half of the sampling-fidelity
+// subsystem. Real PEBS deployments lose records in two ways the
+// idealised simulation could not express: the sample buffer overruns
+// before the PMI handler drains it, and the kernel throttles the
+// sampling interrupt when it fires too often. A SampleQuality report
+// travels with every sampled measurement so downstream consumers
+// (memhist, the probe protocol, numabench) can tell a trustworthy
+// histogram from one measured through a storm.
+
+// ThresholdQuality is the per-threshold ledger of one time-cycled
+// threshold sweep: how long the threshold was programmed, how much of
+// that dwell was lost to throttling, and how many records it kept or
+// dropped.
+type ThresholdQuality struct {
+	// Threshold is the programmed latency threshold in cycles.
+	Threshold uint64 `json:"threshold"`
+	// ActiveCycles is the total dwell time the threshold was programmed.
+	ActiveCycles uint64 `json:"active_cycles"`
+	// ThrottledCycles is the part of the dwell during which the
+	// sampling interrupt was suppressed (kernel throttle, starvation).
+	ThrottledCycles uint64 `json:"throttled_cycles,omitempty"`
+	// Observed is the number of records kept while the threshold was
+	// active.
+	Observed uint64 `json:"observed"`
+	// Dropped is the number of qualifying records lost while the
+	// threshold was active (buffer overrun or throttle).
+	Dropped uint64 `json:"dropped,omitempty"`
+}
+
+// EffectiveCycles returns the dwell time during which the threshold
+// could actually record samples.
+func (t ThresholdQuality) EffectiveCycles() uint64 {
+	if t.ThrottledCycles >= t.ActiveCycles {
+		return 0
+	}
+	return t.ActiveCycles - t.ThrottledCycles
+}
+
+// SampleQuality reports the fidelity of one sampled measurement:
+// records dropped, throttled cycles, per-threshold coverage and the
+// effective duty cycle. The zero value describes a lossless run over
+// zero cycles. Reports of repeated runs over the same threshold set
+// combine with Merge.
+type SampleQuality struct {
+	// RecordsSeen counts qualifying records the facility was offered
+	// while sampling was armed (kept + dropped).
+	RecordsSeen uint64 `json:"records_seen"`
+	// RecordsKept counts records delivered to the consumer.
+	RecordsKept uint64 `json:"records_kept"`
+	// DroppedOverrun counts records lost to a full sample buffer.
+	DroppedOverrun uint64 `json:"dropped_overrun,omitempty"`
+	// DroppedThrottle counts records lost while the interrupt was
+	// throttled or a threshold slice was starved.
+	DroppedThrottle uint64 `json:"dropped_throttle,omitempty"`
+	// ThrottledCycles is the total time sampling was suppressed.
+	ThrottledCycles uint64 `json:"throttled_cycles,omitempty"`
+	// TotalCycles is the accumulated run duration.
+	TotalCycles uint64 `json:"total_cycles"`
+	// Thresholds carries the per-threshold ledgers of a cycled sweep;
+	// empty for full-information capture.
+	Thresholds []ThresholdQuality `json:"thresholds,omitempty"`
+}
+
+// Dropped returns the total number of lost records.
+func (q *SampleQuality) Dropped() uint64 {
+	return q.DroppedOverrun + q.DroppedThrottle
+}
+
+// LossRate returns the fraction of qualifying records that were lost,
+// in [0, 1]; 0 when nothing qualified.
+func (q *SampleQuality) LossRate() float64 {
+	if q.RecordsSeen == 0 {
+		return 0
+	}
+	r := float64(q.Dropped()) / float64(q.RecordsSeen)
+	return clamp01(r)
+}
+
+// DutyCycle returns the fraction of the run during which sampling was
+// live (not throttled), in [0, 1]; 1 when the run had no cycles.
+func (q *SampleQuality) DutyCycle() float64 {
+	if q.TotalCycles == 0 {
+		return 1
+	}
+	if q.ThrottledCycles >= q.TotalCycles {
+		return 0
+	}
+	return float64(q.TotalCycles-q.ThrottledCycles) / float64(q.TotalCycles)
+}
+
+// ThresholdCoverage returns the coverage of threshold k: its effective
+// (unthrottled) dwell relative to a fair share of the run, clamped to
+// [0, 1]. A round-robin cycler over T thresholds gives each a fair
+// share of TotalCycles/T; starvation and throttling push coverage
+// toward zero.
+func (q *SampleQuality) ThresholdCoverage(k int) float64 {
+	if k < 0 || k >= len(q.Thresholds) || q.TotalCycles == 0 {
+		return 0
+	}
+	fair := float64(q.TotalCycles) / float64(len(q.Thresholds))
+	if fair <= 0 {
+		return 0
+	}
+	return clamp01(float64(q.Thresholds[k].EffectiveCycles()) / fair)
+}
+
+// Coverage returns the fidelity headline: the minimum per-threshold
+// coverage of a cycled sweep, or the record-retention rate of a
+// full-information capture. Always in [0, 1] and finite, even on a
+// report deserialised from hostile input.
+func (q *SampleQuality) Coverage() float64 {
+	if len(q.Thresholds) == 0 {
+		if q.RecordsSeen == 0 {
+			return 1
+		}
+		return clamp01(float64(q.RecordsKept) / float64(q.RecordsSeen))
+	}
+	min := 1.0
+	for k := range q.Thresholds {
+		if c := q.ThresholdCoverage(k); c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// Merge folds another run's report into q. The two reports must
+// describe the same threshold set (same values, same order); reports
+// of repeated Collect reps satisfy this by construction.
+func (q *SampleQuality) Merge(o *SampleQuality) error {
+	if o == nil {
+		return nil
+	}
+	if len(q.Thresholds) != len(o.Thresholds) {
+		return fmt.Errorf("perf: cannot merge quality reports over %d and %d thresholds",
+			len(q.Thresholds), len(o.Thresholds))
+	}
+	for k := range q.Thresholds {
+		if q.Thresholds[k].Threshold != o.Thresholds[k].Threshold {
+			return fmt.Errorf("perf: cannot merge quality reports: threshold %d is %d vs %d",
+				k, q.Thresholds[k].Threshold, o.Thresholds[k].Threshold)
+		}
+	}
+	q.RecordsSeen += o.RecordsSeen
+	q.RecordsKept += o.RecordsKept
+	q.DroppedOverrun += o.DroppedOverrun
+	q.DroppedThrottle += o.DroppedThrottle
+	q.ThrottledCycles += o.ThrottledCycles
+	q.TotalCycles += o.TotalCycles
+	for k := range q.Thresholds {
+		q.Thresholds[k].ActiveCycles += o.Thresholds[k].ActiveCycles
+		q.Thresholds[k].ThrottledCycles += o.Thresholds[k].ThrottledCycles
+		q.Thresholds[k].Observed += o.Thresholds[k].Observed
+		q.Thresholds[k].Dropped += o.Thresholds[k].Dropped
+	}
+	return nil
+}
+
+// String renders a one-line operator summary.
+func (q *SampleQuality) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "coverage %.3f, duty cycle %.3f, records %d/%d kept",
+		q.Coverage(), q.DutyCycle(), q.RecordsKept, q.RecordsSeen)
+	if d := q.Dropped(); d > 0 {
+		fmt.Fprintf(&sb, ", dropped %d (overrun %d, throttle %d)",
+			d, q.DroppedOverrun, q.DroppedThrottle)
+	}
+	if q.ThrottledCycles > 0 {
+		fmt.Fprintf(&sb, ", throttled %d cycles", q.ThrottledCycles)
+	}
+	return sb.String()
+}
+
+func clamp01(v float64) float64 {
+	if math.IsNaN(v) || v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// SamplerOptions models the lossy parts of a real PEBS facility. The
+// zero value is the idealised lossless simulation (unbounded buffer,
+// no interrupt throttling, no injected faults), which reproduces the
+// pre-fidelity behaviour bit for bit.
+type SamplerOptions struct {
+	// BufferCap bounds the records buffered between PMI drains (one
+	// drain per scheduling chunk); once full, further records are lost
+	// as overruns. 0 means unbounded.
+	BufferCap int
+	// ThrottleLimit is the number of records per ThrottleWindow after
+	// which the kernel throttles the sampling interrupt for the rest of
+	// the window. 0 disables throttling.
+	ThrottleLimit uint64
+	// ThrottleWindow is the throttle-accounting window in cycles;
+	// defaults to 1_000_000 when ThrottleLimit is set.
+	ThrottleWindow uint64
+	// Disruptor injects scripted faults (see internal/faultperf); nil
+	// injects nothing.
+	Disruptor Disruptor
+}
+
+// Disruptor is the fault-injection seam of the sampling facility.
+// internal/faultperf provides a scripted implementation; all methods
+// are called from the engine's single simulation goroutine, in
+// deterministic cycle order.
+type Disruptor interface {
+	// SliceStarved reports whether the threshold slice beginning at
+	// startCycle should be starved: the sampler records nothing during
+	// it and the whole dwell counts as throttled.
+	SliceStarved(threshold int, startCycle uint64) bool
+	// DropRecord reports whether the record arriving at cycle should be
+	// lost to an injected buffer overrun.
+	DropRecord(cycle uint64, threshold int) bool
+	// ThrottleUntil returns a cycle until which the sampling interrupt
+	// is forcibly throttled, or 0 for no forced throttle.
+	ThrottleUntil(cycle uint64, threshold int) uint64
+	// DrainStalled reports whether the PMI drain at cycle is stalled,
+	// leaving the sample buffer full (observer stall).
+	DrainStalled(cycle uint64) bool
+}
+
+// sampler is the shared lossy-buffer/throttle state machine behind
+// CaptureLatencies and threshold cycling. All methods run on the
+// engine's simulation goroutine.
+type sampler struct {
+	opts SamplerOptions
+	q    *SampleQuality
+
+	buffered       int
+	throttledUntil uint64
+	throttleFrom   uint64
+	window         uint64
+	windowCount    uint64
+	starvedSlice   bool
+}
+
+func newSampler(opts SamplerOptions) *sampler {
+	if opts.ThrottleLimit > 0 && opts.ThrottleWindow == 0 {
+		opts.ThrottleWindow = 1_000_000
+	}
+	return &sampler{opts: opts, q: &SampleQuality{}}
+}
+
+// admit decides the fate of one qualifying record at the given cycle
+// while threshold k (or -1 for full capture) is active. It returns
+// true when the record is kept. Loss accounting happens here; the
+// caller only stores kept records.
+func (s *sampler) admit(cycle uint64, k int) bool {
+	s.q.RecordsSeen++
+	tq := s.thresholdLedger(k)
+	if s.starvedSlice {
+		s.dropThrottle(tq)
+		return false
+	}
+	if cycle < s.throttledUntil {
+		s.dropThrottle(tq)
+		return false
+	}
+	s.settleThrottle(cycle, k)
+	if s.opts.ThrottleLimit > 0 {
+		w := cycle / s.opts.ThrottleWindow
+		if w != s.window {
+			s.window = w
+			s.windowCount = 0
+		}
+		s.windowCount++
+		if s.windowCount > s.opts.ThrottleLimit {
+			s.beginThrottle(cycle, (w+1)*s.opts.ThrottleWindow)
+			s.dropThrottle(tq)
+			return false
+		}
+	}
+	if d := s.opts.Disruptor; d != nil {
+		if until := d.ThrottleUntil(cycle, k); until > cycle {
+			s.beginThrottle(cycle, until)
+			s.dropThrottle(tq)
+			return false
+		}
+		if d.DropRecord(cycle, k) {
+			s.dropOverrun(tq)
+			return false
+		}
+	}
+	if s.opts.BufferCap > 0 && s.buffered >= s.opts.BufferCap {
+		s.dropOverrun(tq)
+		return false
+	}
+	s.buffered++
+	s.q.RecordsKept++
+	if tq != nil {
+		tq.Observed++
+	}
+	return true
+}
+
+func (s *sampler) thresholdLedger(k int) *ThresholdQuality {
+	if k < 0 || k >= len(s.q.Thresholds) {
+		return nil
+	}
+	return &s.q.Thresholds[k]
+}
+
+func (s *sampler) dropThrottle(tq *ThresholdQuality) {
+	s.q.DroppedThrottle++
+	if tq != nil {
+		tq.Dropped++
+	}
+}
+
+func (s *sampler) dropOverrun(tq *ThresholdQuality) {
+	s.q.DroppedOverrun++
+	if tq != nil {
+		tq.Dropped++
+	}
+}
+
+func (s *sampler) beginThrottle(from, until uint64) {
+	if until <= from {
+		return
+	}
+	s.throttledUntil = until
+	s.throttleFrom = from
+}
+
+// settleThrottle accounts a finished throttle span (ending at or
+// before now) to threshold k and clears it.
+func (s *sampler) settleThrottle(now uint64, k int) {
+	if s.throttledUntil <= s.throttleFrom {
+		return
+	}
+	end := s.throttledUntil
+	if now < end {
+		end = now
+	}
+	if end > s.throttleFrom {
+		span := end - s.throttleFrom
+		s.q.ThrottledCycles += span
+		if tq := s.thresholdLedger(k); tq != nil {
+			tq.ThrottledCycles += span
+		}
+	}
+	if now >= s.throttledUntil {
+		s.throttledUntil = 0
+		s.throttleFrom = 0
+	} else {
+		// Span continues; the remainder is attributed later (possibly
+		// to the next threshold after a rotation).
+		s.throttleFrom = now
+	}
+}
+
+// drain empties the sample buffer at a PMI drain point unless the
+// observer is stalled.
+func (s *sampler) drain(cycle uint64) {
+	if d := s.opts.Disruptor; d != nil && d.DrainStalled(cycle) {
+		return
+	}
+	s.buffered = 0
+}
+
+// closeSlice finishes the accounting of the slice [from, now) during
+// which threshold k was active: a starved slice counts entirely as
+// throttled dwell, otherwise any open throttle span is settled.
+func (s *sampler) closeSlice(from, now uint64, k int) {
+	if s.starvedSlice {
+		if now > from {
+			span := now - from
+			s.q.ThrottledCycles += span
+			if tq := s.thresholdLedger(k); tq != nil {
+				tq.ThrottledCycles += span
+			}
+		}
+		s.starvedSlice = false
+		return
+	}
+	s.settleThrottle(now, k)
+}
+
+// armSlice asks the disruptor whether the slice of threshold next
+// starting at now is starved.
+func (s *sampler) armSlice(next int, now uint64) {
+	if d := s.opts.Disruptor; d != nil && next >= 0 && d.SliceStarved(next, now) {
+		s.starvedSlice = true
+	}
+}

@@ -1,0 +1,202 @@
+package perf
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSampleQualityZeroValue(t *testing.T) {
+	var q SampleQuality
+	if q.Coverage() != 1 {
+		t.Errorf("zero-value coverage = %v, want 1 (lossless run over zero cycles)", q.Coverage())
+	}
+	if q.DutyCycle() != 1 {
+		t.Errorf("zero-value duty cycle = %v, want 1", q.DutyCycle())
+	}
+	if q.LossRate() != 0 || q.Dropped() != 0 {
+		t.Error("zero value must report no losses")
+	}
+}
+
+func TestSampleQualityRates(t *testing.T) {
+	q := SampleQuality{
+		RecordsSeen:     100,
+		RecordsKept:     80,
+		DroppedOverrun:  15,
+		DroppedThrottle: 5,
+		ThrottledCycles: 250,
+		TotalCycles:     1000,
+	}
+	if q.Dropped() != 20 {
+		t.Errorf("Dropped = %d, want 20", q.Dropped())
+	}
+	if q.LossRate() != 0.2 {
+		t.Errorf("LossRate = %v, want 0.2", q.LossRate())
+	}
+	if q.DutyCycle() != 0.75 {
+		t.Errorf("DutyCycle = %v, want 0.75", q.DutyCycle())
+	}
+	// No thresholds → coverage is the retention rate.
+	if q.Coverage() != 0.8 {
+		t.Errorf("Coverage = %v, want 0.8", q.Coverage())
+	}
+	if s := q.String(); !strings.Contains(s, "dropped 20") || !strings.Contains(s, "throttled 250") {
+		t.Errorf("String() misses the loss summary: %q", s)
+	}
+}
+
+// TestSampleQualityHostileValues feeds reports no honest sampler would
+// produce — deserialised from a damaged or malicious probe response —
+// and requires every derived rate to stay finite and in range.
+func TestSampleQualityHostileValues(t *testing.T) {
+	hostile := []SampleQuality{
+		{RecordsSeen: 1, DroppedOverrun: math.MaxUint64, TotalCycles: 1},
+		{ThrottledCycles: math.MaxUint64, TotalCycles: 1},
+		{TotalCycles: 1, Thresholds: []ThresholdQuality{{ActiveCycles: math.MaxUint64}}},
+		{Thresholds: []ThresholdQuality{{ThrottledCycles: math.MaxUint64, ActiveCycles: 1}}},
+	}
+	for i, q := range hostile {
+		for name, v := range map[string]float64{
+			"coverage": q.Coverage(), "duty": q.DutyCycle(), "loss": q.LossRate(),
+		} {
+			if math.IsNaN(v) || v < 0 || v > 1 {
+				t.Errorf("hostile[%d]: %s = %v outside [0,1]", i, name, v)
+			}
+		}
+	}
+}
+
+func TestThresholdCoverage(t *testing.T) {
+	q := SampleQuality{
+		TotalCycles: 1600,
+		Thresholds: []ThresholdQuality{
+			{Threshold: 4, ActiveCycles: 800},
+			{Threshold: 8, ActiveCycles: 800, ThrottledCycles: 400},
+		},
+	}
+	// Fair share is 800 cycles each.
+	if c := q.ThresholdCoverage(0); c != 1 {
+		t.Errorf("coverage(0) = %v, want 1", c)
+	}
+	if c := q.ThresholdCoverage(1); c != 0.5 {
+		t.Errorf("coverage(1) = %v, want 0.5", c)
+	}
+	if c := q.ThresholdCoverage(2); c != 0 {
+		t.Errorf("coverage(out of range) = %v, want 0", c)
+	}
+	if c := q.Coverage(); c != 0.5 {
+		t.Errorf("Coverage = %v, want the 0.5 minimum", c)
+	}
+}
+
+func TestMergeSumsLedgers(t *testing.T) {
+	mk := func() *SampleQuality {
+		return &SampleQuality{
+			RecordsSeen: 10, RecordsKept: 8, DroppedOverrun: 2,
+			ThrottledCycles: 5, TotalCycles: 100,
+			Thresholds: []ThresholdQuality{
+				{Threshold: 4, ActiveCycles: 50, Observed: 5},
+				{Threshold: 8, ActiveCycles: 50, Observed: 3, Dropped: 2, ThrottledCycles: 5},
+			},
+		}
+	}
+	q := mk()
+	if err := q.Merge(mk()); err != nil {
+		t.Fatal(err)
+	}
+	want := &SampleQuality{
+		RecordsSeen: 20, RecordsKept: 16, DroppedOverrun: 4,
+		ThrottledCycles: 10, TotalCycles: 200,
+		Thresholds: []ThresholdQuality{
+			{Threshold: 4, ActiveCycles: 100, Observed: 10},
+			{Threshold: 8, ActiveCycles: 100, Observed: 6, Dropped: 4, ThrottledCycles: 10},
+		},
+	}
+	if !reflect.DeepEqual(q, want) {
+		t.Errorf("merged report:\n got %+v\nwant %+v", q, want)
+	}
+	if err := q.Merge(nil); err != nil {
+		t.Errorf("merging nil must be a no-op, got %v", err)
+	}
+}
+
+func TestMergeRejectsMismatchedThresholds(t *testing.T) {
+	q := &SampleQuality{Thresholds: []ThresholdQuality{{Threshold: 4}}}
+	if err := q.Merge(&SampleQuality{}); err == nil {
+		t.Error("merging different threshold counts must fail")
+	}
+	if err := q.Merge(&SampleQuality{Thresholds: []ThresholdQuality{{Threshold: 8}}}); err == nil {
+		t.Error("merging different threshold values must fail")
+	}
+}
+
+// FuzzSampleQuality hammers the report's serialisation boundary: any
+// JSON the decoder accepts must yield a report whose derived rates are
+// finite and in range, that survives a marshal round-trip, and whose
+// self-merge neither panics nor breaks the rate invariants. This is the
+// probe-protocol attack surface — histograms (and their quality
+// reports) arrive from the network.
+func FuzzSampleQuality(f *testing.F) {
+	seed := [][]byte{
+		[]byte(`{}`),
+		[]byte(`{"records_seen":100,"records_kept":80,"dropped_overrun":20,"total_cycles":1000}`),
+		[]byte(`{"records_seen":1,"dropped_throttle":18446744073709551615,"total_cycles":0}`),
+		[]byte(`{"total_cycles":1600,"thresholds":[{"threshold":4,"active_cycles":800,"observed":5},{"threshold":8,"active_cycles":800,"throttled_cycles":400}]}`),
+		[]byte(`{"thresholds":[{"threshold":4,"throttled_cycles":18446744073709551615,"active_cycles":1}]}`),
+	}
+	for _, s := range seed {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var q SampleQuality
+		if json.Unmarshal(data, &q) != nil {
+			return
+		}
+		checkRates := func(q *SampleQuality, what string) {
+			for name, v := range map[string]float64{
+				"coverage": q.Coverage(), "duty": q.DutyCycle(), "loss": q.LossRate(),
+			} {
+				if math.IsNaN(v) || v < 0 || v > 1 {
+					t.Fatalf("%s: %s = %v outside [0,1] for %+v", what, name, v, q)
+				}
+			}
+			for k := range q.Thresholds {
+				if c := q.ThresholdCoverage(k); math.IsNaN(c) || c < 0 || c > 1 {
+					t.Fatalf("%s: threshold coverage(%d) = %v outside [0,1]", what, k, c)
+				}
+			}
+			_ = q.String()
+		}
+		checkRates(&q, "decoded")
+
+		out, err := json.Marshal(&q)
+		if err != nil {
+			t.Fatalf("report does not re-marshal: %v", err)
+		}
+		var rt SampleQuality
+		if err := json.Unmarshal(out, &rt); err != nil {
+			t.Fatalf("round-trip decode failed: %v", err)
+		}
+		// Compare canonical encodings: an empty Thresholds slice decodes
+		// non-nil but re-encodes identically, which is all the wire needs.
+		out2, err := json.Marshal(&rt)
+		if err != nil {
+			t.Fatalf("round-tripped report does not re-marshal: %v", err)
+		}
+		if string(out) != string(out2) {
+			t.Fatalf("round trip changed the encoding:\n got %s\nwant %s", out2, out)
+		}
+
+		// Self-merge: same threshold set by construction, so it must
+		// succeed, and doubling every counter keeps all rates in range.
+		clone := rt
+		clone.Thresholds = append([]ThresholdQuality(nil), rt.Thresholds...)
+		if err := q.Merge(&clone); err != nil {
+			t.Fatalf("self-merge failed: %v", err)
+		}
+		checkRates(&q, "merged")
+	})
+}

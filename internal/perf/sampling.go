@@ -21,24 +21,59 @@ type LatencyRecord struct {
 // CountAboveThresholds instead, and this function serves as the ground
 // truth the tool's histogram is validated against.
 func CaptureLatencies(e *exec.Engine, body func(*exec.Thread), period uint64) ([]LatencyRecord, *exec.Result, error) {
+	records, _, res, err := CaptureLatenciesQ(e, body, period, SamplerOptions{})
+	return records, res, err
+}
+
+// CaptureLatenciesQ is CaptureLatencies with a lossy sampler model: a
+// bounded sample buffer, interrupt throttling and scripted faults can
+// lose records the way real hardware does. The SampleQuality report
+// accounts every loss; with the zero SamplerOptions the capture is
+// lossless and bit-identical to CaptureLatencies.
+func CaptureLatenciesQ(e *exec.Engine, body func(*exec.Thread), period uint64, opts SamplerOptions) ([]LatencyRecord, *SampleQuality, *exec.Result, error) {
 	if period == 0 {
 		period = 1
 	}
-	var records []LatencyRecord
+	// Pre-size from the engine's op budget: a budgeted run retires at
+	// most budget ops, so at most budget/period records survive the
+	// period filter. Without a budget, start from a modest block
+	// instead of growing from nil.
+	hint := 4096
+	if budget := e.OpBudget(); budget > 0 {
+		hint = int(budget/period) + 1
+		if hint > 1<<20 {
+			hint = 1 << 20
+		}
+	}
+	records := make([]LatencyRecord, 0, hint)
+	smp := newSampler(opts)
 	var n uint64
 	sim := e.Sim()
+	// The observer and the drain hook must not leak into the next run
+	// even if the body (or the observer itself) panics out of e.Run on
+	// a recovered engine.
+	defer sim.SetLoadObserver(nil)
+	defer e.SetPostChunkHook(nil)
 	sim.SetLoadObserver(func(core int, addr uint64, lat uint64) {
 		n++
-		if n%period == 0 {
+		if n%period != 0 {
+			return
+		}
+		if smp.admit(sim.Cycles(core), -1) {
 			records = append(records, LatencyRecord{Core: core, Addr: addr, Latency: lat})
 		}
 	})
+	e.SetPostChunkHook(func() {
+		smp.drain(sim.MaxCycles())
+	})
 	res, err := e.Run(body)
-	sim.SetLoadObserver(nil)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return records, res, nil
+	end := sim.MaxCycles()
+	smp.settleThrottle(end, -1)
+	smp.q.TotalCycles = end
+	return records, smp.q, res, nil
 }
 
 // ThresholdCounts is the outcome of one time-cycled threshold sweep.
@@ -55,6 +90,86 @@ type ThresholdCounts struct {
 	ActiveCycles []uint64
 	// TotalCycles is the run duration.
 	TotalCycles uint64
+	// Quality accounts the sweep's sampling fidelity: records dropped,
+	// throttled cycles and per-threshold coverage.
+	Quality *SampleQuality
+}
+
+// CycleState is the dwell/loss ledger a ThresholdScheduler consults
+// when picking the next threshold. It is a read-only view of the live
+// sweep state.
+type CycleState struct {
+	thresholds []uint64
+	active     int
+	now        uint64
+	rotations  int
+	tc         *ThresholdCounts
+	q          *SampleQuality
+}
+
+// Thresholds returns the programmed thresholds.
+func (st *CycleState) Thresholds() []uint64 { return st.thresholds }
+
+// Active returns the index of the threshold whose slice just closed.
+func (st *CycleState) Active() int { return st.active }
+
+// Now returns the current cycle.
+func (st *CycleState) Now() uint64 { return st.now }
+
+// Rotations returns how many slices have closed so far.
+func (st *CycleState) Rotations() int { return st.rotations }
+
+// ActiveCycles returns the programmed dwell of threshold k so far.
+func (st *CycleState) ActiveCycles(k int) uint64 { return st.tc.ActiveCycles[k] }
+
+// ThrottledCycles returns the suppressed dwell of threshold k so far.
+func (st *CycleState) ThrottledCycles(k int) uint64 { return st.q.Thresholds[k].ThrottledCycles }
+
+// EffectiveCycles returns the dwell of threshold k during which it
+// could record samples.
+func (st *CycleState) EffectiveCycles(k int) uint64 {
+	tq := st.q.Thresholds[k]
+	act := st.tc.ActiveCycles[k]
+	if tq.ThrottledCycles >= act {
+		return 0
+	}
+	return act - tq.ThrottledCycles
+}
+
+// Observed returns the records kept for threshold k so far.
+func (st *CycleState) Observed(k int) uint64 { return st.q.Thresholds[k].Observed }
+
+// Dropped returns the records lost for threshold k so far.
+func (st *CycleState) Dropped(k int) uint64 { return st.q.Thresholds[k].Dropped }
+
+// ThresholdScheduler picks the next programmed threshold each time a
+// slice closes. Next is called once per rotation with the current
+// ledger; the returned index is programmed for the coming slice.
+// Implementations must be deterministic — the chaos suite replays
+// schedules byte for byte. The adaptive dwell-repair policy lives in
+// internal/memhist; the default is strict round-robin.
+type ThresholdScheduler interface {
+	Next(st *CycleState) int
+}
+
+// RoundRobin is the paper's fixed cycler: thresholds rotate in order,
+// each receiving one slice per round.
+type RoundRobin struct{}
+
+// Next rotates to the following threshold.
+func (RoundRobin) Next(st *CycleState) int {
+	return (st.Active() + 1) % len(st.Thresholds())
+}
+
+// CycleOptions configures a threshold sweep beyond the paper's fixed
+// lossless cycler.
+type CycleOptions struct {
+	// Sampler models buffer overruns, interrupt throttling and
+	// scripted faults; the zero value is lossless.
+	Sampler SamplerOptions
+	// Scheduler picks the threshold rotation order; nil selects
+	// RoundRobin.
+	Scheduler ThresholdScheduler
 }
 
 // CountAboveThresholds measures, in a single run, how many retired
@@ -67,6 +182,14 @@ type ThresholdCounts struct {
 // program, interval subtraction downstream can produce the negative
 // event occurrences the paper describes as an unavoidable error.
 func CountAboveThresholds(e *exec.Engine, body func(*exec.Thread), thresholds []uint64, sliceCycles uint64) (*ThresholdCounts, error) {
+	return CycleThresholds(e, body, thresholds, sliceCycles, CycleOptions{})
+}
+
+// CycleThresholds is CountAboveThresholds with a pluggable rotation
+// schedule and a lossy sampler model. The returned counts carry a
+// SampleQuality report; with zero CycleOptions the sweep is lossless,
+// round-robin and bit-identical to CountAboveThresholds.
+func CycleThresholds(e *exec.Engine, body func(*exec.Thread), thresholds []uint64, sliceCycles uint64, opts CycleOptions) (*ThresholdCounts, error) {
 	if len(thresholds) == 0 {
 		return nil, errors.New("perf: no thresholds")
 	}
@@ -78,46 +201,80 @@ func CountAboveThresholds(e *exec.Engine, body func(*exec.Thread), thresholds []
 	if sliceCycles == 0 {
 		return nil, errors.New("perf: zero slice length")
 	}
+	sched := opts.Scheduler
+	if sched == nil {
+		sched = RoundRobin{}
+	}
 	tc := &ThresholdCounts{
 		Thresholds:   thresholds,
 		Estimated:    make([]float64, len(thresholds)),
 		Observed:     make([]uint64, len(thresholds)),
 		ActiveCycles: make([]uint64, len(thresholds)),
 	}
+	smp := newSampler(opts.Sampler)
+	smp.q.Thresholds = make([]ThresholdQuality, len(thresholds))
+	for k, th := range thresholds {
+		smp.q.Thresholds[k].Threshold = th
+	}
+	tc.Quality = smp.q
+
 	sim := e.Sim()
 	active := 0
 	var lastRotate uint64
+	st := &CycleState{thresholds: thresholds, tc: tc, q: smp.q}
+	smp.armSlice(active, 0)
 	rotate := func() {
 		now := sim.MaxCycles()
 		tc.ActiveCycles[active] += now - lastRotate
+		smp.closeSlice(lastRotate, now, active)
+		st.active, st.now = active, now
+		st.rotations++
+		next := sched.Next(st)
+		if next < 0 || next >= len(thresholds) {
+			// A misbehaving scheduler must not crash the sweep; fall
+			// back to the round-robin successor.
+			next = (active + 1) % len(thresholds)
+		}
+		smp.armSlice(next, now)
 		lastRotate = now
-		active = (active + 1) % len(thresholds)
+		active = next
 	}
+	defer sim.SetLoadObserver(nil)
+	defer e.SetPostChunkHook(nil)
 	sim.SetLoadObserver(func(core int, addr uint64, lat uint64) {
-		if lat >= thresholds[active] {
+		if lat < thresholds[active] {
+			return
+		}
+		if smp.admit(sim.Cycles(core), active) {
 			tc.Observed[active]++
 		}
 	})
 	e.SetPostChunkHook(func() {
-		if sim.MaxCycles()-lastRotate >= sliceCycles {
+		now := sim.MaxCycles()
+		smp.drain(now)
+		if now-lastRotate >= sliceCycles {
 			rotate()
 		}
 	})
 	_, err := e.Run(body)
-	sim.SetLoadObserver(nil)
-	e.SetPostChunkHook(nil)
 	if err != nil {
 		return nil, err
 	}
 	// Close the final slice.
 	now := sim.MaxCycles()
 	tc.ActiveCycles[active] += now - lastRotate
+	smp.closeSlice(lastRotate, now, active)
 	tc.TotalCycles = now
+	smp.q.TotalCycles = now
 	for k := range thresholds {
-		if tc.ActiveCycles[k] == 0 {
-			continue // threshold never scheduled: estimate stays 0
+		smp.q.Thresholds[k].ActiveCycles = tc.ActiveCycles[k]
+	}
+	for k := range thresholds {
+		eff := smp.q.Thresholds[k].EffectiveCycles()
+		if eff == 0 {
+			continue // threshold never effectively scheduled: estimate stays 0
 		}
-		tc.Estimated[k] = float64(tc.Observed[k]) * float64(tc.TotalCycles) / float64(tc.ActiveCycles[k])
+		tc.Estimated[k] = float64(tc.Observed[k]) * float64(tc.TotalCycles) / float64(eff)
 	}
 	return tc, nil
 }
@@ -155,13 +312,13 @@ func TimeSeries(e *exec.Engine, body func(*exec.Thread), sliceCycles uint64) ([]
 		last = cur
 		lastCycle = now
 	}
+	defer e.SetPostChunkHook(nil)
 	e.SetPostChunkHook(func() {
 		if sim.MaxCycles()-lastCycle >= sliceCycles {
 			snap()
 		}
 	})
 	res, err := e.Run(body)
-	e.SetPostChunkHook(nil)
 	if err != nil {
 		return nil, nil, err
 	}

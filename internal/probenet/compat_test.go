@@ -1,0 +1,161 @@
+package probenet_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"numaperf/internal/memhist"
+	"numaperf/internal/perf"
+	"numaperf/internal/probenet"
+)
+
+// Wire-compatibility suite for the sampling-fidelity fields. The probe
+// protocol carries JSON bodies, and both ends must tolerate the other
+// predating this PR: a pre-fidelity client talking to a new probe must
+// decode responses that carry quality/confidence annotations, and a new
+// client must accept responses (and stats) from a probe that has never
+// heard of them. The structs below spell out the pre-PR shapes
+// literally instead of importing them, so the test keeps guarding the
+// wire format even as the Go types evolve.
+
+// oldHistogram is the response body shape before the fidelity fields.
+type oldHistogram struct {
+	Bounds    []uint64
+	Counts    []float64
+	Uncertain []bool
+	Exact     bool
+	Source    string
+	Origin    string `json:",omitempty"`
+}
+
+// oldRequest is the request body shape before the Adaptive flag.
+type oldRequest struct {
+	Workload    string   `json:"workload"`
+	Machine     string   `json:"machine,omitempty"`
+	Threads     int      `json:"threads,omitempty"`
+	Bounds      []uint64 `json:"bounds,omitempty"`
+	SliceCycles uint64   `json:"slice_cycles,omitempty"`
+	Reps        int      `json:"reps,omitempty"`
+	Exact       bool     `json:"exact,omitempty"`
+	Seed        int64    `json:"seed,omitempty"`
+}
+
+func TestOldClientDecodesAnnotatedResponse(t *testing.T) {
+	h := &memhist.Histogram{
+		Bounds:    []uint64{4, 8, 16},
+		Counts:    []float64{1, 2, 3},
+		Uncertain: []bool{false, false, false},
+		Source:    "mlc-local",
+		Origin:    memhist.OriginProbe,
+		Quality: &perf.SampleQuality{
+			RecordsSeen: 100, RecordsKept: 90, DroppedOverrun: 10, TotalCycles: 1000,
+		},
+		Confidence: []float64{1, 0.4, 1},
+	}
+	body, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var old oldHistogram
+	if err := probenet.Decode(probenet.FrameResponse, body, &old); err != nil {
+		t.Fatalf("pre-fidelity client rejected annotated response: %v", err)
+	}
+	if len(old.Bounds) != 3 || old.Counts[2] != 3 || old.Source != "mlc-local" {
+		t.Errorf("pre-fidelity client mis-decoded the payload: %+v", old)
+	}
+}
+
+func TestNewClientDecodesBareResponse(t *testing.T) {
+	body, err := json.Marshal(oldHistogram{
+		Bounds:    []uint64{4, 8, 16},
+		Counts:    []float64{1, 2, 3},
+		Uncertain: []bool{false, false, false},
+		Source:    "mlc-local",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h memhist.Histogram
+	if err := probenet.Decode(probenet.FrameResponse, body, &h); err != nil {
+		t.Fatalf("new client rejected pre-fidelity response: %v", err)
+	}
+	if h.Quality != nil || h.Confidence != nil {
+		t.Errorf("absent fidelity fields must stay nil, got quality %+v confidence %v", h.Quality, h.Confidence)
+	}
+	if h.Coverage() != 1 || h.BinConfidence(1) != 1 {
+		t.Error("a report-less histogram must default to full confidence")
+	}
+}
+
+func TestOldProbeDecodesAdaptiveRequest(t *testing.T) {
+	body, err := json.Marshal(memhist.ProbeRequest{Workload: "mlc-local", Adaptive: true, Reps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var old oldRequest
+	if err := probenet.Decode(probenet.FrameRequest, body, &old); err != nil {
+		t.Fatalf("pre-fidelity probe rejected adaptive request: %v", err)
+	}
+	if old.Workload != "mlc-local" || old.Reps != 2 {
+		t.Errorf("pre-fidelity probe mis-decoded the payload: %+v", old)
+	}
+}
+
+func TestNewProbeDecodesBareRequest(t *testing.T) {
+	body, err := json.Marshal(oldRequest{Workload: "mlc-local", Reps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var req memhist.ProbeRequest
+	if err := probenet.Decode(probenet.FrameRequest, body, &req); err != nil {
+		t.Fatalf("new probe rejected pre-fidelity request: %v", err)
+	}
+	if req.Adaptive {
+		t.Error("absent adaptive flag must decode as false")
+	}
+	if err := req.Validate(); err != nil {
+		t.Errorf("pre-fidelity request must still validate: %v", err)
+	}
+}
+
+func TestOldClientDecodesFidelityStats(t *testing.T) {
+	stats, err := json.Marshal(memhist.ProbeStats{
+		Accepted: 3, Served: 2, SamplesDropped: 41, ThrottledCycles: 1000, LowCoverageServed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pre-fidelity stats shape: counters only.
+	var old struct {
+		Accepted uint64 `json:"accepted"`
+		Served   uint64 `json:"served"`
+		Panics   uint64 `json:"panics"`
+	}
+	if err := json.Unmarshal(stats, &old); err != nil {
+		t.Fatalf("pre-fidelity client rejected extended stats: %v", err)
+	}
+	if old.Accepted != 3 || old.Served != 2 {
+		t.Errorf("pre-fidelity client mis-decoded stats: %+v", old)
+	}
+	// And the zero fidelity counters vanish from the wire entirely, so
+	// a lossless probe's PING payload is byte-identical to pre-PR.
+	bare, err := json.Marshal(memhist.ProbeStats{Accepted: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"samples_dropped", "throttled_cycles", "low_coverage_served"} {
+		if jsonHasField(t, bare, field) {
+			t.Errorf("zero fidelity counter %q must be omitted from the wire", field)
+		}
+	}
+}
+
+func jsonHasField(t *testing.T, body []byte, field string) bool {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	_, ok := m[field]
+	return ok
+}
