@@ -1,0 +1,94 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"numaperf/internal/exec"
+	"numaperf/internal/workloads"
+)
+
+// cliTinyWorkload keeps the end-to-end test fast: a few hundred loads
+// over a 16 KiB buffer instead of a paper-scale working set.
+type cliTinyWorkload struct{}
+
+func (cliTinyWorkload) Name() string { return "fleet-cli-tiny" }
+func (cliTinyWorkload) Body() func(*exec.Thread) {
+	return func(t *exec.Thread) {
+		buf := t.Alloc(1 << 14)
+		for i := uint64(0); i < 256; i++ {
+			t.Load(buf.Addr(i * 64 % (1 << 14)))
+		}
+	}
+}
+
+func TestMain(m *testing.M) {
+	workloads.Register("fleet-cli-tiny", func() workloads.Workload { return cliTinyWorkload{} })
+	m.Run()
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-definitely-not-a-flag"},
+		{}, // -workload required
+		{"-workload", "triad", "-mode", "sideways"},
+		{"-workload", "triad", "-bounds", "4,oops"},
+		{"-workload", "triad", "-cells", "5000"}, // oversized spec
+	}
+	for _, args := range cases {
+		var out, errOut strings.Builder
+		if code := run(context.Background(), args, &out, &errOut); code != 2 {
+			t.Errorf("run(%v) = %d, want 2 (stderr: %s)", args, code, errOut.String())
+		}
+	}
+}
+
+func TestRunRejectsUnknownMachine(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(context.Background(), []string{"-workload", "triad", "-machine", "mystery"}, &out, &errOut); code != 1 {
+		t.Errorf("unknown machine exit %d, want 1", code)
+	}
+}
+
+func TestRunWaitForProbesTimesOut(t *testing.T) {
+	var out, errOut strings.Builder
+	args := []string{
+		"-workload", "triad", "-listen", "127.0.0.1:0",
+		"-probes", "1", "-wait-timeout", "100ms",
+	}
+	if code := run(context.Background(), args, &out, &errOut); code != 1 {
+		t.Errorf("probe-less run exit %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+}
+
+// TestRunSelfProbesEndToEnd drives the full lifecycle: coordinator up,
+// two in-process probes register, the campaign scatters and gathers,
+// and the merged report renders.
+func TestRunSelfProbesEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var out, errOut strings.Builder
+	args := []string{
+		"-listen", "127.0.0.1:0",
+		"-self-probes", "2", "-probes", "2",
+		"-heartbeat-interval", "20ms",
+		"-workload", "fleet-cli-tiny", "-machine", "2s",
+		"-bounds", "4,64,256", "-cells", "4", "-reps-per-cell", "1",
+		"-seed", "11", "-strict",
+	}
+	if code := run(ctx, args, &out, &errOut); code != 0 {
+		t.Fatalf("run = %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"probe(s) registered",
+		"cells completed",
+		"peaks:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -9,13 +9,22 @@
 // SIGTERM: in-flight measurements finish and deliver their responses,
 // idle and new peers receive "shutting-down", and the process exits 0.
 //
+// With -fleet-coordinator the probe inverts roles: instead of listening
+// for a front end, it dials the given fleet coordinator, registers
+// under -probe-id, heartbeats every -heartbeat-interval, and serves the
+// campaign cells the coordinator scatters to it, reconnecting with
+// deterministic backoff when the link drops. A quarantine verdict from
+// the coordinator is terminal.
+//
 // Usage:
 //
 //	memhist-probe -listen :9844 -max-conns 8 -drain-timeout 30s
+//	memhist-probe -fleet-coordinator coord:9845 -probe-id node17
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -25,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"numaperf/internal/fleet"
 	"numaperf/internal/memhist"
 )
 
@@ -43,9 +53,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		listen       = fs.String("listen", "127.0.0.1:9844", "TCP address to listen on")
 		maxConns     = fs.Int("max-conns", 16, "concurrent connections before rejecting with 'overloaded'")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight measurements on shutdown")
+
+		coordinator = fs.String("fleet-coordinator", "", "fleet coordinator address; when set, dial and serve campaign cells instead of listening")
+		probeID     = fs.String("probe-id", "", "probe identity for fleet registration (default: host name)")
+		heartbeat   = fs.Duration("heartbeat-interval", fleet.DefaultHeartbeatInterval, "fleet heartbeat period")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *coordinator != "" {
+		return runFleetAgent(ctx, *coordinator, *probeID, *heartbeat, stdout, stderr)
 	}
 
 	l, err := net.Listen("tcp", *listen)
@@ -93,4 +111,36 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, "memhist-probe: drained cleanly")
 		return 0
 	}
+}
+
+// runFleetAgent runs the probe in fleet mode: register with the
+// coordinator, heartbeat, serve cells, reconnect on link loss.
+func runFleetAgent(ctx context.Context, coordinator, probeID string, heartbeat time.Duration, stdout, stderr io.Writer) int {
+	if probeID == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			fmt.Fprintln(stderr, "memhist-probe: -probe-id required (host name unavailable)")
+			return 2
+		}
+		probeID = host
+	}
+	agent := &fleet.ProbeAgent{
+		ID:                probeID,
+		Coordinator:       coordinator,
+		HeartbeatInterval: heartbeat,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		},
+	}
+	fmt.Fprintf(stdout, "memhist-probe: fleet mode, probe %q -> coordinator %s (heartbeat %s)\n",
+		probeID, coordinator, heartbeat)
+	err := agent.Run(ctx)
+	stats := agent.Stats()
+	fmt.Fprintf(stdout, "memhist-probe: fleet agent stopped: %d connects, %d cells served, %d failed, %d heartbeats\n",
+		stats.Connects, stats.Served, stats.Failed, stats.Heartbeats)
+	if err != nil && !errors.Is(err, context.Canceled) && ctx.Err() == nil {
+		fmt.Fprintf(stderr, "memhist-probe: %v\n", err)
+		return 1
+	}
+	return 0
 }

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"numaperf/internal/clockx"
 	"numaperf/internal/counters"
 	"numaperf/internal/evsel"
 	"numaperf/internal/exec"
@@ -59,8 +60,9 @@ func testSpec(points ...Point) Spec {
 	}
 }
 
-// noSleep removes real backoff delays from tests.
-func noSleep(time.Duration) {}
+// noSleep removes real backoff delays from tests (shared helper in
+// internal/clockx).
+var noSleep = clockx.NoSleep
 
 func TestRunnerComplete(t *testing.T) {
 	r := &Runner{Spec: testSpec(testPoint(1, 1), testPoint(2, 2))}

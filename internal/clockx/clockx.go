@@ -1,0 +1,132 @@
+// Package clockx is the shared deterministic time substrate of the
+// test suites. Three packages had grown their own copies of the same
+// helpers — a no-op sleep for retry loops, a mutex-guarded recorder
+// that captures backoff schedules, and hand-rolled timestamp arithmetic
+// for timeout tests — and the fleet control plane's heartbeat state
+// machine needs a real manual clock on top. clockx provides all three
+// behind one tiny interface, so production code can take a Clock and
+// tests can drive time by hand without a single wall-clock sleep.
+package clockx
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts the two time operations the supervision layers use:
+// reading the current instant and blocking for a duration. Production
+// code takes a Clock (defaulting to System when nil) so tests can
+// substitute a Fake and drive heartbeat timeouts deterministically.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+// System returns the wall clock: time.Now and time.Sleep.
+func System() Clock { return systemClock{} }
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time        { return time.Now() }
+func (systemClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// NoSleep is a drop-in replacement for time.Sleep that returns
+// immediately — the helper every retry/backoff test had duplicated as a
+// local noSleep.
+func NoSleep(time.Duration) {}
+
+// Recorder captures the durations passed to Sleep without sleeping,
+// so a test can assert a deterministic backoff schedule replays
+// exactly. Safe for concurrent use: chaos suites run under -race and
+// record from pool workers while the test goroutine inspects.
+type Recorder struct {
+	mu    sync.Mutex
+	slept []time.Duration
+}
+
+// Sleep records d and returns immediately. The method value r.Sleep
+// satisfies the Sleep func(time.Duration) hooks used across the repo.
+func (r *Recorder) Sleep(d time.Duration) {
+	r.mu.Lock()
+	r.slept = append(r.slept, d)
+	r.mu.Unlock()
+}
+
+// Durations returns a copy of the recorded sleeps in call order.
+func (r *Recorder) Durations() []time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]time.Duration(nil), r.slept...)
+}
+
+// Count returns how many sleeps have been recorded.
+func (r *Recorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.slept)
+}
+
+// Fake is a manual clock: Now returns a programmed instant, Sleep
+// blocks until Advance has moved the clock past the wake-up time. It
+// lets heartbeat-supervision tests walk a probe through
+// healthy → suspect → dead transitions with exact timestamps and no
+// real waiting.
+type Fake struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []fakeWaiter
+}
+
+type fakeWaiter struct {
+	at time.Time
+	ch chan struct{}
+}
+
+// NewFake returns a Fake clock starting at the given instant.
+func NewFake(start time.Time) *Fake { return &Fake{now: start} }
+
+// Now returns the fake instant.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Sleep blocks until the clock has been advanced to or past now+d.
+// A non-positive d returns immediately.
+func (f *Fake) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	f.mu.Lock()
+	at := f.now.Add(d)
+	ch := make(chan struct{})
+	f.waiters = append(f.waiters, fakeWaiter{at: at, ch: ch})
+	f.mu.Unlock()
+	<-ch
+}
+
+// Advance moves the clock forward by d and wakes every sleeper whose
+// deadline has passed.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	remaining := f.waiters[:0]
+	for _, w := range f.waiters {
+		if !w.at.After(f.now) {
+			close(w.ch)
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	f.waiters = remaining
+	f.mu.Unlock()
+}
+
+// Sleepers returns the number of goroutines currently blocked in Sleep
+// — a test hook for asserting that a loop has parked before advancing.
+func (f *Fake) Sleepers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.waiters)
+}

@@ -1,0 +1,96 @@
+package clockx
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderCapturesSchedule(t *testing.T) {
+	var r Recorder
+	r.Sleep(10 * time.Millisecond)
+	r.Sleep(20 * time.Millisecond)
+	got := r.Durations()
+	if len(got) != 2 || got[0] != 10*time.Millisecond || got[1] != 20*time.Millisecond {
+		t.Fatalf("recorded %v", got)
+	}
+	if r.Count() != 2 {
+		t.Fatalf("count = %d, want 2", r.Count())
+	}
+	// The returned slice is a copy: mutating it must not corrupt the
+	// recorder.
+	got[0] = 0
+	if r.Durations()[0] != 10*time.Millisecond {
+		t.Error("Durations returned an aliased slice")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	var r Recorder
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Sleep(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Count() != 800 {
+		t.Fatalf("count = %d, want 800", r.Count())
+	}
+}
+
+func TestFakeAdvanceWakesSleepers(t *testing.T) {
+	start := time.Unix(0, 0)
+	f := NewFake(start)
+	if !f.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", f.Now(), start)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		f.Sleep(100 * time.Millisecond)
+		close(done)
+	}()
+	// Wait for the sleeper to park.
+	for f.Sleepers() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	f.Advance(50 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("sleeper woke before its deadline")
+	case <-time.After(10 * time.Millisecond):
+	}
+	f.Advance(50 * time.Millisecond)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("sleeper never woke after Advance past its deadline")
+	}
+	if got := f.Now(); !got.Equal(start.Add(100 * time.Millisecond)) {
+		t.Errorf("Now = %v after advances", got)
+	}
+}
+
+func TestFakeSleepZeroReturnsImmediately(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	f.Sleep(0)
+	f.Sleep(-time.Second)
+	if f.Sleepers() != 0 {
+		t.Error("non-positive sleeps must not park")
+	}
+}
+
+func TestSystemClock(t *testing.T) {
+	c := System()
+	before := time.Now()
+	got := c.Now()
+	if got.Before(before.Add(-time.Second)) {
+		t.Errorf("system Now %v implausibly far from %v", got, before)
+	}
+	c.Sleep(0) // must not panic
+}

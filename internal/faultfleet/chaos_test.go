@@ -1,0 +1,415 @@
+package faultfleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"numaperf/internal/exec"
+	"numaperf/internal/fleet"
+	"numaperf/internal/memhist"
+	"numaperf/internal/probenet"
+	"numaperf/internal/workloads"
+)
+
+// The chaos suite runs real coordinators and probe agents over loopback
+// TCP with scripted disruptions and asserts the fleet contract: when
+// every cell eventually completes, the gathered report is byte-identical
+// to the fault-free reference — no matter which probes crashed, stalled,
+// flapped or fell silent — and when the fleet genuinely cannot finish,
+// the report says so with typed gaps and quarantine verdicts instead of
+// renormalised data.
+
+// tinyWorkload keeps cells fast so the suite spends its time in the
+// control plane, not the simulated measurement.
+type tinyWorkload struct{}
+
+func (tinyWorkload) Name() string { return "fleet-tiny" }
+func (tinyWorkload) Body() func(*exec.Thread) {
+	return func(t *exec.Thread) {
+		buf := t.Alloc(1 << 14)
+		for i := uint64(0); i < 512; i++ {
+			t.Load(buf.Addr(i * 64 % (1 << 14)))
+		}
+	}
+}
+
+var registerTiny = sync.OnceFunc(func() {
+	workloads.Register("fleet-tiny", func() workloads.Workload { return tinyWorkload{} })
+})
+
+func testSpec(cells int) fleet.Spec {
+	registerTiny()
+	return fleet.Spec{
+		Workload:    "fleet-tiny",
+		Machine:     "2s",
+		Bounds:      []uint64{4, 64, 256, 512},
+		Cells:       cells,
+		RepsPerCell: 1,
+		Seed:        42,
+	}
+}
+
+// reference computes the fault-free ground truth entirely locally: the
+// merged report is defined as a pure function of the cell specs, so no
+// networking is needed to know what the fleet must produce.
+func reference(t *testing.T, spec fleet.Spec) []byte {
+	t.Helper()
+	var hs []*memhist.Histogram
+	for i := 0; i < spec.Cells; i++ {
+		h, err := memhist.HandleRequest(spec.CellRequest(i))
+		if err != nil {
+			t.Fatalf("reference cell %d: %v", i, err)
+		}
+		hs = append(hs, h)
+	}
+	m, err := memhist.MergeHistograms(hs)
+	if err != nil {
+		t.Fatalf("reference merge: %v", err)
+	}
+	return mustJSON(t, m)
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// testOpts are tight supervision windows so failure transitions happen
+// within test time: beacons every 10ms, suspect at 120ms, dead at
+// 240ms. The windows leave ~12 beacon periods of slack because the
+// race detector and loaded CI runners stall goroutines for tens of
+// milliseconds — a healthy probe must never trip them spuriously.
+func testOpts() fleet.Options {
+	return fleet.Options{
+		SuspectAfter: 120 * time.Millisecond,
+		DeadAfter:    240 * time.Millisecond,
+		ProbeStrikes: 3,
+		CellTimeout:  5 * time.Second,
+		MaxRetries:   8,
+		NoProbeGrace: 400 * time.Millisecond,
+		Tick:         5 * time.Millisecond,
+		BackoffBase:  5 * time.Millisecond,
+		BackoffMax:   15 * time.Millisecond,
+		BackoffSeed:  7,
+		Logf:         nil,
+	}
+}
+
+func startCoordinator(t *testing.T, opts fleet.Options) (*fleet.Coordinator, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := fleet.NewCoordinator(opts)
+	go c.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = c.Shutdown(ctx)
+	})
+	return c, ln.Addr().String()
+}
+
+func startAgent(t *testing.T, addr, id string, script fleet.Disruptor) (*fleet.ProbeAgent, <-chan error) {
+	t.Helper()
+	a := &fleet.ProbeAgent{
+		ID:                id,
+		Coordinator:       addr,
+		HeartbeatInterval: 10 * time.Millisecond,
+		BackoffBase:       5 * time.Millisecond,
+		BackoffMax:        15 * time.Millisecond,
+		BackoffSeed:       int64(len(id)),
+		Disruptor:         script,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	finished := make(chan struct{})
+	go func() {
+		err := a.Run(ctx)
+		done <- err
+		close(finished)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case <-finished:
+		case <-time.After(5 * time.Second):
+			t.Error("agent did not stop")
+		}
+	})
+	return a, done
+}
+
+func waitProbes(t *testing.T, c *fleet.Coordinator, n int) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := c.WaitForProbes(ctx, n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runCampaign(t *testing.T, c *fleet.Coordinator, spec fleet.Spec) *fleet.Report {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rep, err := c.RunCampaign(ctx, spec)
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	return rep
+}
+
+func assertByteIdentical(t *testing.T, rep *fleet.Report, want []byte) {
+	t.Helper()
+	if !rep.Complete() {
+		t.Fatalf("campaign incomplete: %d/%d cells, gaps %+v", rep.Completed, rep.Cells, rep.Gaps)
+	}
+	if len(rep.Gaps) != 0 {
+		t.Fatalf("complete campaign reported gaps: %+v", rep.Gaps)
+	}
+	got := mustJSON(t, rep.Histogram)
+	if string(got) != string(want) {
+		t.Errorf("gathered report differs from fault-free reference\ngot:  %s\nwant: %s", got, want)
+	}
+}
+
+func TestFleetZeroFaultsByteIdentical(t *testing.T) {
+	spec := testSpec(5)
+	want := reference(t, spec)
+	c, addr := startCoordinator(t, testOpts())
+	startAgent(t, addr, "probe-a", nil)
+	startAgent(t, addr, "probe-b", nil)
+	waitProbes(t, c, 2)
+
+	rep := runCampaign(t, c, spec)
+	assertByteIdentical(t, rep, want)
+	if rep.Dispatches != spec.Cells {
+		t.Errorf("fault-free campaign used %d dispatches for %d cells", rep.Dispatches, spec.Cells)
+	}
+	total := 0
+	for _, n := range rep.ProbeCells {
+		total += n
+	}
+	if total != spec.Cells {
+		t.Errorf("per-probe accounting sums to %d, want %d", total, spec.Cells)
+	}
+	if len(rep.Quarantined) != 0 {
+		t.Errorf("unexpected quarantines: %+v", rep.Quarantined)
+	}
+}
+
+func TestFleetProbeCrashesMidCampaignByteIdentical(t *testing.T) {
+	// k of N probes die mid-campaign: one crashes once and reconnects,
+	// one crashes and stays down for good. Their cells re-dispatch and
+	// the gathered report must not differ by a byte.
+	spec := testSpec(6)
+	want := reference(t, spec)
+	c, addr := startCoordinator(t, testOpts())
+	crashOnce := New().CrashOnRequest(1)
+	stayDown := New().CrashOnRequestStayDown(1)
+	startAgent(t, addr, "probe-a", crashOnce)
+	_, downDone := startAgent(t, addr, "probe-b", stayDown)
+	startAgent(t, addr, "probe-c", nil)
+	waitProbes(t, c, 3)
+
+	rep := runCampaign(t, c, spec)
+	assertByteIdentical(t, rep, want)
+	if rep.Redispatched == 0 {
+		t.Error("crashing probes must force at least one re-dispatch")
+	}
+	if crashOnce.Faulted() == 0 || stayDown.Faulted() == 0 {
+		t.Errorf("scripts did not fire: crashOnce=%d stayDown=%d", crashOnce.Faulted(), stayDown.Faulted())
+	}
+	select {
+	case err := <-downDone:
+		if !errors.Is(err, fleet.ErrAgentDown) {
+			t.Errorf("stay-down agent returned %v, want ErrAgentDown", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("stay-down agent still running")
+	}
+}
+
+func TestFleetFlappingProbeQuarantined(t *testing.T) {
+	// A probe that registers fine but crashes every cell earns a strike
+	// per death and is quarantined at the limit; the campaign still
+	// completes byte-identically on the healthy probe.
+	spec := testSpec(4)
+	want := reference(t, spec)
+	c, addr := startCoordinator(t, testOpts())
+	flappy := New().CrashAlways()
+	_, flappyDone := startAgent(t, addr, "a-flappy", flappy)
+	// The steady probe is slowed so the campaign lasts long enough for
+	// the flapper to cycle through its strikes.
+	startAgent(t, addr, "b-steady", New().DelayEveryRequest(40*time.Millisecond))
+	waitProbes(t, c, 2)
+
+	rep := runCampaign(t, c, spec)
+	assertByteIdentical(t, rep, want)
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0].ID != "a-flappy" {
+		t.Fatalf("quarantine verdicts = %+v, want a-flappy", rep.Quarantined)
+	}
+	if q := rep.Quarantined[0]; q.Strikes < 3 || q.Reason == "" {
+		t.Errorf("quarantine verdict lacks strike accounting: %+v", q)
+	}
+	// The quarantined agent's next registration is refused with the
+	// typed terminal error, so it stops reconnecting.
+	select {
+	case err := <-flappyDone:
+		var re *probenet.RemoteError
+		if !errors.As(err, &re) || re.Code != probenet.CodeQuarantined {
+			t.Errorf("flapping agent returned %v, want quarantined RemoteError", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("quarantined agent kept running")
+	}
+}
+
+func TestFleetHeartbeatLossRedispatch(t *testing.T) {
+	// A probe takes a cell, then falls silent (beacons suppressed, TCP
+	// intact) while stalling the cell. The tracker walks it through
+	// suspect to dead, the cell re-dispatches, and the stale answer is
+	// dropped: the report is byte-identical to the reference.
+	spec := testSpec(2)
+	want := reference(t, spec)
+	c, addr := startCoordinator(t, testOpts())
+	silent := New().SilenceHeartbeatsFrom(1).DelayRequest(1, 1200*time.Millisecond).RefuseReconnects()
+	startAgent(t, addr, "a-silent", silent)
+	startAgent(t, addr, "b-backup", nil)
+	waitProbes(t, c, 2)
+
+	rep := runCampaign(t, c, spec)
+	assertByteIdentical(t, rep, want)
+	if rep.Redispatched == 0 {
+		t.Error("silent probe's cell must re-dispatch")
+	}
+	if silent.HeartbeatsDropped() == 0 {
+		t.Error("silence script never fired")
+	}
+	found := false
+	for _, p := range c.Tracker().Snapshot() {
+		if p.ID == "a-silent" {
+			found = true
+			if p.Strikes == 0 {
+				t.Errorf("silent probe has no strikes: %+v", p)
+			}
+			if p.State != fleet.Dead && p.State != fleet.Quarantined {
+				t.Errorf("silent probe state %s, want dead or quarantined", p.State)
+			}
+		}
+	}
+	if !found {
+		t.Error("silent probe missing from tracker snapshot")
+	}
+}
+
+func TestFleetSlowProbeDeadlineRedispatch(t *testing.T) {
+	// A probe heartbeats on time but sits on its cell past CellTimeout:
+	// the coordinator strikes it, re-dispatches the cell, and drops the
+	// eventual stale response.
+	spec := testSpec(2)
+	want := reference(t, spec)
+	opts := testOpts()
+	opts.CellTimeout = 150 * time.Millisecond
+	opts.ProbeStrikes = 100 // deadline strikes alone must not quarantine here
+	c, addr := startCoordinator(t, opts)
+	slow := New().DelayRequest(1, 1200*time.Millisecond)
+	startAgent(t, addr, "a-slow", slow)
+	startAgent(t, addr, "b-quick", nil)
+	waitProbes(t, c, 2)
+
+	rep := runCampaign(t, c, spec)
+	assertByteIdentical(t, rep, want)
+	if rep.Redispatched == 0 {
+		t.Error("deadline-blown cell must re-dispatch")
+	}
+	for _, p := range c.Tracker().Snapshot() {
+		if p.ID == "a-slow" && p.Strikes == 0 {
+			t.Errorf("slow probe was never struck: %+v", p)
+		}
+	}
+}
+
+func TestFleetAllProbesDeadGapsTyped(t *testing.T) {
+	// The whole fleet dies with cells outstanding and KeepGoing set: the
+	// report carries a typed gap per unserved cell instead of data.
+	spec := testSpec(3)
+	opts := testOpts()
+	opts.KeepGoing = true
+	opts.MaxRetries = 1
+	opts.NoProbeGrace = 150 * time.Millisecond
+	c, addr := startCoordinator(t, opts)
+	startAgent(t, addr, "a-doomed", New().CrashOnRequestStayDown(1))
+	waitProbes(t, c, 1)
+
+	rep := runCampaign(t, c, spec)
+	if rep.Complete() || rep.Completed != 0 {
+		t.Fatalf("dead fleet completed %d cells", rep.Completed)
+	}
+	if rep.Histogram != nil {
+		t.Error("dead fleet produced a histogram")
+	}
+	if len(rep.Gaps) != spec.Cells {
+		t.Fatalf("gaps = %+v, want one per cell", rep.Gaps)
+	}
+	for i, g := range rep.Gaps {
+		if g.Cell != i || g.Reason == "" {
+			t.Errorf("gap %d = %+v, want typed reason in canonical order", i, g)
+		}
+	}
+}
+
+func TestFleetAllProbesDeadStrictAborts(t *testing.T) {
+	// Same fleet death without KeepGoing: the campaign aborts with a
+	// typed *CellError wrapping ErrNoProbes.
+	spec := testSpec(3)
+	opts := testOpts()
+	opts.MaxRetries = 1
+	opts.NoProbeGrace = 150 * time.Millisecond
+	c, addr := startCoordinator(t, opts)
+	startAgent(t, addr, "a-doomed", New().CrashOnRequestStayDown(1))
+	waitProbes(t, c, 1)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_, err := c.RunCampaign(ctx, spec)
+	var ce *fleet.CellError
+	if !errors.As(err, &ce) {
+		t.Fatalf("strict campaign returned %v, want *fleet.CellError", err)
+	}
+	if !errors.Is(err, fleet.ErrNoProbes) {
+		t.Errorf("cell error %v does not wrap ErrNoProbes", err)
+	}
+}
+
+func TestFleetPartitionedRegistration(t *testing.T) {
+	// One probe is partitioned for its first dial attempts; the campaign
+	// starts on the reachable probe alone and stays byte-identical. The
+	// partitioned probe joins once the partition heals.
+	spec := testSpec(4)
+	want := reference(t, spec)
+	c, addr := startCoordinator(t, testOpts())
+	late := New().RefuseFirstConnects(4)
+	startAgent(t, addr, "z-late", late)
+	startAgent(t, addr, "a-early", nil)
+	waitProbes(t, c, 1)
+
+	rep := runCampaign(t, c, spec)
+	assertByteIdentical(t, rep, want)
+	if late.ConnectsRefused() == 0 {
+		t.Error("partition script never fired")
+	}
+	// The partition heals; the late probe must eventually register.
+	waitProbes(t, c, 2)
+}

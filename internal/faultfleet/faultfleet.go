@@ -1,0 +1,188 @@
+// Package faultfleet scripts probe-agent misbehaviour for the fleet
+// chaos suite: crashed probes, heartbeat loss, slow and flapping
+// probes, partitioned registration. A Script implements
+// fleet.Disruptor; its setters chain, and its counters let tests assert
+// that the scripted faults actually fired. The zero Script disrupts
+// nothing. All methods are safe for concurrent use — the heartbeat loop
+// and the request loop of an agent consult the script concurrently.
+package faultfleet
+
+import (
+	"sync"
+	"time"
+
+	"numaperf/internal/fleet"
+)
+
+// Script is a scripted fleet.Disruptor.
+type Script struct {
+	mu sync.Mutex
+
+	refuseFirst int             // refuse dial attempts < refuseFirst
+	refuseFrom  int             // >=0: refuse dial attempts >= refuseFrom
+	dropBeats   map[uint64]bool // individual beacons to drop
+	silentFrom  uint64          // >0: drop every beacon with seq >= silentFrom
+	faults      map[int]fleet.Fault
+	crashAll    bool
+	delayAll    time.Duration
+
+	refused int
+	dropped int
+	faulted int
+}
+
+// New builds an empty script (no disruptions).
+func New() *Script {
+	return &Script{refuseFrom: -1, dropBeats: make(map[uint64]bool), faults: make(map[int]fleet.Fault)}
+}
+
+// RefuseFirstConnects partitions the probe from the coordinator for its
+// first n dial attempts — registration succeeds only on attempt n.
+func (s *Script) RefuseFirstConnects(n int) *Script {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.refuseFirst = n
+	return s
+}
+
+// RefuseReconnects lets the initial registration through but refuses
+// every reconnect — a probe that dies once and never comes back.
+func (s *Script) RefuseReconnects() *Script {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.refuseFrom = 1
+	return s
+}
+
+// DropHeartbeat drops the beacon with the given sequence number
+// (1-based, per connection).
+func (s *Script) DropHeartbeat(seq uint64) *Script {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dropBeats[seq] = true
+	return s
+}
+
+// SilenceHeartbeatsFrom drops every beacon with sequence >= seq: the
+// probe stays connected but falls silent — the suspect → dead path.
+func (s *Script) SilenceHeartbeatsFrom(seq uint64) *Script {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.silentFrom = seq
+	return s
+}
+
+// DelayRequest stalls the n-th request (1-based, across reconnects) by
+// d before serving it — a slow probe.
+func (s *Script) DelayRequest(n int, d time.Duration) *Script {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := s.faults[n]
+	f.Delay = d
+	s.faults[n] = f
+	return s
+}
+
+// CrashOnRequest drops the connection instead of answering the n-th
+// request; the agent reconnects as a new instance.
+func (s *Script) CrashOnRequest(n int) *Script {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := s.faults[n]
+	f.Crash = true
+	s.faults[n] = f
+	return s
+}
+
+// CrashOnRequestStayDown crashes on the n-th request and terminates the
+// agent — a probe process that died and was never restarted.
+func (s *Script) CrashOnRequestStayDown(n int) *Script {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := s.faults[n]
+	f.Crash = true
+	f.StayDown = true
+	s.faults[n] = f
+	return s
+}
+
+// DelayEveryRequest stalls every request by d — a uniformly slow probe,
+// useful to stretch a campaign long enough for other scripts to play
+// out.
+func (s *Script) DelayEveryRequest(d time.Duration) *Script {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.delayAll = d
+	return s
+}
+
+// CrashAlways crashes on every request — a flapping probe that
+// registers fine but never finishes a cell.
+func (s *Script) CrashAlways() *Script {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.crashAll = true
+	return s
+}
+
+// RefuseConnect implements fleet.Disruptor.
+func (s *Script) RefuseConnect(attempt int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if attempt < s.refuseFirst || (s.refuseFrom >= 0 && attempt >= s.refuseFrom) {
+		s.refused++
+		return true
+	}
+	return false
+}
+
+// SkipHeartbeat implements fleet.Disruptor.
+func (s *Script) SkipHeartbeat(seq uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dropBeats[seq] || (s.silentFrom > 0 && seq >= s.silentFrom) {
+		s.dropped++
+		return true
+	}
+	return false
+}
+
+// OnRequest implements fleet.Disruptor.
+func (s *Script) OnRequest(n int) fleet.Fault {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.faults[n]
+	if s.crashAll {
+		f.Crash = true
+		ok = true
+	}
+	if s.delayAll > f.Delay {
+		f.Delay = s.delayAll
+		ok = true
+	}
+	if ok && (f.Crash || f.Delay > 0) {
+		s.faulted++
+	}
+	return f
+}
+
+// ConnectsRefused counts dial attempts the script refused.
+func (s *Script) ConnectsRefused() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.refused
+}
+
+// HeartbeatsDropped counts beacons the script suppressed.
+func (s *Script) HeartbeatsDropped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Faulted counts requests the script disrupted.
+func (s *Script) Faulted() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.faulted
+}

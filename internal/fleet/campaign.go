@@ -1,0 +1,179 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"numaperf/internal/memhist"
+)
+
+// Campaign defaults.
+const (
+	// DefaultCellTimeout bounds one cell dispatch end to end.
+	DefaultCellTimeout = 2 * time.Minute
+	// DefaultMaxRetries is the re-dispatch allowance per cell after the
+	// first attempt.
+	DefaultMaxRetries = 2
+	// DefaultNoProbeGrace is how long a campaign tolerates an empty
+	// fleet (every probe dead or quarantined, nothing in flight) before
+	// declaring the remaining cells unservable.
+	DefaultNoProbeGrace = 10 * time.Second
+)
+
+// ErrNoProbes marks cells that could not be served because the fleet
+// ran out of live probes.
+var ErrNoProbes = errors.New("fleet: no live probes")
+
+// Spec describes one sharded campaign. The campaign is cut into Cells
+// independent measurement cells; cell i is the fixed probe request
+// derived from the spec with seed Seed+i+1, so a cell's result depends
+// only on the spec — never on which probe served it or on which
+// attempt. That purity is what makes the gathered report byte-identical
+// across failure schedules.
+type Spec struct {
+	// Workload is a registered workload name.
+	Workload string
+	// Machine is a predefined machine model; default "dl580".
+	Machine string
+	// Threads for the engine; default 1.
+	Threads int
+	// Bounds for the histogram; probe default when empty.
+	Bounds []uint64
+	// SliceCycles for threshold cycling; 0 selects the probe default.
+	SliceCycles uint64
+	// Adaptive enables the adaptive dwell-repair cycler.
+	Adaptive bool
+	// Exact requests ground-truth histograms instead of cycling.
+	Exact bool
+	// Cells is the number of shards; default 1.
+	Cells int
+	// RepsPerCell is the reps each cell averages; default 1. Cells carry
+	// equal reps so the mean of cell means is the campaign mean.
+	RepsPerCell int
+	// Seed is the campaign base seed; cell i runs with Seed+i+1.
+	Seed int64
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Cells <= 0 {
+		s.Cells = 1
+	}
+	if s.RepsPerCell <= 0 {
+		s.RepsPerCell = 1
+	}
+	return s
+}
+
+// CellRequest builds the probe request for cell i — a pure function of
+// the spec, shared by every dispatch attempt of the cell.
+func (s Spec) CellRequest(i int) memhist.ProbeRequest {
+	s = s.withDefaults()
+	return memhist.ProbeRequest{
+		Workload:    s.Workload,
+		Machine:     s.Machine,
+		Threads:     s.Threads,
+		Bounds:      append([]uint64(nil), s.Bounds...),
+		SliceCycles: s.SliceCycles,
+		Reps:        s.RepsPerCell,
+		Exact:       s.Exact,
+		Adaptive:    s.Adaptive,
+		Seed:        s.Seed + int64(i) + 1,
+	}
+}
+
+// Validate checks the spec by validating its first cell request against
+// the probe protocol limits.
+func (s Spec) Validate() error {
+	s = s.withDefaults()
+	if s.Cells > 4096 {
+		return fmt.Errorf("fleet: %d cells exceed cap 4096", s.Cells)
+	}
+	return s.CellRequest(0).Validate()
+}
+
+// Gap records a cell that stayed unserved after the retry budget — the
+// typed honesty marker of a sharded campaign, mirroring histogram gap
+// verdicts elsewhere in the repo: the report says what is missing
+// instead of quietly renormalising over it.
+type Gap struct {
+	Cell   int
+	Reason string
+}
+
+// ProbeQuarantine is the verdict on a probe that crossed the strike
+// limit during (or before) the campaign.
+type ProbeQuarantine struct {
+	ID      string
+	Strikes int
+	Reason  string
+}
+
+// CellError wraps the final failure of one cell.
+type CellError struct {
+	Cell     int
+	Attempts int
+	Err      error
+}
+
+func (e *CellError) Error() string {
+	return fmt.Sprintf("fleet: cell %d failed after %d attempt(s): %v", e.Cell, e.Attempts, e.Err)
+}
+
+func (e *CellError) Unwrap() error { return e.Err }
+
+// Report is the gathered result of a fleet campaign. Histogram, Gaps
+// and Quarantined are deterministic in the sense the package doc
+// promises; the accounting fields (dispatch, retry and per-probe
+// counts) describe the particular run and naturally vary with the
+// failure schedule.
+type Report struct {
+	// Histogram is the merged campaign histogram over the completed
+	// cells in canonical order; nil when no cell completed.
+	Histogram *memhist.Histogram
+	// Gaps lists unserved cells in canonical order.
+	Gaps []Gap
+	// Quarantined lists probes quarantined by strike accounting, in
+	// probe-ID order.
+	Quarantined []ProbeQuarantine
+
+	// Cells and Completed count the campaign shards and how many
+	// finished.
+	Cells     int
+	Completed int
+	// Dispatches counts cell dispatches, Redispatched the cells that
+	// needed more than one.
+	Dispatches   int
+	Redispatched int
+	// ProbeCells counts completed cells per probe ID.
+	ProbeCells map[string]int
+}
+
+// Complete reports whether every cell was served.
+func (r *Report) Complete() bool { return r.Completed == r.Cells }
+
+// Summary renders an operator-facing digest: the deterministic verdict
+// lines first (coverage, gaps, quarantines), then the run-dependent
+// dispatch accounting.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet campaign: %d/%d cells completed\n", r.Completed, r.Cells)
+	for _, g := range r.Gaps {
+		fmt.Fprintf(&b, "  gap: cell %d: %s\n", g.Cell, g.Reason)
+	}
+	for _, q := range r.Quarantined {
+		fmt.Fprintf(&b, "  quarantined: probe %s after %d strikes: %s\n", q.ID, q.Strikes, q.Reason)
+	}
+	fmt.Fprintf(&b, "  dispatches: %d (%d cells re-dispatched)\n", r.Dispatches, r.Redispatched)
+	ids := make([]string, 0, len(r.ProbeCells))
+	for id := range r.ProbeCells {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Fprintf(&b, "  probe %s: %d cell(s)\n", id, r.ProbeCells[id])
+	}
+	return b.String()
+}

@@ -1,0 +1,220 @@
+package fleet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"numaperf/internal/clockx"
+)
+
+// trackerOpts are tight, readable supervision windows for tests.
+var trackerOpts = TrackerOptions{
+	SuspectAfter: 30 * time.Millisecond,
+	DeadAfter:    90 * time.Millisecond,
+	StrikeLimit:  3,
+}
+
+func TestHealthStateMachineLifecycle(t *testing.T) {
+	clk := clockx.NewFake(time.Unix(1000, 0))
+	tr := NewTracker(trackerOpts)
+	if err := tr.Register("p1", 1, clk.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := tr.State("p1"); st != Healthy {
+		t.Fatalf("after register: %s, want healthy", st)
+	}
+
+	// Regular heartbeats keep the probe healthy through sweeps.
+	for i := 0; i < 5; i++ {
+		clk.Advance(20 * time.Millisecond)
+		if trs := tr.Sweep(clk.Now()); len(trs) != 0 {
+			t.Fatalf("sweep %d transitioned a beating probe: %+v", i, trs)
+		}
+		if _, err := tr.Heartbeat("p1", 1, clk.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Silence past SuspectAfter demotes to suspect.
+	clk.Advance(40 * time.Millisecond)
+	trs := tr.Sweep(clk.Now())
+	if len(trs) != 1 || trs[0].To != Suspect {
+		t.Fatalf("suspect sweep = %+v", trs)
+	}
+
+	// Silence past DeadAfter kills, costing a strike.
+	clk.Advance(60 * time.Millisecond)
+	trs = tr.Sweep(clk.Now())
+	if len(trs) != 1 || trs[0].To != Dead {
+		t.Fatalf("dead sweep = %+v", trs)
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 1 || snap[0].Strikes != 1 || snap[0].Connected {
+		t.Fatalf("after death: %+v", snap)
+	}
+
+	// A dead probe is gone; further sweeps are silent.
+	clk.Advance(time.Second)
+	if trs := tr.Sweep(clk.Now()); len(trs) != 0 {
+		t.Fatalf("dead probe swept again: %+v", trs)
+	}
+
+	// Re-registration (a restart) brings it back healthy.
+	if err := tr.Register("p1", 2, clk.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := tr.State("p1"); st != Healthy {
+		t.Fatalf("after re-register: %s", st)
+	}
+}
+
+func TestSuspectRecoversOnHeartbeatWithoutStrike(t *testing.T) {
+	clk := clockx.NewFake(time.Unix(1000, 0))
+	tr := NewTracker(trackerOpts)
+	if err := tr.Register("p1", 1, clk.Now()); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(40 * time.Millisecond)
+	tr.Sweep(clk.Now())
+	if st, _ := tr.State("p1"); st != Suspect {
+		t.Fatalf("state %s, want suspect", st)
+	}
+	st, err := tr.Heartbeat("p1", 1, clk.Now())
+	if err != nil || st != Healthy {
+		t.Fatalf("recovery beat = %s, %v", st, err)
+	}
+	snap := tr.Snapshot()
+	if snap[0].Strikes != 0 {
+		t.Fatalf("suspect recovery must not strike: %+v", snap[0])
+	}
+}
+
+func TestFlappingProbeIsQuarantined(t *testing.T) {
+	clk := clockx.NewFake(time.Unix(1000, 0))
+	tr := NewTracker(trackerOpts)
+	if err := tr.Register("p1", 1, clk.Now()); err != nil {
+		t.Fatal(err)
+	}
+	// Each death-by-silence is a strike; the third quarantines.
+	for life := uint64(1); life <= 2; life++ {
+		clk.Advance(100 * time.Millisecond)
+		tr.Sweep(clk.Now())
+		if err := tr.Register("p1", life+1, clk.Now()); err != nil {
+			t.Fatalf("life %d: %v", life, err)
+		}
+	}
+	clk.Advance(100 * time.Millisecond)
+	trs := tr.Sweep(clk.Now())
+	if len(trs) != 1 || trs[0].To != Quarantined {
+		t.Fatalf("third death = %+v, want quarantine", trs)
+	}
+	// Quarantine refuses re-registration with the typed error.
+	err := tr.Register("p1", 4, clk.Now())
+	var qe *QuarantineError
+	if !errors.As(err, &qe) || qe.Strikes != 3 {
+		t.Fatalf("re-register after quarantine = %v", err)
+	}
+	qs := tr.Quarantines()
+	if len(qs) != 1 || qs[0].ID != "p1" {
+		t.Fatalf("quarantine verdicts = %+v", qs)
+	}
+}
+
+func TestReRegisterWhileConnectedIsAFlapStrike(t *testing.T) {
+	clk := clockx.NewFake(time.Unix(1000, 0))
+	tr := NewTracker(trackerOpts)
+	if err := tr.Register("p1", 1, clk.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Register("p1", 2, clk.Now()); err != nil {
+		t.Fatal(err)
+	}
+	snap := tr.Snapshot()
+	if snap[0].Strikes != 1 || snap[0].Instance != 2 || snap[0].Registrations != 2 {
+		t.Fatalf("after flap re-register: %+v", snap[0])
+	}
+}
+
+func TestStaleInstanceRejected(t *testing.T) {
+	clk := clockx.NewFake(time.Unix(1000, 0))
+	tr := NewTracker(trackerOpts)
+	if err := tr.Register("p1", 2, clk.Now()); err != nil {
+		t.Fatal(err)
+	}
+	var se *StaleProbeError
+	if _, err := tr.Heartbeat("p1", 1, clk.Now()); !errors.As(err, &se) {
+		t.Fatalf("stale heartbeat = %v", err)
+	}
+	if _, err := tr.Disconnect("p1", 1, "old life ends"); !errors.As(err, &se) {
+		t.Fatalf("stale disconnect = %v", err)
+	}
+	// The stale events must not have touched the live registration.
+	if st, _ := tr.State("p1"); st != Healthy {
+		t.Fatalf("state %s after stale events", st)
+	}
+}
+
+func TestDisconnectAfterSweepDeathDoesNotDoubleStrike(t *testing.T) {
+	clk := clockx.NewFake(time.Unix(1000, 0))
+	tr := NewTracker(trackerOpts)
+	if err := tr.Register("p1", 1, clk.Now()); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(100 * time.Millisecond)
+	tr.Sweep(clk.Now()) // death #1: strike charged here
+	if _, err := tr.Disconnect("p1", 1, "socket closed"); err != nil {
+		t.Fatal(err)
+	}
+	if snap := tr.Snapshot(); snap[0].Strikes != 1 {
+		t.Fatalf("one death charged %d strikes", snap[0].Strikes)
+	}
+}
+
+func TestHealthyAndLiveSets(t *testing.T) {
+	clk := clockx.NewFake(time.Unix(1000, 0))
+	tr := NewTracker(trackerOpts)
+	for _, id := range []string{"b", "a", "c"} {
+		if err := tr.Register(id, 1, clk.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tr.Healthy(); len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("healthy = %v, want sorted a b c", got)
+	}
+	// Push "b" to suspect only: still live, no longer dispatchable.
+	clk.Advance(40 * time.Millisecond)
+	for _, id := range []string{"a", "c"} {
+		if _, err := tr.Heartbeat(id, 1, clk.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.Sweep(clk.Now())
+	if got := tr.Healthy(); len(got) != 2 {
+		t.Fatalf("healthy = %v, want a c", got)
+	}
+	if tr.Live() != 3 {
+		t.Fatalf("live = %d, want 3 (suspect still counts)", tr.Live())
+	}
+}
+
+func TestStrikeLimitNeverWhenNegative(t *testing.T) {
+	clk := clockx.NewFake(time.Unix(1000, 0))
+	tr := NewTracker(TrackerOptions{SuspectAfter: 10 * time.Millisecond, DeadAfter: 20 * time.Millisecond, StrikeLimit: -1})
+	if err := tr.Register("p1", 1, clk.Now()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if st := tr.Strike("p1", "fault"); st == Quarantined {
+			t.Fatalf("strike %d quarantined despite StrikeLimit -1", i)
+		}
+	}
+}
+
+func TestHealthStrings(t *testing.T) {
+	for h, want := range map[Health]string{Healthy: "healthy", Suspect: "suspect", Dead: "dead", Quarantined: "quarantined"} {
+		if h.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(h), h.String(), want)
+		}
+	}
+}

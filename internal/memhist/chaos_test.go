@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"numaperf/internal/clockx"
 	"numaperf/internal/faultnet"
 	"numaperf/internal/probenet"
 	"numaperf/internal/topology"
@@ -85,7 +86,7 @@ func fetchWithRetries(addr string, retries int) (*Histogram, error) {
 	return FetchRemoteWith(addr, quickRequest(), FetchOptions{
 		Timeout: 30 * time.Second,
 		Retries: retries,
-		Sleep:   func(time.Duration) {},
+		Sleep:   clockx.NoSleep,
 	})
 }
 
@@ -203,7 +204,7 @@ func TestChaosNoRetryOnCapabilityMiss(t *testing.T) {
 	_, err := FetchRemoteWith(addr, req, FetchOptions{
 		Timeout: 10 * time.Second,
 		Retries: 5,
-		Sleep:   func(time.Duration) {},
+		Sleep:   clockx.NoSleep,
 		Dial: func(network, a string, timeout time.Duration) (net.Conn, error) {
 			dials++
 			return net.DialTimeout(network, a, timeout)
@@ -222,13 +223,13 @@ func TestChaosFallbackLocalUsesBackoffSchedule(t *testing.T) {
 	// No probe listens on port 1: every attempt fails transient, the
 	// recorded sleeps must replay the seeded schedule exactly, and the
 	// call degrades to a local measurement.
-	var recorded []time.Duration
+	var rec clockx.Recorder
 	req := quickRequest()
 	h, err := FetchRemoteWith("127.0.0.1:1", req, FetchOptions{
 		Timeout:       5 * time.Second,
 		Retries:       3,
 		Backoff:       probenet.NewBackoff(time.Millisecond, 8*time.Millisecond, 7),
-		Sleep:         func(d time.Duration) { recorded = append(recorded, d) },
+		Sleep:         rec.Sleep,
 		FallbackLocal: true,
 	})
 	if err != nil {
@@ -242,6 +243,7 @@ func TestChaosFallbackLocalUsesBackoffSchedule(t *testing.T) {
 		t.Error("fallback histogram diverges from direct local measurement")
 	}
 	want := probenet.NewBackoff(time.Millisecond, 8*time.Millisecond, 7)
+	recorded := rec.Durations()
 	if len(recorded) != 3 {
 		t.Fatalf("%d sleeps, want 3", len(recorded))
 	}
@@ -256,7 +258,7 @@ func TestChaosNoFallbackWithoutOptIn(t *testing.T) {
 	_, err := FetchRemoteWith("127.0.0.1:1", quickRequest(), FetchOptions{
 		Timeout: 2 * time.Second,
 		Retries: 1,
-		Sleep:   func(time.Duration) {},
+		Sleep:   clockx.NoSleep,
 	})
 	if err == nil {
 		t.Fatal("unreachable probe must fail without FallbackLocal")
@@ -303,7 +305,7 @@ func TestChaosFaultSweep(t *testing.T) {
 			h, err := FetchRemoteWith(addr, quickRequest(), FetchOptions{
 				Timeout: 5 * time.Second,
 				Retries: 1,
-				Sleep:   func(time.Duration) {},
+				Sleep:   clockx.NoSleep,
 			})
 			if elapsed := time.Since(start); elapsed > 15*time.Second {
 				t.Fatalf("fetch took %v, deadline not honoured", elapsed)

@@ -168,7 +168,7 @@ func fetchOnce(addr string, req ProbeRequest, opts FetchOptions) (*Histogram, er
 			if resp.ID != id {
 				return nil, &probenet.ProtocolError{Reason: fmt.Sprintf("response id %d for request %d", resp.ID, id)}
 			}
-			return decodeHistogram(resp.Body)
+			return DecodeHistogram(resp.Body)
 		case probenet.FrameError:
 			var em probenet.ErrorMsg
 			if err := probenet.Decode(t, payload, &em); err != nil {
@@ -186,11 +186,14 @@ func fetchOnce(addr string, req ProbeRequest, opts FetchOptions) (*Histogram, er
 	}
 }
 
-// decodeHistogram unmarshals and sanity-checks a histogram so a
+// DecodeHistogram unmarshals and sanity-checks a histogram so a
 // damaged-but-parseable payload can never masquerade as data: shape
 // invariants (matching slice lengths, ≥ 2 strictly increasing bounds)
-// must hold or the attempt fails as transport corruption.
-func decodeHistogram(body []byte) (*Histogram, error) {
+// must hold or the attempt fails as transport corruption. The fleet
+// coordinator shares this gate: a sick probe can drop out of a
+// campaign, but it can never smuggle a malformed histogram into the
+// merged report.
+func DecodeHistogram(body []byte) (*Histogram, error) {
 	var h Histogram
 	if err := probenet.Decode(probenet.FrameResponse, body, &h); err != nil {
 		return nil, err

@@ -1,0 +1,84 @@
+package memhist
+
+import (
+	"errors"
+	"fmt"
+
+	"numaperf/internal/perf"
+)
+
+// This file is the gather half of fleet campaigns: a sharded campaign
+// measures the same workload as many independent cells (each a fresh
+// deterministic engine with its own seed) and the coordinator folds the
+// per-cell histograms back into one. The merge is defined so the result
+// is a pure function of the cell histograms in their canonical order —
+// which probe measured which cell, in which sequence, and how many
+// retries it took can never change a byte of the merged report.
+
+// OriginFleet marks a histogram gathered from a probe fleet.
+const OriginFleet = "fleet"
+
+// ErrMergeMismatch marks histograms that cannot be merged: different
+// bounds, modes of collection, or sources.
+var ErrMergeMismatch = errors.New("memhist: histograms not mergeable")
+
+// MergeHistograms folds per-cell histograms of one sharded campaign
+// into the fleet result, in slice order. Every histogram must share the
+// same bounds, Exact flag and Source; counts are averaged cell-wise
+// (each cell already averages its own reps, and cells carry equal
+// reps, so the mean of cell means is the campaign mean), quality
+// reports merge additively via perf.MergeQualities, and per-bin
+// confidence is recomputed from the merged quality exactly as a local
+// Collect would. Nil entries are rejected — gaps are the caller's
+// (typed) concern, never silently skipped here.
+func MergeHistograms(hs []*Histogram) (*Histogram, error) {
+	if len(hs) == 0 {
+		return nil, fmt.Errorf("%w: no histograms", ErrMergeMismatch)
+	}
+	first := hs[0]
+	for i, h := range hs {
+		if h == nil {
+			return nil, fmt.Errorf("%w: histogram %d is nil", ErrMergeMismatch, i)
+		}
+		if len(h.Bounds) != len(first.Bounds) {
+			return nil, fmt.Errorf("%w: histogram %d has %d bounds, want %d",
+				ErrMergeMismatch, i, len(h.Bounds), len(first.Bounds))
+		}
+		for k, b := range h.Bounds {
+			if b != first.Bounds[k] {
+				return nil, fmt.Errorf("%w: histogram %d bound %d is %d, want %d",
+					ErrMergeMismatch, i, k, b, first.Bounds[k])
+			}
+		}
+		if h.Exact != first.Exact {
+			return nil, fmt.Errorf("%w: histogram %d mixes exact and cycled collection", ErrMergeMismatch, i)
+		}
+		if h.Source != first.Source {
+			return nil, fmt.Errorf("%w: histogram %d measured %q, want %q",
+				ErrMergeMismatch, i, h.Source, first.Source)
+		}
+	}
+
+	merged := newHistogram(first.Bounds)
+	merged.Exact = first.Exact
+	merged.Source = first.Source
+	merged.Origin = OriginFleet
+	for i := range merged.Counts {
+		sum := 0.0
+		for _, h := range hs {
+			sum += h.Counts[i]
+		}
+		merged.Counts[i] = sum / float64(len(hs))
+	}
+	qs := make([]*perf.SampleQuality, len(hs))
+	for i, h := range hs {
+		qs[i] = h.Quality
+	}
+	q, err := perf.MergeQualities(qs)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMergeMismatch, err)
+	}
+	merged.Quality = q
+	merged.Confidence = binConfidence(q, len(merged.Bounds))
+	return merged, nil
+}

@@ -1,0 +1,125 @@
+package memhist
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"numaperf/internal/perf"
+)
+
+func mkCellHist(counts []float64, q *perf.SampleQuality) *Histogram {
+	h := newHistogram([]uint64{4, 8, 16})
+	copy(h.Counts, counts)
+	h.Source = "mlc-local"
+	h.Origin = OriginLocal
+	h.Quality = q
+	return h
+}
+
+func quality(active [3]uint64) *perf.SampleQuality {
+	q := &perf.SampleQuality{RecordsSeen: 10, RecordsKept: 10, TotalCycles: active[0] + active[1] + active[2]}
+	for i, a := range active {
+		q.Thresholds = append(q.Thresholds, perf.ThresholdQuality{
+			Threshold: []uint64{4, 8, 16}[i], ActiveCycles: a, Observed: 3,
+		})
+	}
+	return q
+}
+
+func TestMergeHistogramsAveragesInOrder(t *testing.T) {
+	a := mkCellHist([]float64{2, 4, 6}, quality([3]uint64{100, 100, 100}))
+	b := mkCellHist([]float64{4, 8, 10}, quality([3]uint64{100, 100, 100}))
+	m, err := MergeHistograms([]*Histogram{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []float64{3, 6, 8}; !reflect.DeepEqual(m.Counts, want) {
+		t.Errorf("merged counts %v, want %v", m.Counts, want)
+	}
+	if m.Origin != OriginFleet {
+		t.Errorf("origin %q, want %q", m.Origin, OriginFleet)
+	}
+	if m.Quality == nil || m.Quality.TotalCycles != 600 {
+		t.Errorf("quality merge wrong: %+v", m.Quality)
+	}
+	if m.Confidence == nil || len(m.Confidence) != 3 {
+		t.Errorf("confidence not recomputed: %v", m.Confidence)
+	}
+	// Inputs must be untouched (merge copies, never aliases).
+	if a.Quality.TotalCycles != 300 {
+		t.Error("merge mutated an input quality report")
+	}
+}
+
+func TestMergeHistogramsIsOrderSensitiveOnlyInFloatOrder(t *testing.T) {
+	// The merged counts are a mean over a fixed cell order; callers
+	// guarantee canonical order, and with it the merge is bit-stable.
+	cells := []*Histogram{
+		mkCellHist([]float64{0.1, 0.2, 0.3}, nil),
+		mkCellHist([]float64{0.7, 0.5, 0.11}, nil),
+		mkCellHist([]float64{0.013, 0.017, 0.019}, nil),
+	}
+	m1, err := MergeHistograms(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := MergeHistograms(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m1.Counts {
+		if math.Float64bits(m1.Counts[i]) != math.Float64bits(m2.Counts[i]) {
+			t.Fatalf("merge not bit-stable at bin %d", i)
+		}
+	}
+	if m1.Quality != nil {
+		t.Error("all-nil qualities must merge to nil")
+	}
+	if m1.Confidence != nil {
+		t.Error("confidence must stay nil without a quality report")
+	}
+}
+
+func TestMergeHistogramsRejectsMismatches(t *testing.T) {
+	base := mkCellHist([]float64{1, 2, 3}, nil)
+	other := newHistogram([]uint64{4, 8, 32})
+	other.Source = "mlc-local"
+	cases := map[string][]*Histogram{
+		"empty":           {},
+		"nil entry":       {base, nil},
+		"bounds differ":   {base, other},
+		"source differs":  {base, mkCellHistSource("sort")},
+		"exactness mixes": {base, mkExact()},
+	}
+	for name, hs := range cases {
+		if _, err := MergeHistograms(hs); !errors.Is(err, ErrMergeMismatch) {
+			t.Errorf("%s: error %v, want ErrMergeMismatch", name, err)
+		}
+	}
+}
+
+func mkCellHistSource(src string) *Histogram {
+	h := newHistogram([]uint64{4, 8, 16})
+	h.Source = src
+	return h
+}
+
+func mkExact() *Histogram {
+	h := newHistogram([]uint64{4, 8, 16})
+	h.Source = "mlc-local"
+	h.Exact = true
+	return h
+}
+
+func TestMergeQualitiesMismatchedThresholds(t *testing.T) {
+	a := quality([3]uint64{1, 1, 1})
+	b := &perf.SampleQuality{Thresholds: []perf.ThresholdQuality{{Threshold: 4}}}
+	if _, err := perf.MergeQualities([]*perf.SampleQuality{a, b}); err == nil {
+		t.Fatal("mismatched threshold sets must refuse to merge")
+	}
+	if got, err := perf.MergeQualities([]*perf.SampleQuality{nil, nil}); err != nil || got != nil {
+		t.Errorf("all-nil merge = %v, %v; want nil, nil", got, err)
+	}
+}

@@ -91,6 +91,13 @@ type ProbeServer struct {
 	IdleTimeout time.Duration
 	// WriteTimeout bounds each frame write. Default 30 seconds.
 	WriteTimeout time.Duration
+	// ProbeID, when set, is advertised in the HELLO handshake so front
+	// ends and operators can tell which member of a fleet they reached.
+	// Empty keeps the handshake byte-identical to identity-less probes.
+	ProbeID string
+	// Instance distinguishes restarts of the same ProbeID; advertised
+	// alongside it when non-zero.
+	Instance uint64
 	// Logf, when set, receives diagnostics (encode failures, panics).
 	Logf func(format string, args ...any)
 
@@ -296,6 +303,8 @@ func (s *ProbeServer) handle(pc *probeConn) {
 		Workloads: workloads.Names(),
 		Machines:  topology.MachineNames(),
 		MaxFrame:  probenet.MaxFrame,
+		ProbeID:   s.ProbeID,
+		Instance:  s.Instance,
 	}
 	if s.writeFrame(conn, probenet.FrameHello, hello) != nil {
 		return

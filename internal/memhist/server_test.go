@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"numaperf/internal/clockx"
 	"numaperf/internal/exec"
 	"numaperf/internal/probenet"
 	"numaperf/internal/workloads"
@@ -247,7 +248,7 @@ func TestOverloadedRejection(t *testing.T) {
 	_, err := FetchRemoteWith(addr, quickRequest(), FetchOptions{
 		Timeout: 10 * time.Second,
 		Retries: 3,
-		Sleep:   func(time.Duration) {},
+		Sleep:   clockx.NoSleep,
 		Dial: func(network, a string, timeout time.Duration) (net.Conn, error) {
 			dials++
 			return net.DialTimeout(network, a, timeout)

@@ -164,6 +164,30 @@ func (q *SampleQuality) Merge(o *SampleQuality) error {
 	return nil
 }
 
+// MergeQualities folds a sequence of quality reports into one, in
+// order, skipping nils — the fleet-scope aggregation: a campaign
+// gathered from many probes merges the per-cell reports exactly as
+// repeated local reps would. Returns nil when every input is nil (a
+// fleet of pre-fidelity probes), so absence stays absence on the wire.
+func MergeQualities(qs []*SampleQuality) (*SampleQuality, error) {
+	var merged *SampleQuality
+	for _, q := range qs {
+		if q == nil {
+			continue
+		}
+		if merged == nil {
+			c := *q
+			c.Thresholds = append([]ThresholdQuality(nil), q.Thresholds...)
+			merged = &c
+			continue
+		}
+		if err := merged.Merge(q); err != nil {
+			return nil, err
+		}
+	}
+	return merged, nil
+}
+
 // String renders a one-line operator summary.
 func (q *SampleQuality) String() string {
 	var sb strings.Builder

@@ -24,6 +24,9 @@ const (
 	CodeOverloaded ErrorCode = "overloaded"
 	// CodeShuttingDown rejects work arriving during a graceful drain.
 	CodeShuttingDown ErrorCode = "shutting-down"
+	// CodeQuarantined rejects a fleet probe whose strike count crossed
+	// the coordinator's quarantine threshold; the probe must not retry.
+	CodeQuarantined ErrorCode = "quarantined"
 	// CodeInternal reports a measurement failure inside the probe.
 	CodeInternal ErrorCode = "internal"
 )

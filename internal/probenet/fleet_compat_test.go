@@ -1,0 +1,134 @@
+package probenet_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"numaperf/internal/probenet"
+)
+
+// Wire-compatibility suite for the fleet identity fields. The HELLO
+// payload gained optional probe_id/instance fields for fleet
+// registration; both ends of the classic front-end↔probe exchange must
+// tolerate a peer from the other side of that change. As in the
+// fidelity compat suite, the pre-fleet shape is spelled out literally
+// so the test keeps guarding the wire bytes as the Go types evolve.
+
+// oldHello is the HELLO payload shape before the fleet identity fields.
+type oldHello struct {
+	Version   int      `json:"version"`
+	Workloads []string `json:"workloads,omitempty"`
+	Machines  []string `json:"machines,omitempty"`
+	MaxFrame  int      `json:"max_frame,omitempty"`
+}
+
+func TestOldClientDecodesFleetHello(t *testing.T) {
+	// A new probe that advertises its fleet identity must still be
+	// usable by a pre-fleet front end: unknown JSON fields are dropped.
+	body, err := json.Marshal(probenet.Hello{
+		Version:   probenet.Version,
+		Workloads: []string{"mlc-local"},
+		MaxFrame:  probenet.MaxFrame,
+		ProbeID:   "probe-7",
+		Instance:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var old oldHello
+	if err := probenet.Decode(probenet.FrameHello, body, &old); err != nil {
+		t.Fatalf("pre-fleet client rejected identity-carrying HELLO: %v", err)
+	}
+	if old.Version != probenet.Version || len(old.Workloads) != 1 || old.MaxFrame != probenet.MaxFrame {
+		t.Errorf("pre-fleet client mis-decoded the payload: %+v", old)
+	}
+}
+
+func TestNewPeerDecodesOldHello(t *testing.T) {
+	// A pre-fleet probe's HELLO carries no identity; the new decoder
+	// must leave the fields zero so a coordinator can reject the
+	// registration with a typed verdict instead of mis-indexing it.
+	body, err := json.Marshal(oldHello{
+		Version:   probenet.Version,
+		Workloads: []string{"mlc-local"},
+		MaxFrame:  probenet.MaxFrame,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h probenet.Hello
+	if err := probenet.Decode(probenet.FrameHello, body, &h); err != nil {
+		t.Fatalf("new peer rejected pre-fleet HELLO: %v", err)
+	}
+	if h.ProbeID != "" || h.Instance != 0 {
+		t.Errorf("absent identity fields must decode zero, got %q/%d", h.ProbeID, h.Instance)
+	}
+}
+
+func TestIdentityFreeHelloWireBytesUnchanged(t *testing.T) {
+	// The classic handshake must stay byte-identical: a probe that
+	// never sets the identity fields emits exactly the pre-fleet frame.
+	newShape := probenet.Hello{
+		Version:   probenet.Version,
+		Workloads: []string{"mlc-local"},
+		Machines:  []string{"dl580"},
+		MaxFrame:  probenet.MaxFrame,
+	}
+	oldShape := oldHello{
+		Version:   probenet.Version,
+		Workloads: []string{"mlc-local"},
+		Machines:  []string{"dl580"},
+		MaxFrame:  probenet.MaxFrame,
+	}
+	var a, b bytes.Buffer
+	if err := probenet.WriteFrame(&a, probenet.FrameHello, newShape); err != nil {
+		t.Fatal(err)
+	}
+	if err := probenet.WriteFrame(&b, probenet.FrameHello, oldShape); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("identity-free HELLO frame bytes changed:\nnew %q\nold %q", a.Bytes(), b.Bytes())
+	}
+}
+
+func TestOldPeerRejectsHeartbeatFrameTyped(t *testing.T) {
+	// A HEARTBEAT frame reaching a pre-fleet peer (frame types only up
+	// to PONG) must fail within the documented taxonomy — the pre-fleet
+	// decoder rejects unknown types as *ProtocolError, dropping the
+	// connection rather than corrupting state. Reproduce the old
+	// decoder's verdict by checking the type range directly.
+	var buf bytes.Buffer
+	if err := probenet.WriteFrame(&buf, probenet.FrameHeartbeat, probenet.Heartbeat{ProbeID: "p", Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	const oldFrameTypeMax = probenet.FramePong
+	if ft := probenet.FrameType(raw[3]); ft <= oldFrameTypeMax {
+		t.Fatalf("HEARTBEAT frame type %d collides with the pre-fleet range", ft)
+	}
+}
+
+func TestHeartbeatRoundTrip(t *testing.T) {
+	in := probenet.Heartbeat{ProbeID: "probe-3", Instance: 9, Seq: 17, InFlight: 2,
+		Stats: json.RawMessage(`{"served":4}`)}
+	var buf bytes.Buffer
+	if err := probenet.WriteFrame(&buf, probenet.FrameHeartbeat, in); err != nil {
+		t.Fatal(err)
+	}
+	ft, payload, err := probenet.ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft != probenet.FrameHeartbeat {
+		t.Fatalf("frame type %s, want HEARTBEAT", ft)
+	}
+	var out probenet.Heartbeat
+	if err := probenet.Decode(ft, payload, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ProbeID != in.ProbeID || out.Instance != in.Instance || out.Seq != in.Seq || out.InFlight != in.InFlight {
+		t.Errorf("round trip mangled heartbeat: %+v", out)
+	}
+}

@@ -1,0 +1,99 @@
+// Fuzz target for the fleet control plane's share of the wire
+// protocol: registration HELLOs carrying a probe identity and the
+// HEARTBEAT beacon. A coordinator faces whole fleets of remote peers,
+// so the registration path must uphold the same guarantees FuzzReadFrame
+// proves for the classic frames — no panic, bounded allocation, exactly
+// one frame consumed per call — and additionally that payload decoding
+// fails only as *ProtocolError and that decoded identities are usable
+// (a frame that decodes carries the fields it was sent with, never
+// garbage that a health tracker would index by).
+package probenet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"testing"
+)
+
+func FuzzReadFleetFrame(f *testing.F) {
+	register := seedFrame(FrameHello, Hello{
+		Version: Version, ProbeID: "probe-1", Instance: 3,
+		Workloads: []string{"mlc-local"}, MaxFrame: MaxFrame,
+	})
+	ack := seedFrame(FrameHello, Hello{Version: Version, MaxFrame: MaxFrame})
+	beat := seedFrame(FrameHeartbeat, Heartbeat{ProbeID: "probe-1", Instance: 3, Seq: 42, InFlight: 1})
+	f.Add([]byte{})
+	f.Add(register)
+	f.Add(ack)
+	f.Add(beat)
+	f.Add(append(append([]byte{}, register...), beat...)) // register then heartbeat
+	f.Add(beat[:headerSize-1])                            // torn heartbeat header
+	f.Add(beat[:len(beat)-3])                             // torn heartbeat payload
+	corrupt := append([]byte{}, beat...)
+	corrupt[len(corrupt)-1] ^= 0xff // flip a payload bit under the CRC
+	f.Add(corrupt)
+	unknown := append([]byte{}, beat...)
+	unknown[3] = byte(frameTypeMax) + 1 // frame type from a future protocol
+	binary.BigEndian.PutUint32(unknown[4:8], uint32(len(unknown)-headerSize))
+	f.Add(unknown)
+	notJSON := seedRawFrame(FrameHeartbeat, []byte("not json"))
+	f.Add(notJSON)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		r := bytes.NewReader(raw)
+		for {
+			before := r.Len()
+			ft, payload, err := ReadFrame(r)
+			if err != nil {
+				var pe *ProtocolError
+				var ve *VersionError
+				switch {
+				case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
+				case errors.As(err, &pe), errors.As(err, &ve):
+				default:
+					t.Fatalf("untyped frame error: %v", err)
+				}
+				return
+			}
+			if len(payload) > MaxFrame {
+				t.Fatalf("accepted %d-byte payload past MaxFrame", len(payload))
+			}
+			if got := before - r.Len(); got != headerSize+len(payload) {
+				t.Fatalf("consumed %d bytes for a %d-byte payload", got, len(payload))
+			}
+			switch ft {
+			case FrameHello:
+				var h Hello
+				if derr := Decode(ft, payload, &h); derr != nil {
+					var pe *ProtocolError
+					if !errors.As(derr, &pe) {
+						t.Fatalf("untyped HELLO decode error: %v", derr)
+					}
+				}
+			case FrameHeartbeat:
+				var hb Heartbeat
+				if derr := Decode(ft, payload, &hb); derr != nil {
+					var pe *ProtocolError
+					if !errors.As(derr, &pe) {
+						t.Fatalf("untyped HEARTBEAT decode error: %v", derr)
+					}
+				}
+			}
+		}
+	})
+}
+
+// seedRawFrame frames an arbitrary payload without JSON-encoding it, so
+// seeds can carry payloads that fail Decode but pass the CRC.
+func seedRawFrame(t FrameType, payload []byte) []byte {
+	buf := make([]byte, headerSize+len(payload))
+	buf[0], buf[1] = 'N', 'P'
+	buf[2] = Version
+	buf[3] = byte(t)
+	binary.BigEndian.PutUint32(buf[4:8], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[8:12], crc32.ChecksumIEEE(payload))
+	copy(buf[headerSize:], payload)
+	return buf
+}

@@ -58,8 +58,13 @@ const (
 	FramePing
 	// FramePong answers a PING with the probe's stats.
 	FramePong
+	// FrameHeartbeat is a fleet probe's periodic liveness beacon to its
+	// coordinator. Peers that predate the fleet control plane never see
+	// it: probes only send heartbeats after registering with a
+	// coordinator, and coordinators require a probe identity first.
+	FrameHeartbeat
 
-	frameTypeMax = FramePong
+	frameTypeMax = FrameHeartbeat
 )
 
 // String names the frame type for logs and errors.
@@ -77,18 +82,43 @@ func (t FrameType) String() string {
 		return "PING"
 	case FramePong:
 		return "PONG"
+	case FrameHeartbeat:
+		return "HEARTBEAT"
 	}
 	return fmt.Sprintf("FrameType(%d)", uint8(t))
 }
 
 // Hello is the server's handshake: protocol version plus the probe's
 // capabilities, letting the client fail fast on requests the probe can
-// never serve.
+// never serve. In the fleet direction the roles reverse — a probe
+// dialling its coordinator speaks first with a Hello carrying its
+// identity — so the identity fields are optional and omitted from the
+// wire when empty, keeping the classic front-end handshake
+// byte-identical to pre-fleet probes.
 type Hello struct {
 	Version   int      `json:"version"`
 	Workloads []string `json:"workloads,omitempty"`
 	Machines  []string `json:"machines,omitempty"`
 	MaxFrame  int      `json:"max_frame,omitempty"`
+	// ProbeID names the probe for fleet registration and health
+	// tracking; empty outside the fleet control plane.
+	ProbeID string `json:"probe_id,omitempty"`
+	// Instance distinguishes restarts of the same probe: a coordinator
+	// seeing a new instance for a known ProbeID knows the probe
+	// restarted (a flap) rather than resumed.
+	Instance uint64 `json:"instance,omitempty"`
+}
+
+// Heartbeat is a fleet probe's periodic liveness beacon. Seq increases
+// monotonically per connection so a coordinator can detect reordered or
+// replayed beacons; InFlight reports how many cells the probe is
+// currently serving.
+type Heartbeat struct {
+	ProbeID  string          `json:"probe_id"`
+	Instance uint64          `json:"instance,omitempty"`
+	Seq      uint64          `json:"seq"`
+	InFlight int             `json:"in_flight,omitempty"`
+	Stats    json.RawMessage `json:"stats,omitempty"`
 }
 
 // Request envelopes one measurement request. The Body is opaque to
