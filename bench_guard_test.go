@@ -1,0 +1,128 @@
+package numaperf_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// engineAllocBudget is the allocs/op ceiling for BenchmarkEngineRun.
+// The checked-in snapshot sits at 66 (threads=1) and 111 (threads=4);
+// the budget leaves roughly 2x headroom so routine churn passes while a
+// structural regression — a per-sample allocation slipping into the
+// engine's hot loop would multiply allocs by the sample count — trips
+// the guard long before it reaches the benchmarks' timing noise floor.
+const engineAllocBudget = 256
+
+// benchEvent is the slice of a test2json record the guard needs.
+type benchEvent struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// newestBenchSnapshot returns the lexically newest BENCH_*.json in the
+// repo root (the names embed ISO dates, so lexical order is date
+// order), or "" when none is checked in.
+func newestBenchSnapshot(t *testing.T) string {
+	t.Helper()
+	matches, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		return ""
+	}
+	sort.Strings(matches)
+	return matches[len(matches)-1]
+}
+
+// benchAllocs extracts allocs/op per benchmark result line from a
+// test2json stream. test2json splits one result line across several
+// Output events (the name flushes before the measurements), so the
+// events are concatenated first and split on real newlines.
+func benchAllocs(t *testing.T, path string) map[string]int {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var joined strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev benchEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("%s: malformed test2json line: %v", path, err)
+		}
+		if ev.Action == "output" {
+			joined.WriteString(ev.Output)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "BenchmarkName-8   	 1000	 1234 ns/op	 56 B/op	 7 allocs/op"
+	result := regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s`)
+	out := make(map[string]int)
+	for _, line := range strings.Split(joined.String(), "\n") {
+		m := result.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		fields := strings.Fields(line)
+		for i := 1; i < len(fields); i++ {
+			if fields[i] != "allocs/op" {
+				continue
+			}
+			n, err := strconv.Atoi(fields[i-1])
+			if err != nil {
+				t.Fatalf("%s: unparsable allocs/op in %q: %v", path, line, err)
+			}
+			out[m[1]] = n
+		}
+	}
+	return out
+}
+
+// TestBenchmarkEngineRunAllocBudget is the bench-drift guard: it loads
+// the newest checked-in benchmark snapshot and fails when the engine's
+// hot loop regressed past its allocation budget. It runs against the
+// snapshot — not a live benchmark — so it is deterministic everywhere;
+// the CI bench job regenerates the snapshot right after it, keeping the
+// guarded numbers at most one merge stale.
+func TestBenchmarkEngineRunAllocBudget(t *testing.T) {
+	snapshot := newestBenchSnapshot(t)
+	if snapshot == "" {
+		t.Skip("no BENCH_*.json snapshot checked in")
+	}
+	allocs := benchAllocs(t, snapshot)
+	var guarded []string
+	for name, n := range allocs {
+		if !strings.HasPrefix(name, "BenchmarkEngineRun") {
+			continue
+		}
+		guarded = append(guarded, fmt.Sprintf("%s=%d", name, n))
+		if n > engineAllocBudget {
+			t.Errorf("%s: %s reports %d allocs/op, budget %d — the engine hot loop regressed",
+				snapshot, name, n, engineAllocBudget)
+		}
+	}
+	if len(guarded) == 0 {
+		t.Fatalf("%s: no BenchmarkEngineRun results found — the snapshot no longer covers the guarded benchmark", snapshot)
+	}
+	sort.Strings(guarded)
+	t.Logf("%s: %s (budget %d)", snapshot, strings.Join(guarded, " "), engineAllocBudget)
+}

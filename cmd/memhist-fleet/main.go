@@ -13,10 +13,17 @@
 //	memhist-fleet -listen :9845 -probes 4 -workload mlc-local -cells 16
 //	memhist-fleet -self-probes 2 -workload triad -cells 8 -exact
 //	memhist-fleet -probes 8 -suspect-after 5s -dead-after 15s -probe-strikes 3 -strict
+//	memhist-fleet -probes 4 -workload mlc-local -cells 64 -journal run.jnl
+//	memhist-fleet -probes 4 -workload mlc-local -cells 64 -journal run.jnl -resume
 //
 // -self-probes spawns in-process probe agents (useful on a single node
 // and in tests); -strict turns gaps and quarantine verdicts into a
-// nonzero exit.
+// nonzero exit. -journal makes the campaign crash-recoverable: every
+// committed cell and probe-strike change is CRC-framed and fsynced
+// before it is acknowledged, and a coordinator restarted with -resume
+// replays the journal, re-scatters only the missing cells to the
+// re-registering probes, and produces the same report an uninterrupted
+// run would have.
 package main
 
 import (
@@ -62,6 +69,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		maxRetries   = fs.Int("max-retries", fleet.DefaultMaxRetries, "re-dispatch allowance per cell")
 		keepGoing    = fs.Bool("keep-going", true, "record unserved cells as gaps instead of aborting")
 		strict       = fs.Bool("strict", false, "exit nonzero on gaps or quarantined probes")
+		journalPath  = fs.String("journal", "", "crash journal: fsync every committed cell to this file")
+		resume       = fs.Bool("resume", false, "resume a crashed campaign from -journal, re-scattering only missing cells")
 
 		workload = fs.String("workload", "", "workload to profile")
 		machine  = fs.String("machine", "dl580", "machine: dl580, 2s, 8s, uma")
@@ -83,6 +92,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *workload == "" {
 		fmt.Fprintln(stderr, "memhist-fleet: -workload required")
 		fs.Usage()
+		return 2
+	}
+	// Flag sanity that must fail before any socket is opened: a typo'd
+	// invocation should not leave a half-assembled fleet behind.
+	if *resume && *journalPath == "" {
+		fmt.Fprintln(stderr, "memhist-fleet: -resume requires -journal (nothing to resume from)")
+		return 2
+	}
+	if *cellTimeout < 0 {
+		fmt.Fprintf(stderr, "memhist-fleet: -cell-timeout must not be negative (got %s)\n", *cellTimeout)
+		return 2
+	}
+	if *probes <= 0 && *selfProbes <= 0 {
+		fmt.Fprintln(stderr, "memhist-fleet: a campaign needs probes: set -probes or -self-probes")
 		return 2
 	}
 	mode := memhist.Occurrences
@@ -133,6 +156,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		CellTimeout:  *cellTimeout,
 		MaxRetries:   *maxRetries,
 		KeepGoing:    *keepGoing,
+		JournalPath:  *journalPath,
+		Resume:       *resume,
 		Logf:         logf,
 	})
 	ln, err := net.Listen("tcp", *listen)

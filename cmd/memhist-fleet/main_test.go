@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -45,6 +46,30 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 }
 
+// TestRunFlagSanityFailsBeforeDialing proves the flag cross-checks
+// reject a doomed invocation before any socket is opened: every case
+// carries a -listen address that cannot be bound, so reaching the
+// network layer at all would flip the exit code from 2 to 1.
+func TestRunFlagSanityFailsBeforeDialing(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"resume-without-journal", []string{"-workload", "triad", "-resume"}},
+		{"negative-cell-timeout", []string{"-workload", "triad", "-cell-timeout", "-3s"}},
+		{"no-probes-at-all", []string{"-workload", "triad", "-probes", "0", "-self-probes", "0"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errOut strings.Builder
+			args := append([]string{"-listen", "unresolvable.invalid:0"}, tc.args...)
+			if code := run(context.Background(), args, &out, &errOut); code != 2 {
+				t.Errorf("run(%v) = %d, want 2 (stderr: %s)", args, code, errOut.String())
+			}
+		})
+	}
+}
+
 func TestRunRejectsUnknownMachine(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run(context.Background(), []string{"-workload", "triad", "-machine", "mystery"}, &out, &errOut); code != 1 {
@@ -60,6 +85,46 @@ func TestRunWaitForProbesTimesOut(t *testing.T) {
 	}
 	if code := run(context.Background(), args, &out, &errOut); code != 1 {
 		t.Errorf("probe-less run exit %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+}
+
+// TestRunJournalResumeEndToEnd exercises the crash-journal wiring: a
+// journaled run commits every cell, a re-run without -resume refuses to
+// clobber the journal, and a -resume run replays all four cells without
+// re-measuring a thing.
+func TestRunJournalResumeEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	jpath := filepath.Join(t.TempDir(), "fleet.jnl")
+	base := []string{
+		"-listen", "127.0.0.1:0",
+		"-self-probes", "1", "-probes", "1",
+		"-heartbeat-interval", "20ms",
+		"-workload", "fleet-cli-tiny", "-machine", "2s",
+		"-bounds", "4,64,256", "-cells", "4",
+		"-seed", "11", "-journal", jpath,
+	}
+	var out, errOut strings.Builder
+	if code := run(ctx, base, &out, &errOut); code != 0 {
+		t.Fatalf("journaled run = %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run(ctx, base, &out, &errOut); code != 1 {
+		t.Fatalf("re-run over an existing journal = %d, want 1\nstderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "journal already exists") {
+		t.Errorf("clobber refusal not diagnosed: %s", errOut.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run(ctx, append(base, "-resume"), &out, &errOut); code != 0 {
+		t.Fatalf("resume run = %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if got := out.String(); !strings.Contains(got, "replayed: 4 cell(s)") {
+		t.Errorf("resume output missing replay accounting:\n%s", got)
 	}
 }
 

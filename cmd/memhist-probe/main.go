@@ -13,8 +13,13 @@
 // for a front end, it dials the given fleet coordinator, registers
 // under -probe-id, heartbeats every -heartbeat-interval, and serves the
 // campaign cells the coordinator scatters to it, reconnecting with
-// deterministic backoff when the link drops. A quarantine verdict from
-// the coordinator is terminal.
+// deterministic backoff when the link drops. The same loop carries the
+// probe across coordinator restarts: when a journal-backed coordinator
+// crashes and resumes (memhist-fleet -journal/-resume), the probe keeps
+// redialling with -reconnect-base/-reconnect-max backoff and registers
+// under a fresh instance number once the address answers again. A
+// quarantine verdict from the coordinator is terminal — including one
+// restored from the coordinator's journal after a restart.
 //
 // Usage:
 //
@@ -57,13 +62,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		coordinator = fs.String("fleet-coordinator", "", "fleet coordinator address; when set, dial and serve campaign cells instead of listening")
 		probeID     = fs.String("probe-id", "", "probe identity for fleet registration (default: host name)")
 		heartbeat   = fs.Duration("heartbeat-interval", fleet.DefaultHeartbeatInterval, "fleet heartbeat period")
+		reconnBase  = fs.Duration("reconnect-base", 0, "fleet reconnect backoff base (0 = probenet default)")
+		reconnMax   = fs.Duration("reconnect-max", 0, "fleet reconnect backoff cap (0 = probenet default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *reconnBase < 0 || *reconnMax < 0 {
+		fmt.Fprintln(stderr, "memhist-probe: reconnect backoff durations must not be negative")
+		return 2
+	}
 
 	if *coordinator != "" {
-		return runFleetAgent(ctx, *coordinator, *probeID, *heartbeat, stdout, stderr)
+		return runFleetAgent(ctx, *coordinator, *probeID, *heartbeat, *reconnBase, *reconnMax, stdout, stderr)
 	}
 
 	l, err := net.Listen("tcp", *listen)
@@ -114,8 +125,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 }
 
 // runFleetAgent runs the probe in fleet mode: register with the
-// coordinator, heartbeat, serve cells, reconnect on link loss.
-func runFleetAgent(ctx context.Context, coordinator, probeID string, heartbeat time.Duration, stdout, stderr io.Writer) int {
+// coordinator, heartbeat, serve cells, reconnect on link loss (and
+// across coordinator restarts) under fresh instance numbers.
+func runFleetAgent(ctx context.Context, coordinator, probeID string, heartbeat, reconnBase, reconnMax time.Duration, stdout, stderr io.Writer) int {
 	if probeID == "" {
 		host, err := os.Hostname()
 		if err != nil || host == "" {
@@ -128,6 +140,8 @@ func runFleetAgent(ctx context.Context, coordinator, probeID string, heartbeat t
 		ID:                probeID,
 		Coordinator:       coordinator,
 		HeartbeatInterval: heartbeat,
+		BackoffBase:       reconnBase,
+		BackoffMax:        reconnMax,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(stderr, format+"\n", args...)
 		},

@@ -153,4 +153,7 @@ func TestRunFlagErrors(t *testing.T) {
 	if code := run(context.Background(), []string{"-listen", "256.0.0.1:99999"}, &out, &errOut); code != 1 {
 		t.Errorf("bad listen address: exit %d, want 1", code)
 	}
+	if code := run(context.Background(), []string{"-fleet-coordinator", "coord:1", "-reconnect-base", "-1s"}, &out, &errOut); code != 2 {
+		t.Errorf("negative reconnect backoff: exit %d, want 2", code)
+	}
 }

@@ -37,6 +37,7 @@ import (
 
 	"numaperf/internal/counters"
 	"numaperf/internal/exec"
+	"numaperf/internal/journal"
 	"numaperf/internal/perf"
 	"numaperf/internal/probenet"
 )
@@ -374,7 +375,7 @@ func (r *Runner) Run() (*Report, error) {
 	// Journal: load prior state when resuming, refuse to clobber
 	// otherwise, open for append, write the header once.
 	var state *journalState
-	var jnl *journal
+	var jnl *journal.Writer
 	if r.Opts.JournalPath != "" {
 		if r.Opts.Resume {
 			state, err = loadJournal(r.Opts.JournalPath)
@@ -391,14 +392,13 @@ func (r *Runner) Run() (*Report, error) {
 		} else if fi, err := os.Stat(r.Opts.JournalPath); err == nil && fi.Size() > 0 {
 			return nil, fmt.Errorf("%w: %s", ErrJournalExists, r.Opts.JournalPath)
 		}
-		f, err := os.OpenFile(r.Opts.JournalPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		jnl, err = journal.OpenAppend(r.Opts.JournalPath)
 		if err != nil {
 			return nil, fmt.Errorf("campaign: opening journal: %w", err)
 		}
-		jnl = &journal{f: f}
-		defer jnl.close()
+		defer jnl.Close()
 		if state == nil {
-			if err := jnl.append(r.header()); err != nil {
+			if err := jnl.Append(r.header()); err != nil {
 				return nil, err
 			}
 		}
@@ -568,7 +568,7 @@ func (r *Runner) Run() (*Report, error) {
 				return rep, &CampaignError{Cell: c, Err: cerr}
 			}
 			logf("campaign: %v (recording gap)", cerr)
-			if jerr := jnl.append(&gapRecord{Kind: "gap", Key: key, Error: cerr.Error(),
+			if jerr := jnl.Append(&gapRecord{Kind: "gap", Key: key, Error: cerr.Error(),
 				Events: names(plans[c.Point].visible(c.Batch))}); jerr != nil {
 				return rep, jerr
 			}
@@ -594,7 +594,7 @@ func (r *Runner) Run() (*Report, error) {
 			}
 			samples[name] = v
 		}
-		if err := jnl.append(&cellRecord{Kind: "cell", Key: key, Samples: samples, Bad: bad}); err != nil {
+		if err := jnl.Append(&cellRecord{Kind: "cell", Key: key, Samples: samples, Bad: bad}); err != nil {
 			return rep, err
 		}
 		decoded, _ := decodeSamples(samples)

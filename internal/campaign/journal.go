@@ -1,4 +1,5 @@
-// Campaign journal: an append-only JSON-lines file in which every
+// Campaign journal: the campaign's record vocabulary over the shared
+// internal/journal log — an append-only JSON-lines file in which every
 // record is individually CRC-32 checked, so a campaign killed at any
 // instant — including mid-write — leaves a journal that loads cleanly.
 // Each line is
@@ -11,14 +12,20 @@
 // header is checked against the spec, a torn final record (the crash
 // case) is dropped, and any damaged earlier record fails loudly with
 // ErrJournalCorrupt rather than resuming from lies.
+//
+// Framing, CRC verification, torn-tail handling and version gating
+// live in internal/journal (extracted from this file, byte-compatible);
+// this file keeps the campaign's record types, the spec-match check,
+// and the campaign-flavoured error surface unchanged.
 package campaign
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
-	"hash/crc32"
 	"os"
-	"strings"
+
+	"numaperf/internal/journal"
 )
 
 // journalVersion guards the record schema.
@@ -55,34 +62,6 @@ type gapRecord struct {
 	Events []string `json:"events"`
 }
 
-// journal appends CRC-framed records to an open file, syncing after
-// every write so a kill -9 loses at most the record being written.
-type journal struct {
-	f *os.File
-}
-
-func (j *journal) append(record any) error {
-	if j == nil || j.f == nil {
-		return nil
-	}
-	payload, err := json.Marshal(record)
-	if err != nil {
-		return fmt.Errorf("campaign: encoding journal record: %w", err)
-	}
-	line := fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(payload), payload)
-	if _, err := j.f.WriteString(line); err != nil {
-		return fmt.Errorf("campaign: appending journal record: %w", err)
-	}
-	return j.f.Sync()
-}
-
-func (j *journal) close() error {
-	if j == nil || j.f == nil {
-		return nil
-	}
-	return j.f.Close()
-}
-
 // journalState is a loaded journal: the header plus completed cells and
 // recorded gaps keyed by cell key.
 type journalState struct {
@@ -96,25 +75,7 @@ func (s *journalState) completed() int { return len(s.cells) + len(s.gaps) }
 
 // parseLine verifies and decodes one journal line into kind + payload.
 func parseLine(line string) (kind string, payload []byte, err error) {
-	sp := strings.IndexByte(line, ' ')
-	if sp != 8 {
-		return "", nil, fmt.Errorf("no checksum prefix")
-	}
-	var want uint32
-	if _, err := fmt.Sscanf(line[:sp], "%08x", &want); err != nil {
-		return "", nil, fmt.Errorf("bad checksum prefix: %v", err)
-	}
-	payload = []byte(line[sp+1:])
-	if got := crc32.ChecksumIEEE(payload); got != want {
-		return "", nil, fmt.Errorf("checksum mismatch: %08x, want %08x", got, want)
-	}
-	var probe struct {
-		Kind string `json:"kind"`
-	}
-	if err := json.Unmarshal(payload, &probe); err != nil {
-		return "", nil, fmt.Errorf("undecodable record: %v", err)
-	}
-	return probe.Kind, payload, nil
+	return journal.ParseLine(line)
 }
 
 // loadJournal reads and verifies a journal file. A missing file returns
@@ -136,65 +97,54 @@ func loadJournal(path string) (*journalState, error) {
 // Empty input returns (nil, nil); every failure is ErrJournalCorrupt or
 // ErrJournalMismatch, never a panic.
 func parseJournal(raw []byte) (*journalState, error) {
-	if len(raw) == 0 {
+	generic, err := journal.Parse(raw, journalVersion)
+	if err != nil {
+		// Re-flavour the shared package's typed errors into the
+		// campaign's historical sentinels and messages so callers (and
+		// the fuzz corpus) see the exact pre-extraction surface.
+		var ce *journal.CorruptError
+		if errors.As(err, &ce) {
+			if ce.Line > 0 {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrJournalCorrupt, ce.Line, ce.Reason)
+			}
+			return nil, fmt.Errorf("%w: %v", ErrJournalCorrupt, ce.Reason)
+		}
+		var ve *journal.VersionError
+		if errors.As(err, &ve) {
+			return nil, fmt.Errorf("%w: journal version %d, want %d", ErrJournalMismatch, ve.Got, ve.Want)
+		}
+		return nil, err
+	}
+	if generic == nil {
 		return nil, nil
 	}
-	lines := strings.Split(string(raw), "\n")
-	// A file ending in '\n' splits into a trailing empty string; a file
-	// that does not was torn mid-write.
-	tornTail := lines[len(lines)-1] != ""
-	if !tornTail {
-		lines = lines[:len(lines)-1]
-	}
 	st := &journalState{
-		cells: make(map[string]*cellRecord),
-		gaps:  make(map[string]*gapRecord),
+		cells:     make(map[string]*cellRecord),
+		gaps:      make(map[string]*gapRecord),
+		truncated: generic.Truncated,
 	}
-	for i, line := range lines {
-		final := i == len(lines)-1
-		kind, payload, perr := parseLine(line)
-		if perr != nil {
-			if final {
-				// The crash case: a record cut off mid-write. Drop it;
-				// its cell simply re-runs.
-				st.truncated = true
-				break
-			}
-			return nil, fmt.Errorf("%w: line %d: %v", ErrJournalCorrupt, i+1, perr)
-		}
-		// A verified final record that merely lacks its newline (the
-		// crash hit between payload and '\n') is kept like any other.
-		switch kind {
-		case "header":
-			var h journalHeader
-			if err := json.Unmarshal(payload, &h); err != nil {
-				return nil, fmt.Errorf("%w: line %d: %v", ErrJournalCorrupt, i+1, err)
-			}
-			if i != 0 {
-				return nil, fmt.Errorf("%w: line %d: duplicate header", ErrJournalCorrupt, i+1)
-			}
-			st.header = &h
+	var h journalHeader
+	if err := json.Unmarshal(generic.Header.Payload, &h); err != nil {
+		return nil, fmt.Errorf("%w: line %d: %v", ErrJournalCorrupt, generic.Header.Line, err)
+	}
+	st.header = &h
+	for _, rec := range generic.Records {
+		switch rec.Kind {
 		case "cell":
 			var c cellRecord
-			if err := json.Unmarshal(payload, &c); err != nil {
-				return nil, fmt.Errorf("%w: line %d: %v", ErrJournalCorrupt, i+1, err)
+			if err := json.Unmarshal(rec.Payload, &c); err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrJournalCorrupt, rec.Line, err)
 			}
 			st.cells[c.Key] = &c
 		case "gap":
 			var g gapRecord
-			if err := json.Unmarshal(payload, &g); err != nil {
-				return nil, fmt.Errorf("%w: line %d: %v", ErrJournalCorrupt, i+1, err)
+			if err := json.Unmarshal(rec.Payload, &g); err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrJournalCorrupt, rec.Line, err)
 			}
 			st.gaps[g.Key] = &g
 		default:
-			return nil, fmt.Errorf("%w: line %d: unknown record kind %q", ErrJournalCorrupt, i+1, kind)
+			return nil, fmt.Errorf("%w: line %d: unknown record kind %q", ErrJournalCorrupt, rec.Line, rec.Kind)
 		}
-	}
-	if st.header == nil {
-		return nil, fmt.Errorf("%w: missing header", ErrJournalCorrupt)
-	}
-	if st.header.Version != journalVersion {
-		return nil, fmt.Errorf("%w: journal version %d, want %d", ErrJournalMismatch, st.header.Version, journalVersion)
 	}
 	return st, nil
 }

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"numaperf/internal/journal"
 )
 
 func testHeader() *journalHeader {
@@ -23,13 +25,13 @@ func writeJournal(t *testing.T, records ...any) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j := &journal{f: f}
+	j := journal.NewWriter(f)
 	for _, r := range records {
-		if err := j.append(r); err != nil {
+		if err := j.Append(r); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := j.close(); err != nil {
+	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
 	return path

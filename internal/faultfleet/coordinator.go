@@ -1,0 +1,99 @@
+package faultfleet
+
+import (
+	"sync"
+
+	"numaperf/internal/fleet"
+)
+
+// CoordinatorScript is a scripted fleet.CoordinatorDisruptor: it kills
+// the coordinator at one precise point of the campaign — mid-scatter,
+// or in one of the three crash windows of a cell's commit — so the
+// chaos suite can restart against the journal the crash left behind
+// and prove the resume path. The zero script never faults. All methods
+// are safe for concurrent use.
+type CoordinatorScript struct {
+	mu sync.Mutex
+
+	killDispatch int // kill on the n-th dispatch overall (1-based); 0 = never
+	dispatches   int
+	commits      map[int]fleet.CommitFault
+
+	fired int
+}
+
+// NewCoordinatorScript builds an empty script (no faults).
+func NewCoordinatorScript() *CoordinatorScript {
+	return &CoordinatorScript{commits: make(map[int]fleet.CommitFault)}
+}
+
+// KillOnDispatch kills the coordinator immediately before its n-th
+// cell dispatch (1-based, counted across the whole campaign): earlier
+// dispatches are already on the wire, so their responses land on a
+// dead coordinator.
+func (s *CoordinatorScript) KillOnDispatch(n int) *CoordinatorScript {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.killDispatch = n
+	return s
+}
+
+// KillBeforeCommit kills the coordinator when cell reaches its
+// canonical commit point, before anything is written: the cell's
+// result is lost and must be re-measured after resume.
+func (s *CoordinatorScript) KillBeforeCommit(cell int) *CoordinatorScript {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.commits[cell] = fleet.CommitKillBefore
+	return s
+}
+
+// KillAfterWrite kills the coordinator after cell's record is written
+// but before the explicit fsync — the record survives on any
+// filesystem that kept the write, so resume must honour it.
+func (s *CoordinatorScript) KillAfterWrite(cell int) *CoordinatorScript {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.commits[cell] = fleet.CommitKillAfterWrite
+	return s
+}
+
+// TearCommit kills the coordinator midway through writing cell's
+// record, leaving a torn final journal line — the crash-mid-write
+// signature resume must drop and truncate.
+func (s *CoordinatorScript) TearCommit(cell int) *CoordinatorScript {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.commits[cell] = fleet.CommitTear
+	return s
+}
+
+// OnDispatch implements fleet.CoordinatorDisruptor.
+func (s *CoordinatorScript) OnDispatch(cell, attempt int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dispatches++
+	if s.killDispatch > 0 && s.dispatches >= s.killDispatch {
+		s.fired++
+		return true
+	}
+	return false
+}
+
+// OnCommit implements fleet.CoordinatorDisruptor.
+func (s *CoordinatorScript) OnCommit(cell int) fleet.CommitFault {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := s.commits[cell]
+	if f != fleet.CommitNone {
+		s.fired++
+	}
+	return f
+}
+
+// Fired counts coordinator kills the script delivered.
+func (s *CoordinatorScript) Fired() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fired
+}

@@ -1,0 +1,329 @@
+package faultfleet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"numaperf/internal/fleet"
+	"numaperf/internal/probenet"
+)
+
+// Coordinator crash-recovery chaos: a scripted fault kills the
+// coordinator at one precise point of a journal-backed campaign —
+// mid-scatter, or in each distinct crash window of a cell's commit —
+// then a fresh coordinator resumes from the journal on the same address
+// while the probe agents reconnect on their own. The contract under
+// test: the resumed report is byte-identical to a fault-free run, the
+// pre-crash journal is a byte-prefix of the completed one (modulo a
+// torn final record, which resume drops and truncates), re-dispatching
+// a cell whose first answer landed on the dead coordinator is
+// idempotent, and a probe's strike ledger survives the restart so a
+// flapping probe cannot launder its quarantine through a crash.
+
+// startCoordinatorOn is startCoordinator on a caller-owned listener, so
+// a restarted coordinator can bind the address its predecessor used and
+// catch the agents' reconnect dials.
+func startCoordinatorOn(t *testing.T, opts fleet.Options, ln net.Listener) *fleet.Coordinator {
+	t.Helper()
+	c := fleet.NewCoordinator(opts)
+	go c.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = c.Shutdown(ctx)
+	})
+	return c
+}
+
+func listenLoopback(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ln
+}
+
+// relisten rebinds addr after the previous coordinator's listener
+// closed, retrying briefly in case the close has not landed yet.
+func relisten(t *testing.T, addr string) net.Listener {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ln, err := net.Listen("tcp", addr)
+		if err == nil {
+			return ln
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("re-listen on %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// crashCoordinator shuts a killed coordinator all the way down (links
+// and listener closed) so its agents start redialling the address.
+func crashCoordinator(t *testing.T, c *fleet.Coordinator) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := c.Shutdown(ctx); err != nil {
+		t.Fatalf("shutting down killed coordinator: %v", err)
+	}
+}
+
+func readJournal(t *testing.T, path string) []byte {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// runUntilKilled drives a campaign into its scripted coordinator fault
+// and asserts the typed kill surfaced.
+func runUntilKilled(t *testing.T, c *fleet.Coordinator, spec fleet.Spec, script *CoordinatorScript) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_, err := c.RunCampaign(ctx, spec)
+	if !errors.Is(err, fleet.ErrCoordinatorKilled) {
+		t.Fatalf("campaign returned %v, want ErrCoordinatorKilled", err)
+	}
+	if script.Fired() == 0 {
+		t.Fatal("coordinator fault script never fired")
+	}
+}
+
+func TestCoordinatorCrashAtCommitResumesByteIdentical(t *testing.T) {
+	// The three crash windows of a cell commit: before anything is
+	// written (the verdict is lost and the cell re-measured), after the
+	// record is written but before the fsync (the record survives and
+	// replays), and mid-write (a torn final line resume must drop).
+	cases := []struct {
+		name          string
+		script        func() *CoordinatorScript
+		wantReplayed  int
+		wantTruncated bool
+	}{
+		{"kill-before-commit", func() *CoordinatorScript {
+			return NewCoordinatorScript().KillBeforeCommit(2)
+		}, 2, false},
+		{"kill-after-write-before-fsync", func() *CoordinatorScript {
+			return NewCoordinatorScript().KillAfterWrite(2)
+		}, 3, false},
+		{"torn-final-record", func() *CoordinatorScript {
+			return NewCoordinatorScript().TearCommit(2)
+		}, 2, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := testSpec(4)
+			want := reference(t, spec)
+			jpath := filepath.Join(t.TempDir(), "fleet.journal")
+			script := tc.script()
+
+			ln := listenLoopback(t)
+			addr := ln.Addr().String()
+			opts := testOpts()
+			opts.JournalPath = jpath
+			opts.Disruptor = script
+			c1 := startCoordinatorOn(t, opts, ln)
+			startAgent(t, addr, "probe-a", nil)
+			startAgent(t, addr, "probe-b", nil)
+			waitProbes(t, c1, 2)
+
+			runUntilKilled(t, c1, spec, script)
+			crashCoordinator(t, c1)
+
+			pre := readJournal(t, jpath)
+			verified := pre
+			if tc.wantTruncated {
+				if bytes.HasSuffix(pre, []byte("\n")) {
+					t.Fatal("torn journal ends on a record boundary; the tear script did not tear")
+				}
+				verified = pre[:bytes.LastIndexByte(pre, '\n')+1]
+			}
+
+			// A fresh coordinator resumes on the same address; the agents
+			// reconnect on their own under fresh instance numbers.
+			opts2 := testOpts()
+			opts2.JournalPath = jpath
+			opts2.Resume = true
+			c2 := startCoordinatorOn(t, opts2, relisten(t, addr))
+			waitProbes(t, c2, 2)
+
+			rep := runCampaign(t, c2, spec)
+			assertByteIdentical(t, rep, want)
+			if rep.Replayed != tc.wantReplayed {
+				t.Errorf("resume replayed %d cells, want %d", rep.Replayed, tc.wantReplayed)
+			}
+			if rep.Truncated != tc.wantTruncated {
+				t.Errorf("report.Truncated = %v, want %v", rep.Truncated, tc.wantTruncated)
+			}
+
+			// The journal the crash left behind is a byte-prefix of the
+			// completed one: resume appended, never rewrote.
+			post := readJournal(t, jpath)
+			if !bytes.HasPrefix(post, verified) {
+				t.Errorf("pre-crash journal is not a byte-prefix of the resumed one\npre:  %q\npost: %q", verified, post)
+			}
+			if len(post) <= len(verified) {
+				t.Errorf("resumed journal (%d bytes) did not grow past the verified prefix (%d bytes)", len(post), len(verified))
+			}
+		})
+	}
+}
+
+func TestCoordinatorKillMidScatterDoubleDispatchIdempotent(t *testing.T) {
+	// The coordinator dies immediately before its third dispatch: cell 1
+	// is still in flight on a deliberately slow probe, so its answer
+	// lands on the dead coordinator's cancelled pending table and must
+	// be swallowed. The resumed coordinator re-dispatches the cell — it
+	// is served twice end to end — and the merged report must not differ
+	// by a byte from a run that measured every cell exactly once.
+	spec := testSpec(4)
+	want := reference(t, spec)
+	jpath := filepath.Join(t.TempDir(), "fleet.journal")
+	script := NewCoordinatorScript().KillOnDispatch(3)
+
+	ln := listenLoopback(t)
+	addr := ln.Addr().String()
+	opts := testOpts()
+	opts.JournalPath = jpath
+	opts.Disruptor = script
+	c1 := startCoordinatorOn(t, opts, ln)
+	a, _ := startAgent(t, addr, "probe-a", nil)
+	slow := New().DelayEveryRequest(250 * time.Millisecond)
+	b, _ := startAgent(t, addr, "probe-b", slow)
+	waitProbes(t, c1, 2)
+
+	runUntilKilled(t, c1, spec, script)
+
+	// Let the slow probe finish serving its in-flight cell before the
+	// crash completes: the response reaches the killed coordinator,
+	// whose abort already cancelled the pending request, so the stale
+	// answer is dropped rather than merged.
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Stats().Served == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow probe never delivered its in-flight cell to the killed coordinator")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	crashCoordinator(t, c1)
+	pre := readJournal(t, jpath)
+
+	opts2 := testOpts()
+	opts2.JournalPath = jpath
+	opts2.Resume = true
+	c2 := startCoordinatorOn(t, opts2, relisten(t, addr))
+	waitProbes(t, c2, 2)
+
+	rep := runCampaign(t, c2, spec)
+	assertByteIdentical(t, rep, want)
+	// Only cell 0 reached its canonical commit before the kill; cell 1's
+	// answer existed solely in the dead coordinator's memory.
+	if rep.Replayed != 1 {
+		t.Errorf("resume replayed %d cells, want 1", rep.Replayed)
+	}
+	post := readJournal(t, jpath)
+	if !bytes.HasPrefix(post, pre) {
+		t.Errorf("pre-crash journal is not a byte-prefix of the resumed one\npre:  %q\npost: %q", pre, post)
+	}
+
+	// Double-dispatch accounting: the fleet served cells+1 requests (the
+	// in-flight cell twice), yet the report above counted it once.
+	total := a.Stats().Served + b.Stats().Served
+	if total != uint64(spec.Cells)+1 {
+		t.Errorf("fleet served %d cells for a %d-cell campaign, want %d (one double-dispatch)",
+			total, spec.Cells, spec.Cells+1)
+	}
+}
+
+func TestCoordinatorRestartDoesNotLaunderQuarantine(t *testing.T) {
+	// A probe crashes on every cell and is quarantined mid-campaign;
+	// then the coordinator is killed. The journal's strike ledger must
+	// survive the restart: a fresh agent presenting the quarantined
+	// identity is refused by the resumed coordinator, and the report
+	// still carries the quarantine verdict.
+	spec := testSpec(8)
+	want := reference(t, spec)
+	jpath := filepath.Join(t.TempDir(), "fleet.journal")
+	script := NewCoordinatorScript().KillBeforeCommit(7)
+
+	ln := listenLoopback(t)
+	addr := ln.Addr().String()
+	opts := testOpts()
+	opts.JournalPath = jpath
+	opts.Disruptor = script
+	c1 := startCoordinatorOn(t, opts, ln)
+	// The steady probe is slowed so the campaign lasts long enough for
+	// the flapper to burn through its strike budget before the kill.
+	startAgent(t, addr, "a-good", New().DelayEveryRequest(40*time.Millisecond))
+	startAgent(t, addr, "b-bad", New().CrashAlways())
+	waitProbes(t, c1, 2)
+
+	runUntilKilled(t, c1, spec, script)
+	quarantined := false
+	for _, p := range c1.Tracker().Snapshot() {
+		if p.ID == "b-bad" && p.State == fleet.Quarantined {
+			quarantined = true
+		}
+	}
+	if !quarantined {
+		t.Fatal("flapping probe was not quarantined before the coordinator died")
+	}
+	crashCoordinator(t, c1)
+	pre := readJournal(t, jpath)
+
+	opts2 := testOpts()
+	opts2.JournalPath = jpath
+	opts2.Resume = true
+	c2 := startCoordinatorOn(t, opts2, relisten(t, addr))
+	// The laundering attempt: a brand-new, fault-free agent presents the
+	// quarantined identity to the restarted coordinator.
+	_, launder := startAgent(t, addr, "b-bad", nil)
+	waitProbes(t, c2, 1)
+
+	rep := runCampaign(t, c2, spec)
+	assertByteIdentical(t, rep, want)
+	if rep.Replayed != 7 {
+		t.Errorf("resume replayed %d cells, want 7", rep.Replayed)
+	}
+	found := false
+	for _, q := range rep.Quarantined {
+		if q.ID == "b-bad" {
+			found = true
+			if q.Strikes < 3 {
+				t.Errorf("restored quarantine carries %d strikes, want >= 3", q.Strikes)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("resumed report lost the quarantine verdict: %+v", rep.Quarantined)
+	}
+
+	// The impostor must be turned away terminally, not re-admitted.
+	select {
+	case err := <-launder:
+		var re *probenet.RemoteError
+		if !errors.As(err, &re) || re.Code != probenet.CodeQuarantined {
+			t.Errorf("laundering agent returned %v, want quarantined RemoteError", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("laundering agent was never refused")
+	}
+
+	post := readJournal(t, jpath)
+	if !bytes.HasPrefix(post, pre) {
+		t.Errorf("pre-crash journal is not a byte-prefix of the resumed one")
+	}
+}

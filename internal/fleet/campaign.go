@@ -149,6 +149,11 @@ type Report struct {
 	Redispatched int
 	// ProbeCells counts completed cells per probe ID.
 	ProbeCells map[string]int
+	// Replayed counts cells restored from a resumed journal instead of
+	// re-measured; Truncated records that the resume dropped a torn
+	// final journal record (the crash-mid-write signature).
+	Replayed  int
+	Truncated bool
 }
 
 // Complete reports whether every cell was served.
@@ -167,6 +172,12 @@ func (r *Report) Summary() string {
 		fmt.Fprintf(&b, "  quarantined: probe %s after %d strikes: %s\n", q.ID, q.Strikes, q.Reason)
 	}
 	fmt.Fprintf(&b, "  dispatches: %d (%d cells re-dispatched)\n", r.Dispatches, r.Redispatched)
+	if r.Replayed > 0 {
+		fmt.Fprintf(&b, "  replayed: %d cell(s) from the journal\n", r.Replayed)
+	}
+	if r.Truncated {
+		b.WriteString("  dropped a torn final journal record (crash mid-write)\n")
+	}
 	ids := make([]string, 0, len(r.ProbeCells))
 	for id := range r.ProbeCells {
 		ids = append(ids, id)

@@ -6,11 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"numaperf/internal/clockx"
+	"numaperf/internal/journal"
 	"numaperf/internal/memhist"
 	"numaperf/internal/probenet"
 )
@@ -53,6 +55,20 @@ type Options struct {
 	WriteTimeout time.Duration
 	// HandshakeTimeout bounds the registration handshake (0 = 10s).
 	HandshakeTimeout time.Duration
+
+	// JournalPath enables the campaign crash journal; empty runs in
+	// memory only. Every committed cell (raw histogram bytes, fidelity
+	// footer, gap verdict) and every probe strike-ledger change is
+	// CRC-framed and fsynced before the campaign acknowledges it.
+	JournalPath string
+	// Resume loads an existing journal, replays its committed cells and
+	// strike ledger, and re-scatters only the missing cells. Without
+	// Resume, a non-empty journal is ErrJournalExists, never silently
+	// clobbered.
+	Resume bool
+	// Disruptor scripts coordinator-side faults (nil = never fault) —
+	// the internal/faultfleet test seam.
+	Disruptor CoordinatorDisruptor
 
 	// Clock supplies timestamps for the health state machine (nil =
 	// clockx.System()). Socket deadlines always use the wall clock.
@@ -514,6 +530,13 @@ type cellState struct {
 	hist         *memhist.Histogram
 	gapReason    string
 	redispatched bool
+	// body retains the probe's raw response bytes until the cell is
+	// journaled verbatim; servedBy names the probe that produced them.
+	body     json.RawMessage
+	servedBy string
+	// journaled marks the cell's verdict durably committed (or replayed
+	// from a resumed journal).
+	journaled bool
 	// lastProbe is the probe of the previous attempt; re-dispatch
 	// prefers any other probe, because a probe that just failed the
 	// cell (a blown deadline in particular) may still be wedged behind
@@ -560,6 +583,82 @@ func (c *Coordinator) RunCampaign(ctx context.Context, spec Spec) (*Report, erro
 	remaining := n
 	var emptySince time.Time
 
+	// Journal: load prior state when resuming, refuse to clobber
+	// otherwise, open for append, write the header once. Replayed cells
+	// enter the loop already done and journaled, so the scatter only
+	// sees the missing ones; the restored strike ledger closes the door
+	// on probes whose quarantine predates the restart.
+	var jnl *journal.Writer
+	nextCommit := 0
+	lastLedger := make(map[string]fleetProbeRecord)
+	if c.opts.JournalPath != "" {
+		var state *fleetJournalState
+		if c.opts.Resume {
+			var err error
+			state, err = loadFleetJournal(c.opts.JournalPath)
+			if err != nil {
+				return nil, err
+			}
+		} else if fi, err := os.Stat(c.opts.JournalPath); err == nil && fi.Size() > 0 {
+			return nil, fmt.Errorf("%w: %s", ErrJournalExists, c.opts.JournalPath)
+		}
+		if state != nil {
+			if err := state.header.matches(fleetHeaderFor(spec)); err != nil {
+				return nil, err
+			}
+			for _, id := range state.probeIDs() {
+				pr := state.probes[id]
+				lastLedger[pr.ID] = *pr
+				if st := c.tracker.RestoreStrikes(pr.ID, pr.Strikes, pr.Reasons, pr.Quarantined); st == Quarantined {
+					// The journal remembers what the restart forgot: cut
+					// the probe off even if it already re-registered.
+					c.closeLink(pr.ID)
+					c.opts.Logf("fleet: probe %q quarantine restored from journal", pr.ID)
+				}
+			}
+			for i, cm := range state.committed {
+				st := cells[i]
+				st.journaled = true
+				if cm.cell != nil {
+					h, err := memhist.DecodeHistogram(cm.cell.Hist)
+					if err != nil {
+						return nil, fmt.Errorf("%w: journaled cell %d: %v", ErrJournalCorrupt, i, err)
+					}
+					st.status = cellDone
+					st.hist = h
+					report.Completed++
+					report.ProbeCells[cm.cell.Probe]++
+				} else {
+					st.status = cellGapped
+					st.gapReason = cm.gap.Reason
+				}
+				remaining--
+				report.Replayed++
+			}
+			nextCommit = len(state.committed)
+			if state.truncated {
+				report.Truncated = true
+				if err := os.Truncate(c.opts.JournalPath, int64(state.validLen)); err != nil {
+					return nil, fmt.Errorf("fleet: truncating torn journal tail: %w", err)
+				}
+				c.opts.Logf("fleet: dropped a torn final journal record (crash mid-write)")
+			}
+			c.opts.Logf("fleet: resuming %s: %d of %d cells already journaled",
+				c.opts.JournalPath, nextCommit, n)
+		}
+		var err error
+		jnl, err = journal.OpenAppend(c.opts.JournalPath)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: opening journal: %w", err)
+		}
+		defer jnl.Close()
+		if state == nil {
+			if err := jnl.Append(fleetHeaderFor(spec)); err != nil {
+				return nil, err
+			}
+		}
+	}
+
 	// abort cancels every outstanding dispatch so late responses are
 	// dropped, then surfaces err.
 	abort := func(err error) (*Report, error) {
@@ -567,6 +666,81 @@ func (c *Coordinator) RunCampaign(ctx context.Context, spec Spec) (*Report, erro
 			c.cancelPending(id)
 		}
 		return nil, err
+	}
+
+	// commit journals cell verdicts in canonical order: a cell is
+	// acknowledged (and survives a restart) only once every earlier
+	// cell's verdict is durably recorded, which is what makes a partial
+	// journal a byte-prefix of the complete one. Scripted faults crash
+	// the coordinator in each distinct window of the write path.
+	commit := func() error {
+		for nextCommit < n {
+			st := cells[nextCommit]
+			if st.status != cellDone && st.status != cellGapped {
+				return nil
+			}
+			if !st.journaled {
+				var record any
+				if st.status == cellDone {
+					record = &fleetCellRecord{Kind: "cell", Cell: nextCommit, Probe: st.servedBy, Hist: st.body}
+				} else {
+					record = &fleetGapRecord{Kind: "gap", Cell: nextCommit, Reason: st.gapReason}
+				}
+				if d := c.opts.Disruptor; d != nil {
+					if fault := d.OnCommit(nextCommit); fault != CommitNone {
+						if fault == CommitKillBefore {
+							return ErrCoordinatorKilled
+						}
+						payload, err := json.Marshal(record)
+						if err != nil {
+							return fmt.Errorf("fleet: encoding journal record: %w", err)
+						}
+						frame := journal.Frame(payload)
+						if fault == CommitTear {
+							frame = frame[:len(frame)/2]
+						}
+						if err := jnl.WriteRaw(frame); err != nil {
+							return err
+						}
+						return ErrCoordinatorKilled
+					}
+				}
+				if err := jnl.Append(record); err != nil {
+					return err
+				}
+				st.journaled = true
+				st.body = nil
+			}
+			nextCommit++
+		}
+		return nil
+	}
+
+	// syncLedger journals probe strike/quarantine changes in probe-ID
+	// order. Records carry absolute totals and the last record per
+	// probe wins on replay, so re-writing on every change is
+	// idempotent across any number of restarts.
+	syncLedger := func() error {
+		if jnl == nil {
+			return nil
+		}
+		for _, p := range c.tracker.Snapshot() {
+			quar := p.State == Quarantined
+			last, seen := lastLedger[p.ID]
+			if !seen && p.Strikes == 0 && !quar {
+				continue
+			}
+			if seen && last.Strikes == p.Strikes && last.Quarantined == quar {
+				continue
+			}
+			rec := fleetProbeRecord{Kind: "probe", ID: p.ID, Strikes: p.Strikes,
+				Reasons: p.StrikeReasons, Quarantined: quar}
+			if err := jnl.Append(&rec); err != nil {
+				return err
+			}
+			lastLedger[p.ID] = rec
+		}
+		return nil
 	}
 
 	// fail consumes one attempt of a cell; it re-queues the cell with
@@ -629,6 +803,8 @@ func (c *Coordinator) RunCampaign(ctx context.Context, spec Spec) (*Report, erro
 		st := cells[d.cell]
 		st.status = cellDone
 		st.hist = h
+		st.body = o.body
+		st.servedBy = d.probe
 		remaining--
 		report.Completed++
 		report.ProbeCells[d.probe]++
@@ -683,6 +859,15 @@ func (c *Coordinator) RunCampaign(ctx context.Context, spec Spec) (*Report, erro
 			}
 		}
 
+		// Durability point: flush the strike ledger and every cell whose
+		// canonical turn has come before scattering more work.
+		if err := syncLedger(); err != nil {
+			return abort(err)
+		}
+		if err := commit(); err != nil {
+			return abort(err)
+		}
+
 		// Dispatch: ready cells scatter to healthy probes, one cell per
 		// probe at a time, in canonical cell order.
 		healthy := c.tracker.Healthy()
@@ -714,6 +899,12 @@ func (c *Coordinator) RunCampaign(ctx context.Context, spec Spec) (*Report, erro
 			c.mu.Unlock()
 			if l == nil {
 				continue // raced with a disconnect; next tick re-evaluates
+			}
+			if d := c.opts.Disruptor; d != nil && d.OnDispatch(i, st.attempts+1) {
+				// Scripted kill mid-scatter: earlier cells of this sweep
+				// are already on the wire; their responses will land on a
+				// dead coordinator and the resumed one must re-dispatch.
+				return abort(ErrCoordinatorKilled)
 			}
 			body, err := json.Marshal(spec.CellRequest(i))
 			if err != nil {
@@ -795,6 +986,16 @@ func (c *Coordinator) RunCampaign(ctx context.Context, spec Spec) (*Report, erro
 		case <-ctx.Done():
 			return abort(ctx.Err())
 		}
+	}
+
+	// Final durability point: the loop can exit with verdicts not yet
+	// journaled (the last outcomes arrive inside the select); nothing is
+	// acknowledged in the report before it is on disk.
+	if err := syncLedger(); err != nil {
+		return abort(err)
+	}
+	if err := commit(); err != nil {
+		return abort(err)
 	}
 
 	// Gather: the committer folds per-cell results in canonical cell

@@ -1,0 +1,46 @@
+package fleet
+
+import "errors"
+
+// ErrCoordinatorKilled is the terminal verdict of a scripted
+// coordinator fault: the campaign loop stops exactly where a real
+// crash would, leaving the journal in whatever state the fault point
+// dictates. internal/faultfleet's chaos suite restarts the coordinator
+// against that journal and proves the resume path.
+var ErrCoordinatorKilled = errors.New("fleet: coordinator killed by fault script")
+
+// CommitFault selects a scripted coordinator failure at one cell's
+// commit point, modelling the three distinct crash windows of the
+// write-ahead protocol.
+type CommitFault int
+
+const (
+	// CommitNone commits normally.
+	CommitNone CommitFault = iota
+	// CommitKillBefore crashes before the record is written: the cell's
+	// result is lost and must be re-measured after resume.
+	CommitKillBefore
+	// CommitKillAfterWrite crashes after the record is written but
+	// before the explicit fsync: the record may (and on a surviving
+	// filesystem does) reach the journal intact, so resume must treat
+	// the cell as committed.
+	CommitKillAfterWrite
+	// CommitTear crashes midway through the record's write, leaving a
+	// torn final line — the signature resume must drop and truncate.
+	CommitTear
+)
+
+// CoordinatorDisruptor scripts coordinator-side faults into
+// RunCampaign — the test seam internal/faultfleet drives. A nil
+// disruptor (production) never faults.
+type CoordinatorDisruptor interface {
+	// OnDispatch is consulted immediately before cell is scattered on
+	// its attempt-th attempt (1-based); returning true kills the
+	// coordinator mid-scatter, with earlier cells of the same sweep
+	// already on the wire.
+	OnDispatch(cell, attempt int) bool
+	// OnCommit is consulted when cell reaches its canonical commit
+	// point; any verdict but CommitNone kills the coordinator in the
+	// corresponding crash window.
+	OnCommit(cell int) CommitFault
+}

@@ -280,6 +280,38 @@ func (t *Tracker) Strike(id, reason string) Health {
 	return p.state
 }
 
+// RestoreStrikes folds a journaled health ledger back into the
+// tracker on campaign resume: journaled strikes are added to whatever
+// the probe has already earned this session (a probe may re-register
+// — and even flap — before the resumed campaign starts), journaled
+// reasons precede session reasons, and a journaled quarantine verdict
+// is reinstated outright. A probe the restarted coordinator has not
+// seen yet enters the ledger dead — it owes the fleet a registration,
+// not the benefit of the doubt. The returned state is the probe's
+// state after restoration, so the caller can cut the connection of a
+// probe whose restored record quarantines it: a flapping probe must
+// not launder its strikes through a coordinator restart.
+func (t *Tracker) RestoreStrikes(id string, strikes int, reasons []string, quarantined bool) Health {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.probes[id]
+	if !ok {
+		p = &probeHealth{id: id, state: Dead}
+		t.probes[id] = p
+	}
+	p.strikes += strikes
+	if len(reasons) > 0 {
+		restored := append([]string(nil), reasons...)
+		p.reasons = append(restored, p.reasons...)
+	}
+	if quarantined {
+		p.state = Quarantined
+	} else {
+		t.quarantineLocked(p)
+	}
+	return p.state
+}
+
 // quarantineLocked promotes a probe to quarantine when its strikes
 // crossed the limit; reports whether it did.
 func (t *Tracker) quarantineLocked(p *probeHealth) bool {

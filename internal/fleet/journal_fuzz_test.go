@@ -1,0 +1,76 @@
+// Fuzz target for the fleet journal's wire format. On arbitrary bytes
+// the parser must hold two properties: never panic, and fail only with
+// the fleet's typed journal errors — a damaged journal is diagnosed,
+// not crashed on and never resumed from silently.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"strings"
+	"testing"
+)
+
+// fleetFrameLine builds one valid journal line for a payload.
+func fleetFrameLine(payload string) string {
+	return fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE([]byte(payload)), payload)
+}
+
+func FuzzParseFleetJournal(f *testing.F) {
+	header := `{"kind":"header","v":1,"workload":"fleet-pkg-tiny","machine":"2s","threads":0,"bounds":[4,64,256,512],"slice_cycles":0,"adaptive":false,"exact":false,"cells":3,"reps_per_cell":1,"seed":42}`
+	cell := `{"kind":"cell","cell":0,"probe":"probe-a","hist":{"bounds":[4,64],"counts":[1,2,3]}}`
+	gap := `{"kind":"gap","cell":1,"reason":"fleet: no live probes"}`
+	probe := `{"kind":"probe","id":"probe-b","strikes":2,"reasons":["flap"],"quarantined":false}`
+	foreign := `{"kind":"header","v":1,"param_name":"threads","params":[1,2],"events":["mem_load_retired_all"],"reps":2,"mode":"Batched","seed":7}`
+	f.Add([]byte{})
+	f.Add([]byte(fleetFrameLine(header)))
+	f.Add([]byte(fleetFrameLine(header) + fleetFrameLine(cell) + fleetFrameLine(gap) + fleetFrameLine(probe)))
+	f.Add([]byte(fleetFrameLine(header) + fleetFrameLine(cell)[:30])) // torn tail
+	f.Add([]byte(fleetFrameLine(cell)))                               // missing header
+	f.Add([]byte(fleetFrameLine(strings.Replace(header, `"v":1`, `"v":9`, 1)))) // version skew
+	f.Add([]byte(fleetFrameLine(foreign))) // campaign-journal header in a fleet journal
+	f.Add([]byte(fleetFrameLine(header) + fleetFrameLine(`{"kind":"mystery"}`)))
+	f.Add([]byte("deadbeef not json\n"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		st, err := parseFleetJournal(raw)
+		if err != nil {
+			if !errors.Is(err, ErrJournalCorrupt) && !errors.Is(err, ErrJournalMismatch) {
+				t.Fatalf("untyped journal error: %v", err)
+			}
+			return
+		}
+		if st == nil {
+			if len(raw) != 0 {
+				t.Fatalf("nil state accepted for %d non-empty bytes", len(raw))
+			}
+			return
+		}
+		if st.header == nil {
+			t.Fatal("journal accepted without a header")
+		}
+		if st.header.Version != fleetJournalVersion {
+			t.Fatalf("accepted journal version %d", st.header.Version)
+		}
+		if len(st.committed) > st.header.Cells {
+			t.Fatalf("%d committed cells accepted for a %d-cell campaign",
+				len(st.committed), st.header.Cells)
+		}
+		for i, cm := range st.committed {
+			if (cm.cell == nil) == (cm.gap == nil) {
+				t.Fatalf("committed slot %d is not exactly one of cell/gap", i)
+			}
+			switch {
+			case cm.cell != nil && cm.cell.Cell != i:
+				t.Fatalf("cell record %d committed at slot %d", cm.cell.Cell, i)
+			case cm.gap != nil && cm.gap.Cell != i:
+				t.Fatalf("gap record %d committed at slot %d", cm.gap.Cell, i)
+			}
+		}
+		for id, p := range st.probes {
+			if p.ID != id || p.Strikes < 0 {
+				t.Fatalf("probe ledger %q = %+v", id, p)
+			}
+		}
+	})
+}

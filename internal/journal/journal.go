@@ -1,0 +1,267 @@
+// Package journal is the shared crash-tolerant record log under the
+// repo's resumable campaigns: an append-only JSON-lines file in which
+// every record is individually CRC-32 checked and fsynced, so a process
+// killed at any instant — including mid-write — leaves a journal that
+// loads cleanly. Each line is
+//
+//	crc32(payload) as 8 hex digits, one space, the JSON payload, '\n'
+//
+// The first record must be a header carrying the journal's format
+// version (field "v"); every later record is an opaque typed payload
+// the owning package decodes by its "kind". On load, a torn final
+// record (the crash signature) is dropped and flagged; any earlier
+// damage fails loudly with a typed *CorruptError rather than resuming
+// from lies, and a header from a different format version is refused
+// with a *VersionError naming both versions.
+//
+// internal/campaign journals measurement cells through this package
+// (its wire format predates the extraction and is preserved byte for
+// byte); internal/fleet journals coordinator campaigns. Both keep
+// their own record vocabularies — this package owns only framing,
+// integrity, ordering and version gating.
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"strings"
+)
+
+// ErrCorrupt marks an integrity failure in the body of a journal: a
+// CRC mismatch, an undecodable record, or a structural violation (a
+// missing or duplicated header) before the final line. A torn final
+// record is expected after a crash and is dropped silently instead.
+// Concrete failures carry a *CorruptError; errors.Is against this
+// sentinel matches them all.
+var ErrCorrupt = errors.New("journal: corrupt")
+
+// CorruptError is one diagnosed integrity failure. Line is 1-based and
+// zero when the damage is not tied to a single line (a missing header).
+type CorruptError struct {
+	Line   int
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("journal: corrupt: line %d: %s", e.Line, e.Reason)
+	}
+	return "journal: corrupt: " + e.Reason
+}
+
+// Is makes errors.Is(err, ErrCorrupt) match every *CorruptError.
+func (e *CorruptError) Is(target error) bool { return target == ErrCorrupt }
+
+// VersionError refuses a journal whose header carries a format version
+// this build does not speak — resuming under a different record schema
+// would fabricate state. The message names both versions so an
+// operator can tell a future-versioned journal (written by a newer
+// build) from a stale one.
+type VersionError struct {
+	Got  int
+	Want int
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("journal: header version %d, this build speaks version %d", e.Got, e.Want)
+}
+
+// Record is one verified journal record: its kind tag, raw payload and
+// 1-based line number.
+type Record struct {
+	Kind    string
+	Payload json.RawMessage
+	Line    int
+}
+
+// State is a loaded journal: the verified header plus every later
+// record in file order.
+type State struct {
+	// Header is the first record (kind "header"); its payload carries
+	// the owning package's full header fields.
+	Header Record
+	// Version is the header's format version, already checked against
+	// the version Parse was given.
+	Version int
+	// Records holds every record after the header, in file order.
+	Records []Record
+	// Truncated reports that a torn final record was dropped — the
+	// expected signature of a crash mid-write.
+	Truncated bool
+	// ValidLen is the byte length of the verified prefix of the raw
+	// input: the whole input when Truncated is false, everything before
+	// the torn record when it is true. Appending after ValidLen (and
+	// truncating anything beyond it first) keeps the journal loading
+	// cleanly forever.
+	ValidLen int
+}
+
+// Frame builds the wire form of one record line for a payload.
+func Frame(payload []byte) []byte {
+	return []byte(fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(payload), payload))
+}
+
+// ParseLine verifies and decodes one journal line (without its trailing
+// newline) into kind + payload.
+func ParseLine(line string) (kind string, payload []byte, err error) {
+	sp := strings.IndexByte(line, ' ')
+	if sp != 8 {
+		return "", nil, fmt.Errorf("no checksum prefix")
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(line[:sp], "%08x", &want); err != nil {
+		return "", nil, fmt.Errorf("bad checksum prefix: %v", err)
+	}
+	payload = []byte(line[sp+1:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return "", nil, fmt.Errorf("checksum mismatch: %08x, want %08x", got, want)
+	}
+	var probe struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(payload, &probe); err != nil {
+		return "", nil, fmt.Errorf("undecodable record: %v", err)
+	}
+	return probe.Kind, payload, nil
+}
+
+// Parse verifies and decodes raw journal bytes — pure, so owning
+// packages can fuzz it without a filesystem. Empty input returns
+// (nil, nil); every failure is a *CorruptError or *VersionError, never
+// a panic. wantVersion is the record-format version this caller
+// speaks; any other header version is refused.
+func Parse(raw []byte, wantVersion int) (*State, error) {
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	lines := strings.Split(string(raw), "\n")
+	// A file ending in '\n' splits into a trailing empty string; a file
+	// that does not was torn mid-write.
+	tornTail := lines[len(lines)-1] != ""
+	if !tornTail {
+		lines = lines[:len(lines)-1]
+	}
+	st := &State{ValidLen: len(raw)}
+	sawHeader := false
+	offset := 0
+	for i, line := range lines {
+		final := i == len(lines)-1
+		kind, payload, perr := ParseLine(line)
+		if perr != nil {
+			if final {
+				// The crash case: a record cut off mid-write. Drop it; the
+				// verified prefix ends where it began.
+				st.Truncated = true
+				st.ValidLen = offset
+				break
+			}
+			return nil, &CorruptError{Line: i + 1, Reason: perr.Error()}
+		}
+		// A verified final record that merely lacks its newline (the
+		// crash hit between payload and '\n') is kept like any other.
+		rec := Record{Kind: kind, Payload: payload, Line: i + 1}
+		if kind == "header" {
+			if i != 0 {
+				return nil, &CorruptError{Line: i + 1, Reason: "duplicate header"}
+			}
+			st.Header = rec
+			sawHeader = true
+		} else {
+			st.Records = append(st.Records, rec)
+		}
+		offset += len(line) + 1
+	}
+	if !sawHeader {
+		return nil, &CorruptError{Reason: "missing header"}
+	}
+	var h struct {
+		Version int `json:"v"`
+	}
+	if err := json.Unmarshal(st.Header.Payload, &h); err != nil {
+		return nil, &CorruptError{Line: 1, Reason: fmt.Sprintf("undecodable header version: %v", err)}
+	}
+	if h.Version != wantVersion {
+		return nil, &VersionError{Got: h.Version, Want: wantVersion}
+	}
+	st.Version = h.Version
+	return st, nil
+}
+
+// Load reads and verifies a journal file. A missing file returns
+// (nil, nil) — there is nothing to resume, which is not an error.
+func Load(path string, wantVersion int) (*State, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return Parse(raw, wantVersion)
+}
+
+// Writer appends CRC-framed records to an open file, syncing after
+// every Append so a kill -9 loses at most the record being written.
+// A nil Writer (journaling disabled) accepts every call as a no-op.
+type Writer struct {
+	f *os.File
+}
+
+// NewWriter wraps an open file.
+func NewWriter(f *os.File) *Writer { return &Writer{f: f} }
+
+// OpenAppend opens (creating if needed) a journal file for appending.
+func OpenAppend(path string) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return NewWriter(f), nil
+}
+
+// Append marshals, frames, writes and fsyncs one record.
+func (w *Writer) Append(record any) error {
+	if w == nil || w.f == nil {
+		return nil
+	}
+	payload, err := json.Marshal(record)
+	if err != nil {
+		return fmt.Errorf("journal: encoding record: %w", err)
+	}
+	if err := w.WriteRaw(Frame(payload)); err != nil {
+		return err
+	}
+	return w.Sync()
+}
+
+// WriteRaw writes pre-framed bytes without syncing — the seam fault
+// injectors use to model crashes between write and fsync, and to tear
+// a final record. Production callers want Append.
+func (w *Writer) WriteRaw(b []byte) error {
+	if w == nil || w.f == nil {
+		return nil
+	}
+	if _, err := w.f.Write(b); err != nil {
+		return fmt.Errorf("journal: appending record: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes written records to stable storage.
+func (w *Writer) Sync() error {
+	if w == nil || w.f == nil {
+		return nil
+	}
+	return w.f.Sync()
+}
+
+// Close closes the underlying file.
+func (w *Writer) Close() error {
+	if w == nil || w.f == nil {
+		return nil
+	}
+	return w.f.Close()
+}
