@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"numaperf/internal/scenario"
+)
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func libScenario(name string) string {
+	return filepath.Join("..", "..", "scenarios", name+".yaml")
+}
+
+func TestListActions(t *testing.T) {
+	code, out, _ := runCLI(t, "-list-actions")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"ACTION", "net.truncate_response", "run.exit", "data.poison_samples", "perf.throttle_storm", "fleet.kill_coordinator", "assert.matches_reference"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list-actions output missing %q", want)
+		}
+	}
+}
+
+func TestStrictPass(t *testing.T) {
+	code, out, stderr := runCLI(t, "-scenario", libScenario("run-transient-exit"), "-strict")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(out, "verdict: PASS") {
+		t.Errorf("summary missing verdict:\n%s", out)
+	}
+}
+
+func TestStrictFailure(t *testing.T) {
+	// A scenario whose assertion cannot hold: a fault-free campaign
+	// asserted to have retried at least once.
+	path := filepath.Join(t.TempDir(), "failing.yaml")
+	body := `name: failing
+mode: campaign
+seed: 3
+campaign:
+  workload: scenario-tiny
+  machine: 2s
+  threads: [1]
+  events: [CPU_CLK_UNHALTED.THREAD]
+  reps: 1
+events:
+  - at: 1s
+    action: assert.retried
+    min: 1
+`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := runCLI(t, "-scenario", path, "-strict")
+	if code != 1 {
+		t.Errorf("strict failing scenario: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "verdict: FAIL") {
+		t.Errorf("summary missing FAIL verdict:\n%s", out)
+	}
+	// Without -strict a failed assertion still exits 0: the run itself
+	// succeeded and the report carries the verdict.
+	code, _, _ = runCLI(t, "-scenario", path)
+	if code != 0 {
+		t.Errorf("non-strict failing scenario: exit %d, want 0", code)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},                          // no -scenario
+		{"-bogus-flag"},             // unknown flag
+		{"-scenario", "x", "extra"}, // positional argument
+	}
+	for _, args := range cases {
+		if code, _, _ := runCLI(t, args...); code != 2 {
+			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}
+
+func TestBadScenarioFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.yaml")
+	if err := os.WriteFile(path, []byte("name: x\nmode: warp\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runCLI(t, "-scenario", path)
+	if code != 1 {
+		t.Errorf("invalid scenario: exit %d, want 1", code)
+	}
+	if stderr == "" {
+		t.Error("invalid scenario produced no diagnostic")
+	}
+	if code, _, _ := runCLI(t, "-scenario", filepath.Join(t.TempDir(), "missing.yaml")); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+}
+
+func TestReportFlag(t *testing.T) {
+	report := filepath.Join(t.TempDir(), "out.report")
+	code, _, stderr := runCLI(t, "-scenario", libScenario("data-poisoned-compare"), "-report", report, "-strict")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	raw, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, err := scenario.ParseReport(raw)
+	if err != nil {
+		t.Fatalf("written report does not parse: %v", err)
+	}
+	if state == nil || state.Truncated || len(state.Records) == 0 {
+		t.Fatalf("written report parsed empty or truncated: %+v", state)
+	}
+
+	// A -seed override must land in the header and change the bytes.
+	report2 := filepath.Join(t.TempDir(), "out2.report")
+	if code, _, _ := runCLI(t, "-scenario", libScenario("data-poisoned-compare"), "-report", report2, "-seed", "99"); code != 0 {
+		t.Fatalf("seed-override run: exit %d", code)
+	}
+	raw2, err := os.ReadFile(report2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(raw, raw2) {
+		t.Error("-seed override did not change the report")
+	}
+}

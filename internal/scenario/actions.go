@@ -1,0 +1,538 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// actionDef is one registry entry: where an action is legal, what it
+// means, and how to validate its parameters.
+type actionDef struct {
+	name     string
+	modes    []string
+	summary  string
+	params   string
+	validate func(sc *Scenario, ev *Event, i int) error
+}
+
+func (a *actionDef) allowsMode(mode string) bool {
+	for _, m := range a.modes {
+		if m == mode {
+			return true
+		}
+	}
+	return false
+}
+
+// ActionInfo is the exported registry row behind `memscenario
+// -list-actions`.
+type ActionInfo struct {
+	Name    string
+	Modes   []string
+	Summary string
+	Params  string
+}
+
+// Actions lists every known action in name order.
+func Actions() []ActionInfo {
+	out := make([]ActionInfo, 0, len(registry))
+	for _, a := range registry {
+		out = append(out, ActionInfo{
+			Name:    a.name,
+			Modes:   append([]string(nil), a.modes...),
+			Summary: a.summary,
+			Params:  a.params,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func lookupAction(name string) (*actionDef, bool) {
+	a, ok := registry[name]
+	return a, ok
+}
+
+func evField(i int, field string) string {
+	return fmt.Sprintf("events[%d].%s", i, field)
+}
+
+func noValidation(*Scenario, *Event, int) error { return nil }
+
+func needCell(_ *Scenario, ev *Event, i int) error {
+	var p, r, b int
+	if n, err := fmt.Sscanf(ev.Cell, "p%d/r%d/b%d", &p, &r, &b); n != 3 || err != nil {
+		return &SpecError{Field: evField(i, "cell"), Msg: fmt.Sprintf("cell %q must look like \"p0/r1/b2\"", ev.Cell)}
+	}
+	return nil
+}
+
+func needDelay(_ *Scenario, ev *Event, i int) error {
+	if ev.Delay <= 0 {
+		return &SpecError{Field: evField(i, "delay"), Msg: "a positive delay is required"}
+	}
+	return nil
+}
+
+func needPositiveOffset(_ *Scenario, ev *Event, i int) error {
+	if ev.Offset <= 0 {
+		return &SpecError{Field: evField(i, "offset"), Msg: "a positive byte offset is required"}
+	}
+	return nil
+}
+
+func needFrac(_ *Scenario, ev *Event, i int) error {
+	if ev.Frac <= 0 || ev.Frac > 1 {
+		return &SpecError{Field: evField(i, "frac"), Msg: "must be in (0, 1]"}
+	}
+	return nil
+}
+
+// needFleetTarget checks the event names a probe that actually exists.
+func needFleetTarget(sc *Scenario, ev *Event, i int) error {
+	if ev.Target == "" {
+		return &SpecError{Field: evField(i, "target"), Msg: "a probe target is required"}
+	}
+	for _, id := range sc.Fleet.probeIDs() {
+		if id == ev.Target {
+			return nil
+		}
+	}
+	return &SpecError{Field: evField(i, "target"), Msg: fmt.Sprintf("probe %q is not in the fleet", ev.Target)}
+}
+
+// perfTarget validates faultperf actions: standalone collect scenarios
+// take no target; fleet scenarios accept "*" (uniform PMU weather on
+// every probe, which keeps the merged histogram deterministic) or a
+// probe ID (per-probe weather — the merged histogram then depends on
+// cell placement and is excluded from the report).
+func perfTarget(sc *Scenario, ev *Event, i int) error {
+	if sc.Mode == ModeCollect {
+		if ev.Target != "" {
+			return &SpecError{Field: evField(i, "target"), Msg: "collect scenarios take no target"}
+		}
+		return nil
+	}
+	if ev.Target == "" || ev.Target == "*" {
+		return nil
+	}
+	return needFleetTarget(sc, ev, i)
+}
+
+func perfWindow(sc *Scenario, ev *Event, i int) error {
+	if err := perfTarget(sc, ev, i); err != nil {
+		return err
+	}
+	if ev.Until <= ev.At {
+		return &SpecError{Field: evField(i, "until"), Msg: "the window must end after it starts (until > at)"}
+	}
+	return nil
+}
+
+var registry = map[string]*actionDef{
+	// --- faultnet (fetch): the probe connection misbehaves. ---
+	"net.delay_response": {
+		name: "net.delay_response", modes: []string{ModeFetch},
+		summary: "stall every write on the Nth accepted connection",
+		params:  "conn (0-based), delay",
+		validate: func(sc *Scenario, ev *Event, i int) error {
+			return needDelay(sc, ev, i)
+		},
+	},
+	"net.corrupt_response": {
+		name: "net.corrupt_response", modes: []string{ModeFetch},
+		summary:  "flip one bit of the response frame at a byte offset (after the HELLO)",
+		params:   "conn (0-based), offset (1-based byte of the post-HELLO stream)",
+		validate: needPositiveOffset,
+	},
+	"net.truncate_response": {
+		name: "net.truncate_response", modes: []string{ModeFetch},
+		summary:  "close the connection mid-response at a byte offset (after the HELLO)",
+		params:   "conn (0-based), offset (1-based byte of the post-HELLO stream)",
+		validate: needPositiveOffset,
+	},
+	"net.corrupt_request": {
+		name: "net.corrupt_request", modes: []string{ModeFetch},
+		summary:  "flip one bit of the client's request at a byte offset",
+		params:   "conn (0-based), offset (1-based)",
+		validate: needPositiveOffset,
+	},
+	"net.reset_request": {
+		name: "net.reset_request", modes: []string{ModeFetch},
+		summary:  "reset the connection once N request bytes were read",
+		params:   "conn (0-based), offset (1-based)",
+		validate: needPositiveOffset,
+	},
+	"net.refuse_accepts": {
+		name: "net.refuse_accepts", modes: []string{ModeFetch},
+		summary: "fail the first N accepts with a temporary error",
+		params:  "count (> 0)",
+		validate: func(_ *Scenario, ev *Event, i int) error {
+			if ev.Count <= 0 {
+				return &SpecError{Field: evField(i, "count"), Msg: "a positive count is required"}
+			}
+			return nil
+		},
+	},
+
+	// --- faultrun (campaign): a run cell misbehaves. ---
+	"run.hang": {
+		name: "run.hang", modes: []string{ModeCampaign},
+		summary:  "block the cell's run until the supervisor's timeout abandons it",
+		params:   "cell (\"p0/r1/b2\"), times (0 = every attempt)",
+		validate: needCell,
+	},
+	"run.exit": {
+		name: "run.exit", modes: []string{ModeCampaign},
+		summary:  "fail the cell's run with a nonzero-exit error",
+		params:   "cell, exit_code, times (1 = transient, 0 = deterministic), delay",
+		validate: needCell,
+	},
+	"run.panic": {
+		name: "run.panic", modes: []string{ModeCampaign},
+		summary:  "panic inside the cell's run (recovered by the supervisor)",
+		params:   "cell, times",
+		validate: needCell,
+	},
+	"run.corrupt": {
+		name: "run.corrupt", modes: []string{ModeCampaign},
+		summary:  "return an impossible counter value from the cell's run",
+		params:   "cell, event (counter name, empty = first), nan, times",
+		validate: needCell,
+	},
+	"run.slow": {
+		name: "run.slow", modes: []string{ModeCampaign},
+		summary: "delay the cell's run, then let it proceed",
+		params:  "cell, delay, times",
+		validate: func(sc *Scenario, ev *Event, i int) error {
+			if err := needCell(sc, ev, i); err != nil {
+				return err
+			}
+			return needDelay(sc, ev, i)
+		},
+	},
+
+	// --- faultdata (campaign): poison the gathered measurement, then
+	// compare against the clean one through evsel. ---
+	"data.poison_samples": {
+		name: "data.poison_samples", modes: []string{ModeCampaign},
+		summary:  "replace a fraction of every event's samples with NaN/negatives",
+		params:   "frac ((0, 1])",
+		validate: needFrac,
+	},
+	"data.flatten_series": {
+		name: "data.flatten_series", modes: []string{ModeCampaign},
+		summary: "freeze one counter's samples to a constant (zero-variance trap)",
+		params:  "event (counter name), value",
+		validate: func(_ *Scenario, ev *Event, i int) error {
+			if ev.Event == "" {
+				return &SpecError{Field: evField(i, "event"), Msg: "a counter event name is required"}
+			}
+			return nil
+		},
+	},
+	"data.inject_outliers": {
+		name: "data.inject_outliers", modes: []string{ModeCampaign},
+		summary:  "scale a fraction of samples by a large factor",
+		params:   "frac ((0, 1]), factor",
+		validate: needFrac,
+	},
+
+	// --- faultperf (collect, fleet): PMU weather over a time window.
+	// Window times convert to engine cycles at the machine clock rate;
+	// in fleet mode target \"*\" applies the weather uniformly. ---
+	"perf.overrun_burst": {
+		name: "perf.overrun_burst", modes: []string{ModeCollect, ModeFleet},
+		summary: "drop every sampled record in [at, until) as buffer overruns",
+		params:  "at, until (omit for unbounded), target (fleet: \"*\" or probe)",
+		validate: func(sc *Scenario, ev *Event, i int) error {
+			if err := perfTarget(sc, ev, i); err != nil {
+				return err
+			}
+			if ev.Until != 0 && ev.Until <= ev.At {
+				return &SpecError{Field: evField(i, "until"), Msg: "the window must end after it starts (until > at)"}
+			}
+			return nil
+		},
+	},
+	"perf.throttle_storm": {
+		name: "perf.throttle_storm", modes: []string{ModeCollect, ModeFleet},
+		summary:  "force interrupt throttling across [at, until)",
+		params:   "at, until, target (fleet: \"*\" or probe)",
+		validate: perfWindow,
+	},
+	"perf.observer_stall": {
+		name: "perf.observer_stall", modes: []string{ModeCollect, ModeFleet},
+		summary:  "stall PMI drains across [at, until) so the buffer backs up",
+		params:   "at, until, target (fleet: \"*\" or probe)",
+		validate: perfWindow,
+	},
+	"perf.starve": {
+		name: "perf.starve", modes: []string{ModeCollect, ModeFleet},
+		summary: "steal dwell slices from one threshold of the cycler",
+		params:  "threshold (index), slices (> 0), target (fleet: \"*\" or probe)",
+		validate: func(sc *Scenario, ev *Event, i int) error {
+			if err := perfTarget(sc, ev, i); err != nil {
+				return err
+			}
+			if ev.Threshold < 0 {
+				return &SpecError{Field: evField(i, "threshold"), Msg: "must be >= 0"}
+			}
+			if ev.Slices <= 0 {
+				return &SpecError{Field: evField(i, "slices"), Msg: "a positive slice count is required"}
+			}
+			return nil
+		},
+	},
+
+	// --- faultfleet (fleet): probes and the coordinator misbehave. ---
+	"fleet.refuse_connects": {
+		name: "fleet.refuse_connects", modes: []string{ModeFleet},
+		summary: "make the probe's first N dials fail (partitioned probe)",
+		params:  "target (probe), count (> 0)",
+		validate: func(sc *Scenario, ev *Event, i int) error {
+			if err := needFleetTarget(sc, ev, i); err != nil {
+				return err
+			}
+			if ev.Count <= 0 {
+				return &SpecError{Field: evField(i, "count"), Msg: "a positive count is required"}
+			}
+			return nil
+		},
+	},
+	"fleet.refuse_reconnects": {
+		name: "fleet.refuse_reconnects", modes: []string{ModeFleet},
+		summary:  "let the first dial through, refuse every reconnect",
+		params:   "target (probe)",
+		validate: needFleetTarget,
+	},
+	"fleet.drop_heartbeat": {
+		name: "fleet.drop_heartbeat", modes: []string{ModeFleet},
+		summary: "suppress one heartbeat beacon (transient silence)",
+		params:  "target (probe), seq (1-based)",
+		validate: func(sc *Scenario, ev *Event, i int) error {
+			if err := needFleetTarget(sc, ev, i); err != nil {
+				return err
+			}
+			if ev.Seq < 1 {
+				return &SpecError{Field: evField(i, "seq"), Msg: "seq is 1-based"}
+			}
+			return nil
+		},
+	},
+	"fleet.silence_heartbeats": {
+		name: "fleet.silence_heartbeats", modes: []string{ModeFleet},
+		summary: "suppress every heartbeat from seq on (probe goes dark)",
+		params:  "target (probe), seq (1-based)",
+		validate: func(sc *Scenario, ev *Event, i int) error {
+			if err := needFleetTarget(sc, ev, i); err != nil {
+				return err
+			}
+			if ev.Seq < 1 {
+				return &SpecError{Field: evField(i, "seq"), Msg: "seq is 1-based"}
+			}
+			return nil
+		},
+	},
+	"fleet.delay_request": {
+		name: "fleet.delay_request", modes: []string{ModeFleet},
+		summary: "stall the probe's Nth served request",
+		params:  "target (probe), n (1-based), delay",
+		validate: func(sc *Scenario, ev *Event, i int) error {
+			if err := needFleetTarget(sc, ev, i); err != nil {
+				return err
+			}
+			if ev.N < 1 {
+				return &SpecError{Field: evField(i, "n"), Msg: "n is 1-based"}
+			}
+			return needDelay(sc, ev, i)
+		},
+	},
+	"fleet.delay_every_request": {
+		name: "fleet.delay_every_request", modes: []string{ModeFleet},
+		summary: "stall every request the probe serves (a slow probe)",
+		params:  "target (probe), delay",
+		validate: func(sc *Scenario, ev *Event, i int) error {
+			if err := needFleetTarget(sc, ev, i); err != nil {
+				return err
+			}
+			return needDelay(sc, ev, i)
+		},
+	},
+	"fleet.crash_request": {
+		name: "fleet.crash_request", modes: []string{ModeFleet},
+		summary: "crash the probe on its Nth request (stay_down: never restart)",
+		params:  "target (probe), n (1-based), stay_down",
+		validate: func(sc *Scenario, ev *Event, i int) error {
+			if err := needFleetTarget(sc, ev, i); err != nil {
+				return err
+			}
+			if ev.N < 1 {
+				return &SpecError{Field: evField(i, "n"), Msg: "n is 1-based"}
+			}
+			return nil
+		},
+	},
+	"fleet.flap": {
+		name: "fleet.flap", modes: []string{ModeFleet},
+		summary:  "crash the probe on every request until strike accounting quarantines it",
+		params:   "target (probe)",
+		validate: needFleetTarget,
+	},
+	"fleet.kill_coordinator": {
+		name: "fleet.kill_coordinator", modes: []string{ModeFleet},
+		summary: "kill the coordinator mid-scatter or in a commit crash window",
+		params:  "on_dispatch (1-based dispatch), or window (before_commit|after_write|torn) + n (cell index)",
+		validate: func(sc *Scenario, ev *Event, i int) error {
+			if !sc.Fleet.Journal || !sc.Fleet.Resume {
+				return &SpecError{Field: evField(i, "action"), Msg: "fleet.kill_coordinator requires fleet.journal and fleet.resume"}
+			}
+			switch {
+			case ev.OnDispatch > 0 && ev.Window == "":
+				return nil
+			case ev.OnDispatch == 0 && ev.Window != "":
+				switch ev.Window {
+				case "before_commit", "after_write", "torn":
+				default:
+					return &SpecError{Field: evField(i, "window"), Msg: fmt.Sprintf("unknown crash window %q", ev.Window)}
+				}
+				if ev.N < 0 || ev.N >= maxInt(sc.Fleet.Campaign.Cells, 1) {
+					return &SpecError{Field: evField(i, "n"), Msg: "cell index out of range"}
+				}
+				return nil
+			default:
+				return &SpecError{Field: evField(i, "on_dispatch"), Msg: "set exactly one of on_dispatch or window"}
+			}
+		},
+	},
+
+	// --- assertions: evaluated against the stage outcome after the
+	// run; `at` orders them on the report timeline. ---
+	"assert.complete": {
+		name: "assert.complete", modes: []string{ModeCampaign, ModeFleet},
+		summary: "every cell completed, nothing quarantined",
+		params:  "-", validate: noValidation,
+	},
+	"assert.gaps": {
+		name: "assert.gaps", modes: []string{ModeCampaign, ModeFleet},
+		summary: "exactly `count` cells ended as typed gaps",
+		params:  "count", validate: noValidation,
+	},
+	"assert.retried": {
+		name: "assert.retried", modes: []string{ModeCampaign},
+		summary: "at least `min` retry attempts were taken",
+		params:  "min", validate: needMin,
+	},
+	"assert.replayed": {
+		name: "assert.replayed", modes: []string{ModeFleet},
+		summary: "at least `min` cells were replayed from the resume journal",
+		params:  "min",
+		validate: func(sc *Scenario, ev *Event, i int) error {
+			if !sc.Fleet.Resume {
+				return &SpecError{Field: evField(i, "action"), Msg: "assert.replayed requires fleet.resume: true"}
+			}
+			return needMin(sc, ev, i)
+		},
+	},
+	"assert.truncated": {
+		name: "assert.truncated", modes: []string{ModeFleet},
+		summary: "the resume dropped a torn final journal record",
+		params:  "-",
+		validate: func(sc *Scenario, ev *Event, i int) error {
+			if !sc.Fleet.Resume {
+				return &SpecError{Field: evField(i, "action"), Msg: "assert.truncated requires fleet.resume: true"}
+			}
+			return nil
+		},
+	},
+	"assert.quarantined": {
+		name: "assert.quarantined", modes: []string{ModeCampaign, ModeFleet},
+		summary: "the named probe (fleet) or counter (campaign) was quarantined",
+		params:  "target (probe ID or counter name)",
+		validate: func(_ *Scenario, ev *Event, i int) error {
+			if ev.Target == "" {
+				return &SpecError{Field: evField(i, "target"), Msg: "a target is required"}
+			}
+			return nil
+		},
+	},
+	"assert.coverage": {
+		name: "assert.coverage", modes: []string{ModeFetch, ModeCollect, ModeFleet},
+		summary:  "the histogram's sampling coverage lies in [min, max]",
+		params:   "min, max (omit for 1)",
+		validate: needMin,
+	},
+	"assert.records_dropped": {
+		name: "assert.records_dropped", modes: []string{ModeCollect},
+		summary: "the PMU script dropped at least `min` records",
+		params:  "min", validate: needMin,
+	},
+	"assert.throttles": {
+		name: "assert.throttles", modes: []string{ModeCollect},
+		summary: "the PMU script fired at least `min` throttles",
+		params:  "min", validate: needMin,
+	},
+	"assert.slices_starved": {
+		name: "assert.slices_starved", modes: []string{ModeCollect},
+		summary: "the PMU script starved at least `min` dwell slices",
+		params:  "min", validate: needMin,
+	},
+	"assert.degraded": {
+		name: "assert.degraded", modes: []string{ModeCampaign},
+		summary: "the clean-vs-poisoned comparison carries diagnostics",
+		params:  "-", validate: needDataStage,
+	},
+	"assert.hard_degraded": {
+		name: "assert.hard_degraded", modes: []string{ModeCampaign},
+		summary: "the comparison carries trust-breaking diagnostics",
+		params:  "-", validate: needDataStage,
+	},
+	"assert.finite_render": {
+		name: "assert.finite_render", modes: []string{ModeFetch, ModeCampaign, ModeCollect, ModeFleet},
+		summary: "the human rendering of the outcome contains no NaN/Inf",
+		params:  "-", validate: noValidation,
+	},
+	"assert.matches_reference": {
+		name: "assert.matches_reference", modes: []string{ModeFetch, ModeFleet},
+		summary: "the histogram is byte-identical to the locally computed reference",
+		params:  "-", validate: noValidation,
+	},
+	"assert.origin": {
+		name: "assert.origin", modes: []string{ModeFetch},
+		summary: "the fetched histogram's origin tag",
+		params:  "equals (local | probe | local-fallback)",
+		validate: func(_ *Scenario, ev *Event, i int) error {
+			switch ev.Equals {
+			case "local", "probe", "local-fallback":
+				return nil
+			}
+			return &SpecError{Field: evField(i, "equals"), Msg: "must be local, probe or local-fallback"}
+		},
+	},
+}
+
+func needMin(_ *Scenario, ev *Event, i int) error {
+	if ev.Min == nil {
+		return &SpecError{Field: evField(i, "min"), Msg: "required"}
+	}
+	return nil
+}
+
+// needDataStage ties degradation asserts to an actual data.* fault:
+// without one there is no poisoned comparison to inspect.
+func needDataStage(sc *Scenario, ev *Event, i int) error {
+	for _, other := range sc.Events {
+		if strings.HasPrefix(other.Action, "data.") {
+			return nil
+		}
+	}
+	return &SpecError{Field: evField(i, "action"), Msg: ev.Action + " requires a data.* fault event"}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

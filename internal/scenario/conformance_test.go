@@ -1,0 +1,415 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"numaperf/internal/campaign"
+	"numaperf/internal/counters"
+	"numaperf/internal/evsel"
+	"numaperf/internal/exec"
+	"numaperf/internal/faultdata"
+	"numaperf/internal/faultnet"
+	"numaperf/internal/faultperf"
+	"numaperf/internal/faultrun"
+	"numaperf/internal/fleet"
+	"numaperf/internal/memhist"
+	"numaperf/internal/perf"
+	"numaperf/internal/topology"
+	"numaperf/internal/workloads"
+)
+
+// The conformance suite pins the DSL's compilation contract, one test
+// per fault injector: a declarative action must behave exactly like
+// the hand-built Script it compiles to. Each hand side below uses the
+// raw injector API directly — never the engine's helpers — so a
+// compilation drift in engine.go fails here.
+
+func loadScenario(t *testing.T, name string) *Scenario {
+	t.Helper()
+	sc, err := Load(filepath.Join("..", "..", "scenarios", name+".yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func runScenario(t *testing.T, sc *Scenario, opts RunOptions) *Result {
+	t.Helper()
+	res, err := Run(sc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("scenario failed %d assertions:\n%s", res.Failed, res.Summary())
+	}
+	return res
+}
+
+// findOutcome returns the first outcome record for stage.
+func findOutcome(t *testing.T, res *Result, stage string) any {
+	t.Helper()
+	for _, rec := range res.Records {
+		if rec.Kind != "outcome" {
+			continue
+		}
+		switch p := rec.Payload.(type) {
+		case fetchOutcomeRec:
+			if p.Stage == stage {
+				return p
+			}
+		case campaignOutcomeRec:
+			if p.Stage == stage {
+				return p
+			}
+		case analyzeOutcomeRec:
+			if p.Stage == stage {
+				return p
+			}
+		case collectOutcomeRec:
+			if p.Stage == stage {
+				return p
+			}
+		case fleetOutcomeRec:
+			if p.Stage == stage {
+				return p
+			}
+		}
+	}
+	t.Fatalf("report has no %s outcome record", stage)
+	return nil
+}
+
+// TestConformanceNet: net.truncate_response ≡ a hand-scripted
+// faultnet.ConnScript truncating the same response byte, behind the
+// same retrying fetch.
+func TestConformanceNet(t *testing.T) {
+	sc := loadScenario(t, "net-truncated-response")
+	res := runScenario(t, sc, RunOptions{})
+	got := findOutcome(t, res, "fetch").(fetchOutcomeRec)
+
+	// Hand side: raw faultnet wrap around a real probe server.
+	ensureWorkloads()
+	seed := sc.Seed
+	req := memhist.ProbeRequest{
+		Workload: sc.Fetch.Workload,
+		Machine:  sc.Fetch.Machine,
+		Threads:  sc.Fetch.Threads,
+		Bounds:   append([]uint64(nil), sc.Fetch.Bounds...),
+		Reps:     sc.Fetch.Reps,
+		Seed:     seed,
+	}
+	hlen, err := helloFrameLen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var truncateAt int64
+	for _, ev := range sc.Events {
+		if ev.Action == "net.truncate_response" {
+			truncateAt = ev.Offset + hlen
+		}
+	}
+	if truncateAt == hlen {
+		t.Fatal("scenario lost its net.truncate_response event")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := faultnet.Wrap(ln, faultnet.Options{
+		Seed: seed,
+		Script: func(i int) *faultnet.ConnScript {
+			if i == 0 {
+				return &faultnet.ConnScript{TruncateWriteAt: truncateAt}
+			}
+			return nil
+		},
+	})
+	srv := &memhist.ProbeServer{MaxConns: 8}
+	done := make(chan struct{})
+	go func() { _ = srv.Serve(fl); close(done) }()
+	defer func() { ln.Close(); <-done }()
+
+	h, err := memhist.FetchRemoteWith(ln.Addr().String(), req, memhist.FetchOptions{
+		Timeout: 30 * time.Second,
+		Retries: sc.Fetch.Retries,
+		Sleep:   func(time.Duration) {},
+	})
+	if err != nil {
+		t.Fatalf("hand-built fetch failed: %v", err)
+	}
+	if got.Origin != h.Origin {
+		t.Errorf("origin: scenario=%s hand=%s", got.Origin, h.Origin)
+	}
+	hj, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Histogram, hj) {
+		t.Errorf("histograms differ:\nscenario: %s\nhand:     %s", got.Histogram, hj)
+	}
+}
+
+// handCampaign runs the campaign spec of sc through campaign.Runner
+// directly, with wrap (nil for fault-free) as the middleware.
+func handCampaign(t *testing.T, sc *Scenario, wrap campaign.Middleware, workers int) *campaign.Report {
+	t.Helper()
+	ensureWorkloads()
+	wl, ok := workloads.ByName(sc.Campaign.Workload)
+	if !ok {
+		t.Fatalf("unknown workload %s", sc.Campaign.Workload)
+	}
+	mach, ok := topology.ByName(sc.Campaign.Machine)
+	if !ok {
+		t.Fatalf("unknown machine %s", sc.Campaign.Machine)
+	}
+	var evIDs []counters.EventID
+	for _, name := range sc.Campaign.Events {
+		id, ok := counters.Lookup(name)
+		if !ok {
+			t.Fatalf("unknown counter %s", name)
+		}
+		evIDs = append(evIDs, id)
+	}
+	threads := sc.Campaign.Threads
+	if len(threads) == 0 {
+		threads = []int{1}
+	}
+	var points []campaign.Point
+	for _, th := range threads {
+		th := th
+		points = append(points, campaign.Point{
+			Param: float64(th),
+			Mk: func(cellSeed int64) (*exec.Engine, func(*exec.Thread), error) {
+				e, err := exec.NewEngine(exec.Config{Machine: mach, Threads: th, Seed: cellSeed, Chunk: 1024})
+				if err != nil {
+					return nil, nil, err
+				}
+				return e, wl.Body(), nil
+			},
+		})
+	}
+	reps := sc.Campaign.Reps
+	if reps == 0 {
+		reps = 3
+	}
+	r := campaign.Runner{
+		Spec: campaign.Spec{ParamName: "threads", Points: points, Events: evIDs, Reps: reps, Mode: perf.Batched, Seed: sc.Seed},
+		Opts: campaign.Options{
+			RunTimeout:  10 * time.Second,
+			MaxRetries:  sc.Campaign.MaxRetries,
+			KeepGoing:   sc.Campaign.KeepGoing,
+			Concurrency: workers,
+			Wrap:        wrap,
+			Sleep:       func(time.Duration) {},
+		},
+	}
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatalf("hand-built campaign: %v", err)
+	}
+	return rep
+}
+
+// comparePoints checks the scenario's recorded per-point means against
+// a hand-built campaign report.
+func comparePoints(t *testing.T, sc *Scenario, got campaignOutcomeRec, rep *campaign.Report) {
+	t.Helper()
+	if len(got.Points) != len(rep.Points) {
+		t.Fatalf("points: scenario=%d hand=%d", len(got.Points), len(rep.Points))
+	}
+	for i, pr := range rep.Points {
+		sp := got.Points[i]
+		if sp.Param != pr.Param {
+			t.Errorf("point %d param: scenario=%g hand=%g", i, sp.Param, pr.Param)
+		}
+		byEvent := map[string]eventMean{}
+		for _, em := range sp.Events {
+			byEvent[em.Event] = em
+		}
+		for _, name := range sc.Campaign.Events {
+			id, _ := counters.Lookup(name)
+			if len(pr.M.Samples[id]) == 0 {
+				continue
+			}
+			em, ok := byEvent[name]
+			if !ok {
+				t.Errorf("point %d: scenario dropped event %s", i, name)
+				continue
+			}
+			if want := pr.M.Mean(id); !em.NonFinite && em.Mean != want {
+				t.Errorf("point %d %s: scenario mean %g, hand mean %g", i, name, em.Mean, want)
+			}
+		}
+	}
+}
+
+// TestConformanceRun: run.exit ≡ a hand-built faultrun script keyed on
+// the same cell, and the report must not move between 1 and 4 campaign
+// workers.
+func TestConformanceRun(t *testing.T) {
+	sc := loadScenario(t, "run-transient-exit")
+
+	var machines [][]byte
+	for _, workers := range []int{1, 4} {
+		res := runScenario(t, sc, RunOptions{Workers: workers})
+		m, err := res.Machine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		machines = append(machines, m)
+
+		script := faultrun.NewScript()
+		for _, ev := range sc.Events {
+			if ev.Action == "run.exit" {
+				script.On(ev.Cell, faultrun.Fault{Kind: faultrun.Exit, Times: ev.Times, ExitCode: ev.ExitCode})
+			}
+		}
+		rep := handCampaign(t, sc, script.Wrap, workers)
+		script.Release()
+
+		got := findOutcome(t, res, "campaign").(campaignOutcomeRec)
+		if got.Complete != rep.Complete() || got.Cells != rep.Cells || got.Retried != rep.Retried {
+			t.Errorf("workers=%d: scenario (complete=%v cells=%d retried=%d) vs hand (complete=%v cells=%d retried=%d)",
+				workers, got.Complete, got.Cells, got.Retried, rep.Complete(), rep.Cells, rep.Retried)
+		}
+		comparePoints(t, sc, got, rep)
+	}
+	if !bytes.Equal(machines[0], machines[1]) {
+		t.Errorf("machine report moved between 1 and 4 workers:\n1: %s\n4: %s", machines[0], machines[1])
+	}
+}
+
+// TestConformanceData: data.poison_samples ≡ a hand-built faultdata
+// injector poisoning the same measurement with the same seed.
+func TestConformanceData(t *testing.T) {
+	sc := loadScenario(t, "data-poisoned-compare")
+	res := runScenario(t, sc, RunOptions{})
+	got := findOutcome(t, res, "analyze").(analyzeOutcomeRec)
+
+	rep := handCampaign(t, sc, nil, 0)
+	var frac float64
+	for _, ev := range sc.Events {
+		if ev.Action == "data.poison_samples" {
+			frac = ev.Frac
+		}
+	}
+	if frac == 0 {
+		t.Fatal("scenario lost its data.poison_samples event")
+	}
+	base := rep.Points[0].M
+	faulted := faultdata.New(sc.Seed).PoisonSamples(base, frac)
+	cmp, err := evsel.Compare(base, faulted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Degraded != cmp.Degraded() || got.HardDegraded != cmp.HardDegraded() {
+		t.Errorf("scenario (degraded=%v hard=%v) vs hand (degraded=%v hard=%v)",
+			got.Degraded, got.HardDegraded, cmp.Degraded(), cmp.HardDegraded())
+	}
+	var diag []string
+	for _, row := range cmp.Rows {
+		if row.Degraded() {
+			diag = append(diag, row.Name)
+		}
+	}
+	if len(diag) != len(got.DiagEvents) {
+		t.Errorf("diag events: scenario=%v hand=%v", got.DiagEvents, diag)
+	}
+}
+
+// TestConformancePerf: perf.throttle_storm ≡ a hand-built faultperf
+// script armed on the same cycle window (the timeline durations
+// converted at the machine clock by hand).
+func TestConformancePerf(t *testing.T) {
+	sc := loadScenario(t, "perf-throttle-storm")
+	res := runScenario(t, sc, RunOptions{})
+	got := findOutcome(t, res, "collect").(collectOutcomeRec)
+
+	ensureWorkloads()
+	wl, ok := workloads.ByName(sc.Collect.Workload)
+	if !ok {
+		t.Fatalf("unknown workload %s", sc.Collect.Workload)
+	}
+	mach, ok := topology.ByName(sc.Collect.Machine)
+	if !ok {
+		t.Fatalf("unknown machine %s", sc.Collect.Machine)
+	}
+	e, err := exec.NewEngine(exec.Config{Machine: mach, Threads: 1, Seed: sc.Seed, Chunk: sc.Collect.Chunk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := faultperf.NewScript()
+	for _, ev := range sc.Events {
+		if ev.Action == "perf.throttle_storm" {
+			from := uint64(ev.At.D().Seconds() * float64(mach.FreqHz))
+			to := uint64(ev.Until.D().Seconds() * float64(mach.FreqHz))
+			script.ThrottleStorm(from, to)
+		}
+	}
+	h, err := memhist.Collect(e, wl.Body(), memhist.Options{
+		Bounds:      sc.Collect.Bounds,
+		SliceCycles: sc.Collect.SliceCycles,
+		Sampler:     perf.SamplerOptions{Disruptor: script},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hj, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Histogram, hj) {
+		t.Errorf("histograms differ:\nscenario: %s\nhand:     %s", got.Histogram, hj)
+	}
+	if got.ThrottlesFired != script.ThrottlesFired() {
+		t.Errorf("throttles: scenario=%d hand=%d", got.ThrottlesFired, script.ThrottlesFired())
+	}
+}
+
+// TestConformanceFleet: a fleet campaign's gathered histogram ≡ the
+// same cells handled locally and merged by hand — the probe crash in
+// the scenario must not shift a byte.
+func TestConformanceFleet(t *testing.T) {
+	sc := loadScenario(t, "fleet-probe-crash")
+	res := runScenario(t, sc, RunOptions{})
+	got := findOutcome(t, res, "fleet").(fleetOutcomeRec)
+	if !got.Complete {
+		t.Fatal("fleet scenario did not complete")
+	}
+
+	ensureWorkloads()
+	spec := fleet.Spec{
+		Workload: sc.Fleet.Campaign.Workload,
+		Machine:  sc.Fleet.Campaign.Machine,
+		Bounds:   append([]uint64(nil), sc.Fleet.Campaign.Bounds...),
+		Cells:    sc.Fleet.Campaign.Cells,
+		Seed:     sc.Seed,
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var hs []*memhist.Histogram
+	for i := 0; i < spec.Cells; i++ {
+		h, err := memhist.HandleRequest(spec.CellRequest(i))
+		if err != nil {
+			t.Fatalf("cell %d: %v", i, err)
+		}
+		hs = append(hs, h)
+	}
+	ref, err := memhist.MergeHistograms(hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rj, err := json.Marshal(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Histogram, rj) {
+		t.Errorf("histograms differ:\nscenario: %s\nhand:     %s", got.Histogram, rj)
+	}
+}

@@ -1,0 +1,70 @@
+package scenario
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+// TestLibraryDeterminism runs every checked-in library scenario twice
+// with its own seed — the machine reports must be byte-identical — and
+// once with a shifted seed, which must produce a different report.
+// This is the replayable-report contract the DSL promises: same
+// (scenario bytes, seed) in, same bytes out.
+func TestLibraryDeterminism(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "scenarios", "*.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 5 {
+		t.Fatalf("scenario library has %d files, want at least one per injector", len(files))
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			t.Parallel()
+			sc, err := Load(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			first := runMachine(t, f)
+			second := runMachine(t, f)
+			if !bytes.Equal(first, second) {
+				t.Errorf("same seed produced different reports:\nfirst:  %s\nsecond: %s", first, second)
+			}
+			shifted, err := Run(mustLoad(t, f), RunOptions{Seed: sc.Seed + 1000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			other, err := shifted.Machine()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bytes.Equal(first, other) {
+				t.Error("shifted seed reproduced the original report byte-for-byte")
+			}
+		})
+	}
+}
+
+func mustLoad(t *testing.T, path string) *Scenario {
+	t.Helper()
+	sc, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func runMachine(t *testing.T, path string) []byte {
+	t.Helper()
+	res, err := Run(mustLoad(t, path), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := res.Machine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

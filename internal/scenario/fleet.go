@@ -1,0 +1,535 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"numaperf/internal/exec"
+	"numaperf/internal/faultfleet"
+	"numaperf/internal/faultperf"
+	"numaperf/internal/fleet"
+	"numaperf/internal/memhist"
+	"numaperf/internal/perf"
+)
+
+// The fleet stage runs a real coordinator plus in-process probe agents
+// over loopback TCP, mirroring the faultfleet chaos harness: tight
+// supervision windows (10ms beacons, 120/240ms suspect/dead) so
+// failure transitions happen in test time, with ~12 beacon periods of
+// slack so loaded runners never trip them spuriously. The report keeps
+// only the deterministic split of fleet.Report — the merged histogram,
+// gap cell indexes and quarantined probe IDs — never the dispatch
+// accounting that varies with goroutine scheduling.
+
+// probePlan is one resolved fleet member: explicit or generated, with
+// its compiled fault script and any per-probe PMU weather.
+type probePlan struct {
+	id       string
+	template string
+	chaos    []string
+	script   *faultfleet.Script
+	perf     []Event
+}
+
+func (p *probePlan) ensureScript() *faultfleet.Script {
+	if p.script == nil {
+		p.script = faultfleet.New()
+	}
+	return p.script
+}
+
+// resolveFleet turns the probe roster, generator templates and chaos
+// rates into concrete plans. Every draw comes from one rng seeded with
+// the scenario seed, consumed in a fixed order (template draws in
+// generated-probe order, then the three chaos draws per probe in
+// roster order), so the resolved fleet is a pure function of
+// (scenario, seed).
+func resolveFleet(fs *FleetSpec, seed int64) []*probePlan {
+	var plans []*probePlan
+	for _, id := range fs.Probes {
+		plans = append(plans, &probePlan{id: id})
+	}
+	rng := rand.New(rand.NewSource(seed))
+	if fs.Gen != nil {
+		prefix := fs.Gen.Prefix
+		if prefix == "" {
+			prefix = "gen"
+		}
+		total := 0
+		for _, t := range fs.Gen.Templates {
+			total += t.Weight
+		}
+		for i := 0; i < fs.Gen.Count; i++ {
+			draw := rng.Intn(total)
+			var tmpl Template
+			for _, t := range fs.Gen.Templates {
+				if draw < t.Weight {
+					tmpl = t
+					break
+				}
+				draw -= t.Weight
+			}
+			p := &probePlan{id: fmt.Sprintf("%s-%d", prefix, i), template: tmpl.Name}
+			applyTemplate(p, tmpl)
+			plans = append(plans, p)
+		}
+	}
+	if fs.Chaos != nil {
+		for _, p := range plans {
+			if rng.Float64() < fs.Chaos.CrashRate {
+				p.chaos = append(p.chaos, "crash")
+				p.ensureScript().CrashOnRequest(1)
+			}
+			if rng.Float64() < fs.Chaos.SilenceRate {
+				p.chaos = append(p.chaos, "silence")
+				p.ensureScript().SilenceHeartbeatsFrom(3)
+			}
+			if rng.Float64() < fs.Chaos.DelayRate {
+				p.chaos = append(p.chaos, "delay")
+				p.ensureScript().DelayEveryRequest(15 * time.Millisecond)
+			}
+		}
+	}
+	return plans
+}
+
+func applyTemplate(p *probePlan, t Template) {
+	switch {
+	case t.Flap:
+		p.ensureScript().CrashAlways()
+	case t.CrashOnRequest > 0 && t.StayDown:
+		p.ensureScript().CrashOnRequestStayDown(t.CrashOnRequest)
+	case t.CrashOnRequest > 0:
+		p.ensureScript().CrashOnRequest(t.CrashOnRequest)
+	}
+	if t.SilenceFrom > 0 {
+		p.ensureScript().SilenceHeartbeatsFrom(t.SilenceFrom)
+	}
+	if t.DelayRequests > 0 {
+		p.ensureScript().DelayEveryRequest(t.DelayRequests.D())
+	}
+}
+
+// armFleetEvent compiles one timeline fleet.* fault onto its target's
+// script.
+func armFleetEvent(p *probePlan, ev Event) {
+	s := p.ensureScript()
+	switch ev.Action {
+	case "fleet.refuse_connects":
+		s.RefuseFirstConnects(ev.Count)
+	case "fleet.refuse_reconnects":
+		s.RefuseReconnects()
+	case "fleet.drop_heartbeat":
+		s.DropHeartbeat(ev.Seq)
+	case "fleet.silence_heartbeats":
+		s.SilenceHeartbeatsFrom(ev.Seq)
+	case "fleet.delay_request":
+		s.DelayRequest(ev.N, ev.Delay.D())
+	case "fleet.delay_every_request":
+		s.DelayEveryRequest(ev.Delay.D())
+	case "fleet.crash_request":
+		if ev.StayDown {
+			s.CrashOnRequestStayDown(ev.N)
+		} else {
+			s.CrashOnRequest(ev.N)
+		}
+	case "fleet.flap":
+		s.CrashAlways()
+	}
+}
+
+// perfHandle mirrors memhist.HandleRequest with PMU weather compiled
+// into the sampler: a fresh faultperf script per request, so every
+// serve of a cell — first dispatch, re-dispatch, or the local
+// reference — meets identical weather and the byte-identity contract
+// survives.
+func perfHandle(events []Event) func(memhist.ProbeRequest) (*memhist.Histogram, error) {
+	return func(req memhist.ProbeRequest) (*memhist.Histogram, error) {
+		if err := req.Validate(); err != nil {
+			return nil, err
+		}
+		wl, err := lookupWorkload(req.Workload)
+		if err != nil {
+			return nil, err
+		}
+		mach, err := lookupMachine(req.Machine)
+		if err != nil {
+			return nil, err
+		}
+		threads := req.Threads
+		if threads <= 0 {
+			threads = 1
+		}
+		e, err := exec.NewEngine(exec.Config{Machine: mach, Threads: threads, Seed: req.Seed})
+		if err != nil {
+			return nil, err
+		}
+		if req.Exact {
+			h, err := memhist.Exact(e, wl.Body(), req.Bounds, 1)
+			if err != nil {
+				return nil, err
+			}
+			h.Source = wl.Name()
+			h.Origin = memhist.OriginLocal
+			return h, nil
+		}
+		script := faultperf.NewScript()
+		for _, ev := range events {
+			armPerf(script, ev, mach)
+		}
+		h, err := memhist.Collect(e, wl.Body(), memhist.Options{
+			Bounds:      req.Bounds,
+			SliceCycles: req.SliceCycles,
+			Reps:        req.Reps,
+			Adaptive:    req.Adaptive,
+			Sampler:     perf.SamplerOptions{Disruptor: script},
+		})
+		if err != nil {
+			return nil, err
+		}
+		h.Source = wl.Name()
+		h.Origin = memhist.OriginLocal
+		return h, nil
+	}
+}
+
+func fleetOptions(fs *FleetSpec, opts RunOptions) fleet.Options {
+	o := fleet.Options{
+		SuspectAfter: 120 * time.Millisecond,
+		DeadAfter:    240 * time.Millisecond,
+		ProbeStrikes: 3,
+		CellTimeout:  5 * time.Second,
+		MaxRetries:   8,
+		KeepGoing:    fs.KeepGoing,
+		NoProbeGrace: 400 * time.Millisecond,
+		Tick:         5 * time.Millisecond,
+		BackoffBase:  5 * time.Millisecond,
+		BackoffMax:   15 * time.Millisecond,
+		BackoffSeed:  7,
+		Logf:         opts.Logf,
+	}
+	if fs.SuspectAfter > 0 {
+		o.SuspectAfter = fs.SuspectAfter.D()
+	}
+	if fs.DeadAfter > 0 {
+		o.DeadAfter = fs.DeadAfter.D()
+	}
+	if fs.ProbeStrikes > 0 {
+		o.ProbeStrikes = fs.ProbeStrikes
+	}
+	if fs.CellTimeout > 0 {
+		o.CellTimeout = fs.CellTimeout.D()
+	}
+	if fs.MaxRetries > 0 {
+		o.MaxRetries = fs.MaxRetries
+	}
+	return o
+}
+
+// agentHarness owns the probe agents' lifetimes.
+type agentHarness struct {
+	cancel context.CancelFunc
+	done   []chan struct{}
+}
+
+func (h *agentHarness) stop() {
+	h.cancel()
+	for _, d := range h.done {
+		select {
+		case <-d:
+		case <-time.After(10 * time.Second):
+			return
+		}
+	}
+}
+
+func startAgents(addr string, fs *FleetSpec, plans []*probePlan, uniformPerf []Event, opts RunOptions) *agentHarness {
+	ctx, cancel := context.WithCancel(context.Background())
+	h := &agentHarness{cancel: cancel}
+	hb := 10 * time.Millisecond
+	if fs.Heartbeat > 0 {
+		hb = fs.Heartbeat.D()
+	}
+	for _, p := range plans {
+		var handle func(memhist.ProbeRequest) (*memhist.Histogram, error)
+		if len(p.perf) > 0 {
+			handle = perfHandle(p.perf)
+		} else if len(uniformPerf) > 0 {
+			handle = perfHandle(uniformPerf)
+		}
+		a := &fleet.ProbeAgent{
+			ID:                p.id,
+			Coordinator:       addr,
+			HeartbeatInterval: hb,
+			Handle:            handle,
+			BackoffBase:       5 * time.Millisecond,
+			BackoffMax:        15 * time.Millisecond,
+			BackoffSeed:       int64(len(p.id)),
+			Logf:              opts.Logf,
+		}
+		if p.script != nil {
+			a.Disruptor = p.script
+		}
+		done := make(chan struct{})
+		h.done = append(h.done, done)
+		go func() {
+			defer close(done)
+			_ = a.Run(ctx)
+		}()
+	}
+	return h
+}
+
+// relisten rebinds addr after the killed coordinator's listener
+// closed, retrying briefly in case the close has not landed yet.
+func relisten(addr string) (net.Listener, error) {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ln, err := net.Listen("tcp", addr)
+		if err == nil {
+			return ln, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("scenario: re-listen on coordinator address: %w", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func shutdownCoordinator(c *fleet.Coordinator) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = c.Shutdown(ctx)
+}
+
+func runFleetStage(sc *Scenario, seed int64, faults []Event, opts RunOptions) (*outcome, []FleetProbe, error) {
+	fs := sc.Fleet
+	plans := resolveFleet(fs, seed)
+	byID := make(map[string]*probePlan, len(plans))
+	for _, p := range plans {
+		byID[p.id] = p
+	}
+
+	var uniformPerf []Event
+	var killEvents []Event
+	assignDep := false
+	for _, ev := range faults {
+		switch {
+		case ev.Action == "fleet.kill_coordinator":
+			killEvents = append(killEvents, ev)
+		case strings.HasPrefix(ev.Action, "perf."):
+			if ev.Target == "" || ev.Target == "*" {
+				uniformPerf = append(uniformPerf, ev)
+			} else {
+				p := byID[ev.Target]
+				p.perf = append(p.perf, ev)
+				assignDep = true
+			}
+		default:
+			armFleetEvent(byID[ev.Target], ev)
+		}
+	}
+
+	spec := fleet.Spec{
+		Workload:    fs.Campaign.Workload,
+		Machine:     fs.Campaign.Machine,
+		Threads:     fs.Campaign.Threads,
+		Bounds:      append([]uint64(nil), fs.Campaign.Bounds...),
+		SliceCycles: fs.Campaign.SliceCycles,
+		Adaptive:    fs.Campaign.Adaptive,
+		Exact:       fs.Campaign.Exact,
+		Cells:       fs.Campaign.Cells,
+		RepsPerCell: fs.Campaign.RepsPerCell,
+		Seed:        seed,
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, nil, err
+	}
+
+	fopts := fleetOptions(fs, opts)
+	if fs.Journal {
+		// The journal lives in a fresh scratch directory so reruns never
+		// trip ErrJournalExists; the path itself never enters the report.
+		scratch, err := os.MkdirTemp(opts.Dir, "scenario-fleet-")
+		if err != nil {
+			return nil, nil, err
+		}
+		defer os.RemoveAll(scratch)
+		fopts.JournalPath = filepath.Join(scratch, "fleet.journal")
+	}
+	var killScript *faultfleet.CoordinatorScript
+	for _, ev := range killEvents {
+		if killScript == nil {
+			killScript = faultfleet.NewCoordinatorScript()
+		}
+		switch {
+		case ev.OnDispatch > 0:
+			killScript.KillOnDispatch(ev.OnDispatch)
+		case ev.Window == "before_commit":
+			killScript.KillBeforeCommit(ev.N)
+		case ev.Window == "after_write":
+			killScript.KillAfterWrite(ev.N)
+		case ev.Window == "torn":
+			killScript.TearCommit(ev.N)
+		}
+	}
+	if killScript != nil {
+		fopts.Disruptor = killScript
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	addr := ln.Addr().String()
+	c1 := fleet.NewCoordinator(fopts)
+	go c1.Serve(ln)
+	coord := c1
+	defer func() { shutdownCoordinator(coord) }()
+
+	agents := startAgents(addr, fs, plans, uniformPerf, opts)
+	defer agents.stop()
+
+	// Probes whose first dials are scripted to fail register late; wait
+	// only for the ones that can reach the coordinator immediately.
+	waitN := len(plans)
+	for _, ev := range faults {
+		if ev.Action == "fleet.refuse_connects" {
+			waitN--
+		}
+	}
+	if waitN < 1 {
+		waitN = 1
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if err := c1.WaitForProbes(ctx, waitN); err != nil {
+		return nil, nil, fmt.Errorf("scenario: fleet registration: %w", err)
+	}
+
+	var rep *fleet.Report
+	if killScript != nil {
+		opts.logf("fleet: driving campaign into scripted coordinator kill")
+		_, kerr := c1.RunCampaign(ctx, spec)
+		if !errors.Is(kerr, fleet.ErrCoordinatorKilled) {
+			return nil, nil, fmt.Errorf("scenario: campaign returned %v, want coordinator kill", kerr)
+		}
+		if killScript.Fired() == 0 {
+			return nil, nil, errors.New("scenario: coordinator kill script never fired")
+		}
+		shutdownCoordinator(c1)
+		ln2, err := relisten(addr)
+		if err != nil {
+			return nil, nil, err
+		}
+		fopts2 := fleetOptions(fs, opts)
+		fopts2.JournalPath = fopts.JournalPath
+		fopts2.Resume = true
+		c2 := fleet.NewCoordinator(fopts2)
+		go c2.Serve(ln2)
+		coord = c2
+		if err := c2.WaitForProbes(ctx, 1); err != nil {
+			return nil, nil, fmt.Errorf("scenario: fleet re-registration after kill: %w", err)
+		}
+		opts.logf("fleet: resumed coordinator on %s", addr)
+		rep, err = c2.RunCampaign(ctx, spec)
+		if err != nil {
+			return nil, nil, fmt.Errorf("scenario: resumed fleet campaign: %w", err)
+		}
+	} else {
+		rep, err = c1.RunCampaign(ctx, spec)
+		if err != nil {
+			return nil, nil, fmt.Errorf("scenario: fleet campaign: %w", err)
+		}
+	}
+
+	out := &outcome{fleetRep: rep, replayed: rep.Replayed, truncated: rep.Truncated, assignDep: assignDep}
+
+	// The reference is the fault-free ground truth, computed entirely
+	// locally through the same handle the agents serve with. Per-probe
+	// PMU weather makes the merged histogram depend on cell placement,
+	// so the comparison (and the histogram itself) drops from the
+	// report.
+	var histJSON json.RawMessage
+	if !assignDep && rep.Histogram != nil {
+		handle := memhist.HandleRequest
+		if len(uniformPerf) > 0 {
+			handle = perfHandle(uniformPerf)
+		}
+		var hs []*memhist.Histogram
+		for i := 0; i < spec.Cells; i++ {
+			if hasGap(rep, i) {
+				continue
+			}
+			h, err := handle(spec.CellRequest(i))
+			if err != nil {
+				return nil, nil, fmt.Errorf("scenario: fleet reference cell %d: %w", i, err)
+			}
+			hs = append(hs, h)
+		}
+		ref, err := memhist.MergeHistograms(hs)
+		if err != nil {
+			return nil, nil, fmt.Errorf("scenario: fleet reference merge: %w", err)
+		}
+		refJSON, err := json.Marshal(ref)
+		if err != nil {
+			return nil, nil, err
+		}
+		histJSON, err = json.Marshal(rep.Histogram)
+		if err != nil {
+			return nil, nil, err
+		}
+		out.matchesRef = rep.Complete() && bytes.Equal(histJSON, refJSON)
+		out.hist = rep.Histogram
+		out.render = rep.Histogram.Render(memhist.Occurrences, 60)
+	}
+
+	// Replay accounting is deterministic for commit-window kills (the
+	// journal pins which cells committed before the crash) but not for
+	// mid-scatter kills, where it depends on which dispatches landed.
+	recReplayed := rep.Replayed
+	for _, ev := range killEvents {
+		if ev.OnDispatch > 0 {
+			recReplayed = 0
+		}
+	}
+	var gapIdx []int
+	for _, g := range rep.Gaps {
+		gapIdx = append(gapIdx, g.Cell)
+	}
+	var quar []string
+	for _, q := range rep.Quarantined {
+		quar = append(quar, q.ID)
+	}
+	out.records = append(out.records, Record{"outcome", fleetOutcomeRec{
+		Kind: "outcome", Stage: "fleet",
+		Complete: rep.Complete(), Cells: rep.Cells, Completed: rep.Completed,
+		Gaps: gapIdx, Quarantined: quar,
+		Replayed: recReplayed, Truncated: rep.Truncated,
+		AssignmentDependent: assignDep, Histogram: histJSON,
+	}})
+
+	var probes []FleetProbe
+	for _, p := range plans {
+		probes = append(probes, FleetProbe{ID: p.id, Template: p.template, Chaos: p.chaos})
+	}
+	return out, probes, nil
+}
+
+func hasGap(rep *fleet.Report, cell int) bool {
+	for _, g := range rep.Gaps {
+		if g.Cell == cell {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,58 @@
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParseScenario hammers the full Parse path — UTF-8 gate, YAML
+// subset parser, strict JSON bridge, registry validation — with two
+// invariants:
+//
+//  1. Parse never panics, and every rejection is a typed error: a
+//     *SyntaxError from the YAML layer or something that unwraps to
+//     ErrInvalid from validation.
+//  2. Anything Parse accepts survives a JSON round trip: re-encoding
+//     the scenario and parsing it again (the "{" prefix routes it down
+//     the JSON path) yields the same value, so the two input syntaxes
+//     can never drift apart.
+func FuzzParseScenario(f *testing.F) {
+	f.Add([]byte(validYAML))
+	f.Add([]byte(validJSON))
+	f.Add(replaceLine(validYAML, "action: run.exit", "action: run.explode"))
+	f.Add(replaceLine(validYAML, "at: 1s", "at: banana"))
+	f.Add(replaceLine(validYAML, "events:\n  - at: 0s",
+		"events:\n  - action: run.panic\n    cell: p0/r0/b0\n  - action: run.panic\n    cell: p0/r0/b0\n  - at: 0s"))
+	f.Add([]byte(deepBlockYAML(64)))
+	f.Add([]byte("a: " + strings.Repeat("[", 64) + "1" + strings.Repeat("]", 64)))
+	f.Add([]byte("name: x\nmode: fetch\nfetch: {workload: scenario-tiny, bounds: [4, 64]}\n"))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		sc, err := Parse(raw)
+		if err != nil {
+			var syn *SyntaxError
+			if !errors.As(err, &syn) && !errors.Is(err, ErrInvalid) {
+				t.Fatalf("untyped rejection %T: %v", err, err)
+			}
+			return
+		}
+		if !utf8.Valid(raw) {
+			t.Fatalf("accepted invalid UTF-8 input")
+		}
+		enc, err := json.Marshal(sc)
+		if err != nil {
+			t.Fatalf("accepted scenario does not re-encode: %v", err)
+		}
+		again, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("re-encoded scenario rejected: %v\n%s", err, enc)
+		}
+		if !reflect.DeepEqual(sc, again) {
+			t.Fatalf("JSON round trip changed the scenario:\nfirst:  %+v\nsecond: %+v", sc, again)
+		}
+	})
+}

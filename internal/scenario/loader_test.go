@@ -1,0 +1,280 @@
+package scenario
+
+import (
+	"errors"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// The loader suite pins the DSL's contract: YAML and JSON inputs decode
+// through the identical strict path, every rejection carries a typed
+// error that unwraps to ErrInvalid, and the checked-in scenario library
+// always parses.
+
+const validYAML = `
+name: loader-test
+description: a minimal campaign scenario
+mode: campaign
+seed: 7
+campaign:
+  workload: scenario-tiny
+  machine: 2s
+  threads: [1, 2]
+  events: [CPU_CLK_UNHALTED.THREAD]
+  reps: 2
+events:
+  - at: 0s
+    action: run.exit
+    cell: p0/r0/b0
+    times: 1
+    exit_code: 9
+  - at: 1s
+    action: assert.complete
+`
+
+const validJSON = `{
+  "name": "loader-test",
+  "description": "a minimal campaign scenario",
+  "mode": "campaign",
+  "seed": 7,
+  "campaign": {
+    "workload": "scenario-tiny",
+    "machine": "2s",
+    "threads": [1, 2],
+    "events": ["CPU_CLK_UNHALTED.THREAD"],
+    "reps": 2
+  },
+  "events": [
+    {"at": "0s", "action": "run.exit", "cell": "p0/r0/b0", "times": 1, "exit_code": 9},
+    {"at": "1s", "action": "assert.complete"}
+  ]
+}`
+
+func TestParseYAMLAndJSONEquivalent(t *testing.T) {
+	fromYAML, err := Parse([]byte(validYAML))
+	if err != nil {
+		t.Fatalf("YAML parse: %v", err)
+	}
+	fromJSON, err := Parse([]byte(validJSON))
+	if err != nil {
+		t.Fatalf("JSON parse: %v", err)
+	}
+	if !reflect.DeepEqual(fromYAML, fromJSON) {
+		t.Errorf("YAML and JSON decode differ:\nyaml: %+v\njson: %+v", fromYAML, fromJSON)
+	}
+	if fromYAML.Events[0].At.D() != 0 || fromYAML.Events[1].At.String() != "1s" {
+		t.Errorf("durations decoded wrong: %+v", fromYAML.Events)
+	}
+}
+
+func TestParseNumericDurationIsSeconds(t *testing.T) {
+	sc, err := Parse([]byte(strings.Replace(validYAML, "at: 1s", "at: 1", 1)))
+	if err != nil {
+		t.Fatalf("numeric duration: %v", err)
+	}
+	if got := sc.Events[1].At.String(); got != "1s" {
+		t.Errorf("at: 1 decoded as %s, want 1s", got)
+	}
+}
+
+func replaceLine(src, old, new string) []byte {
+	return []byte(strings.Replace(src, old, new, 1))
+}
+
+func TestParseTypedRejections(t *testing.T) {
+	cases := []struct {
+		name  string
+		input []byte
+		check func(t *testing.T, err error)
+	}{
+		{
+			"unknown action",
+			replaceLine(validYAML, "action: run.exit", "action: run.explode"),
+			func(t *testing.T, err error) {
+				var ua *UnknownActionError
+				if !errors.As(err, &ua) || ua.Action != "run.explode" || ua.Mode != "" {
+					t.Errorf("err = %v, want UnknownActionError for run.explode", err)
+				}
+			},
+		},
+		{
+			"action in wrong mode",
+			replaceLine(validYAML, "action: run.exit", "action: net.reset_request\n    offset: 3"),
+			func(t *testing.T, err error) {
+				var ua *UnknownActionError
+				if !errors.As(err, &ua) || ua.Mode != ModeCampaign {
+					t.Errorf("err = %v, want mode-mismatch UnknownActionError", err)
+				}
+			},
+		},
+		{
+			"bad duration",
+			replaceLine(validYAML, "at: 1s", "at: banana"),
+			func(t *testing.T, err error) {
+				var bd *BadDurationError
+				if !errors.As(err, &bd) {
+					t.Errorf("err = %v, want BadDurationError", err)
+				}
+			},
+		},
+		{
+			"negative duration",
+			replaceLine(validYAML, "at: 1s", "at: -3s"),
+			func(t *testing.T, err error) {
+				var bd *BadDurationError
+				if !errors.As(err, &bd) {
+					t.Errorf("err = %v, want BadDurationError", err)
+				}
+			},
+		},
+		{
+			"duplicate fault target",
+			replaceLine(validYAML, "events:\n  - at: 0s",
+				"events:\n  - action: run.panic\n    cell: p0/r0/b0\n  - action: run.panic\n    cell: p0/r0/b0\n  - at: 0s"),
+			func(t *testing.T, err error) {
+				var dt *DuplicateTargetError
+				if !errors.As(err, &dt) || dt.Target != "p0/r0/b0" {
+					t.Errorf("err = %v, want DuplicateTargetError on the cell", err)
+				}
+			},
+		},
+		{
+			"unknown field",
+			replaceLine(validYAML, "seed: 7", "seed: 7\nturbo: true"),
+			func(t *testing.T, err error) {
+				var se *SpecError
+				if !errors.As(err, &se) {
+					t.Errorf("err = %v, want SpecError from the strict decoder", err)
+				}
+			},
+		},
+		{
+			"missing mode block",
+			replaceLine(validYAML, "mode: campaign", "mode: fetch"),
+			func(t *testing.T, err error) {
+				var se *SpecError
+				if !errors.As(err, &se) {
+					t.Errorf("err = %v, want SpecError", err)
+				}
+			},
+		},
+		{
+			"kill without journal",
+			[]byte(`
+name: kill-no-journal
+mode: fleet
+fleet:
+  probes: [a]
+  campaign:
+    workload: scenario-tiny
+    bounds: [4, 64]
+events:
+  - action: fleet.kill_coordinator
+    window: before_commit
+`),
+			func(t *testing.T, err error) {
+				var se *SpecError
+				if !errors.As(err, &se) {
+					t.Errorf("err = %v, want SpecError", err)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.input)
+			if err == nil {
+				t.Fatal("parse accepted invalid input")
+			}
+			if !errors.Is(err, ErrInvalid) {
+				t.Errorf("%v does not unwrap to ErrInvalid", err)
+			}
+			tc.check(t, err)
+		})
+	}
+}
+
+// deepBlockYAML builds n nested block mappings, one key per level.
+func deepBlockYAML(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteString(strings.Repeat(" ", i))
+		b.WriteString("a:\n")
+	}
+	b.WriteString(strings.Repeat(" ", n))
+	b.WriteString("b: 1\n")
+	return b.String()
+}
+
+func TestParseYAMLSyntaxRejections(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"tab indentation", "name: x\n\tmode: fetch\n"},
+		{"unterminated quote", "name: \"x\n"},
+		{"document marker", "---\nname: x\n"},
+		{"anchor", "name: &a x\n"},
+		{"duplicate key", "name: x\nname: y\n"},
+		{"deep nesting", "a: " + strings.Repeat("[", 40) + "1" + strings.Repeat("]", 40)},
+		{"deep block nesting", deepBlockYAML(40)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.input))
+			var se *SyntaxError
+			if !errors.As(err, &se) {
+				t.Errorf("err = %v, want *SyntaxError", err)
+			}
+		})
+	}
+}
+
+// TestLibraryScenariosParse keeps the checked-in scenario library
+// loadable: a DSL change that orphans a library file fails here, not
+// in CI's slower run job.
+func TestLibraryScenariosParse(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "scenarios", "*.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 5 {
+		t.Fatalf("scenario library has %d files, want at least one per injector", len(files))
+	}
+	modes := map[string]bool{}
+	for _, f := range files {
+		sc, err := Load(f)
+		if err != nil {
+			t.Errorf("%s: %v", f, err)
+			continue
+		}
+		modes[sc.Mode] = true
+	}
+	for _, mode := range []string{ModeFetch, ModeCampaign, ModeCollect, ModeFleet} {
+		if !modes[mode] {
+			t.Errorf("library covers no %q scenario", mode)
+		}
+	}
+}
+
+func TestActionsRegistryComplete(t *testing.T) {
+	acts := Actions()
+	if len(acts) != len(registry) {
+		t.Fatalf("Actions() lists %d of %d registry entries", len(acts), len(registry))
+	}
+	prefixes := map[string]bool{}
+	for _, a := range acts {
+		if a.Summary == "" || a.Params == "" || len(a.Modes) == 0 {
+			t.Errorf("action %s is missing documentation", a.Name)
+		}
+		prefixes[strings.SplitN(a.Name, ".", 2)[0]] = true
+	}
+	// One DSL over the five injectors, plus the assertion namespace.
+	for _, want := range []string{"net", "run", "data", "perf", "fleet", "assert"} {
+		if !prefixes[want] {
+			t.Errorf("registry has no %s.* actions", want)
+		}
+	}
+}

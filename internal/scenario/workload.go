@@ -1,0 +1,35 @@
+package scenario
+
+import (
+	"sync"
+
+	"numaperf/internal/exec"
+	"numaperf/internal/workloads"
+)
+
+// The scenario library needs workloads that are fast enough to run in
+// tests yet long enough to exercise the fault machinery, so the
+// package registers two of its own: "scenario-tiny", a 16 KiB pointer
+// walk for fetch/campaign/fleet scenarios where the measurement is
+// incidental, and "scenario-mlc", the 2 MiB latency chase the faultperf
+// chaos suite measures, long enough to span many cycler slices so
+// timed PMU weather windows land inside the run.
+
+type tinyWorkload struct{}
+
+func (tinyWorkload) Name() string { return "scenario-tiny" }
+func (tinyWorkload) Body() func(*exec.Thread) {
+	return func(t *exec.Thread) {
+		buf := t.Alloc(1 << 14)
+		for i := uint64(0); i < 512; i++ {
+			t.Load(buf.Addr(i * 64 % (1 << 14)))
+		}
+	}
+}
+
+var ensureWorkloads = sync.OnceFunc(func() {
+	workloads.Register("scenario-tiny", func() workloads.Workload { return tinyWorkload{} })
+	workloads.Register("scenario-mlc", func() workloads.Workload {
+		return workloads.MLC{BufferBytes: 2 << 20, Chases: 60_000}
+	})
+})

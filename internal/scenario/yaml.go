@@ -1,0 +1,392 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The scenario loader accepts a deliberately small YAML subset — the
+// shape Navarch-style scenario files actually use — so the repo stays
+// dependency-free. Supported: two-space block indentation, mappings,
+// sequences ("- item" and "- key: value" inline-mapping items), flow
+// lists ("[a, b, c]"), single- and double-quoted strings, '#' comments,
+// and plain scalars (bool, int, float, null, string). Anchors, tags,
+// multi-document streams and block scalars are rejected with a parse
+// error, never misread.
+
+// maxYAMLDepth bounds block + flow nesting so adversarial input (the
+// fuzz corpus's deep-nesting seed) fails with a typed error instead of
+// exhausting the stack.
+const maxYAMLDepth = 32
+
+// SyntaxError reports where the YAML subset parser gave up.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("scenario: yaml line %d: %s", e.Line, e.Msg)
+}
+
+type yamlLine struct {
+	num    int // 1-based source line
+	indent int
+	text   string // content with indent and comment stripped
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+// parseYAML parses the subset into the same shapes encoding/json
+// produces: map[string]any, []any, string, float64/int64, bool, nil.
+func parseYAML(src []byte) (any, error) {
+	p := &yamlParser{}
+	for i, raw := range strings.Split(string(src), "\n") {
+		num := i + 1
+		line := strings.TrimRight(raw, " \r")
+		stripped, err := stripComment(line, num)
+		if err != nil {
+			return nil, err
+		}
+		if strings.TrimSpace(stripped) == "" {
+			continue
+		}
+		indent := 0
+		for indent < len(stripped) && stripped[indent] == ' ' {
+			indent++
+		}
+		if strings.ContainsRune(stripped[:indent], '\t') || strings.HasPrefix(strings.TrimLeft(stripped, " "), "\t") {
+			return nil, &SyntaxError{num, "tab indentation is not supported"}
+		}
+		text := stripped[indent:]
+		if strings.HasPrefix(text, "\t") {
+			return nil, &SyntaxError{num, "tab indentation is not supported"}
+		}
+		if text == "---" || strings.HasPrefix(text, "%") {
+			return nil, &SyntaxError{num, "multi-document streams and directives are not supported"}
+		}
+		p.lines = append(p.lines, yamlLine{num: num, indent: indent, text: text})
+	}
+	if len(p.lines) == 0 {
+		return nil, &SyntaxError{1, "empty document"}
+	}
+	v, err := p.parseBlock(p.lines[0].indent, 0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, &SyntaxError{l.num, fmt.Sprintf("unexpected content at indent %d", l.indent)}
+	}
+	return v, nil
+}
+
+// stripComment removes a trailing "#" comment that is outside quotes
+// and preceded by start-of-line or a space.
+func stripComment(line string, num int) (string, error) {
+	var quote byte
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == '#' && (i == 0 || line[i-1] == ' '):
+			return line[:i], nil
+		}
+	}
+	if quote != 0 {
+		return "", &SyntaxError{num, "unterminated quoted string"}
+	}
+	return line, nil
+}
+
+func (p *yamlParser) parseBlock(indent, depth int) (any, error) {
+	if depth > maxYAMLDepth {
+		return nil, &SyntaxError{p.lines[p.pos].num, "nesting too deep"}
+	}
+	l := p.lines[p.pos]
+	if l.indent != indent {
+		return nil, &SyntaxError{l.num, fmt.Sprintf("expected indent %d, got %d", indent, l.indent)}
+	}
+	if l.text == "-" || strings.HasPrefix(l.text, "- ") {
+		return p.parseSequence(indent, depth)
+	}
+	return p.parseMapping(indent, depth)
+}
+
+func (p *yamlParser) parseSequence(indent, depth int) (any, error) {
+	seq := []any{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent {
+			if l.indent > indent {
+				return nil, &SyntaxError{l.num, "unexpected deeper indentation in sequence"}
+			}
+			break
+		}
+		if l.text != "-" && !strings.HasPrefix(l.text, "- ") {
+			return nil, &SyntaxError{l.num, "expected sequence item"}
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(l.text, "-"))
+		switch {
+		case rest == "":
+			// Block item on the following deeper lines.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				seq = append(seq, nil)
+				continue
+			}
+			v, err := p.parseBlock(p.lines[p.pos].indent, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, v)
+		case isMappingStart(rest):
+			// "- key: value" opens an inline mapping whose further keys
+			// sit two columns past the dash. Rewrite the current line as
+			// that first key and re-parse as a mapping block.
+			p.lines[p.pos] = yamlLine{num: l.num, indent: indent + 2, text: rest}
+			v, err := p.parseMapping(indent+2, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, v)
+		default:
+			v, err := parseScalarOrFlow(rest, l.num, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, v)
+			p.pos++
+		}
+	}
+	return seq, nil
+}
+
+func (p *yamlParser) parseMapping(indent, depth int) (any, error) {
+	m := map[string]any{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent {
+			if l.indent > indent {
+				return nil, &SyntaxError{l.num, "unexpected deeper indentation in mapping"}
+			}
+			break
+		}
+		if l.text == "-" || strings.HasPrefix(l.text, "- ") {
+			return nil, &SyntaxError{l.num, "sequence item where a mapping key was expected"}
+		}
+		key, rest, err := splitKey(l.text, l.num)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, &SyntaxError{l.num, fmt.Sprintf("duplicate key %q", key)}
+		}
+		if rest == "" {
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				m[key] = nil
+				continue
+			}
+			v, err := p.parseBlock(p.lines[p.pos].indent, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+			continue
+		}
+		v, err := parseScalarOrFlow(rest, l.num, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		m[key] = v
+		p.pos++
+	}
+	return m, nil
+}
+
+// isMappingStart reports whether a sequence-item payload opens an
+// inline mapping ("key: value" or "key:"), as opposed to being a plain
+// scalar that merely contains a colon (a time like "12:30" does not,
+// because the colon is not followed by a space or end of line).
+func isMappingStart(s string) bool {
+	if strings.HasPrefix(s, "[") || strings.HasPrefix(s, "{") || strings.HasPrefix(s, "\"") || strings.HasPrefix(s, "'") {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] == ':' {
+			return i+1 == len(s) || s[i+1] == ' '
+		}
+	}
+	return false
+}
+
+// splitKey splits "key: value" / "key:"; the key may be quoted.
+func splitKey(s string, num int) (key, rest string, err error) {
+	if strings.HasPrefix(s, "\"") || strings.HasPrefix(s, "'") {
+		q := s[0]
+		end := strings.IndexByte(s[1:], q)
+		if end < 0 {
+			return "", "", &SyntaxError{num, "unterminated quoted key"}
+		}
+		key = s[1 : 1+end]
+		s = s[2+end:]
+		if !strings.HasPrefix(s, ":") {
+			return "", "", &SyntaxError{num, "expected ':' after quoted key"}
+		}
+		return key, strings.TrimSpace(s[1:]), nil
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] == ':' && (i+1 == len(s) || s[i+1] == ' ') {
+			return strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+1:]), nil
+		}
+	}
+	return "", "", &SyntaxError{num, fmt.Sprintf("expected 'key: value', got %q", s)}
+}
+
+func parseScalarOrFlow(s string, num, depth int) (any, error) {
+	if depth > maxYAMLDepth {
+		return nil, &SyntaxError{num, "nesting too deep"}
+	}
+	switch {
+	case strings.HasPrefix(s, "["):
+		return parseFlowList(s, num, depth)
+	case strings.HasPrefix(s, "{"):
+		return parseFlowMap(s, num, depth)
+	case strings.HasPrefix(s, "&") || strings.HasPrefix(s, "*") || strings.HasPrefix(s, "!"):
+		return nil, &SyntaxError{num, "anchors, aliases and tags are not supported"}
+	case s == "|" || s == ">" || strings.HasPrefix(s, "| ") || strings.HasPrefix(s, "> "):
+		return nil, &SyntaxError{num, "block scalars are not supported"}
+	}
+	return parsePlainScalar(s, num)
+}
+
+func parsePlainScalar(s string, num int) (any, error) {
+	if strings.HasPrefix(s, "\"") || strings.HasPrefix(s, "'") {
+		q := s[0]
+		if len(s) < 2 || s[len(s)-1] != q {
+			return nil, &SyntaxError{num, "unterminated quoted string"}
+		}
+		body := s[1 : len(s)-1]
+		if strings.ContainsRune(body, rune(q)) {
+			return nil, &SyntaxError{num, "embedded quotes are not supported"}
+		}
+		return body, nil
+	}
+	switch s {
+	case "true", "True":
+		return true, nil
+	case "false", "False":
+		return false, nil
+	case "null", "~", "Null":
+		return nil, nil
+	}
+	if n, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return n, nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	return s, nil
+}
+
+// splitFlow splits a flow body on top-level commas.
+func splitFlow(s string, num int) ([]string, error) {
+	var parts []string
+	var depth int
+	var quote byte
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == '[' || c == '{':
+			depth++
+		case c == ']' || c == '}':
+			depth--
+			if depth < 0 {
+				return nil, &SyntaxError{num, "unbalanced brackets"}
+			}
+		case c == ',' && depth == 0:
+			parts = append(parts, strings.TrimSpace(s[start:i]))
+			start = i + 1
+		}
+	}
+	if depth != 0 || quote != 0 {
+		return nil, &SyntaxError{num, "unbalanced flow collection"}
+	}
+	if last := strings.TrimSpace(s[start:]); last != "" || len(parts) > 0 {
+		parts = append(parts, last)
+	}
+	return parts, nil
+}
+
+func parseFlowList(s string, num, depth int) (any, error) {
+	if !strings.HasSuffix(s, "]") {
+		return nil, &SyntaxError{num, "unterminated flow list"}
+	}
+	body := strings.TrimSpace(s[1 : len(s)-1])
+	if body == "" {
+		return []any{}, nil
+	}
+	parts, err := splitFlow(body, num)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]any, 0, len(parts))
+	for _, part := range parts {
+		if part == "" {
+			return nil, &SyntaxError{num, "empty flow list element"}
+		}
+		v, err := parseScalarOrFlow(part, num, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFlowMap(s string, num, depth int) (any, error) {
+	if !strings.HasSuffix(s, "}") {
+		return nil, &SyntaxError{num, "unterminated flow mapping"}
+	}
+	body := strings.TrimSpace(s[1 : len(s)-1])
+	out := map[string]any{}
+	if body == "" {
+		return out, nil
+	}
+	parts, err := splitFlow(body, num)
+	if err != nil {
+		return nil, err
+	}
+	for _, part := range parts {
+		key, rest, err := splitKey(part, num)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := out[key]; dup {
+			return nil, &SyntaxError{num, fmt.Sprintf("duplicate key %q", key)}
+		}
+		v, err := parseScalarOrFlow(rest, num, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		out[key] = v
+	}
+	return out, nil
+}
