@@ -15,6 +15,7 @@
 //	memhist-fleet -probes 8 -suspect-after 5s -dead-after 15s -probe-strikes 3 -strict
 //	memhist-fleet -probes 4 -workload mlc-local -cells 64 -journal run.jnl
 //	memhist-fleet -probes 4 -workload mlc-local -cells 64 -journal run.jnl -resume
+//	memhist-fleet -probes 4 -workload mlc-local -cells 64 -stats-interval 2s
 //
 // -self-probes spawns in-process probe agents (useful on a single node
 // and in tests); -strict turns gaps and quarantine verdicts into a
@@ -28,6 +29,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -40,6 +42,7 @@ import (
 	"time"
 
 	"numaperf/internal/fleet"
+	"numaperf/internal/journal"
 	"numaperf/internal/memhist"
 	"numaperf/internal/topology"
 )
@@ -67,10 +70,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		probeStrikes = fs.Int("probe-strikes", fleet.DefaultProbeStrikes, "strikes before a probe is quarantined")
 		cellTimeout  = fs.Duration("cell-timeout", fleet.DefaultCellTimeout, "per-cell dispatch deadline")
 		maxRetries   = fs.Int("max-retries", fleet.DefaultMaxRetries, "re-dispatch allowance per cell")
+		maxInflight  = fs.Int("max-inflight", 1, "cells in flight per probe at a time")
 		keepGoing    = fs.Bool("keep-going", true, "record unserved cells as gaps instead of aborting")
 		strict       = fs.Bool("strict", false, "exit nonzero on gaps or quarantined probes")
 		journalPath  = fs.String("journal", "", "crash journal: fsync every committed cell to this file")
 		resume       = fs.Bool("resume", false, "resume a crashed campaign from -journal, re-scattering only missing cells")
+		statsEvery   = fs.Duration("stats-interval", 0, "emit CRC-framed campaign health/strike/in-flight snapshot lines this often (0 = off)")
 
 		workload = fs.String("workload", "", "workload to profile")
 		machine  = fs.String("machine", "dl580", "machine: dl580, 2s, 8s, uma")
@@ -102,6 +107,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if *cellTimeout < 0 {
 		fmt.Fprintf(stderr, "memhist-fleet: -cell-timeout must not be negative (got %s)\n", *cellTimeout)
+		return 2
+	}
+	if *maxInflight <= 0 {
+		fmt.Fprintf(stderr, "memhist-fleet: -max-inflight must be positive (got %d)\n", *maxInflight)
+		return 2
+	}
+	if *statsEvery < 0 {
+		fmt.Fprintf(stderr, "memhist-fleet: -stats-interval must not be negative (got %s)\n", *statsEvery)
 		return 2
 	}
 	if *probes <= 0 && *selfProbes <= 0 {
@@ -159,6 +172,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		JournalPath:  *journalPath,
 		Resume:       *resume,
 		Logf:         logf,
+
+		MaxInflightPerProbe: *maxInflight,
 	})
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -198,7 +213,24 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "memhist-fleet: %d probe(s) registered; scattering %d cell(s)\n", *probes, spec.Cells)
 
+	// -stats-interval: periodic machine-readable health snapshots while
+	// the campaign runs, one CRC-framed JSON line per tick on the
+	// journal line format. The emitter is joined before the summary
+	// prints so snapshot lines never interleave with the report.
+	var statsDone chan struct{}
+	var statsStop context.CancelFunc
+	if *statsEvery > 0 {
+		var sctx context.Context
+		sctx, statsStop = context.WithCancel(ctx)
+		statsDone = make(chan struct{})
+		go emitStats(sctx, coord, *statsEvery, stdout, statsDone)
+	}
+
 	rep, err := coord.RunCampaign(ctx, spec)
+	if statsStop != nil {
+		statsStop()
+		<-statsDone
+	}
 	if err != nil {
 		fmt.Fprintf(stderr, "memhist-fleet: %v\n", err)
 		return 1
@@ -238,6 +270,70 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// statsSnapshot is one -stats-interval line: coordinator campaign
+// accounting plus per-probe health, strike, and in-flight rows. It is
+// emitted as a CRC-framed JSON line on the internal/journal line
+// format so downstream tooling can checksum-verify each snapshot.
+type statsSnapshot struct {
+	Kind         string      `json:"kind"`
+	Seq          int         `json:"seq"`
+	Active       bool        `json:"active"`
+	Cells        int         `json:"cells"`
+	Completed    int         `json:"completed"`
+	Dispatches   int         `json:"dispatches"`
+	Backpressure int         `json:"backpressure,omitempty"`
+	Probes       []probeStat `json:"probes"`
+}
+
+type probeStat struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Strikes  int    `json:"strikes,omitempty"`
+	Inflight int    `json:"inflight,omitempty"`
+}
+
+// emitStats writes one statsSnapshot line per interval tick until ctx
+// is cancelled, then closes done. Each line merges the coordinator's
+// campaign-loop progress with the health tracker's probe view.
+func emitStats(ctx context.Context, coord *fleet.Coordinator, every time.Duration, w io.Writer, done chan<- struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	seq := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		seq++
+		prog := coord.Progress()
+		snap := statsSnapshot{
+			Kind:         "stats",
+			Seq:          seq,
+			Active:       prog.Active,
+			Cells:        prog.Cells,
+			Completed:    prog.Completed,
+			Dispatches:   prog.Dispatches,
+			Backpressure: prog.Backpressure,
+			Probes:       []probeStat{},
+		}
+		for _, p := range coord.Tracker().Snapshot() {
+			snap.Probes = append(snap.Probes, probeStat{
+				ID:       p.ID,
+				State:    p.State.String(),
+				Strikes:  p.Strikes,
+				Inflight: prog.InflightByProbe[p.ID],
+			})
+		}
+		payload, err := json.Marshal(snap)
+		if err != nil {
+			continue
+		}
+		_, _ = w.Write(journal.Frame(payload))
+	}
 }
 
 func parseBounds(csv string) ([]uint64, error) {

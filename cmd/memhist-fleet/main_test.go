@@ -2,12 +2,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"numaperf/internal/exec"
+	"numaperf/internal/journal"
 	"numaperf/internal/workloads"
 )
 
@@ -125,6 +127,71 @@ func TestRunJournalResumeEndToEnd(t *testing.T) {
 	}
 	if got := out.String(); !strings.Contains(got, "replayed: 4 cell(s)") {
 		t.Errorf("resume output missing replay accounting:\n%s", got)
+	}
+}
+
+// TestRunStatsIntervalEndToEnd proves -stats-interval emits verifiable
+// snapshot lines: each one is CRC-framed on the journal line format,
+// decodes as a kind:"stats" record, and carries a per-probe row with a
+// known health state for every registered probe.
+func TestRunStatsIntervalEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var out, errOut strings.Builder
+	args := []string{
+		"-listen", "127.0.0.1:0",
+		"-self-probes", "2", "-probes", "2",
+		"-heartbeat-interval", "20ms",
+		"-workload", "fleet-cli-tiny", "-machine", "2s",
+		"-bounds", "4,64,256", "-cells", "8", "-reps-per-cell", "2",
+		"-seed", "11", "-stats-interval", "1ms",
+	}
+	if code := run(ctx, args, &out, &errOut); code != 0 {
+		t.Fatalf("run = %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	snaps := 0
+	for _, line := range strings.Split(out.String(), "\n") {
+		if !strings.Contains(line, `"kind":"stats"`) {
+			continue
+		}
+		kind, payload, err := journal.ParseLine(line)
+		if err != nil {
+			t.Fatalf("stats line fails CRC verification: %v\nline: %s", err, line)
+		}
+		if kind != "stats" {
+			t.Fatalf("stats line kind = %q, want stats", kind)
+		}
+		var snap statsSnapshot
+		if err := json.Unmarshal(payload, &snap); err != nil {
+			t.Fatalf("stats payload undecodable: %v", err)
+		}
+		if snap.Seq <= snaps {
+			t.Errorf("snapshot seq %d not increasing (previous count %d)", snap.Seq, snaps)
+		}
+		if snap.Cells != 0 && snap.Cells != 8 {
+			t.Errorf("snapshot cells = %d, want 0 (pre-campaign) or 8", snap.Cells)
+		}
+		for _, p := range snap.Probes {
+			switch p.State {
+			case "healthy", "suspect", "dead", "quarantined":
+			default:
+				t.Errorf("probe %s has unknown state %q", p.ID, p.State)
+			}
+		}
+		snaps = snap.Seq
+	}
+	if snaps == 0 {
+		t.Fatalf("no stats snapshots in output:\n%s", out.String())
+	}
+	// The emitter is joined before the summary prints, so the report
+	// block must come out contiguous: no stats line after the summary.
+	sum := strings.Index(out.String(), "cells completed")
+	last := strings.LastIndex(out.String(), `"kind":"stats"`)
+	if sum < 0 {
+		t.Fatalf("summary missing from output:\n%s", out.String())
+	}
+	if last > sum {
+		t.Errorf("stats line interleaved after the summary:\n%s", out.String())
 	}
 }
 

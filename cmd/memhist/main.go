@@ -11,6 +11,7 @@
 //	memhist -workload sift -threads 8 -machine dl580
 //	memhist -workload mlc-remote -remote host:9844
 //	memhist -workload sift -remote host:9844 -retries 3 -fallback-local
+//	memhist -workload sift -remote host:9844 -retries 3 -breaker-threshold 3
 //	memhist -workload mlc-local -adaptive -strict -min-coverage 0.5
 //
 // The histogram carries a sampling-fidelity report (coverage, dropped
@@ -44,6 +45,9 @@ func main() {
 		retries  = flag.Int("retries", 0, "extra attempts after transient probe failures")
 		fallback = flag.Bool("fallback-local", false, "measure locally if the probe stays unreachable")
 		probeTO  = flag.Duration("probe-timeout", 5*time.Minute, "per-attempt probe deadline")
+		brkAfter = flag.Int("breaker-threshold", 0, "consecutive probe failures before the circuit breaker opens (0 = no breaker)")
+		brkCool  = flag.Duration("breaker-cooldown", 0, "circuit breaker cooldown before a half-open trial (0 = default)")
+		brkMax   = flag.Duration("breaker-max-cooldown", 0, "circuit breaker cooldown cap under repeated failed trials (0 = default)")
 		boundCSV = flag.String("bounds", "", "comma-separated latency thresholds in cycles")
 		slice    = flag.Uint64("slice", 0, "threshold-cycling slice in cycles (0 = 100 Hz)")
 		reps     = flag.Int("reps", 1, "cycled runs to average")
@@ -96,6 +100,15 @@ func main() {
 
 	var h *memhist.Histogram
 	if *remote != "" {
+		var breaker *memhist.Breaker
+		if *brkAfter > 0 {
+			breaker = &memhist.Breaker{
+				Target:      *remote,
+				Threshold:   *brkAfter,
+				Cooldown:    *brkCool,
+				MaxCooldown: *brkMax,
+			}
+		}
 		h, err = memhist.FetchRemoteWith(*remote, memhist.ProbeRequest{
 			Workload:    *workload,
 			Machine:     *machine,
@@ -110,6 +123,7 @@ func main() {
 			Timeout:       *probeTO,
 			Retries:       *retries,
 			FallbackLocal: *fallback,
+			Breaker:       breaker,
 		})
 		if err != nil {
 			fatal(err)

@@ -26,9 +26,10 @@ type Script struct {
 	crashAll    bool
 	delayAll    time.Duration
 
-	refused int
-	dropped int
-	faulted int
+	refused    int
+	dropped    int
+	faulted    int
+	overloaded int
 }
 
 // New builds an empty script (no disruptions).
@@ -106,6 +107,23 @@ func (s *Script) CrashOnRequestStayDown(n int) *Script {
 	return s
 }
 
+// OverloadRequests answers requests from through from+count-1 (1-based,
+// across reconnects) with a request-scoped "overloaded" ERROR carrying
+// the given retry-after hint instead of serving them — an overload
+// storm. The connection stays up, so the coordinator must treat the
+// answers as backpressure, not probe death.
+func (s *Script) OverloadRequests(from, count int, retryAfter time.Duration) *Script {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := 0; i < count; i++ {
+		f := s.faults[from+i]
+		f.Overload = true
+		f.RetryAfterMillis = retryAfter.Milliseconds()
+		s.faults[from+i] = f
+	}
+	return s
+}
+
 // DelayEveryRequest stalls every request by d — a uniformly slow probe,
 // useful to stretch a campaign long enough for other scripts to play
 // out.
@@ -160,7 +178,10 @@ func (s *Script) OnRequest(n int) fleet.Fault {
 		f.Delay = s.delayAll
 		ok = true
 	}
-	if ok && (f.Crash || f.Delay > 0) {
+	if f.Overload {
+		s.overloaded++
+	}
+	if ok && (f.Crash || f.Delay > 0 || f.Overload) {
 		s.faulted++
 	}
 	return f
@@ -178,6 +199,13 @@ func (s *Script) HeartbeatsDropped() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.dropped
+}
+
+// OverloadsFired counts requests the script answered with backpressure.
+func (s *Script) OverloadsFired() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.overloaded
 }
 
 // Faulted counts requests the script disrupted.

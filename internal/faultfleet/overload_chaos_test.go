@@ -1,0 +1,85 @@
+package faultfleet
+
+import (
+	"testing"
+	"time"
+)
+
+// Overload-storm chaos: probes answer dispatches with request-scoped
+// "overloaded" ERRORs carrying retry-after hints. The coordinator must
+// treat those answers as backpressure — re-dispatch after the hint,
+// charge no strike, burn no retry — so a load spike can neither gap
+// cells nor launder a healthy probe into quarantine, and the recovered
+// campaign's merged report stays byte-identical to an unstormed run.
+
+func TestFleetOverloadStormByteIdentical(t *testing.T) {
+	spec := testSpec(6)
+	want := reference(t, spec)
+	opts := testOpts()
+	// Zero retries: if backpressure consumed a cell attempt, the very
+	// first shed would abort the campaign.
+	opts.MaxRetries = -1
+	c, addr := startCoordinator(t, opts)
+	scripts := []*Script{
+		New().OverloadRequests(1, 2, 20*time.Millisecond),
+		New().OverloadRequests(1, 2, 20*time.Millisecond),
+		New().OverloadRequests(1, 2, 20*time.Millisecond),
+	}
+	startAgent(t, addr, "probe-a", scripts[0])
+	startAgent(t, addr, "probe-b", scripts[1])
+	startAgent(t, addr, "probe-c", scripts[2])
+	waitProbes(t, c, 3)
+
+	rep := runCampaign(t, c, spec)
+	assertByteIdentical(t, rep, want)
+
+	// The first dispatch round hands every probe one cell, so at least
+	// three overload answers fired and were recorded as backpressure.
+	fired := 0
+	for _, s := range scripts {
+		fired += s.OverloadsFired()
+	}
+	if fired < 3 {
+		t.Errorf("storm fired %d overload answers, want >= 3", fired)
+	}
+	if rep.Backpressure < 3 {
+		t.Errorf("report counted %d backpressure deferrals, want >= 3", rep.Backpressure)
+	}
+	if rep.Redispatched == 0 {
+		t.Error("storm must force at least one re-dispatch")
+	}
+	// Load alone must not quarantine — or even strike — a healthy probe.
+	if len(rep.Quarantined) != 0 {
+		t.Errorf("load alone quarantined probes: %+v", rep.Quarantined)
+	}
+	for _, p := range c.Tracker().Snapshot() {
+		if p.Strikes != 0 {
+			t.Errorf("probe %s charged %d strike(s) for shedding load: %v", p.ID, p.Strikes, p.StrikeReasons)
+		}
+	}
+	if rep.Summary() == "" {
+		t.Error("empty summary")
+	}
+}
+
+func TestMaxInflightPerProbeAbsorbsCampaign(t *testing.T) {
+	// A single probe with a raised in-flight cap absorbs a multi-cell
+	// campaign concurrently; the merged report is still byte-identical
+	// to the fault-free reference.
+	spec := testSpec(6)
+	want := reference(t, spec)
+	opts := testOpts()
+	opts.MaxInflightPerProbe = 3
+	c, addr := startCoordinator(t, opts)
+	startAgent(t, addr, "probe-solo", nil)
+	waitProbes(t, c, 1)
+
+	rep := runCampaign(t, c, spec)
+	assertByteIdentical(t, rep, want)
+	if got := rep.ProbeCells["probe-solo"]; got != spec.Cells {
+		t.Errorf("solo probe served %d cells, want %d", got, spec.Cells)
+	}
+	if rep.Backpressure != 0 {
+		t.Errorf("unstormed run recorded %d backpressure deferrals", rep.Backpressure)
+	}
+}

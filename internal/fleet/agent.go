@@ -26,6 +26,12 @@ type Fault struct {
 	// StayDown (with Crash) terminates the agent for good instead of
 	// reconnecting — a probe process that died and was never restarted.
 	StayDown bool
+	// Overload answers the request with a request-scoped "overloaded"
+	// ERROR carrying RetryAfterMillis instead of serving it — a probe
+	// shedding load. The connection stays up; the coordinator treats the
+	// answer as backpressure, not as a strike.
+	Overload         bool
+	RetryAfterMillis int64
 }
 
 // Disruptor is the fault-injection seam of a probe agent. A nil
@@ -54,6 +60,10 @@ type AgentStats struct {
 	Failed     uint64 `json:"failed"`
 	Heartbeats uint64 `json:"heartbeats"`
 	Crashes    uint64 `json:"crashes"`
+	// Overloads counts requests answered with a backpressure ERROR
+	// instead of a measurement; omitted when zero so agents that never
+	// shed keep their stats payload byte-identical.
+	Overloads uint64 `json:"overloads,omitempty"`
 }
 
 // ProbeAgent is the probe side of the fleet control plane: it dials the
@@ -97,6 +107,7 @@ type ProbeAgent struct {
 	failed     atomic.Uint64
 	heartbeats atomic.Uint64
 	crashes    atomic.Uint64
+	overloads  atomic.Uint64
 	received   atomic.Uint64
 }
 
@@ -108,6 +119,7 @@ func (a *ProbeAgent) Stats() AgentStats {
 		Failed:     a.failed.Load(),
 		Heartbeats: a.heartbeats.Load(),
 		Crashes:    a.crashes.Load(),
+		Overloads:  a.overloads.Load(),
 	}
 }
 
@@ -336,6 +348,21 @@ func (a *ProbeAgent) serve(ctx context.Context, conn net.Conn, instance uint64) 
 				}
 				return fmt.Errorf("fleet: probe %q: scripted crash", a.ID)
 			}
+			if fault.Overload {
+				// Request-scoped shed: the ERROR carries the request ID so
+				// the coordinator routes it to the waiting cell as
+				// backpressure instead of dropping the link.
+				a.overloads.Add(1)
+				a.logf("fleet: probe %q: scripted overload answer on request %d", a.ID, n)
+				if err := send(probenet.FrameError, &probenet.ErrorMsg{
+					ID: env.ID, Code: probenet.CodeOverloaded,
+					Message:          "probe shedding load",
+					RetryAfterMillis: fault.RetryAfterMillis,
+				}); err != nil {
+					return err
+				}
+				continue
+			}
 			if err := a.answer(send, env); err != nil {
 				return err
 			}
@@ -344,7 +371,7 @@ func (a *ProbeAgent) serve(ctx context.Context, conn net.Conn, instance uint64) 
 			if err := probenet.Decode(t, payload, &em); err != nil {
 				return err
 			}
-			return &probenet.RemoteError{Code: em.Code, Message: em.Message}
+			return &probenet.RemoteError{Code: em.Code, Message: em.Message, RetryAfterMillis: em.RetryAfterMillis}
 		case probenet.FramePing:
 			var ping probenet.Ping
 			if err := probenet.Decode(t, payload, &ping); err != nil {

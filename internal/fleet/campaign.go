@@ -147,6 +147,10 @@ type Report struct {
 	// needed more than one.
 	Dispatches   int
 	Redispatched int
+	// Backpressure counts dispatches a probe answered with an
+	// "overloaded" ERROR: the cell was re-dispatched after the probe's
+	// retry-after hint, with no retry consumed and no strike charged.
+	Backpressure int
 	// ProbeCells counts completed cells per probe ID.
 	ProbeCells map[string]int
 	// Replayed counts cells restored from a resumed journal instead of
@@ -172,6 +176,9 @@ func (r *Report) Summary() string {
 		fmt.Fprintf(&b, "  quarantined: probe %s after %d strikes: %s\n", q.ID, q.Strikes, q.Reason)
 	}
 	fmt.Fprintf(&b, "  dispatches: %d (%d cells re-dispatched)\n", r.Dispatches, r.Redispatched)
+	if r.Backpressure > 0 {
+		fmt.Fprintf(&b, "  backpressure: %d dispatch(es) deferred by overloaded probes\n", r.Backpressure)
+	}
 	if r.Replayed > 0 {
 		fmt.Fprintf(&b, "  replayed: %d cell(s) from the journal\n", r.Replayed)
 	}

@@ -35,6 +35,13 @@ type Options struct {
 	// KeepGoing turns a cell that exhausts its retries into a typed Gap
 	// instead of aborting the campaign.
 	KeepGoing bool
+	// MaxInflightPerProbe caps how many cells may be in flight on one
+	// probe at a time (0 = 1, the historical one-cell-per-probe rule).
+	// Raising it lets a small fleet absorb a large campaign faster while
+	// the coordinator's backpressure handling keeps an overloaded probe
+	// from being overrun: an "overloaded" answer re-dispatches the cell
+	// with the probe's retry-after hint and charges no strike.
+	MaxInflightPerProbe int
 	// NoProbeGrace is how long a campaign tolerates an empty fleet
 	// before failing the remaining cells with ErrNoProbes (0 =
 	// DefaultNoProbeGrace).
@@ -89,6 +96,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.NoProbeGrace <= 0 {
 		o.NoProbeGrace = DefaultNoProbeGrace
+	}
+	if o.MaxInflightPerProbe <= 0 {
+		o.MaxInflightPerProbe = 1
 	}
 	if o.Tick <= 0 {
 		o.Tick = 10 * time.Millisecond
@@ -169,6 +179,60 @@ type Coordinator struct {
 	fleetCh chan struct{}
 
 	campaignMu sync.Mutex
+
+	progMu sync.Mutex
+	prog   CampaignProgress
+}
+
+// CampaignProgress is a point-in-time view of the running campaign,
+// refreshed once per campaign-loop sweep. It backs the periodic
+// -stats-interval snapshots of cmd/memhist-fleet; every field is
+// run-dependent accounting and never enters the deterministic report.
+type CampaignProgress struct {
+	// Active is false before the first sweep and after the campaign
+	// returned.
+	Active bool
+	// Cells and Completed mirror the report counters at the snapshot.
+	Cells     int
+	Completed int
+	// Dispatches and Backpressure mirror the dispatch accounting.
+	Dispatches   int
+	Backpressure int
+	// InflightByProbe counts cells currently in flight per probe ID.
+	InflightByProbe map[string]int
+}
+
+// Progress returns the latest campaign-loop snapshot. Safe to call
+// concurrently with a running campaign.
+func (c *Coordinator) Progress() CampaignProgress {
+	c.progMu.Lock()
+	defer c.progMu.Unlock()
+	p := c.prog
+	p.InflightByProbe = make(map[string]int, len(c.prog.InflightByProbe))
+	for id, n := range c.prog.InflightByProbe {
+		p.InflightByProbe[id] = n
+	}
+	return p
+}
+
+// publishProgress refreshes the snapshot behind Progress.
+func (c *Coordinator) publishProgress(active bool, report *Report, inflightByProbe map[string]int) {
+	byProbe := make(map[string]int, len(inflightByProbe))
+	for id, n := range inflightByProbe {
+		if n > 0 {
+			byProbe[id] = n
+		}
+	}
+	c.progMu.Lock()
+	defer c.progMu.Unlock()
+	c.prog = CampaignProgress{
+		Active:          active,
+		Cells:           report.Cells,
+		Completed:       report.Completed,
+		Dispatches:      report.Dispatches,
+		Backpressure:    report.Backpressure,
+		InflightByProbe: byProbe,
+	}
 }
 
 // NewCoordinator builds a coordinator (zero option fields take the
@@ -356,7 +420,7 @@ func (c *Coordinator) readLoop(l *link) {
 				return
 			}
 			if em.ID != 0 {
-				c.deliver(em.ID, nil, &probenet.RemoteError{Code: em.Code, Message: em.Message})
+				c.deliver(em.ID, nil, &probenet.RemoteError{Code: em.Code, Message: em.Message, RetryAfterMillis: em.RetryAfterMillis})
 			} else {
 				c.dropLink(l, fmt.Sprintf("probe reported connection error [%s]: %s", em.Code, em.Message))
 				return
@@ -580,6 +644,7 @@ func (c *Coordinator) RunCampaign(ctx context.Context, spec Spec) (*Report, erro
 	inflight := make(map[uint64]*dispatch)
 	inflightByProbe := make(map[string]int)
 	report := &Report{Cells: n, ProbeCells: make(map[string]int)}
+	defer func() { c.publishProgress(false, report, nil) }()
 	remaining := n
 	var emptySince time.Time
 
@@ -791,6 +856,21 @@ func (c *Coordinator) RunCampaign(ctx context.Context, spec Spec) (*Report, erro
 			if structural(o.err) {
 				return &CellError{Cell: d.cell, Attempts: cells[d.cell].attempts, Err: o.err}
 			}
+			if probenet.IsBackpressure(o.err) {
+				// The probe is healthy but shedding: re-dispatch the cell
+				// after the hinted delay, preferably elsewhere (lastProbe is
+				// already set), without consuming a retry or charging a
+				// strike — a load spike must not gap cells or launder a
+				// healthy probe into quarantine.
+				st := cells[d.cell]
+				st.status = cellPending
+				st.notBefore = now.Add(probenet.RetryAfter(o.err))
+				st.redispatched = true
+				report.Backpressure++
+				c.opts.Logf("fleet: cell %d deferred by probe %q backpressure (retry after %s)",
+					d.cell, d.probe, probenet.RetryAfter(o.err))
+				return nil
+			}
 			return fail(d.cell, now, o.err)
 		}
 		h, err := memhist.DecodeHistogram(o.body)
@@ -878,7 +958,7 @@ func (c *Coordinator) RunCampaign(ctx context.Context, spec Spec) (*Report, erro
 			}
 			probe, fallback := "", ""
 			for _, id := range healthy {
-				if inflightByProbe[id] != 0 {
+				if inflightByProbe[id] >= c.opts.MaxInflightPerProbe {
 					continue
 				}
 				if id == st.lastProbe {
@@ -957,6 +1037,8 @@ func (c *Coordinator) RunCampaign(ctx context.Context, spec Spec) (*Report, erro
 		if remaining == 0 {
 			break
 		}
+
+		c.publishProgress(true, report, inflightByProbe)
 
 		// Wait for an outcome or the next bookkeeping tick.
 		if !timer.Stop() {

@@ -1,0 +1,212 @@
+package memhist
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"numaperf/internal/clockx"
+	"numaperf/internal/probenet"
+)
+
+// ErrCircuitOpen is the sentinel every circuit-breaker rejection
+// unwraps to, so callers can errors.Is their way past the typed detail.
+var ErrCircuitOpen = errors.New("memhist: circuit open")
+
+// CircuitOpenError reports a request refused locally because the
+// breaker for its target is open: the probe failed enough times in a
+// row that hammering it further would only deepen its overload.
+type CircuitOpenError struct {
+	// Target names the probe address the breaker guards.
+	Target string
+	// RetryIn is how long until the breaker will admit a trial request.
+	RetryIn time.Duration
+}
+
+func (e *CircuitOpenError) Error() string {
+	return fmt.Sprintf("memhist: circuit open for %s (retry in %v)", e.Target, e.RetryIn)
+}
+
+func (e *CircuitOpenError) Unwrap() error { return ErrCircuitOpen }
+
+// Breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// Breaker is a deterministic closed → open → half-open circuit breaker
+// for one probe target. Threshold consecutive failures open it; while
+// open every Allow is refused with a typed *CircuitOpenError carrying
+// the remaining cooldown; once the cooldown elapses the breaker goes
+// half-open and admits exactly one trial request — success closes it,
+// failure re-opens it with a doubled (capped) cooldown.
+//
+// Overloaded probes shape the schedule: a backpressure failure whose
+// retry-after hint exceeds the configured cooldown stretches the open
+// window to the hint — but never past MaxCooldown, so a malformed or
+// hostile hint can never wedge the breaker open (FuzzBreakerScript
+// proves the invariant). All timing reads the injected Clock, so the
+// full state machine is a pure function of the call sequence and the
+// clock — no wall-clock nondeterminism.
+//
+// The zero value is usable with the defaults below.
+type Breaker struct {
+	// Target labels rejections; shown in CircuitOpenError.
+	Target string
+	// Threshold is the consecutive-failure count that opens the
+	// breaker. Default 3.
+	Threshold int
+	// Cooldown is the first open window. Default 500ms.
+	Cooldown time.Duration
+	// MaxCooldown caps the open window however it is derived — doubled
+	// re-opens and retry-after hints included. Default 30s.
+	MaxCooldown time.Duration
+	// Clock supplies time; nil selects the system clock.
+	Clock clockx.Clock
+
+	mu        sync.Mutex
+	inited    bool
+	state     int
+	failures  int
+	trips     uint64
+	openUntil time.Time
+	cooldown  time.Duration
+	trialing  bool
+}
+
+func (b *Breaker) init() {
+	if b.inited {
+		return
+	}
+	b.inited = true
+	if b.Threshold <= 0 {
+		b.Threshold = 3
+	}
+	if b.Cooldown <= 0 {
+		b.Cooldown = 500 * time.Millisecond
+	}
+	if b.MaxCooldown <= 0 {
+		b.MaxCooldown = 30 * time.Second
+	}
+	if b.MaxCooldown < b.Cooldown {
+		b.MaxCooldown = b.Cooldown
+	}
+	if b.Clock == nil {
+		b.Clock = clockx.System()
+	}
+	b.cooldown = b.Cooldown
+}
+
+// Allow reports whether a request may proceed now. It returns nil in
+// the closed state, nil for exactly one in-flight trial once an open
+// window has elapsed (half-open), and a typed *CircuitOpenError
+// otherwise. Callers that proceed must report the outcome through
+// Success or Failure.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.init()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		now := b.Clock.Now()
+		if now.Before(b.openUntil) {
+			return &CircuitOpenError{Target: b.Target, RetryIn: b.openUntil.Sub(now)}
+		}
+		b.state = breakerHalfOpen
+		b.trialing = true
+		return nil
+	default: // half-open
+		if b.trialing {
+			return &CircuitOpenError{Target: b.Target, RetryIn: b.cooldown}
+		}
+		b.trialing = true
+		return nil
+	}
+}
+
+// Success reports a served request: the breaker closes and the failure
+// streak and cooldown reset.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.init()
+	b.state = breakerClosed
+	b.failures = 0
+	b.trialing = false
+	b.cooldown = b.Cooldown
+}
+
+// Failure reports a failed request. In the closed state it advances
+// the consecutive-failure streak and opens the breaker at Threshold;
+// in the half-open state the failed trial re-opens it with a doubled
+// cooldown. When err carries a backpressure retry-after hint longer
+// than the pending cooldown, the open window stretches to the hint —
+// clamped to MaxCooldown, so garbage hints cannot wedge the breaker.
+func (b *Breaker) Failure(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.init()
+	switch b.state {
+	case breakerClosed:
+		b.failures++
+		if b.failures < b.Threshold {
+			return
+		}
+		b.openLocked(err)
+	case breakerHalfOpen:
+		b.trialing = false
+		b.cooldown *= 2
+		if b.cooldown > b.MaxCooldown {
+			b.cooldown = b.MaxCooldown
+		}
+		b.openLocked(err)
+	default:
+		// Already open (a straggler from before the trip): ignore.
+	}
+}
+
+// openLocked opens the breaker for the current cooldown, stretched to
+// any (clamped) retry-after hint on err. Callers hold mu.
+func (b *Breaker) openLocked(err error) {
+	window := b.cooldown
+	if hint := probenet.RetryAfter(err); hint > window {
+		window = hint
+	}
+	if window > b.MaxCooldown {
+		window = b.MaxCooldown
+	}
+	b.state = breakerOpen
+	b.openUntil = b.Clock.Now().Add(window)
+	b.trips++
+	b.failures = 0
+}
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// State names the current state for diagnostics.
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.init()
+	switch b.state {
+	case breakerOpen:
+		if b.Clock.Now().Before(b.openUntil) {
+			return "open"
+		}
+		return "half-open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}

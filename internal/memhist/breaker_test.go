@@ -1,0 +1,207 @@
+package memhist
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"numaperf/internal/clockx"
+	"numaperf/internal/probenet"
+)
+
+func newTestBreaker(fake *clockx.Fake) *Breaker {
+	return &Breaker{
+		Target:      "probe-a:9000",
+		Threshold:   3,
+		Cooldown:    100 * time.Millisecond,
+		MaxCooldown: 1 * time.Second,
+		Clock:       fake,
+	}
+}
+
+func transientErr() error { return &probenet.ProtocolError{Reason: "truncated"} }
+
+func TestBreakerOpensAtThresholdAndRecovers(t *testing.T) {
+	fake := clockx.NewFake(time.Unix(0, 0))
+	b := newTestBreaker(fake)
+
+	// Below threshold: still closed.
+	b.Failure(transientErr())
+	b.Failure(transientErr())
+	if err := b.Allow(); err != nil {
+		t.Fatalf("breaker opened below threshold: %v", err)
+	}
+	// Third consecutive failure trips it.
+	b.Failure(transientErr())
+	err := b.Allow()
+	var coe *CircuitOpenError
+	if !errors.As(err, &coe) {
+		t.Fatalf("Allow after threshold = %v, want *CircuitOpenError", err)
+	}
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Error("CircuitOpenError must unwrap to ErrCircuitOpen")
+	}
+	if coe.RetryIn != 100*time.Millisecond {
+		t.Errorf("RetryIn = %v, want the 100ms cooldown", coe.RetryIn)
+	}
+	if got := b.State(); got != "open" {
+		t.Errorf("State = %q, want open", got)
+	}
+	if b.Trips() != 1 {
+		t.Errorf("Trips = %d, want 1", b.Trips())
+	}
+
+	// Cooldown elapses: exactly one trial is admitted.
+	fake.Advance(100 * time.Millisecond)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open must admit a trial: %v", err)
+	}
+	if err := b.Allow(); err == nil {
+		t.Fatal("half-open must refuse a second concurrent trial")
+	}
+	// Trial succeeds: closed, streak and cooldown reset.
+	b.Success()
+	if got := b.State(); got != "closed" {
+		t.Errorf("State after trial success = %q, want closed", got)
+	}
+	b.Failure(transientErr())
+	b.Failure(transientErr())
+	if err := b.Allow(); err != nil {
+		t.Errorf("failure streak must reset on success: %v", err)
+	}
+}
+
+func TestBreakerFailedTrialDoublesCooldown(t *testing.T) {
+	fake := clockx.NewFake(time.Unix(0, 0))
+	b := newTestBreaker(fake)
+	for i := 0; i < 3; i++ {
+		b.Failure(transientErr())
+	}
+	fake.Advance(100 * time.Millisecond)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("trial refused: %v", err)
+	}
+	b.Failure(transientErr()) // failed trial: re-open at 200ms
+	var coe *CircuitOpenError
+	if err := b.Allow(); !errors.As(err, &coe) {
+		t.Fatalf("breaker must re-open after a failed trial, got %v", err)
+	} else if coe.RetryIn != 200*time.Millisecond {
+		t.Errorf("re-open RetryIn = %v, want doubled 200ms", coe.RetryIn)
+	}
+	if b.Trips() != 2 {
+		t.Errorf("Trips = %d, want 2", b.Trips())
+	}
+	// Doubling is capped at MaxCooldown.
+	for i := 0; i < 10; i++ {
+		fake.Advance(time.Hour)
+		if err := b.Allow(); err != nil {
+			t.Fatalf("round %d: trial refused: %v", i, err)
+		}
+		b.Failure(transientErr())
+	}
+	if err := b.Allow(); !errors.As(err, &coe) {
+		t.Fatal("breaker should be open")
+	} else if coe.RetryIn > time.Second {
+		t.Errorf("cooldown %v exceeds MaxCooldown 1s", coe.RetryIn)
+	}
+}
+
+func TestBreakerHonorsRetryAfterHint(t *testing.T) {
+	fake := clockx.NewFake(time.Unix(0, 0))
+	b := newTestBreaker(fake)
+	hinted := &probenet.RemoteError{Code: probenet.CodeOverloaded, RetryAfterMillis: 400}
+	for i := 0; i < 3; i++ {
+		b.Failure(hinted)
+	}
+	var coe *CircuitOpenError
+	if err := b.Allow(); !errors.As(err, &coe) {
+		t.Fatal("breaker should be open")
+	} else if coe.RetryIn != 400*time.Millisecond {
+		t.Errorf("open window = %v, want the 400ms hint (longer than 100ms cooldown)", coe.RetryIn)
+	}
+}
+
+func TestBreakerClampsMalformedHints(t *testing.T) {
+	fake := clockx.NewFake(time.Unix(0, 0))
+	b := newTestBreaker(fake)
+	// A hostile hint of ~292 years must clamp to MaxCooldown.
+	huge := &probenet.RemoteError{Code: probenet.CodeOverloaded, RetryAfterMillis: 1 << 53}
+	for i := 0; i < 3; i++ {
+		b.Failure(huge)
+	}
+	var coe *CircuitOpenError
+	if err := b.Allow(); !errors.As(err, &coe) {
+		t.Fatal("breaker should be open")
+	} else if coe.RetryIn > time.Second {
+		t.Errorf("open window %v exceeds MaxCooldown despite hostile hint", coe.RetryIn)
+	}
+	fake.Advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Errorf("breaker wedged open past MaxCooldown: %v", err)
+	}
+}
+
+func TestBreakerZeroValueDefaults(t *testing.T) {
+	var b Breaker
+	if err := b.Allow(); err != nil {
+		t.Fatalf("zero-value breaker must start closed: %v", err)
+	}
+	b.Success()
+	if got := b.State(); got != "closed" {
+		t.Errorf("State = %q, want closed", got)
+	}
+}
+
+// FuzzBreakerScript drives the breaker with an arbitrary script of
+// failures (with arbitrary, possibly malformed retry-after hints),
+// successes and clock advances, and asserts the liveness invariant:
+// the breaker never wedges open — after MaxCooldown of quiet clock
+// advance, Allow always admits a trial.
+func FuzzBreakerScript(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 1, 2, 0})
+	f.Add([]byte{0, 3, 0, 3, 0, 3, 2, 200, 2, 200})
+	f.Add([]byte{0, 255, 0, 255, 0, 255, 1, 0, 128})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		fake := clockx.NewFake(time.Unix(0, 0))
+		b := &Breaker{
+			Threshold:   2,
+			Cooldown:    50 * time.Millisecond,
+			MaxCooldown: 500 * time.Millisecond,
+			Clock:       fake,
+		}
+		for i := 0; i+1 < len(script); i += 2 {
+			op, arg := script[i], int64(script[i+1])
+			switch op % 4 {
+			case 0: // failure with an arbitrary hint, including garbage
+				hint := arg*arg*arg - 1<<20 // negative, zero and huge values
+				b.Failure(&probenet.RemoteError{Code: probenet.CodeOverloaded, RetryAfterMillis: hint})
+			case 1: // transient failure, no hint
+				b.Failure(transientErr())
+			case 2: // advance the clock
+				fake.Advance(time.Duration(arg) * time.Millisecond)
+			case 3:
+				if b.Allow() == nil {
+					if arg%2 == 0 {
+						b.Success()
+					} else {
+						b.Failure(transientErr())
+					}
+				}
+			}
+		}
+		// Liveness: whatever the script did, a full MaxCooldown of calm
+		// must re-admit traffic.
+		fake.Advance(500 * time.Millisecond)
+		err := b.Allow()
+		if err == nil {
+			return
+		}
+		// The only legitimate refusal now is an in-flight trial admitted
+		// by the script's own op-3 Allow; settle it and re-check.
+		b.Success()
+		fake.Advance(500 * time.Millisecond)
+		if err := b.Allow(); err != nil {
+			t.Fatalf("breaker wedged open after %v of calm: %v", time.Second, err)
+		}
+	})
+}

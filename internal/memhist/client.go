@@ -2,6 +2,7 @@ package memhist
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync/atomic"
@@ -16,16 +17,24 @@ type FetchOptions struct {
 	// response) and is propagated to the probe. Default 5 minutes.
 	Timeout time.Duration
 	// Retries is the number of additional attempts after the first,
-	// taken only on transient failures (refused, reset, timeout,
-	// corrupted stream) — never on a well-formed ERROR frame.
+	// taken on transient failures (refused, reset, timeout, corrupted
+	// stream) and on backpressure rejections (overloaded,
+	// shutting-down) — never on any other well-formed ERROR frame.
 	Retries int
 	// Backoff schedules the retry delays; nil selects
-	// probenet.NewBackoff(0, 0, 1), the deterministic default.
+	// probenet.NewBackoff(0, 0, 1), the deterministic default. When the
+	// previous rejection carried a retry-after hint longer than the
+	// backoff delay, the hint wins: the probe knows its own queue.
 	Backoff *probenet.Backoff
 	// FallbackLocal degrades gracefully: when the probe stays
-	// unreachable after all retries, measure locally and tag the
-	// histogram OriginLocalFallback.
+	// unreachable after all retries — or its circuit breaker is open —
+	// measure locally and tag the histogram OriginLocalFallback.
 	FallbackLocal bool
+	// Breaker, when set, guards the target: attempts are refused with a
+	// typed *CircuitOpenError while it is open, and every attempt's
+	// outcome feeds its state machine. Share one Breaker per target
+	// across calls to get circuit behaviour.
+	Breaker *Breaker
 
 	// Sleep replaces time.Sleep between retries (test hook).
 	Sleep func(time.Duration)
@@ -75,17 +84,42 @@ func FetchRemoteWith(addr string, req ProbeRequest, opts FetchOptions) (*Histogr
 	var lastErr error
 	for attempt := 0; attempt <= opts.Retries; attempt++ {
 		if attempt > 0 {
-			opts.Sleep(opts.Backoff.Delay(attempt - 1))
+			delay := opts.Backoff.Delay(attempt - 1)
+			if hint := probenet.RetryAfter(lastErr); hint > delay {
+				delay = hint
+			}
+			opts.Sleep(delay)
+		}
+		if opts.Breaker != nil {
+			if err := opts.Breaker.Allow(); err != nil {
+				lastErr = err
+				break
+			}
 		}
 		h, err := fetchOnce(addr, req, opts)
 		if err == nil {
+			if opts.Breaker != nil {
+				opts.Breaker.Success()
+			}
 			h.Origin = OriginProbe
 			return h, nil
 		}
 		lastErr = err
+		if probenet.IsBackpressure(err) {
+			// The probe is healthy but busy: wait out its hint and try
+			// again. The breaker still counts it — sustained overload
+			// should eventually open the circuit.
+			if opts.Breaker != nil {
+				opts.Breaker.Failure(err)
+			}
+			continue
+		}
 		if !probenet.IsTransient(err) {
 			// A well-formed probe verdict or version mismatch: final.
 			return nil, err
+		}
+		if opts.Breaker != nil {
+			opts.Breaker.Failure(err)
 		}
 	}
 	if opts.FallbackLocal {
@@ -95,6 +129,9 @@ func FetchRemoteWith(addr string, req ProbeRequest, opts FetchOptions) (*Histogr
 		}
 		h.Origin = OriginLocalFallback
 		return h, nil
+	}
+	if errors.Is(lastErr, ErrCircuitOpen) {
+		return nil, lastErr
 	}
 	return nil, fmt.Errorf("memhist: probe %s unreachable after %d attempt(s): %w", addr, opts.Retries+1, lastErr)
 }
@@ -177,7 +214,7 @@ func fetchOnce(addr string, req ProbeRequest, opts FetchOptions) (*Histogram, er
 			if em.ID != 0 && em.ID != id {
 				return nil, &probenet.ProtocolError{Reason: fmt.Sprintf("error frame id %d for request %d", em.ID, id)}
 			}
-			return nil, &probenet.RemoteError{Code: em.Code, Message: em.Message}
+			return nil, &probenet.RemoteError{Code: em.Code, Message: em.Message, RetryAfterMillis: em.RetryAfterMillis}
 		case probenet.FramePong:
 			// Stray pong from a previous exchange: ignore.
 		default:
@@ -219,7 +256,7 @@ func remoteError(payload []byte) error {
 	if err := probenet.Decode(probenet.FrameError, payload, &em); err != nil {
 		return err
 	}
-	return &probenet.RemoteError{Code: em.Code, Message: em.Message}
+	return &probenet.RemoteError{Code: em.Code, Message: em.Message, RetryAfterMillis: em.RetryAfterMillis}
 }
 
 func contains(list []string, s string) bool {

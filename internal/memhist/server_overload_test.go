@@ -1,0 +1,330 @@
+package memhist
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"numaperf/internal/clockx"
+	"numaperf/internal/probenet"
+)
+
+// Overload-protection suite: request-level admission control, deadline-
+// aware queue shedding with retry-after hints, and fidelity brownout.
+// Everything runs through the Handle seam with a canned histogram so the
+// tests exercise the admission machinery, not the simulator.
+
+func cannedHist() *Histogram {
+	return &Histogram{
+		Bounds:    []uint64{4, 64, 256},
+		Counts:    []float64{10, 20, 5},
+		Uncertain: []bool{true, false, false},
+		Source:    "test-tiny",
+	}
+}
+
+// gatedServer builds a ProbeServer whose Handle blocks until the test
+// feeds gate a token, signalling entered for each call it begins.
+func gatedServer(srv *ProbeServer) (gate chan struct{}, entered chan struct{}, reqs *[]ProbeRequest, mu *sync.Mutex) {
+	gate = make(chan struct{}, 16)
+	entered = make(chan struct{}, 16)
+	reqs = &[]ProbeRequest{}
+	mu = &sync.Mutex{}
+	srv.Handle = func(req ProbeRequest) (*Histogram, error) {
+		mu.Lock()
+		*reqs = append(*reqs, req)
+		mu.Unlock()
+		entered <- struct{}{}
+		<-gate
+		return cannedHist(), nil
+	}
+	return gate, entered, reqs, mu
+}
+
+func overloadRequest() ProbeRequest {
+	registerTiny()
+	return ProbeRequest{
+		Workload:    "test-tiny",
+		Machine:     "2s",
+		Bounds:      []uint64{4, 64, 256},
+		Reps:        3,
+		SliceCycles: 4000,
+		Adaptive:    true,
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAdmissionShedsWithRetryAfter(t *testing.T) {
+	srv := &ProbeServer{MaxInflight: 1, QueueBudget: 0, Seed: 42}
+	gate, entered, _, _ := gatedServer(srv)
+	addr := startServer(t, srv)
+
+	// Occupy the single in-flight slot.
+	first := make(chan error, 1)
+	go func() {
+		_, err := FetchRemote(addr, overloadRequest(), 30*time.Second)
+		first <- err
+	}()
+	<-entered
+
+	// With no queue budget, the next request is shed immediately with a
+	// request-scoped overloaded ERROR carrying a retry-after hint.
+	_, err := FetchRemoteWith(addr, overloadRequest(), FetchOptions{Timeout: 30 * time.Second})
+	if !probenet.IsBackpressure(err) {
+		t.Fatalf("second request error = %v, want backpressure", err)
+	}
+	var re *probenet.RemoteError
+	if !errors.As(err, &re) || re.Code != probenet.CodeOverloaded {
+		t.Fatalf("second request error = %v, want overloaded", err)
+	}
+	if probenet.RetryAfter(err) <= 0 {
+		t.Error("shed response must carry a positive retry-after hint")
+	}
+	// The shed was request-scoped: the hogging request still completes
+	// on its own connection.
+	gate <- struct{}{}
+	if err := <-first; err != nil {
+		t.Fatalf("hogging request failed: %v", err)
+	}
+	st := srv.Stats()
+	if st.ShedOverload != 1 || st.QueuedRequests != 0 {
+		t.Errorf("stats = shed %d queued %d, want 1/0", st.ShedOverload, st.QueuedRequests)
+	}
+}
+
+func TestAdmissionQueuesWithinBudget(t *testing.T) {
+	srv := &ProbeServer{MaxInflight: 1, QueueBudget: 1}
+	gate, entered, _, _ := gatedServer(srv)
+	addr := startServer(t, srv)
+
+	results := make(chan error, 2)
+	go func() {
+		_, err := FetchRemote(addr, overloadRequest(), 30*time.Second)
+		results <- err
+	}()
+	<-entered
+	go func() {
+		_, err := FetchRemote(addr, overloadRequest(), 30*time.Second)
+		results <- err
+	}()
+	waitFor(t, "second request to queue", func() bool { return srv.Stats().QueuedRequests == 1 })
+
+	gate <- struct{}{} // first completes, queued request takes the slot
+	gate <- struct{}{} // queued request completes
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("request %d failed: %v", i, err)
+		}
+	}
+	st := srv.Stats()
+	if st.ShedOverload != 0 || st.QueuedRequests != 1 || st.Served != 2 {
+		t.Errorf("stats = shed %d queued %d served %d, want 0/1/2", st.ShedOverload, st.QueuedRequests, st.Served)
+	}
+}
+
+func TestQueueWaitShedsAtDeadline(t *testing.T) {
+	fake := clockx.NewFake(time.Unix(0, 0))
+	srv := &ProbeServer{MaxInflight: 1, QueueBudget: 1, Clock: fake}
+	gate, entered, _, _ := gatedServer(srv)
+	addr := startServer(t, srv)
+
+	first := make(chan error, 1)
+	go func() {
+		_, err := FetchRemote(addr, overloadRequest(), 30*time.Second)
+		first <- err
+	}()
+	<-entered
+
+	// The second request queues; its propagated 10s deadline allows a
+	// 5s queue wait on the fake clock.
+	second := make(chan error, 1)
+	go func() {
+		_, err := FetchRemoteWith(addr, overloadRequest(), FetchOptions{Timeout: 10 * time.Second})
+		second <- err
+	}()
+	waitFor(t, "queue-wait sleeper", func() bool { return fake.Sleepers() >= 1 })
+	fake.Advance(5 * time.Second)
+
+	err := <-second
+	if !probenet.IsBackpressure(err) {
+		t.Fatalf("expired queued request error = %v, want backpressure", err)
+	}
+	if probenet.RetryAfter(err) <= 0 {
+		t.Error("deadline shed must carry a retry-after hint")
+	}
+	gate <- struct{}{}
+	if err := <-first; err != nil {
+		t.Fatalf("hogging request failed: %v", err)
+	}
+	st := srv.Stats()
+	if st.ShedOverload != 1 || st.QueuedRequests != 1 {
+		t.Errorf("stats = shed %d queued %d, want 1/1", st.ShedOverload, st.QueuedRequests)
+	}
+}
+
+func TestBrownoutDegradesThenRecovers(t *testing.T) {
+	srv := &ProbeServer{MaxInflight: 1, QueueBudget: 1, BrownoutAfter: 2, Seed: 7}
+	gate, entered, reqs, mu := gatedServer(srv)
+	addr := startServer(t, srv)
+
+	// Hog the slot, fill the queue.
+	first := make(chan error, 1)
+	go func() {
+		_, err := FetchRemote(addr, overloadRequest(), 30*time.Second)
+		first <- err
+	}()
+	<-entered
+	queued := make(chan *Histogram, 1)
+	go func() {
+		h, err := FetchRemote(addr, overloadRequest(), 30*time.Second)
+		if err != nil {
+			t.Errorf("queued request failed: %v", err)
+		}
+		queued <- h
+	}()
+	waitFor(t, "queue to fill", func() bool { return srv.Stats().QueuedRequests == 1 })
+
+	// Two more sheds cross BrownoutAfter: the probe browns out.
+	for i := 0; i < 2; i++ {
+		_, err := FetchRemoteWith(addr, overloadRequest(), FetchOptions{Timeout: 30 * time.Second})
+		if !probenet.IsBackpressure(err) {
+			t.Fatalf("shed %d error = %v, want backpressure", i, err)
+		}
+	}
+	waitFor(t, "brownout entry", func() bool { return srv.Stats().BrownoutEntered == 1 })
+
+	// Release the hog; the queued request is admitted under pressure and
+	// served at brownout fidelity with an honest marker.
+	gate <- struct{}{}
+	if err := <-first; err != nil {
+		t.Fatalf("hogging request failed: %v", err)
+	}
+	gate <- struct{}{}
+	h := <-queued
+	if !h.Brownout {
+		t.Error("queued-under-pressure histogram must be marked Brownout")
+	}
+	if !strings.Contains(h.Render(Occurrences, 60), "(BROWNOUT)") {
+		t.Error("rendered brownout histogram must carry the (BROWNOUT) marker")
+	}
+	mu.Lock()
+	brown := (*reqs)[1]
+	mu.Unlock()
+	if brown.Reps != 1 || brown.Adaptive || brown.SliceCycles != 1000 {
+		t.Errorf("brownout request = reps %d adaptive %v slice %d, want 1/false/1000",
+			brown.Reps, brown.Adaptive, brown.SliceCycles)
+	}
+
+	// A calm admission — free slot, empty queue — ends the episode and
+	// restores full fidelity.
+	calm := make(chan *Histogram, 1)
+	go func() {
+		h, err := FetchRemote(addr, overloadRequest(), 30*time.Second)
+		if err != nil {
+			t.Errorf("recovery request failed: %v", err)
+		}
+		calm <- h
+	}()
+	<-entered
+	gate <- struct{}{}
+	if h := <-calm; h.Brownout {
+		t.Error("calm admission must clear brownout")
+	}
+	mu.Lock()
+	rec := (*reqs)[2]
+	mu.Unlock()
+	if rec.Reps != 3 || !rec.Adaptive || rec.SliceCycles != 4000 {
+		t.Errorf("recovered request = reps %d adaptive %v slice %d, want full fidelity 3/true/4000",
+			rec.Reps, rec.Adaptive, rec.SliceCycles)
+	}
+	st := srv.Stats()
+	if st.ShedOverload != 2 || st.BrownoutEntered != 1 || st.BrownoutServed != 1 {
+		t.Errorf("stats = shed %d entered %d brownServed %d, want 2/1/1", st.ShedOverload, st.BrownoutEntered, st.BrownoutServed)
+	}
+}
+
+func TestExactRequestsKeepFullFidelityInBrownout(t *testing.T) {
+	req := overloadRequest()
+	req.Exact = true
+	got := brownoutRequest(req)
+	if got.Reps != req.Reps || got.Adaptive != req.Adaptive || got.SliceCycles != req.SliceCycles {
+		t.Errorf("brownout degraded an exact request: %+v", got)
+	}
+}
+
+func TestLegacyPathHasNoOverloadArtifacts(t *testing.T) {
+	// MaxInflight 0 disables admission control entirely: responses and
+	// stats stay byte-identical to a pre-overload probe.
+	srv := &ProbeServer{}
+	addr := startServer(t, srv)
+	h, err := FetchRemote(addr, quickRequest(), 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Brownout {
+		t.Error("legacy path must never mark Brownout")
+	}
+	body, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(body), "Brownout") {
+		t.Error("false Brownout must be omitted from the wire")
+	}
+	stats, err := json.Marshal(srv.Stats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"shed_overload", "queued_requests", "brownout_entered", "brownout_served"} {
+		if strings.Contains(string(stats), field) {
+			t.Errorf("zero %s must be omitted from PING stats", field)
+		}
+	}
+}
+
+func TestRetryAfterHintsDeterministicPerSeed(t *testing.T) {
+	draw := func(seed int64) []int64 {
+		s := &ProbeServer{Seed: seed}
+		s.init()
+		var hints []int64
+		for i := 0; i < 8; i++ {
+			s.olmu.Lock()
+			s.episode++
+			hints = append(hints, s.hintLocked())
+			s.olmu.Unlock()
+		}
+		return hints
+	}
+	a, b := draw(42), draw(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hint %d differs across identical seeds: %d vs %d", i, a[i], b[i])
+		}
+		if a[i] < 1 || a[i] > 500 {
+			t.Errorf("hint %d = %dms outside [1, 500]", i, a[i])
+		}
+	}
+	c := draw(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced an identical hint schedule")
+	}
+}

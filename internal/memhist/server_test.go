@@ -244,6 +244,10 @@ func TestOverloadedRejection(t *testing.T) {
 	// Hold the only slot with an idle connection.
 	dialFrames(t, addr)
 
+	// Overload is backpressure, not a verdict on the request: unlike
+	// every other ERROR frame it IS retried — the probe may free up —
+	// but the slot never frees here, so all attempts burn and the final
+	// error is still the typed overloaded rejection.
 	dials := 0
 	_, err := FetchRemoteWith(addr, quickRequest(), FetchOptions{
 		Timeout: 10 * time.Second,
@@ -258,8 +262,8 @@ func TestOverloadedRejection(t *testing.T) {
 	if !errors.As(err, &re) || re.Code != probenet.CodeOverloaded {
 		t.Fatalf("err = %v, want overloaded RemoteError", err)
 	}
-	if dials != 1 {
-		t.Errorf("client dialled %d times; an ERROR frame must never be retried", dials)
+	if dials != 4 {
+		t.Errorf("client dialled %d times, want 4: backpressure retries every attempt", dials)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"syscall"
+	"time"
 )
 
 // ErrorCode is the machine-readable code carried by ERROR frames. Codes
@@ -33,9 +34,13 @@ const (
 
 // RemoteError is a well-formed ERROR frame received from the peer. It
 // is never transient: the probe understood the request and rejected it.
+// Backpressure codes (CodeOverloaded, CodeShuttingDown) may carry a
+// RetryAfterMillis hint — the peer's suggested wait before trying
+// again; zero means the peer offered none.
 type RemoteError struct {
-	Code    ErrorCode
-	Message string
+	Code             ErrorCode
+	Message          string
+	RetryAfterMillis int64
 }
 
 func (e *RemoteError) Error() string {
@@ -63,6 +68,36 @@ type VersionError struct {
 
 func (e *VersionError) Error() string {
 	return fmt.Sprintf("probenet: protocol version %d, want %d", e.Got, e.Want)
+}
+
+// IsBackpressure reports whether err is a well-formed rejection that
+// signals overload rather than a verdict on the request itself: the
+// probe was too busy (CodeOverloaded) or draining (CodeShuttingDown).
+// Unlike other RemoteErrors the same request is perfectly serviceable
+// later, so callers may retry after the RetryAfterMillis hint — the
+// fetch client waits it out, the fleet coordinator re-dispatches the
+// cell elsewhere without charging the probe a strike.
+func IsBackpressure(err error) bool {
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		return false
+	}
+	return re.Code == CodeOverloaded || re.Code == CodeShuttingDown
+}
+
+// RetryAfter extracts the backpressure hint from err, or 0 when err is
+// not a backpressure rejection or carries no hint. Negative hints from
+// a buggy or malicious peer are clamped to 0 so they can never drive a
+// caller's arithmetic backwards.
+func RetryAfter(err error) time.Duration {
+	var re *RemoteError
+	if !errors.As(err, &re) || !IsBackpressure(err) {
+		return 0
+	}
+	if re.RetryAfterMillis <= 0 {
+		return 0
+	}
+	return time.Duration(re.RetryAfterMillis) * time.Millisecond
 }
 
 // IsTransient classifies an error from a fetch attempt: true means a

@@ -139,10 +139,17 @@ type Response struct {
 // ErrorMsg is the payload of an ERROR frame. ID echoes the request that
 // failed; ID 0 means the error concerns the connection as a whole
 // (overloaded, shutting-down, protocol violations).
+//
+// RetryAfterMillis is the backpressure hint attached to CodeOverloaded
+// and CodeShuttingDown errors: how long the peer suggests waiting
+// before trying again. Zero means no hint and is omitted from the
+// wire, so ERROR frames from peers that predate overload protection —
+// and frames for codes that never carry a hint — stay byte-identical.
 type ErrorMsg struct {
-	ID      uint64    `json:"id"`
-	Code    ErrorCode `json:"code"`
-	Message string    `json:"message,omitempty"`
+	ID               uint64    `json:"id"`
+	Code             ErrorCode `json:"code"`
+	Message          string    `json:"message,omitempty"`
+	RetryAfterMillis int64     `json:"retry_after_ms,omitempty"`
 }
 
 // Ping is a client health check.

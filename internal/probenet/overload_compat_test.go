@@ -1,0 +1,123 @@
+package probenet_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"numaperf/internal/probenet"
+)
+
+// Wire-compatibility suite for the overload-protection retry-after
+// hint. ERROR frames gained an omitempty RetryAfterMillis field; both
+// ends must tolerate a peer that predates it, and — stricter — any
+// ERROR frame that carries no hint must be byte-identical to the frame
+// a pre-overload peer would have produced, in both directions. The
+// struct below spells out the pre-PR payload shape literally instead
+// of importing it, so the test keeps guarding the wire format even as
+// the Go type evolves.
+
+// oldErrorMsg is the ERROR payload shape before the retry-after hint.
+type oldErrorMsg struct {
+	ID      uint64             `json:"id"`
+	Code    probenet.ErrorCode `json:"code"`
+	Message string             `json:"message,omitempty"`
+}
+
+func frameBytes(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := probenet.WriteFrame(&buf, probenet.FrameError, v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestLegacyErrorFramesByteIdentical(t *testing.T) {
+	// Every code, with and without a message: a new peer that sets no
+	// hint emits exactly the bytes an old peer would have.
+	for _, code := range []probenet.ErrorCode{
+		probenet.CodeBadRequest, probenet.CodeUnknownWorkload, probenet.CodeUnknownMachine,
+		probenet.CodeOverloaded, probenet.CodeShuttingDown, probenet.CodeQuarantined,
+		probenet.CodeInternal,
+	} {
+		for _, msg := range []string{"", "probe at connection limit 4"} {
+			oldFrame := frameBytes(t, oldErrorMsg{ID: 7, Code: code, Message: msg})
+			newFrame := frameBytes(t, probenet.ErrorMsg{ID: 7, Code: code, Message: msg})
+			if !bytes.Equal(oldFrame, newFrame) {
+				t.Errorf("code %s: hintless ERROR frame differs from the pre-overload bytes\nold: %q\nnew: %q",
+					code, oldFrame, newFrame)
+			}
+		}
+	}
+}
+
+func TestZeroRetryAfterOmittedFromWire(t *testing.T) {
+	body, err := json.Marshal(probenet.ErrorMsg{ID: 1, Code: probenet.CodeOverloaded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jsonHasField(t, body, "retry_after_ms") {
+		t.Error("zero retry_after_ms must be omitted from the wire")
+	}
+}
+
+func TestOldClientDecodesHintedError(t *testing.T) {
+	body, err := json.Marshal(probenet.ErrorMsg{
+		ID: 3, Code: probenet.CodeOverloaded, Message: "shedding", RetryAfterMillis: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var old oldErrorMsg
+	if err := probenet.Decode(probenet.FrameError, body, &old); err != nil {
+		t.Fatalf("pre-overload client rejected hinted ERROR: %v", err)
+	}
+	if old.ID != 3 || old.Code != probenet.CodeOverloaded || old.Message != "shedding" {
+		t.Errorf("pre-overload client mis-decoded the payload: %+v", old)
+	}
+}
+
+func TestNewClientDecodesBareError(t *testing.T) {
+	body, err := json.Marshal(oldErrorMsg{ID: 9, Code: probenet.CodeShuttingDown, Message: "draining"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var em probenet.ErrorMsg
+	if err := probenet.Decode(probenet.FrameError, body, &em); err != nil {
+		t.Fatalf("new client rejected pre-overload ERROR: %v", err)
+	}
+	if em.RetryAfterMillis != 0 {
+		t.Errorf("absent retry_after_ms must decode as 0, got %d", em.RetryAfterMillis)
+	}
+	if em.ID != 9 || em.Code != probenet.CodeShuttingDown {
+		t.Errorf("new client mis-decoded the payload: %+v", em)
+	}
+}
+
+func TestBackpressureClassification(t *testing.T) {
+	over := &probenet.RemoteError{Code: probenet.CodeOverloaded, RetryAfterMillis: 25}
+	if !probenet.IsBackpressure(over) {
+		t.Error("overloaded must classify as backpressure")
+	}
+	if got := probenet.RetryAfter(over); got.Milliseconds() != 25 {
+		t.Errorf("RetryAfter = %v, want 25ms", got)
+	}
+	if probenet.IsTransient(over) {
+		t.Error("backpressure is not transient: the request was understood")
+	}
+	bad := &probenet.RemoteError{Code: probenet.CodeBadRequest, RetryAfterMillis: 25}
+	if probenet.IsBackpressure(bad) {
+		t.Error("bad-request must not classify as backpressure")
+	}
+	if probenet.RetryAfter(bad) != 0 {
+		t.Error("non-backpressure errors carry no retry-after")
+	}
+	neg := &probenet.RemoteError{Code: probenet.CodeOverloaded, RetryAfterMillis: -5}
+	if probenet.RetryAfter(neg) != 0 {
+		t.Error("negative hints must clamp to zero")
+	}
+	if probenet.IsBackpressure(nil) || probenet.RetryAfter(nil) != 0 {
+		t.Error("nil error must classify as nothing")
+	}
+}

@@ -175,6 +175,27 @@ var registry = map[string]*actionDef{
 			return nil
 		},
 	},
+	"net.overload_storm": {
+		name: "net.overload_storm", modes: []string{ModeFetch},
+		summary: "saturate the probe's measurement slot and force `count` sheds, browning the probe out before the fetch",
+		params:  "count (> 0 sheds; needs fetch max_inflight: 1, queue_budget >= 1, brownout_after in [1, count])",
+		validate: func(sc *Scenario, ev *Event, i int) error {
+			if ev.Count <= 0 {
+				return &SpecError{Field: evField(i, "count"), Msg: "a positive shed count is required"}
+			}
+			fs := sc.Fetch
+			if fs == nil || fs.MaxInflight != 1 {
+				return &SpecError{Field: evField(i, "action"), Msg: "net.overload_storm requires fetch.max_inflight: 1"}
+			}
+			if fs.QueueBudget < 1 {
+				return &SpecError{Field: evField(i, "action"), Msg: "net.overload_storm requires fetch.queue_budget >= 1 so the fetch can queue"}
+			}
+			if fs.BrownoutAfter < 1 || fs.BrownoutAfter > ev.Count {
+				return &SpecError{Field: evField(i, "action"), Msg: "net.overload_storm requires fetch.brownout_after in [1, count]"}
+			}
+			return nil
+		},
+	},
 
 	// --- faultrun (campaign): a run cell misbehaves. ---
 	"run.hang": {
@@ -380,6 +401,26 @@ var registry = map[string]*actionDef{
 		params:   "target (probe)",
 		validate: needFleetTarget,
 	},
+	"fleet.overload_answers": {
+		name: "fleet.overload_answers", modes: []string{ModeFleet},
+		summary: "answer requests n..n+count-1 with an \"overloaded\" ERROR carrying a retry-after hint (backpressure, not probe death)",
+		params:  "target (probe), n (1-based), count (> 0), retry_after",
+		validate: func(sc *Scenario, ev *Event, i int) error {
+			if err := needFleetTarget(sc, ev, i); err != nil {
+				return err
+			}
+			if ev.N < 1 {
+				return &SpecError{Field: evField(i, "n"), Msg: "n is 1-based"}
+			}
+			if ev.Count <= 0 {
+				return &SpecError{Field: evField(i, "count"), Msg: "a positive count is required"}
+			}
+			if ev.RetryAfter <= 0 {
+				return &SpecError{Field: evField(i, "retry_after"), Msg: "a positive retry-after hint is required"}
+			}
+			return nil
+		},
+	},
 	"fleet.kill_coordinator": {
 		name: "fleet.kill_coordinator", modes: []string{ModeFleet},
 		summary: "kill the coordinator mid-scatter or in a commit crash window",
@@ -498,6 +539,23 @@ var registry = map[string]*actionDef{
 		summary: "the histogram is byte-identical to the locally computed reference",
 		params:  "-", validate: noValidation,
 	},
+	"assert.brownout": {
+		name: "assert.brownout", modes: []string{ModeFetch},
+		summary:  "the stormed fetch was served at brownout fidelity with the honest render marker",
+		params:   "-",
+		validate: needOverloadStage,
+	},
+	"assert.backpressure": {
+		name: "assert.backpressure", modes: []string{ModeFetch, ModeFleet},
+		summary: "at least `min` requests were shed (fetch) or deferred (fleet) with retry-after hints",
+		params:  "min",
+		validate: func(sc *Scenario, ev *Event, i int) error {
+			if err := needOverloadStage(sc, ev, i); err != nil {
+				return err
+			}
+			return needMin(sc, ev, i)
+		},
+	},
 	"assert.origin": {
 		name: "assert.origin", modes: []string{ModeFetch},
 		summary: "the fetched histogram's origin tag",
@@ -517,6 +575,18 @@ func needMin(_ *Scenario, ev *Event, i int) error {
 		return &SpecError{Field: evField(i, "min"), Msg: "required"}
 	}
 	return nil
+}
+
+// needOverloadStage ties overload asserts to an actual overload fault:
+// without a storm or scripted overload answers there is nothing shed
+// to assert about.
+func needOverloadStage(sc *Scenario, ev *Event, i int) error {
+	for _, other := range sc.Events {
+		if other.Action == "net.overload_storm" || other.Action == "fleet.overload_answers" {
+			return nil
+		}
+	}
+	return &SpecError{Field: evField(i, "action"), Msg: ev.Action + " requires a net.overload_storm or fleet.overload_answers fault event"}
 }
 
 // needDataStage ties degradation asserts to an actual data.* fault:

@@ -10,6 +10,7 @@ import (
 	"reflect"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"numaperf/internal/campaign"
@@ -68,6 +69,13 @@ type outcome struct {
 	assignDep  bool
 	render     string
 	records    []Record
+
+	// Overload-storm telemetry (fetch mode): the exact shed tally the
+	// storm forced, and whether the queued fetch was served at brownout
+	// fidelity with the honest render marker.
+	sheds          int
+	brownoutServed bool
+	brownoutMarked bool
 }
 
 // Run executes a validated scenario and returns its deterministic run
@@ -222,7 +230,8 @@ func runFetch(sc *Scenario, seed int64, faults []Event, fake *clockx.Fake, opts 
 		return cs
 	}
 	failAccepts := 0
-	for _, ev := range faults {
+	var storm *Event
+	for i, ev := range faults {
 		cs := perConn[ev.Conn]
 		if cs == nil {
 			cs = &faultnet.ConnScript{}
@@ -241,6 +250,8 @@ func runFetch(sc *Scenario, seed int64, faults []Event, fake *clockx.Fake, opts 
 			cs.ResetReadAt = ev.Offset
 		case "net.refuse_accepts":
 			failAccepts = ev.Count
+		case "net.overload_storm":
+			storm = &faults[i]
 		}
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -248,7 +259,28 @@ func runFetch(sc *Scenario, seed int64, faults []Event, fake *clockx.Fake, opts 
 		return nil, err
 	}
 	fl := faultnet.Wrap(ln, faultnet.Options{Seed: seed, FailFirstAccepts: failAccepts, Script: script})
-	srv := &memhist.ProbeServer{MaxConns: 8}
+	srv := &memhist.ProbeServer{
+		MaxConns:      8,
+		MaxInflight:   fs.MaxInflight,
+		QueueBudget:   fs.QueueBudget,
+		BrownoutAfter: fs.BrownoutAfter,
+		Seed:          seed,
+	}
+	var hogEntered, hogRelease chan struct{}
+	if storm != nil {
+		// The first request to reach the measurement slot is the storm's
+		// hog: it parks there until the engine releases it, so admission
+		// decisions during the storm are a pure function of the scenario.
+		hogEntered, hogRelease = make(chan struct{}), make(chan struct{})
+		var hogged atomic.Bool
+		srv.Handle = func(r memhist.ProbeRequest) (*memhist.Histogram, error) {
+			if hogged.CompareAndSwap(false, true) {
+				close(hogEntered)
+				<-hogRelease
+			}
+			return memhist.HandleRequest(r)
+		}
+	}
 	done := make(chan struct{})
 	go func() { _ = srv.Serve(fl); close(done) }()
 	defer func() { ln.Close(); <-done }()
@@ -261,6 +293,26 @@ func runFetch(sc *Scenario, seed int64, faults []Event, fake *clockx.Fake, opts 
 	if timeout == 0 {
 		timeout = 30 * time.Second
 	}
+	out := &outcome{}
+	if storm != nil {
+		bh, sheds, serr := driveOverloadStorm(ln.Addr().String(), req, storm.Count, srv, hogEntered, hogRelease, timeout, opts)
+		if serr != nil {
+			return nil, fmt.Errorf("scenario: overload storm: %w", serr)
+		}
+		out.sheds = sheds
+		out.brownoutServed = bh.Brownout
+		out.brownoutMarked = strings.Contains(bh.Render(memhist.Occurrences, 60), "(BROWNOUT)")
+		bj, err := json.Marshal(bh)
+		if err != nil {
+			return nil, err
+		}
+		out.records = append(out.records, Record{"outcome", overloadOutcomeRec{
+			Kind: "outcome", Stage: "overload",
+			Sheds: sheds, BrownoutServed: out.brownoutServed, Marked: out.brownoutMarked,
+			Histogram: bj,
+		}})
+		opts.logf("storm: %d sheds, brownout fetch served, probe recovering", sheds)
+	}
 	opts.logf("fetch: dialing probe with %d retries", fs.Retries)
 	h, ferr := memhist.FetchRemoteWith(ln.Addr().String(), req, memhist.FetchOptions{
 		Timeout:       timeout,
@@ -268,7 +320,6 @@ func runFetch(sc *Scenario, seed int64, faults []Event, fake *clockx.Fake, opts 
 		FallbackLocal: fs.FallbackLocal,
 		Sleep:         func(d time.Duration) { fake.Advance(d) },
 	})
-	out := &outcome{}
 	if ferr != nil {
 		// The error text may carry ephemeral addresses, so the report
 		// records only the deterministic verdict.
@@ -288,6 +339,126 @@ func runFetch(sc *Scenario, seed int64, faults []Event, fake *clockx.Fake, opts 
 	out.render = h.Render(memhist.Occurrences, 60)
 	out.records = append(out.records, Record{"outcome", fetchOutcomeRec{"outcome", "fetch", h.Origin, out.matchesRef, hj}})
 	return out, nil
+}
+
+// driveOverloadStorm reproduces a deterministic overload episode
+// against the running probe server: a hog request saturates the single
+// measurement slot, `count` sequential storm requests queue briefly,
+// time out and shed with retry-after hints (tripping brownout at the
+// configured threshold), and a fetch through the still-held queue is
+// answered at brownout fidelity. The hog releases only once that fetch
+// is parked in the queue — a calm admission would clear the brownout —
+// so the reduced-fidelity response is a pure function of the scenario.
+func driveOverloadStorm(addr string, req memhist.ProbeRequest, count int, srv *memhist.ProbeServer, entered, release chan struct{}, timeout time.Duration, opts RunOptions) (*memhist.Histogram, int, error) {
+	hog, err := stormConn(addr, req, 60_000)
+	if err != nil {
+		return nil, 0, fmt.Errorf("hog request: %w", err)
+	}
+	defer hog.Close()
+	select {
+	case <-entered:
+	case <-time.After(60 * time.Second):
+		return nil, 0, errors.New("hog request never reached the measurement slot")
+	}
+	opts.logf("storm: hog holds the measurement slot, forcing %d sheds", count)
+
+	// Each storm request takes the empty queue slot, waits out half its
+	// tiny propagated deadline and sheds; firing them sequentially keeps
+	// the shed tally exact.
+	sheds := 0
+	for i := 0; i < count; i++ {
+		if err := stormShed(addr, req); err != nil {
+			return nil, sheds, fmt.Errorf("storm request %d: %w", i+1, err)
+		}
+		sheds++
+	}
+
+	queued := srv.Stats().QueuedRequests
+	type fetched struct {
+		h   *memhist.Histogram
+		err error
+	}
+	got := make(chan fetched, 1)
+	go func() {
+		h, err := memhist.FetchRemoteWith(addr, req, memhist.FetchOptions{Timeout: timeout})
+		got <- fetched{h, err}
+	}()
+	deadline := time.Now().Add(60 * time.Second)
+	for srv.Stats().QueuedRequests == queued {
+		if time.Now().After(deadline) {
+			return nil, sheds, errors.New("brownout fetch never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	if _, _, err := probenet.ReadFrame(hog); err != nil {
+		return nil, sheds, fmt.Errorf("hog response: %w", err)
+	}
+	r := <-got
+	if r.err != nil {
+		return nil, sheds, fmt.Errorf("brownout fetch: %w", r.err)
+	}
+	return r.h, sheds, nil
+}
+
+// stormConn dials the probe, consumes the HELLO and sends req with the
+// given propagated deadline, leaving the response unread.
+func stormConn(addr string, req memhist.ProbeRequest, timeoutMillis int64) (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", addr, 30*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	_ = conn.SetDeadline(time.Now().Add(90 * time.Second))
+	fail := func(err error) (net.Conn, error) {
+		conn.Close()
+		return nil, err
+	}
+	t, payload, err := probenet.ReadFrame(conn)
+	if err != nil {
+		return fail(err)
+	}
+	var hello probenet.Hello
+	if err := probenet.Decode(t, payload, &hello); err != nil {
+		return fail(err)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fail(err)
+	}
+	env := &probenet.Request{ID: 1, TimeoutMillis: timeoutMillis, Body: body}
+	if err := probenet.WriteFrame(conn, probenet.FrameRequest, env); err != nil {
+		return fail(err)
+	}
+	return conn, nil
+}
+
+// stormShed sends one storm request with a tiny propagated deadline and
+// requires the shed answer: an "overloaded" ERROR carrying a positive
+// retry-after hint.
+func stormShed(addr string, req memhist.ProbeRequest) error {
+	conn, err := stormConn(addr, req, 20)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	t, payload, err := probenet.ReadFrame(conn)
+	if err != nil {
+		return err
+	}
+	if t != probenet.FrameError {
+		return fmt.Errorf("answered with %s, want a shed ERROR", t)
+	}
+	var em probenet.ErrorMsg
+	if err := probenet.Decode(t, payload, &em); err != nil {
+		return err
+	}
+	if em.Code != probenet.CodeOverloaded {
+		return fmt.Errorf("shed with code %q, want %q", em.Code, probenet.CodeOverloaded)
+	}
+	if em.RetryAfterMillis <= 0 {
+		return errors.New("shed answer carried no retry-after hint")
+	}
+	return nil
 }
 
 // --- campaign stage: faultrun inside the supervised runner, faultdata
@@ -638,6 +809,18 @@ func evalAssert(sc *Scenario, ev Event, out *outcome) (bool, string) {
 		return finite, fmt.Sprintf("finite=%v", finite)
 	case "assert.matches_reference":
 		return out.matchesRef, fmt.Sprintf("matches_reference=%v", out.matchesRef)
+	case "assert.brownout":
+		return out.brownoutServed && out.brownoutMarked,
+			fmt.Sprintf("brownout_served=%v marked=%v", out.brownoutServed, out.brownoutMarked)
+	case "assert.backpressure":
+		if sc.Mode == ModeFetch {
+			return float64(out.sheds) >= *ev.Min, fmt.Sprintf("sheds=%d min=%g", out.sheds, *ev.Min)
+		}
+		// The fleet deferral tally varies with dispatch scheduling, so
+		// the detail records only the threshold verdict — keeping the
+		// report byte-identical across runs.
+		ok := float64(out.fleetRep.Backpressure) >= *ev.Min
+		return ok, fmt.Sprintf("deferrals>=%g met=%v", *ev.Min, ok)
 	case "assert.origin":
 		return out.origin == ev.Equals, fmt.Sprintf("origin=%s want=%s", out.origin, ev.Equals)
 	}

@@ -144,6 +144,8 @@ func armFleetEvent(p *probePlan, ev Event) {
 		}
 	case "fleet.flap":
 		s.CrashAlways()
+	case "fleet.overload_answers":
+		s.OverloadRequests(ev.N, ev.Count, ev.RetryAfter.D())
 	}
 }
 

@@ -12,8 +12,10 @@ var update = flag.Bool("update", false, "rewrite golden files")
 
 // goldenScenarios are the library entries whose reports are pinned
 // byte-for-byte. One per deterministic stage kind: a campaign with a
-// transient run fault, a collect under a perf throttle storm, and a
-// fleet campaign surviving a probe crash. Regenerate with
+// transient run fault, a collect under a perf throttle storm, a fleet
+// campaign surviving a probe crash, and the two overload storms
+// (single-probe brownout + recovery, fleet backpressure). Regenerate
+// with
 //
 //	go test ./internal/scenario -run TestGoldenReports -update
 //
@@ -23,6 +25,8 @@ var goldenScenarios = []string{
 	"run-transient-exit",
 	"perf-throttle-storm",
 	"fleet-probe-crash",
+	"overload-brownout-recovery",
+	"fleet-overload-storm",
 }
 
 func TestGoldenReports(t *testing.T) {
