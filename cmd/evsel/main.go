@@ -27,7 +27,11 @@
 // quarantined and reported. -parallel N measures up to N run cells
 // concurrently; because results are committed in canonical cell order,
 // the journal, tables and resume behaviour are byte-identical to a
-// serial run — only the wall-clock time changes.
+// serial run — only the wall-clock time changes. -journal-segments N
+// rotates the journal into checkpointed segments past N bytes, keeping
+// a long campaign's journal bounded; with -strict a journal disk fault
+// (ENOSPC, fsync failure) aborts the campaign, without it the run
+// finishes in memory and the report is marked JOURNAL DEGRADED.
 //
 //	evsel -workload parallelsort -sweep 1,2,4 -journal sweep.jnl
 //	evsel -workload parallelsort -sweep 1,2,4 -journal sweep.jnl -resume
@@ -74,15 +78,16 @@ func main() {
 		loadA    = flag.String("load-a", "", "load measurement A from a JSON file (with -load-b)")
 		loadB    = flag.String("load-b", "", "load measurement B from a JSON file")
 
-		strict   = flag.Bool("strict", false, "exit nonzero when results rest on degraded data (non-finite samples dropped, unusable series, degenerate tests)")
+		strict = flag.Bool("strict", false, "exit nonzero when results rest on degraded data (non-finite samples dropped, unusable series, degenerate tests)")
 
-		journal    = flag.String("journal", "", "run as a supervised campaign, journaling completed cells to this file")
-		resume     = flag.Bool("resume", false, "resume a killed campaign from its journal (skips completed cells)")
-		runTimeout = flag.Duration("run-timeout", campaign.DefaultRunTimeout, "wall-clock bound per run attempt")
-		maxRetries = flag.Int("max-retries", campaign.DefaultMaxRetries, "retries per run cell before it becomes a gap")
-		keepGoing  = flag.Bool("keep-going", false, "record typed gaps for failed cells instead of aborting the campaign")
-		opBudget   = flag.Uint64("op-budget", 0, "abort any run that simulates more than this many operations (0 = unlimited)")
-		parallel   = flag.Int("parallel", 1, "run cells measured concurrently; results are byte-identical at any setting")
+		journal     = flag.String("journal", "", "run as a supervised campaign, journaling completed cells to this file")
+		journalSegs = flag.Int("journal-segments", 0, "rotate the journal into checkpointed segments past this many bytes (0 = single file)")
+		resume      = flag.Bool("resume", false, "resume a killed campaign from its journal (skips completed cells)")
+		runTimeout  = flag.Duration("run-timeout", campaign.DefaultRunTimeout, "wall-clock bound per run attempt")
+		maxRetries  = flag.Int("max-retries", campaign.DefaultMaxRetries, "retries per run cell before it becomes a gap")
+		keepGoing   = flag.Bool("keep-going", false, "record typed gaps for failed cells instead of aborting the campaign")
+		opBudget    = flag.Uint64("op-budget", 0, "abort any run that simulates more than this many operations (0 = unlimited)")
+		parallel    = flag.Int("parallel", 1, "run cells measured concurrently; results are byte-identical at any setting")
 	)
 	flag.Parse()
 
@@ -158,15 +163,17 @@ func main() {
 	// campaign-mode measurement even without a journal).
 	campaigning := *journal != "" || *resume || *parallel > 1
 	opts := campaign.Options{
-		RunTimeout:  *runTimeout,
-		MaxRetries:  *maxRetries,
-		OpBudget:    *opBudget,
-		KeepGoing:   *keepGoing,
-		Concurrency: *parallel,
-		JournalPath: *journal,
-		Resume:      *resume,
-		BackoffSeed: *seed,
-		Logf:        func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+		RunTimeout:          *runTimeout,
+		MaxRetries:          *maxRetries,
+		OpBudget:            *opBudget,
+		KeepGoing:           *keepGoing,
+		Concurrency:         *parallel,
+		JournalPath:         *journal,
+		JournalSegmentBytes: *journalSegs,
+		StrictJournal:       *strict,
+		Resume:              *resume,
+		BackoffSeed:         *seed,
+		Logf:                func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
 	}
 	// The flags speak plainly (0 = off); the Options zero values select
 	// package defaults, so translate.

@@ -24,7 +24,10 @@
 // before it is acknowledged, and a coordinator restarted with -resume
 // replays the journal, re-scatters only the missing cells to the
 // re-registering probes, and produces the same report an uninterrupted
-// run would have.
+// run would have. -journal-segments N rotates the journal into
+// checkpointed segments past N bytes, keeping a week-long campaign's
+// journal bounded; with -strict a journal disk fault (ENOSPC, fsync
+// failure) aborts the campaign instead of degrading to in-memory.
 package main
 
 import (
@@ -74,6 +77,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		keepGoing    = fs.Bool("keep-going", true, "record unserved cells as gaps instead of aborting")
 		strict       = fs.Bool("strict", false, "exit nonzero on gaps or quarantined probes")
 		journalPath  = fs.String("journal", "", "crash journal: fsync every committed cell to this file")
+		journalSegs  = fs.Int("journal-segments", 0, "rotate the journal into checkpointed segments past this many bytes (0 = single file)")
 		resume       = fs.Bool("resume", false, "resume a crashed campaign from -journal, re-scattering only missing cells")
 		statsEvery   = fs.Duration("stats-interval", 0, "emit CRC-framed campaign health/strike/in-flight snapshot lines this often (0 = off)")
 
@@ -103,6 +107,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	// invocation should not leave a half-assembled fleet behind.
 	if *resume && *journalPath == "" {
 		fmt.Fprintln(stderr, "memhist-fleet: -resume requires -journal (nothing to resume from)")
+		return 2
+	}
+	if *journalSegs < 0 {
+		fmt.Fprintf(stderr, "memhist-fleet: -journal-segments must not be negative (got %d)\n", *journalSegs)
+		return 2
+	}
+	if *journalSegs > 0 && *journalPath == "" {
+		fmt.Fprintln(stderr, "memhist-fleet: -journal-segments requires -journal (nothing to rotate)")
 		return 2
 	}
 	if *cellTimeout < 0 {
@@ -163,15 +175,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		logf = func(format string, args ...any) { fmt.Fprintf(stderr, format+"\n", args...) }
 	}
 	coord := fleet.NewCoordinator(fleet.Options{
-		SuspectAfter: *suspectAfter,
-		DeadAfter:    *deadAfter,
-		ProbeStrikes: *probeStrikes,
-		CellTimeout:  *cellTimeout,
-		MaxRetries:   *maxRetries,
-		KeepGoing:    *keepGoing,
-		JournalPath:  *journalPath,
-		Resume:       *resume,
-		Logf:         logf,
+		SuspectAfter:        *suspectAfter,
+		DeadAfter:           *deadAfter,
+		ProbeStrikes:        *probeStrikes,
+		CellTimeout:         *cellTimeout,
+		MaxRetries:          *maxRetries,
+		KeepGoing:           *keepGoing,
+		JournalPath:         *journalPath,
+		JournalSegmentBytes: *journalSegs,
+		StrictJournal:       *strict,
+		Resume:              *resume,
+		Logf:                logf,
 
 		MaxInflightPerProbe: *maxInflight,
 	})

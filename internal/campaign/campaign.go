@@ -29,7 +29,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -106,6 +105,20 @@ type Options struct {
 	Concurrency int
 	// JournalPath enables the crash journal; empty runs in memory only.
 	JournalPath string
+	// JournalSegmentBytes rotates the journal into checkpointed
+	// segments (JournalPath.000001, …) once the live tail passes this
+	// many bytes, keeping resume cost O(tail) instead of O(history).
+	// Zero keeps the single-file layout. A legacy single-file journal
+	// resumed with rotation enabled is migrated crash-safely.
+	JournalSegmentBytes int
+	// StrictJournal fails the campaign with ErrJournalDegraded on any
+	// journal disk fault (ENOSPC, fsync failure, …). Without it the
+	// campaign finishes in memory and the report is marked
+	// JournalDegraded — results intact, resume guarantee honestly lost.
+	StrictJournal bool
+	// JournalFS overrides the filesystem under the journal; nil is the
+	// real one. internal/faultdisk scripts disk faults through this.
+	JournalFS journal.FS
 	// Resume loads an existing journal and skips its completed cells.
 	// Without Resume, a non-empty journal is an error, never silently
 	// overwritten.
@@ -191,6 +204,12 @@ type Report struct {
 	// Truncated records that a torn final journal record was dropped
 	// during resume (the expected signature of a crash mid-write).
 	Truncated bool
+	// JournalDegraded records that a disk fault cost this run its
+	// journal mid-campaign: the results are complete (finished in
+	// memory) but crash-resume protection was lost. JournalFault names
+	// the fault.
+	JournalDegraded bool
+	JournalFault    string
 }
 
 // Complete reports whether every expected sample was measured.
@@ -204,6 +223,9 @@ func (r *Report) Summary() string {
 		r.Cells, r.Ran, r.Replayed, r.Retried)
 	if r.Truncated {
 		sb.WriteString("campaign: dropped a torn final journal record (crash mid-write)\n")
+	}
+	if r.JournalDegraded {
+		fmt.Fprintf(&sb, "campaign: JOURNAL DEGRADED (%s) — crash-resume protection lost\n", r.JournalFault)
 	}
 	for _, g := range r.Gaps {
 		fmt.Fprintf(&sb, "gap: cell %s (%s=%g): %s (%d events unsampled)\n",
@@ -372,13 +394,20 @@ func (r *Runner) Run() (*Report, error) {
 	}
 	cells := r.cells(plans)
 
-	// Journal: load prior state when resuming, refuse to clobber
-	// otherwise, open for append, write the header once.
+	// Journal: load prior state when resuming (truncating a torn tail
+	// before appending), refuse to clobber otherwise, open for append.
+	// The writer owns the header: it writes one at the head of a fresh
+	// journal and of every rotated segment.
 	var state *journalState
-	var jnl *journal.Writer
+	var jnl journal.Log = (*journal.Writer)(nil)
 	if r.Opts.JournalPath != "" {
+		fsys := r.Opts.JournalFS
+		if fsys == nil {
+			fsys = journal.OSFS
+		}
+		var prior *journal.SegmentedState
 		if r.Opts.Resume {
-			state, err = loadJournal(r.Opts.JournalPath)
+			state, prior, err = loadJournal(fsys, r.Opts.JournalPath)
 			if err != nil {
 				return nil, err
 			}
@@ -389,19 +418,19 @@ func (r *Runner) Run() (*Report, error) {
 				logf("campaign: resuming %s: %d of %d cells already journaled",
 					r.Opts.JournalPath, state.completed(), len(cells))
 			}
-		} else if fi, err := os.Stat(r.Opts.JournalPath); err == nil && fi.Size() > 0 {
+		} else if journal.HasState(fsys, r.Opts.JournalPath) {
 			return nil, fmt.Errorf("%w: %s", ErrJournalExists, r.Opts.JournalPath)
 		}
-		jnl, err = journal.OpenAppend(r.Opts.JournalPath)
-		if err != nil {
-			return nil, fmt.Errorf("campaign: opening journal: %w", err)
+		sw, jerr := journal.OpenSegmented(fsys, r.Opts.JournalPath, prior, journal.SegmentedOptions{
+			SegmentBytes: r.Opts.JournalSegmentBytes,
+			Version:      journalVersion,
+			Header:       r.header(),
+		})
+		if jerr != nil {
+			return nil, fmt.Errorf("campaign: opening journal: %w", jerr)
 		}
+		jnl = sw
 		defer jnl.Close()
-		if state == nil {
-			if err := jnl.Append(r.header()); err != nil {
-				return nil, err
-			}
-		}
 	}
 
 	run := r.defaultRun(plans)
@@ -437,6 +466,29 @@ func (r *Runner) Run() (*Report, error) {
 	rep := &Report{ParamName: r.Spec.ParamName, Cells: len(cells)}
 	if state != nil {
 		rep.Truncated = state.truncated
+	}
+
+	// journalFault is the disk-fault policy at every journal append: a
+	// scripted crash propagates verbatim (the chaos harness resumes
+	// from whatever hit the disk); under StrictJournal any other fault
+	// aborts typed; otherwise the journal is dropped, the campaign
+	// finishes in memory, and the report says so — the resume guarantee
+	// is never lost silently.
+	journalFault := func(err error) error {
+		switch {
+		case err == nil:
+			return nil
+		case errors.Is(err, journal.ErrCrashed):
+			return err
+		case r.Opts.StrictJournal:
+			return fmt.Errorf("%w: %v", ErrJournalDegraded, err)
+		}
+		logf("campaign: journal degraded, finishing in memory: %v", err)
+		rep.JournalDegraded = true
+		rep.JournalFault = err.Error()
+		jnl.Close()
+		jnl = (*journal.Writer)(nil)
+		return nil
 	}
 	strikes := newStrikeLog()
 	acc := make([]map[counters.EventID][]float64, len(r.Spec.Points))
@@ -568,8 +620,8 @@ func (r *Runner) Run() (*Report, error) {
 				return rep, &CampaignError{Cell: c, Err: cerr}
 			}
 			logf("campaign: %v (recording gap)", cerr)
-			if jerr := jnl.Append(&gapRecord{Kind: "gap", Key: key, Error: cerr.Error(),
-				Events: names(plans[c.Point].visible(c.Batch))}); jerr != nil {
+			if jerr := journalFault(jnl.Append(&gapRecord{Kind: "gap", Key: key, Error: cerr.Error(),
+				Events: names(plans[c.Point].visible(c.Batch))})); jerr != nil {
 				return rep, jerr
 			}
 			gap(c, cerr.Error())
@@ -594,8 +646,8 @@ func (r *Runner) Run() (*Report, error) {
 			}
 			samples[name] = v
 		}
-		if err := jnl.Append(&cellRecord{Kind: "cell", Key: key, Samples: samples, Bad: bad}); err != nil {
-			return rep, err
+		if jerr := journalFault(jnl.Append(&cellRecord{Kind: "cell", Key: key, Samples: samples, Bad: bad})); jerr != nil {
+			return rep, jerr
 		}
 		decoded, _ := decodeSamples(samples)
 		record(c, decoded, bad)

@@ -84,6 +84,12 @@ var ErrJournalCorrupt = errors.New("campaign: journal corrupt")
 // would fabricate measurements.
 var ErrJournalMismatch = errors.New("campaign: journal does not match the campaign spec")
 
+// ErrJournalDegraded marks a campaign stopped by a journal disk fault
+// under Options.StrictJournal: failing fast beats silently losing the
+// crash-resume guarantee. Without StrictJournal the campaign finishes
+// in memory instead and the report carries JournalDegraded.
+var ErrJournalDegraded = errors.New("campaign: journal degraded")
+
 // retryable reports whether re-running a failed cell could help. The
 // simulator is deterministic, so a run that exceeded its op budget will
 // exceed it again; everything else (timeouts, panics, exits injected by

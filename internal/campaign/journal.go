@@ -23,7 +23,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
 
 	"numaperf/internal/journal"
 )
@@ -78,42 +77,58 @@ func parseLine(line string) (kind string, payload []byte, err error) {
 	return journal.ParseLine(line)
 }
 
-// loadJournal reads and verifies a journal file. A missing file returns
-// (nil, nil). A torn final record is dropped (truncated is set); any
-// earlier damage returns ErrJournalCorrupt with the line number.
-func loadJournal(path string) (*journalState, error) {
-	raw, err := os.ReadFile(path)
+// loadJournal recovers the journal at path — a legacy single file or
+// checkpointed segments, whichever recovery finds — over fsys. It
+// returns the campaign-flavoured state plus the raw recovery, which
+// OpenSegmented needs to continue the journal in place. A missing,
+// empty or all-casualty journal returns (nil, nil, nil): nothing to
+// resume (the same reading both campaign and fleet callers share).
+func loadJournal(fsys journal.FS, path string) (*journalState, *journal.SegmentedState, error) {
+	seg, err := journal.LoadSegmented(fsys, path, journalVersion)
 	if err != nil {
-		if os.IsNotExist(err) {
-			return nil, nil
-		}
-		return nil, err
+		return nil, nil, reflavour(err)
 	}
-	return parseJournal(raw)
+	if seg == nil {
+		return nil, nil, nil
+	}
+	st, err := convertJournal(seg.State, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return st, seg, nil
 }
 
-// parseJournal verifies and decodes raw journal bytes — the pure core
-// of loadJournal, separated so it can be fuzzed without a filesystem.
-// Empty input returns (nil, nil); every failure is ErrJournalCorrupt or
-// ErrJournalMismatch, never a panic.
+// reflavour turns the shared package's typed errors into the
+// campaign's historical sentinels and messages so callers (and the
+// fuzz corpus) see the exact pre-extraction surface.
+func reflavour(err error) error {
+	var ce *journal.CorruptError
+	if errors.As(err, &ce) {
+		if ce.Line > 0 {
+			return fmt.Errorf("%w: line %d: %v", ErrJournalCorrupt, ce.Line, ce.Reason)
+		}
+		return fmt.Errorf("%w: %v", ErrJournalCorrupt, ce.Reason)
+	}
+	var ve *journal.VersionError
+	if errors.As(err, &ve) {
+		return fmt.Errorf("%w: journal version %d, want %d", ErrJournalMismatch, ve.Got, ve.Want)
+	}
+	return err
+}
+
+// parseJournal verifies and decodes raw journal bytes — the pure
+// single-file core, separated so it can be fuzzed without a
+// filesystem. Empty input returns (nil, nil); every failure is
+// ErrJournalCorrupt or ErrJournalMismatch, never a panic.
 func parseJournal(raw []byte) (*journalState, error) {
-	generic, err := journal.Parse(raw, journalVersion)
+	return convertJournal(journal.Parse(raw, journalVersion))
+}
+
+// convertJournal maps a generic parsed journal into the campaign's
+// record vocabulary.
+func convertJournal(generic *journal.State, err error) (*journalState, error) {
 	if err != nil {
-		// Re-flavour the shared package's typed errors into the
-		// campaign's historical sentinels and messages so callers (and
-		// the fuzz corpus) see the exact pre-extraction surface.
-		var ce *journal.CorruptError
-		if errors.As(err, &ce) {
-			if ce.Line > 0 {
-				return nil, fmt.Errorf("%w: line %d: %v", ErrJournalCorrupt, ce.Line, ce.Reason)
-			}
-			return nil, fmt.Errorf("%w: %v", ErrJournalCorrupt, ce.Reason)
-		}
-		var ve *journal.VersionError
-		if errors.As(err, &ve) {
-			return nil, fmt.Errorf("%w: journal version %d, want %d", ErrJournalMismatch, ve.Got, ve.Want)
-		}
-		return nil, err
+		return nil, reflavour(err)
 	}
 	if generic == nil {
 		return nil, nil

@@ -29,6 +29,13 @@ func FuzzParseJournal(f *testing.F) {
 	f.Add([]byte(frameLine(header) + frameLine(`{"kind":"mystery"}`)))
 	f.Add([]byte("deadbeef not json\n"))
 	f.Add([]byte(frameLine(header) + strings.Repeat(frameLine(cell), 16)))
+	// Segmented-journal vocabulary: a checkpoint record never reaches
+	// this parser in production (LoadSegmented expands it first), so a
+	// raw single file carrying one must diagnose as corrupt, typed.
+	ckpt := `{"kind":"checkpoint","records":[` + cell + `,` + gapl + `]}`
+	f.Add([]byte(frameLine(header) + frameLine(ckpt)))
+	f.Add([]byte(frameLine(header) + frameLine(ckpt) + frameLine(cell)))
+	f.Add([]byte(frameLine(header) + frameLine(ckpt)[:30])) // torn checkpoint
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		st, err := parseJournal(raw)
 		if err != nil {

@@ -44,7 +44,7 @@ func TestJournalRoundTrip(t *testing.T) {
 			Samples: map[string]float64{"A": 1.5}, Bad: map[string]string{"B": "impossible"}},
 		&gapRecord{Kind: "gap", Key: "p0/r1/b0", Error: "boom", Events: []string{"A", "B"}},
 	)
-	st, err := loadJournal(path)
+	st, _, err := loadJournal(journal.OSFS, path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +68,7 @@ func TestJournalRoundTrip(t *testing.T) {
 }
 
 func TestJournalMissingAndEmpty(t *testing.T) {
-	st, err := loadJournal(filepath.Join(t.TempDir(), "nope"))
+	st, _, err := loadJournal(journal.OSFS, filepath.Join(t.TempDir(), "nope"))
 	if st != nil || err != nil {
 		t.Errorf("missing file: (%v, %v)", st, err)
 	}
@@ -76,7 +76,7 @@ func TestJournalMissingAndEmpty(t *testing.T) {
 	if err := os.WriteFile(path, nil, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	st, err = loadJournal(path)
+	st, _, err = loadJournal(journal.OSFS, path)
 	if st != nil || err != nil {
 		t.Errorf("empty file: (%v, %v)", st, err)
 	}
@@ -95,7 +95,7 @@ func TestJournalTornFinalRecord(t *testing.T) {
 	if err := os.WriteFile(path, raw[:len(raw)-5], 0o644); err != nil {
 		t.Fatal(err)
 	}
-	st, err := loadJournal(path)
+	st, _, err := loadJournal(journal.OSFS, path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestJournalFinalRecordWithoutNewline(t *testing.T) {
 	if err := os.WriteFile(path, raw[:len(raw)-1], 0o644); err != nil {
 		t.Fatal(err)
 	}
-	st, err := loadJournal(path)
+	st, _, err := loadJournal(journal.OSFS, path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestJournalCorruptionFailsLoudly(t *testing.T) {
 	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loadJournal(path); !errors.Is(err, ErrJournalCorrupt) {
+	if _, _, err := loadJournal(journal.OSFS, path); !errors.Is(err, ErrJournalCorrupt) {
 		t.Errorf("err = %v, want ErrJournalCorrupt", err)
 	}
 }
@@ -158,7 +158,7 @@ func TestJournalMissingHeader(t *testing.T) {
 	path := writeJournal(t,
 		&cellRecord{Kind: "cell", Key: "p0/r0/b0", Samples: map[string]float64{"A": 1}},
 	)
-	if _, err := loadJournal(path); !errors.Is(err, ErrJournalCorrupt) {
+	if _, _, err := loadJournal(journal.OSFS, path); !errors.Is(err, ErrJournalCorrupt) {
 		t.Errorf("err = %v, want ErrJournalCorrupt", err)
 	}
 }
@@ -167,7 +167,7 @@ func TestJournalVersionMismatch(t *testing.T) {
 	h := testHeader()
 	h.Version = journalVersion + 1
 	path := writeJournal(t, h)
-	if _, err := loadJournal(path); !errors.Is(err, ErrJournalMismatch) {
+	if _, _, err := loadJournal(journal.OSFS, path); !errors.Is(err, ErrJournalMismatch) {
 		t.Errorf("err = %v, want ErrJournalMismatch", err)
 	}
 }
@@ -194,4 +194,70 @@ func TestHeaderMatches(t *testing.T) {
 			t.Errorf("%s: err = %v, want ErrJournalMismatch", m.name, err)
 		}
 	}
+}
+
+// The empty/header-only contract, unified with the fleet journal: a
+// zero-byte file is "no journal" — a fresh run may claim it and a
+// resume starts from scratch — while a header-only journal is existing
+// state: fresh runs refuse it, resumes replay zero cells.
+func TestJournalEmptyAndHeaderOnlyRunSemantics(t *testing.T) {
+	spec := testSpec(testPoint(1, 1))
+
+	t.Run("empty/fresh", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "j")
+		if err := os.WriteFile(path, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := (&Runner{Spec: spec, Opts: Options{JournalPath: path}}).Run()
+		if err != nil {
+			t.Fatalf("fresh run refused a zero-byte journal: %v", err)
+		}
+		if !rep.Complete() {
+			t.Fatalf("incomplete: %s", rep.Summary())
+		}
+	})
+	t.Run("empty/resume", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "j")
+		if err := os.WriteFile(path, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := (&Runner{Spec: spec, Opts: Options{JournalPath: path, Resume: true}}).Run()
+		if err != nil {
+			t.Fatalf("resume over a zero-byte journal: %v", err)
+		}
+		if rep.Replayed != 0 || !rep.Complete() {
+			t.Fatalf("replayed %d, complete %v; want a from-scratch run", rep.Replayed, rep.Complete())
+		}
+	})
+	headerOnly := func(t *testing.T) string {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "j")
+		w, err := journal.OpenAppend(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append((&Runner{Spec: spec}).header()); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	t.Run("header-only/fresh", func(t *testing.T) {
+		path := headerOnly(t)
+		if _, err := (&Runner{Spec: spec, Opts: Options{JournalPath: path}}).Run(); !errors.Is(err, ErrJournalExists) {
+			t.Fatalf("err = %v, want ErrJournalExists", err)
+		}
+	})
+	t.Run("header-only/resume", func(t *testing.T) {
+		path := headerOnly(t)
+		rep, err := (&Runner{Spec: spec, Opts: Options{JournalPath: path, Resume: true}}).Run()
+		if err != nil {
+			t.Fatalf("resume over a header-only journal: %v", err)
+		}
+		if rep.Replayed != 0 || !rep.Complete() {
+			t.Fatalf("replayed %d, complete %v; want zero replays", rep.Replayed, rep.Complete())
+		}
+	})
 }

@@ -158,6 +158,12 @@ type Report struct {
 	// final journal record (the crash-mid-write signature).
 	Replayed  int
 	Truncated bool
+	// JournalDegraded records that a disk fault cost this campaign its
+	// journal mid-run: the merged report is complete (finished in
+	// memory) but crash-resume protection was lost. JournalFault names
+	// the fault.
+	JournalDegraded bool
+	JournalFault    string
 }
 
 // Complete reports whether every cell was served.
@@ -184,6 +190,9 @@ func (r *Report) Summary() string {
 	}
 	if r.Truncated {
 		b.WriteString("  dropped a torn final journal record (crash mid-write)\n")
+	}
+	if r.JournalDegraded {
+		fmt.Fprintf(&b, "  JOURNAL DEGRADED (%s) — crash-resume protection lost\n", r.JournalFault)
 	}
 	ids := make([]string, 0, len(r.ProbeCells))
 	for id := range r.ProbeCells {

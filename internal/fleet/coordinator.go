@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -68,6 +67,21 @@ type Options struct {
 	// footer, gap verdict) and every probe strike-ledger change is
 	// CRC-framed and fsynced before the campaign acknowledges it.
 	JournalPath string
+	// JournalSegmentBytes rotates the journal into checkpointed
+	// segments (JournalPath.000001, …) once the live tail passes this
+	// many bytes, keeping a week-long campaign's journal bounded and
+	// resume cost O(tail). Zero keeps the single-file layout. A legacy
+	// single-file journal resumed with rotation enabled is migrated
+	// crash-safely.
+	JournalSegmentBytes int
+	// StrictJournal fails the campaign with ErrJournalDegraded on any
+	// journal disk fault (ENOSPC, fsync failure, …). Without it the
+	// campaign finishes in memory and the report is marked JOURNAL
+	// DEGRADED — results intact, resume guarantee honestly lost.
+	StrictJournal bool
+	// JournalFS overrides the filesystem under the journal; nil is the
+	// real one. internal/faultdisk scripts disk faults through this.
+	JournalFS journal.FS
 	// Resume loads an existing journal, replays its committed cells and
 	// strike ledger, and re-scatters only the missing cells. Without
 	// Resume, a non-empty journal is ErrJournalExists, never silently
@@ -653,18 +667,24 @@ func (c *Coordinator) RunCampaign(ctx context.Context, spec Spec) (*Report, erro
 	// enter the loop already done and journaled, so the scatter only
 	// sees the missing ones; the restored strike ledger closes the door
 	// on probes whose quarantine predates the restart.
-	var jnl *journal.Writer
+	var jnl journal.Log = (*journal.Writer)(nil)
 	nextCommit := 0
 	lastLedger := make(map[string]fleetProbeRecord)
-	if c.opts.JournalPath != "" {
+	journaling := c.opts.JournalPath != ""
+	if journaling {
+		fsys := c.opts.JournalFS
+		if fsys == nil {
+			fsys = journal.OSFS
+		}
 		var state *fleetJournalState
+		var prior *journal.SegmentedState
 		if c.opts.Resume {
 			var err error
-			state, err = loadFleetJournal(c.opts.JournalPath)
+			state, prior, err = loadFleetJournal(fsys, c.opts.JournalPath)
 			if err != nil {
 				return nil, err
 			}
-		} else if fi, err := os.Stat(c.opts.JournalPath); err == nil && fi.Size() > 0 {
+		} else if journal.HasState(fsys, c.opts.JournalPath) {
 			return nil, fmt.Errorf("%w: %s", ErrJournalExists, c.opts.JournalPath)
 		}
 		if state != nil {
@@ -702,26 +722,50 @@ func (c *Coordinator) RunCampaign(ctx context.Context, spec Spec) (*Report, erro
 			}
 			nextCommit = len(state.committed)
 			if state.truncated {
+				// OpenSegmented truncates the torn tail before appending.
 				report.Truncated = true
-				if err := os.Truncate(c.opts.JournalPath, int64(state.validLen)); err != nil {
-					return nil, fmt.Errorf("fleet: truncating torn journal tail: %w", err)
-				}
 				c.opts.Logf("fleet: dropped a torn final journal record (crash mid-write)")
 			}
 			c.opts.Logf("fleet: resuming %s: %d of %d cells already journaled",
 				c.opts.JournalPath, nextCommit, n)
 		}
-		var err error
-		jnl, err = journal.OpenAppend(c.opts.JournalPath)
+		// The writer owns the header: it writes one at the head of a
+		// fresh journal and of every rotated segment, with the probe
+		// ledger compacted to one record per probe at each checkpoint.
+		sw, err := journal.OpenSegmented(fsys, c.opts.JournalPath, prior, journal.SegmentedOptions{
+			SegmentBytes: c.opts.JournalSegmentBytes,
+			Version:      fleetJournalVersion,
+			Header:       fleetHeaderFor(spec),
+			Summarize:    summarizeFleetCheckpoint,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("fleet: opening journal: %w", err)
 		}
+		jnl = sw
 		defer jnl.Close()
-		if state == nil {
-			if err := jnl.Append(fleetHeaderFor(spec)); err != nil {
-				return nil, err
-			}
+	}
+
+	// journalFault is the disk-fault policy at every journal append: a
+	// scripted crash (disk kill or coordinator disruptor) propagates
+	// verbatim so the chaos harness resumes from whatever hit the disk;
+	// under StrictJournal any other fault aborts typed; otherwise the
+	// journal is dropped, the campaign finishes in memory, and the
+	// report says so — the resume guarantee is never lost silently.
+	journalFault := func(err error) error {
+		switch {
+		case err == nil:
+			return nil
+		case errors.Is(err, journal.ErrCrashed), errors.Is(err, ErrCoordinatorKilled):
+			return err
+		case c.opts.StrictJournal:
+			return fmt.Errorf("%w: %v", ErrJournalDegraded, err)
 		}
+		c.opts.Logf("fleet: journal degraded, finishing in memory: %v", err)
+		report.JournalDegraded = true
+		report.JournalFault = err.Error()
+		jnl.Close()
+		jnl = (*journal.Writer)(nil)
+		return nil
 	}
 
 	// abort cancels every outstanding dispatch so late responses are
@@ -770,7 +814,7 @@ func (c *Coordinator) RunCampaign(ctx context.Context, spec Spec) (*Report, erro
 						return ErrCoordinatorKilled
 					}
 				}
-				if err := jnl.Append(record); err != nil {
+				if err := journalFault(jnl.Append(record)); err != nil {
 					return err
 				}
 				st.journaled = true
@@ -786,7 +830,7 @@ func (c *Coordinator) RunCampaign(ctx context.Context, spec Spec) (*Report, erro
 	// probe wins on replay, so re-writing on every change is
 	// idempotent across any number of restarts.
 	syncLedger := func() error {
-		if jnl == nil {
+		if !journaling {
 			return nil
 		}
 		for _, p := range c.tracker.Snapshot() {
@@ -800,7 +844,7 @@ func (c *Coordinator) RunCampaign(ctx context.Context, spec Spec) (*Report, erro
 			}
 			rec := fleetProbeRecord{Kind: "probe", ID: p.ID, Strikes: p.Strikes,
 				Reasons: p.StrikeReasons, Quarantined: quar}
-			if err := jnl.Append(&rec); err != nil {
+			if err := journalFault(jnl.Append(&rec)); err != nil {
 				return err
 			}
 			lastLedger[p.ID] = rec

@@ -37,6 +37,11 @@ var (
 	// ErrJournalMismatch marks a journal whose header describes a
 	// different campaign (or schema version) than the one resuming.
 	ErrJournalMismatch = errors.New("fleet: journal does not match the campaign spec")
+	// ErrJournalDegraded marks a campaign stopped by a journal disk
+	// fault under Options.StrictJournal: failing fast beats silently
+	// losing the crash-resume guarantee. Without StrictJournal the
+	// campaign finishes in memory and the report says JOURNAL DEGRADED.
+	ErrJournalDegraded = errors.New("fleet: journal degraded")
 )
 
 // fleetHeader pins the campaign a journal belongs to: every field of
@@ -169,11 +174,59 @@ func (s *fleetJournalState) probeIDs() []string {
 	return ids
 }
 
-// loadFleetJournal reads and verifies a fleet journal file. A missing
-// file returns (nil, nil).
-func loadFleetJournal(path string) (*fleetJournalState, error) {
-	st, err := journal.Load(path, fleetJournalVersion)
-	return convertFleetJournal(st, err)
+// loadFleetJournal recovers the fleet journal at path — a legacy
+// single file or checkpointed segments — over fsys. It returns the
+// fleet-flavoured state plus the raw recovery, which OpenSegmented
+// needs to continue the journal in place. A missing, empty or
+// all-casualty journal returns (nil, nil, nil): nothing to resume (the
+// same reading the campaign caller shares).
+func loadFleetJournal(fsys journal.FS, path string) (*fleetJournalState, *journal.SegmentedState, error) {
+	seg, err := journal.LoadSegmented(fsys, path, fleetJournalVersion)
+	if err != nil {
+		_, cerr := convertFleetJournal(nil, err)
+		return nil, nil, cerr
+	}
+	if seg == nil {
+		return nil, nil, nil
+	}
+	st, err := convertFleetJournal(seg.State, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return st, seg, nil
+}
+
+// summarizeFleetCheckpoint compacts a rotation checkpoint: cell and
+// gap records keep their canonical order verbatim, and the probe
+// ledger — absolute totals where only the last record per probe
+// matters — collapses to one record per probe, appended in sorted-ID
+// order so the checkpoint bytes are deterministic.
+func summarizeFleetCheckpoint(payloads []json.RawMessage) ([]json.RawMessage, error) {
+	out := make([]json.RawMessage, 0, len(payloads))
+	probes := make(map[string]json.RawMessage)
+	for _, p := range payloads {
+		var probe struct {
+			Kind string `json:"kind"`
+			ID   string `json:"id"`
+		}
+		if err := json.Unmarshal(p, &probe); err != nil {
+			return nil, err
+		}
+		if probe.Kind == "probe" {
+			probes[probe.ID] = p
+			continue
+		}
+		out = append(out, p)
+	}
+	ids := make([]string, 0, len(probes))
+	for id := range probes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		out = append(out, probes[id])
+	}
+	return out, nil
 }
 
 // parseFleetJournal verifies and decodes raw fleet journal bytes — the

@@ -26,12 +26,19 @@ func FuzzParseFleetJournal(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte(fleetFrameLine(header)))
 	f.Add([]byte(fleetFrameLine(header) + fleetFrameLine(cell) + fleetFrameLine(gap) + fleetFrameLine(probe)))
-	f.Add([]byte(fleetFrameLine(header) + fleetFrameLine(cell)[:30])) // torn tail
-	f.Add([]byte(fleetFrameLine(cell)))                               // missing header
+	f.Add([]byte(fleetFrameLine(header) + fleetFrameLine(cell)[:30]))           // torn tail
+	f.Add([]byte(fleetFrameLine(cell)))                                         // missing header
 	f.Add([]byte(fleetFrameLine(strings.Replace(header, `"v":1`, `"v":9`, 1)))) // version skew
-	f.Add([]byte(fleetFrameLine(foreign))) // campaign-journal header in a fleet journal
+	f.Add([]byte(fleetFrameLine(foreign)))                                      // campaign-journal header in a fleet journal
 	f.Add([]byte(fleetFrameLine(header) + fleetFrameLine(`{"kind":"mystery"}`)))
 	f.Add([]byte("deadbeef not json\n"))
+	// Segmented-journal vocabulary: a checkpoint record never reaches
+	// this parser in production (LoadSegmented expands it first), so a
+	// raw single file carrying one must diagnose as corrupt, typed.
+	ckpt := `{"kind":"checkpoint","records":[` + cell + `,` + gap + `]}`
+	f.Add([]byte(fleetFrameLine(header) + fleetFrameLine(ckpt)))
+	f.Add([]byte(fleetFrameLine(header) + fleetFrameLine(ckpt) + fleetFrameLine(cell)))
+	f.Add([]byte(fleetFrameLine(header) + fleetFrameLine(ckpt)[:40])) // torn checkpoint
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		st, err := parseFleetJournal(raw)
 		if err != nil {

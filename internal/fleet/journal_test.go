@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"numaperf/internal/journal"
 	"numaperf/internal/memhist"
@@ -67,7 +68,7 @@ func TestFleetJournalRoundTrip(t *testing.T) {
 		&fleetGapRecord{Kind: "gap", Cell: 1, Reason: "fleet: no live probes"},
 		&fleetProbeRecord{Kind: "probe", ID: "probe-b", Strikes: 3, Reasons: []string{"flap"}, Quarantined: true},
 	)
-	st, err := loadFleetJournal(path)
+	st, _, err := loadFleetJournal(journal.OSFS, path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestFleetJournalRoundTrip(t *testing.T) {
 }
 
 func TestFleetJournalMissingAndEmpty(t *testing.T) {
-	st, err := loadFleetJournal(filepath.Join(t.TempDir(), "nope"))
+	st, _, err := loadFleetJournal(journal.OSFS, filepath.Join(t.TempDir(), "nope"))
 	if st != nil || err != nil {
 		t.Errorf("missing file: (%v, %v)", st, err)
 	}
@@ -169,7 +170,7 @@ func TestFleetJournalCanonicalOrderEnforced(t *testing.T) {
 	}
 	for _, tc := range cases[:2] {
 		path := writeFleetJournal(t, fleetHeaderFor(spec), tc.rec)
-		if _, err := loadFleetJournal(path); !errors.Is(err, ErrJournalCorrupt) {
+		if _, _, err := loadFleetJournal(journal.OSFS, path); !errors.Is(err, ErrJournalCorrupt) {
 			t.Errorf("%s: err = %v, want ErrJournalCorrupt", tc.name, err)
 		}
 	}
@@ -177,7 +178,7 @@ func TestFleetJournalCanonicalOrderEnforced(t *testing.T) {
 		&fleetCellRecord{Kind: "cell", Cell: 0, Probe: "p", Hist: cellBody(t, spec, 0)},
 		&fleetGapRecord{Kind: "gap", Cell: 0, Reason: "x"},
 	)
-	if _, err := loadFleetJournal(path); !errors.Is(err, ErrJournalCorrupt) {
+	if _, _, err := loadFleetJournal(journal.OSFS, path); !errors.Is(err, ErrJournalCorrupt) {
 		t.Errorf("duplicate index: err = %v, want ErrJournalCorrupt", err)
 	}
 }
@@ -187,7 +188,7 @@ func TestFleetJournalVersionSkewNamesBothVersions(t *testing.T) {
 	h := fleetHeaderFor(spec)
 	h.Version = fleetJournalVersion + 3
 	path := writeFleetJournal(t, h)
-	_, err := loadFleetJournal(path)
+	_, _, err := loadFleetJournal(journal.OSFS, path)
 	if !errors.Is(err, ErrJournalMismatch) {
 		t.Fatalf("err = %v, want ErrJournalMismatch", err)
 	}
@@ -327,4 +328,56 @@ func TestRunCampaignResumeRejectsMalformedCell(t *testing.T) {
 	if _, err := c.RunCampaign(context.Background(), spec); !errors.Is(err, ErrJournalCorrupt) {
 		t.Errorf("err = %v, want ErrJournalCorrupt", err)
 	}
+}
+
+// The empty/header-only contract, unified with the campaign journal: a
+// zero-byte file is "no journal" — a fresh campaign may claim it and a
+// resume starts from scratch — while a header-only journal is existing
+// state: fresh campaigns refuse it, resumes replay zero cells. With no
+// probes registered the runs end in ErrNoProbes, which is exactly the
+// point: the journal layer let them through.
+func TestFleetJournalEmptyAndHeaderOnlyRunSemantics(t *testing.T) {
+	spec := testFleetSpec(1)
+	opts := func(path string, resume bool) Options {
+		return Options{JournalPath: path, Resume: resume,
+			NoProbeGrace: 50 * time.Millisecond, Tick: 5 * time.Millisecond}
+	}
+	run := func(t *testing.T, path string, resume bool) error {
+		t.Helper()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_, err := NewCoordinator(opts(path, resume)).RunCampaign(ctx, spec)
+		return err
+	}
+
+	t.Run("empty/fresh", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "j")
+		if err := os.WriteFile(path, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := run(t, path, false); !errors.Is(err, ErrNoProbes) {
+			t.Fatalf("err = %v, want the journal ignored and ErrNoProbes", err)
+		}
+	})
+	t.Run("empty/resume", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "j")
+		if err := os.WriteFile(path, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := run(t, path, true); !errors.Is(err, ErrNoProbes) {
+			t.Fatalf("err = %v, want a from-scratch run and ErrNoProbes", err)
+		}
+	})
+	t.Run("header-only/fresh", func(t *testing.T) {
+		path := writeFleetJournal(t, fleetHeaderFor(spec))
+		if err := run(t, path, false); !errors.Is(err, ErrJournalExists) {
+			t.Fatalf("err = %v, want ErrJournalExists", err)
+		}
+	})
+	t.Run("header-only/resume", func(t *testing.T) {
+		path := writeFleetJournal(t, fleetHeaderFor(spec))
+		if err := run(t, path, true); !errors.Is(err, ErrNoProbes) {
+			t.Fatalf("err = %v, want zero replays and ErrNoProbes", err)
+		}
+	})
 }

@@ -30,6 +30,14 @@ import (
 	"strings"
 )
 
+// ErrCrashed marks a scripted process kill from a disk-fault injector:
+// the write (or part of it) may have happened, but the process dies
+// before acknowledging. Owning packages propagate it verbatim — it is
+// a simulated crash, not a degradation — so chaos harnesses can catch
+// it with errors.Is and resume, exactly as internal/fleet does with
+// its coordinator kills.
+var ErrCrashed = errors.New("journal: scripted crash")
+
 // ErrCorrupt marks an integrity failure in the body of a journal: a
 // CRC mismatch, an undecodable record, or a structural violation (a
 // missing or duplicated header) before the final line. A torn final
@@ -128,11 +136,19 @@ func ParseLine(line string) (kind string, payload []byte, err error) {
 	return probe.Kind, payload, nil
 }
 
+// AnyVersion, passed to Parse or LoadSegmented as wantVersion, accepts
+// every header version and reports it in State.Version. It is the fsck
+// surface's setting: cmd/memjournal audits journals it does not own,
+// so it verifies structure and integrity without enforcing a record
+// schema. Resuming callers always pass their real version.
+const AnyVersion = -1
+
 // Parse verifies and decodes raw journal bytes — pure, so owning
 // packages can fuzz it without a filesystem. Empty input returns
 // (nil, nil); every failure is a *CorruptError or *VersionError, never
 // a panic. wantVersion is the record-format version this caller
-// speaks; any other header version is refused.
+// speaks; any other header version is refused (unless wantVersion is
+// AnyVersion).
 func Parse(raw []byte, wantVersion int) (*State, error) {
 	if len(raw) == 0 {
 		return nil, nil
@@ -183,17 +199,31 @@ func Parse(raw []byte, wantVersion int) (*State, error) {
 	if err := json.Unmarshal(st.Header.Payload, &h); err != nil {
 		return nil, &CorruptError{Line: 1, Reason: fmt.Sprintf("undecodable header version: %v", err)}
 	}
-	if h.Version != wantVersion {
+	if wantVersion != AnyVersion && h.Version != wantVersion {
 		return nil, &VersionError{Got: h.Version, Want: wantVersion}
 	}
 	st.Version = h.Version
 	return st, nil
 }
 
-// Load reads and verifies a journal file. A missing file returns
-// (nil, nil) — there is nothing to resume, which is not an error.
+// Load reads and verifies a journal file. The contract, shared by
+// every caller (campaign and fleet resume alike):
+//
+//   - missing file  → (nil, nil): nothing to resume, not an error
+//   - zero-byte file → (nil, nil): created but never written; a fresh
+//     run may claim it
+//   - header-only file → a valid *State with no records: the run
+//     crashed after the header landed, and resuming it replays nothing
+//
+// HasState applies the same reading to the "does a journal already
+// exist" clobber check, so the two sides can never disagree.
 func Load(path string, wantVersion int) (*State, error) {
-	raw, err := os.ReadFile(path)
+	return LoadFS(OSFS, path, wantVersion)
+}
+
+// LoadFS is Load over an explicit filesystem.
+func LoadFS(fsys FS, path string, wantVersion int) (*State, error) {
+	raw, err := fsys.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, nil
@@ -203,23 +233,79 @@ func Load(path string, wantVersion int) (*State, error) {
 	return Parse(raw, wantVersion)
 }
 
+// HasState reports whether base already holds journal bytes a fresh
+// (non-resume) run would clobber: a non-empty legacy single file, or
+// any non-empty segment. Zero-byte files do not count — a journal that
+// was created but never written resumes as nothing and may be claimed
+// by a fresh run, matching Load's reading of the same bytes.
+func HasState(fsys FS, base string) bool {
+	if fsys == nil {
+		fsys = OSFS
+	}
+	if fi, err := fsys.Stat(base); err == nil && fi.Size() > 0 {
+		return true
+	}
+	for _, seg := range listSegments(fsys, base) {
+		if fi, err := fsys.Stat(seg.path); err == nil && fi.Size() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Log is the append surface shared by the single-file Writer and the
+// SegmentedWriter, so owning packages journal through one seam
+// regardless of on-disk layout. Every implementation is
+// nil-receiver safe: a typed nil means "journaling disabled" and
+// accepts every call as a no-op, so callers hold
+//
+//	var jnl journal.Log = (*journal.Writer)(nil)
+//
+// rather than a nil interface.
+type Log interface {
+	// Append marshals, frames, writes and fsyncs one record.
+	Append(record any) error
+	// WriteRaw writes pre-framed bytes without syncing — the fault
+	// injectors' seam for torn records and crash windows.
+	WriteRaw(b []byte) error
+	// Sync flushes written records to stable storage.
+	Sync() error
+	// Close closes the underlying file.
+	Close() error
+}
+
+var (
+	_ Log = (*Writer)(nil)
+	_ Log = (*SegmentedWriter)(nil)
+)
+
 // Writer appends CRC-framed records to an open file, syncing after
 // every Append so a kill -9 loses at most the record being written.
 // A nil Writer (journaling disabled) accepts every call as a no-op.
 type Writer struct {
-	f *os.File
+	f File
 }
 
 // NewWriter wraps an open file.
 func NewWriter(f *os.File) *Writer { return &Writer{f: f} }
 
 // OpenAppend opens (creating if needed) a journal file for appending.
+// When the open creates the file, the parent directory is fsynced too,
+// so a crash immediately after creation cannot lose the file itself.
 func OpenAppend(path string) (*Writer, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	return OpenAppendFS(OSFS, path)
+}
+
+// OpenAppendFS is OpenAppend over an explicit filesystem.
+func OpenAppendFS(fsys FS, path string) (*Writer, error) {
+	if fsys == nil {
+		fsys = OSFS
+	}
+	f, err := openAppendFile(fsys, path)
 	if err != nil {
 		return nil, err
 	}
-	return NewWriter(f), nil
+	return &Writer{f: f}, nil
 }
 
 // Append marshals, frames, writes and fsyncs one record.

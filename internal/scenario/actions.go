@@ -448,6 +448,43 @@ var registry = map[string]*actionDef{
 		},
 	},
 
+	// --- faultdisk (fleet): the disk under the crash journal
+	// misbehaves. Faults count global 1-based occurrences of their
+	// operation class across the journal's lifetime. ---
+	"disk.enospc": {
+		name: "disk.enospc", modes: []string{ModeFleet},
+		summary:  "fail the journal's Nth write with ENOSPC (the disk fills up)",
+		params:   "n (1-based journal write; needs fleet.journal)",
+		validate: needDiskFault,
+	},
+	"disk.sync_fail": {
+		name: "disk.sync_fail", modes: []string{ModeFleet},
+		summary:  "fail the journal's Nth fsync with EIO (the durability barrier lies)",
+		params:   "n (1-based journal fsync; needs fleet.journal)",
+		validate: needDiskFault,
+	},
+	"disk.torn_write": {
+		name: "disk.torn_write", modes: []string{ModeFleet},
+		summary:  "land only half of the journal's Nth write, then kill the coordinator (a torn record)",
+		params:   "n (1-based journal write; needs fleet.journal and fleet.resume)",
+		validate: needDiskKill,
+	},
+	"disk.kill": {
+		name: "disk.kill", modes: []string{ModeFleet},
+		summary: "kill the coordinator at the journal's Nth disk operation of class `op` (crash windows including mid-rotation)",
+		params:  "op (write|sync|create|syncdir), n (1-based; needs fleet.journal and fleet.resume)",
+		validate: func(sc *Scenario, ev *Event, i int) error {
+			if err := needDiskKill(sc, ev, i); err != nil {
+				return err
+			}
+			switch ev.Op {
+			case "write", "sync", "create", "syncdir":
+				return nil
+			}
+			return &SpecError{Field: evField(i, "op"), Msg: fmt.Sprintf("unknown journal operation %q (write, sync, create or syncdir)", ev.Op)}
+		},
+	},
+
 	// --- assertions: evaluated against the stage outcome after the
 	// run; `at` orders them on the report timeline. ---
 	"assert.complete": {
@@ -556,6 +593,21 @@ var registry = map[string]*actionDef{
 			return needMin(sc, ev, i)
 		},
 	},
+	"assert.journal": {
+		name: "assert.journal", modes: []string{ModeFleet},
+		summary: "the crash journal's end state: degraded (resume protection honestly lost) or clean (fsck-verified on disk)",
+		params:  "equals (clean | degraded; needs fleet.journal)",
+		validate: func(sc *Scenario, ev *Event, i int) error {
+			if !sc.Fleet.Journal {
+				return &SpecError{Field: evField(i, "action"), Msg: "assert.journal requires fleet.journal: true"}
+			}
+			switch ev.Equals {
+			case "clean", "degraded":
+				return nil
+			}
+			return &SpecError{Field: evField(i, "equals"), Msg: "must be clean or degraded"}
+		},
+	},
 	"assert.origin": {
 		name: "assert.origin", modes: []string{ModeFetch},
 		summary: "the fetched histogram's origin tag",
@@ -568,6 +620,31 @@ var registry = map[string]*actionDef{
 			return &SpecError{Field: evField(i, "equals"), Msg: "must be local, probe or local-fallback"}
 		},
 	},
+}
+
+// needDiskFault validates the non-crashing disk.* faults: they need a
+// journal under the campaign and a 1-based occurrence count.
+func needDiskFault(sc *Scenario, ev *Event, i int) error {
+	if !sc.Fleet.Journal {
+		return &SpecError{Field: evField(i, "action"), Msg: ev.Action + " requires fleet.journal: true"}
+	}
+	if ev.N < 1 {
+		return &SpecError{Field: evField(i, "n"), Msg: "n is 1-based"}
+	}
+	return nil
+}
+
+// needDiskKill additionally requires resume: these faults kill the
+// coordinator, so without a resumable journal the scenario cannot
+// finish.
+func needDiskKill(sc *Scenario, ev *Event, i int) error {
+	if err := needDiskFault(sc, ev, i); err != nil {
+		return err
+	}
+	if !sc.Fleet.Resume {
+		return &SpecError{Field: evField(i, "action"), Msg: ev.Action + " requires fleet.resume: true"}
+	}
+	return nil
 }
 
 func needMin(_ *Scenario, ev *Event, i int) error {

@@ -70,6 +70,12 @@ type outcome struct {
 	render     string
 	records    []Record
 
+	// Journal end state (fleet mode with fleet.journal): whether a disk
+	// fault cost the run its crash-resume protection, and the offline
+	// fsck verdict of what the campaign left on disk.
+	journalDegraded bool
+	journalVerify   string
+
 	// Overload-storm telemetry (fetch mode): the exact shed tally the
 	// storm forced, and whether the queued fetch was served at brownout
 	// fidelity with the honest render marker.
@@ -821,6 +827,18 @@ func evalAssert(sc *Scenario, ev Event, out *outcome) (bool, string) {
 		// report byte-identical across runs.
 		ok := float64(out.fleetRep.Backpressure) >= *ev.Min
 		return ok, fmt.Sprintf("deferrals>=%g met=%v", *ev.Min, ok)
+	case "assert.journal":
+		state := "clean"
+		if out.journalDegraded {
+			state = "degraded"
+		}
+		ok := state == ev.Equals
+		if ev.Equals == "clean" {
+			// A clean journal must also fsck clean on disk — degradation
+			// and corruption both fail the assertion.
+			ok = ok && out.journalVerify == "clean"
+		}
+		return ok, fmt.Sprintf("journal=%s fsck=%s want=%s", state, out.journalVerify, ev.Equals)
 	case "assert.origin":
 		return out.origin == ev.Equals, fmt.Sprintf("origin=%s want=%s", out.origin, ev.Equals)
 	}

@@ -14,9 +14,11 @@ import (
 	"time"
 
 	"numaperf/internal/exec"
+	"numaperf/internal/faultdisk"
 	"numaperf/internal/faultfleet"
 	"numaperf/internal/faultperf"
 	"numaperf/internal/fleet"
+	"numaperf/internal/journal"
 	"numaperf/internal/memhist"
 	"numaperf/internal/perf"
 )
@@ -322,12 +324,14 @@ func runFleetStage(sc *Scenario, seed int64, faults []Event, opts RunOptions) (*
 	}
 
 	var uniformPerf []Event
-	var killEvents []Event
+	var killEvents, diskEvents []Event
 	assignDep := false
 	for _, ev := range faults {
 		switch {
 		case ev.Action == "fleet.kill_coordinator":
 			killEvents = append(killEvents, ev)
+		case strings.HasPrefix(ev.Action, "disk."):
+			diskEvents = append(diskEvents, ev)
 		case strings.HasPrefix(ev.Action, "perf."):
 			if ev.Target == "" || ev.Target == "*" {
 				uniformPerf = append(uniformPerf, ev)
@@ -367,6 +371,41 @@ func runFleetStage(sc *Scenario, seed int64, faults []Event, opts RunOptions) (*
 		}
 		defer os.RemoveAll(scratch)
 		fopts.JournalPath = filepath.Join(scratch, "fleet.journal")
+		fopts.JournalSegmentBytes = fs.SegmentBytes
+	}
+	// disk.* events compile onto one faultdisk script threaded under the
+	// journal. The same script serves both coordinator lives of a
+	// kill-resume scenario — its one-shot faults never refire.
+	var diskScript *faultdisk.Script
+	diskKills := 0
+	for _, ev := range diskEvents {
+		if diskScript == nil {
+			diskScript = faultdisk.NewScript()
+		}
+		switch ev.Action {
+		case "disk.enospc":
+			diskScript.ENOSPCOnWrite(ev.N)
+		case "disk.sync_fail":
+			diskScript.FailSync(ev.N)
+		case "disk.torn_write":
+			diskKills++
+			diskScript.TearOnWrite(ev.N)
+		case "disk.kill":
+			diskKills++
+			switch ev.Op {
+			case "write":
+				diskScript.KillOnWrite(ev.N)
+			case "sync":
+				diskScript.KillOnSync(ev.N)
+			case "create":
+				diskScript.KillOnCreate(ev.N)
+			case "syncdir":
+				diskScript.KillOnSyncDir(ev.N)
+			}
+		}
+	}
+	if diskScript != nil {
+		fopts.JournalFS = diskScript.FS(nil)
 	}
 	var killScript *faultfleet.CoordinatorScript
 	for _, ev := range killEvents {
@@ -419,13 +458,22 @@ func runFleetStage(sc *Scenario, seed int64, faults []Event, opts RunOptions) (*
 	}
 
 	var rep *fleet.Report
-	if killScript != nil {
+	if killScript != nil || diskKills > 0 {
 		opts.logf("fleet: driving campaign into scripted coordinator kill")
 		_, kerr := c1.RunCampaign(ctx, spec)
-		if !errors.Is(kerr, fleet.ErrCoordinatorKilled) {
-			return nil, nil, fmt.Errorf("scenario: campaign returned %v, want coordinator kill", kerr)
+		// A coordinator disruptor kill and a disk kill are both crashes
+		// the resumed coordinator must recover from byte-identically.
+		if !errors.Is(kerr, fleet.ErrCoordinatorKilled) && !errors.Is(kerr, journal.ErrCrashed) {
+			return nil, nil, fmt.Errorf("scenario: campaign returned %v, want a scripted kill", kerr)
 		}
-		if killScript.Fired() == 0 {
+		fired := 0
+		if killScript != nil {
+			fired += killScript.Fired()
+		}
+		if diskScript != nil {
+			fired += diskScript.Fired()
+		}
+		if fired == 0 {
 			return nil, nil, errors.New("scenario: coordinator kill script never fired")
 		}
 		shutdownCoordinator(c1)
@@ -435,6 +483,8 @@ func runFleetStage(sc *Scenario, seed int64, faults []Event, opts RunOptions) (*
 		}
 		fopts2 := fleetOptions(fs, opts)
 		fopts2.JournalPath = fopts.JournalPath
+		fopts2.JournalSegmentBytes = fopts.JournalSegmentBytes
+		fopts2.JournalFS = fopts.JournalFS
 		fopts2.Resume = true
 		c2 := fleet.NewCoordinator(fopts2)
 		go c2.Serve(ln2)
@@ -455,6 +505,18 @@ func runFleetStage(sc *Scenario, seed int64, faults []Event, opts RunOptions) (*
 	}
 
 	out := &outcome{fleetRep: rep, replayed: rep.Replayed, truncated: rep.Truncated, assignDep: assignDep}
+	out.journalDegraded = rep.JournalDegraded
+	if fs.Journal {
+		// Offline fsck over whatever the campaign left on disk, through
+		// the real filesystem (scripted faults are spent by now). The
+		// verdict is deterministic; the fault detail in rep.JournalFault
+		// may carry scratch paths and never enters the report.
+		vr, verr := journal.Verify(nil, fopts.JournalPath)
+		if verr != nil {
+			return nil, nil, fmt.Errorf("scenario: fsck over the fleet journal: %w", verr)
+		}
+		out.journalVerify = vr.Worst().String()
+	}
 
 	// The reference is the fault-free ground truth, computed entirely
 	// locally through the same handle the agents serve with. Per-probe
@@ -517,6 +579,7 @@ func runFleetStage(sc *Scenario, seed int64, faults []Event, opts RunOptions) (*
 		Complete: rep.Complete(), Cells: rep.Cells, Completed: rep.Completed,
 		Gaps: gapIdx, Quarantined: quar,
 		Replayed: recReplayed, Truncated: rep.Truncated,
+		JournalDegraded: rep.JournalDegraded, JournalVerify: out.journalVerify,
 		AssignmentDependent: assignDep, Histogram: histJSON,
 	}})
 

@@ -27,6 +27,7 @@ var goldenScenarios = []string{
 	"fleet-probe-crash",
 	"overload-brownout-recovery",
 	"fleet-overload-storm",
+	"disk-journal-degraded",
 }
 
 func TestGoldenReports(t *testing.T) {

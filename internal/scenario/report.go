@@ -136,6 +136,14 @@ type fleetOutcomeRec struct {
 	Quarantined []string `json:"quarantined,omitempty"`
 	Replayed    int      `json:"replayed,omitempty"`
 	Truncated   bool     `json:"truncated,omitempty"`
+	// JournalDegraded reports that a disk fault cost the run its crash
+	// journal (results intact, resume protection honestly lost);
+	// JournalVerify is the offline fsck verdict over what the campaign
+	// left on disk ("clean", "torn-tail", …). Both are deterministic —
+	// the fault's error text, which may carry scratch paths, is not and
+	// never enters the report.
+	JournalDegraded bool   `json:"journal_degraded,omitempty"`
+	JournalVerify   string `json:"journal_verify,omitempty"`
 	// AssignmentDependent marks a scenario with per-probe PMU weather:
 	// which cells met the weather depends on cell placement, so the
 	// merged histogram is not a pure function of the scenario and is
@@ -240,6 +248,12 @@ func (r *Result) Summary() string {
 			if p.Truncated {
 				sb.WriteString(" truncated")
 			}
+			if p.JournalVerify != "" {
+				fmt.Fprintf(&sb, " journal=%s", p.JournalVerify)
+			}
+			if p.JournalDegraded {
+				sb.WriteString(" JOURNAL DEGRADED")
+			}
 			if p.AssignmentDependent {
 				sb.WriteString(" (histogram assignment-dependent, excluded)")
 			}
@@ -321,6 +335,9 @@ func faultDetail(ev Event) string {
 	}
 	if ev.Window != "" {
 		add("window=%s", ev.Window)
+	}
+	if ev.Op != "" {
+		add("op=%s", ev.Op)
 	}
 	if ev.RetryAfter != 0 {
 		add("retry_after=%s", ev.RetryAfter)

@@ -168,6 +168,11 @@ type Event struct {
 	Window     string   `json:"window,omitempty"`
 	RetryAfter Duration `json:"retry_after,omitempty"`
 
+	// faultdisk: which journal operation class a disk.kill crashes in
+	// (write, sync, create or syncdir); the disk.* faults share N as
+	// their 1-based occurrence count.
+	Op string `json:"op,omitempty"`
+
 	// assertions.
 	Min    *float64 `json:"min,omitempty"`
 	Max    *float64 `json:"max,omitempty"`
@@ -296,9 +301,14 @@ type FleetSpec struct {
 	// Journal runs the campaign over a crash journal in a scratch
 	// directory; Resume restarts a killed coordinator against that
 	// journal and re-scatters only the missing cells. Resume requires
-	// Journal and a fleet.kill_coordinator event.
+	// Journal and a fleet.kill_coordinator or disk.kill event.
 	Journal bool `json:"journal,omitempty"`
 	Resume  bool `json:"resume,omitempty"`
+	// SegmentBytes rotates the journal into checkpointed segments once
+	// the live tail passes this many bytes (1 rotates on every append —
+	// the tightest crash-window schedule). Zero keeps the single-file
+	// layout. Requires Journal.
+	SegmentBytes int `json:"segment_bytes,omitempty"`
 }
 
 // Scenario is a parsed, validated scenario file.
@@ -616,6 +626,12 @@ func (f *FleetSpec) validate() error {
 	}
 	if f.Resume && !f.Journal {
 		return &SpecError{Field: "fleet.resume", Msg: "resume requires journal: true"}
+	}
+	if f.SegmentBytes < 0 {
+		return &SpecError{Field: "fleet.segment_bytes", Msg: "must be >= 0"}
+	}
+	if f.SegmentBytes > 0 && !f.Journal {
+		return &SpecError{Field: "fleet.segment_bytes", Msg: "segment rotation requires journal: true"}
 	}
 	return nil
 }

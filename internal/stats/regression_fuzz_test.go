@@ -56,7 +56,7 @@ func FuzzRegression(f *testing.F) {
 	// ...and the degenerate shapes the robustness layer guards against.
 	f.Add(encodeSeries([]float64{1, 2, 3, 4}, []float64{5, math.NaN(), 7, math.Inf(1)}))
 	f.Add(encodeSeries([]float64{1, 1, 1, 1}, []float64{2, 2, 2, 2}))       // constant both
-	f.Add(encodeSeries([]float64{1, 2, 3, 4}, []float64{-1, -2, -3, -4}))  // log-domain violations
+	f.Add(encodeSeries([]float64{1, 2, 3, 4}, []float64{-1, -2, -3, -4}))   // log-domain violations
 	f.Add(encodeSeries([]float64{1e300, 2e300, 3e300}, []float64{1, 2, 3})) // overflow-prone
 	f.Add(encodeSeries([]float64{1}, []float64{1}))                         // too short
 	f.Add([]byte{})
